@@ -1,0 +1,217 @@
+// Command dpc-cluster runs distributed partial clustering on a CSV dataset:
+// points in, centers (and optionally a per-point assignment) out. It is the
+// "downstream user" entry point: bring your own data, pick k and how many
+// points you are willing to write off, and get centers plus the measured
+// communication footprint of the simulated deployment.
+//
+// Usage:
+//
+//	dpc-cluster -k 5 -t 100 -in points.csv -out centers.csv
+//	dpc-cluster -k 3 -t 10 -objective center -sites 16 -assign labels.csv < points.csv
+//	dpc-cluster -k 4 -t 50 -variant noship -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpc/internal/comm"
+	"dpc/internal/core"
+	"dpc/internal/dataio"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 3, "number of centers")
+		t         = flag.Int("t", 0, "outlier budget (points that may be ignored)")
+		objective = flag.String("objective", "median", "median | means | center")
+		variant   = flag.String("variant", "2round", "2round | 1round | noship")
+		sites     = flag.Int("sites", 8, "number of simulated sites")
+		eps       = flag.Float64("eps", 1, "coordinator bicriteria slack")
+		seed      = flag.Int64("seed", 1, "engine seed")
+		inPath    = flag.String("in", "-", "input CSV of points ('-' = stdin)")
+		outPath   = flag.String("out", "-", "output CSV of centers ('-' = stdout)")
+		assignOut = flag.String("assign", "", "optional output CSV of per-point assignments")
+		report    = flag.Bool("report", false, "print the communication report to stderr")
+		polish    = flag.Bool("lloyd", false, "Lloyd-polish the final centers (means only)")
+		uncFlag   = flag.Bool("uncertain", false, "input rows are uncertain nodes: node_id,prob,coords...")
+	)
+	flag.Parse()
+
+	in, err := openIn(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *uncFlag {
+		runUncertainCLI(in, *k, *t, *objective, *sites, *eps, *seed, *outPath, *report)
+		return
+	}
+	pts, err := dataio.ReadPointsCSV(in)
+	in.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var obj core.Objective
+	switch *objective {
+	case "median":
+		obj = core.Median
+	case "means":
+		obj = core.Means
+	case "center":
+		obj = core.Center
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	var vr core.Variant
+	switch *variant {
+	case "2round":
+		vr = core.TwoRound
+	case "1round":
+		vr = core.OneRound
+	case "noship":
+		vr = core.TwoRoundNoOutliers
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	siteData := dataio.SplitRoundRobin(pts, *sites)
+	res, err := core.Run(siteData, core.Config{
+		K: *k, T: *t, Objective: obj, Variant: vr, Eps: *eps,
+		LloydPolish: *polish,
+		LocalOpts:   kmedian.Options{Seed: *seed},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := openOut(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dataio.WritePointsCSV(out, res.Centers); err != nil {
+		fatal(err)
+	}
+	out.Close()
+
+	if *assignOut != "" {
+		f, err := os.Create(*assignOut)
+		if err != nil {
+			fatal(err)
+		}
+		a := dataio.Assign(pts, res.Centers, res.OutlierBudget, obj == core.Means)
+		if err := dataio.WriteAssignmentCSV(f, a); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *report {
+		cost := core.Evaluate(pts, res.Centers, res.OutlierBudget, obj)
+		fmt.Fprintf(os.Stderr, "points: %d  sites: %d  centers: %d  ignorable: %.0f\n",
+			len(pts), len(siteData), len(res.Centers), res.OutlierBudget)
+		fmt.Fprintf(os.Stderr, "objective (%s): %.6g\n", obj, cost)
+		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
+			res.Report.Rounds, res.Report.UpBytes, res.Report.DownBytes)
+		fmt.Fprintf(os.Stderr, "site budgets t_i: %v\n", res.SiteBudgets)
+	}
+}
+
+// runUncertainCLI handles -uncertain mode: nodes in, centers out.
+func runUncertainCLI(in io.ReadCloser, k, t int, objective string, sites int, eps float64, seed int64, outPath string, report bool) {
+	g, nodes, err := dataio.ReadNodesCSV(in)
+	in.Close()
+	if err != nil {
+		fatal(err)
+	}
+	siteNodes := dataio.SplitNodesRoundRobin(nodes, sites)
+	cfg := uncertain.Config{K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}}
+	var (
+		centers []metric.Point
+		rep     comm.Report
+		cost    float64
+		label   string
+	)
+	switch objective {
+	case "median", "means", "centerpp":
+		var obj uncertain.Objective
+		switch objective {
+		case "means":
+			obj = uncertain.Means
+		case "centerpp":
+			obj = uncertain.CenterPP
+		default:
+			obj = uncertain.Median
+		}
+		res, err := uncertain.Run(g, siteNodes, cfg, obj)
+		if err != nil {
+			fatal(err)
+		}
+		centers, rep = res.Centers, res.Report
+		switch obj {
+		case uncertain.Means:
+			cost = uncertain.EvalMeans(g, nodes, centers, res.OutlierBudget)
+		case uncertain.CenterPP:
+			cost = uncertain.EvalCenterPP(g, nodes, centers, res.OutlierBudget)
+		default:
+			cost = uncertain.EvalMedian(g, nodes, centers, res.OutlierBudget)
+		}
+		label = objective
+	case "centerg":
+		res, err := uncertain.RunCenterG(g, siteNodes, uncertain.CenterGConfig{
+			K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		centers, rep = res.Centers, res.Report
+		cost = uncertain.EvalCenterG(g, nodes, centers, res.OutlierBudget, 200, seed)
+		label = "centerg (Monte-Carlo estimate)"
+	default:
+		fatal(fmt.Errorf("uncertain mode supports median|means|centerpp|centerg, got %q", objective))
+	}
+
+	out, err := openOut(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dataio.WritePointsCSV(out, centers); err != nil {
+		fatal(err)
+	}
+	out.Close()
+	if report {
+		fmt.Fprintf(os.Stderr, "nodes: %d  ground points: %d  sites: %d  centers: %d\n",
+			len(nodes), g.N(), len(siteNodes), len(centers))
+		fmt.Fprintf(os.Stderr, "objective (%s): %.6g\n", label, cost)
+		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
+			rep.Rounds, rep.UpBytes, rep.DownBytes)
+	}
+}
+
+func openIn(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpc-cluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command dpc-sweep emits CSV series for the figure-style plots behind
+// EXPERIMENTS.md: communication and quality as one parameter sweeps while
+// the rest stay fixed. Pipe the output into any plotting tool.
+//
+// Usage:
+//
+//	dpc-sweep -sweep t          # bytes vs outlier budget, 2-round vs 1-round vs no-ship
+//	dpc-sweep -sweep s          # bytes vs number of sites
+//	dpc-sweep -sweep n          # bytes vs total input size
+//	dpc-sweep -sweep eps        # cost vs coordinator slack
+//	dpc-sweep -sweep m          # uncertain: bytes vs support size
+//	dpc-sweep -sweep subq       # centralized runtime vs n per level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpc/internal/central"
+	"dpc/internal/core"
+	"dpc/internal/gen"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+func main() {
+	sweep := flag.String("sweep", "t", "one of: t, s, n, eps, m, subq")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	switch *sweep {
+	case "t":
+		sweepT(*seed)
+	case "s":
+		sweepS(*seed)
+	case "n":
+		sweepN(*seed)
+	case "eps":
+		sweepEps(*seed)
+	case "m":
+		sweepM(*seed)
+	case "subq":
+		sweepSubq(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "dpc-sweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+func sites(n, k, s int, seed int64) (gen.Instance, [][]metric.Point) {
+	in := gen.Mixture(gen.MixtureSpec{N: n, K: k, Dim: 2, OutlierFrac: 0.1, Seed: seed})
+	parts := gen.Partition(in, s, gen.Uniform, seed+1)
+	return in, gen.SitePoints(in, parts)
+}
+
+func mustRun(sp [][]metric.Point, cfg core.Config) core.Result {
+	res, err := core.Run(sp, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func sweepT(seed int64) {
+	fmt.Println("t,two_round_bytes,one_round_bytes,noship_bytes")
+	_, sp := sites(3000, 4, 8, seed)
+	for _, tt := range []int{10, 20, 40, 80, 160, 320} {
+		two := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median})
+		one := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.OneRound})
+		ns := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.TwoRoundNoOutliers})
+		fmt.Printf("%d,%d,%d,%d\n", tt, two.Report.UpBytes, one.Report.UpBytes, ns.Report.UpBytes)
+	}
+}
+
+func sweepS(seed int64) {
+	fmt.Println("s,two_round_bytes,one_round_bytes")
+	for _, s := range []int{2, 4, 8, 16, 32} {
+		_, sp := sites(3200, 4, s, seed)
+		two := mustRun(sp, core.Config{K: 4, T: 100, Objective: core.Median})
+		one := mustRun(sp, core.Config{K: 4, T: 100, Objective: core.Median, Variant: core.OneRound})
+		fmt.Printf("%d,%d,%d\n", s, two.Report.UpBytes, one.Report.UpBytes)
+	}
+}
+
+func sweepN(seed int64) {
+	fmt.Println("n,two_round_bytes,site_wall_ms")
+	for _, n := range []int{500, 1000, 2000, 4000, 8000} {
+		_, sp := sites(n, 4, 8, seed)
+		two := mustRun(sp, core.Config{K: 4, T: 60, Objective: core.Median})
+		fmt.Printf("%d,%d,%d\n", n, two.Report.UpBytes, two.Report.SiteWall.Milliseconds())
+	}
+}
+
+func sweepEps(seed int64) {
+	fmt.Println("eps,median_cost,means_cost")
+	in, sp := sites(1500, 4, 6, seed)
+	for _, eps := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8} {
+		med := mustRun(sp, core.Config{K: 4, T: 75, Objective: core.Median, Eps: eps})
+		mea := mustRun(sp, core.Config{K: 4, T: 75, Objective: core.Means, Eps: eps})
+		cm := core.Evaluate(in.Pts, med.Centers, med.OutlierBudget, core.Median)
+		cq := core.Evaluate(in.Pts, mea.Centers, mea.OutlierBudget, core.Means)
+		fmt.Printf("%g,%g,%g\n", eps, cm, cq)
+	}
+}
+
+func sweepM(seed int64) {
+	fmt.Println("m,alg3_bytes,naive_bytes")
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		in := gen.UncertainMixture(gen.UncertainSpec{N: 400, K: 3, Support: m, OutlierFrac: 0.08, Seed: seed})
+		parts := gen.PartitionNodes(in, 4, gen.Uniform, seed+1)
+		sn := gen.SiteNodes(in, parts)
+		smart, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: 40}, uncertain.Median)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
+			os.Exit(1)
+		}
+		naive, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: 40, Variant: uncertain.OneRoundShipDists}, uncertain.Median)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d,%d,%d\n", m, smart.Report.UpBytes, naive.Report.UpBytes)
+	}
+}
+
+func sweepSubq(seed int64) {
+	fmt.Println("n,direct_s,level1_s,level2_s")
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, OutlierFrac: 0.03, Seed: seed})
+		opts := kmedian.Options{MaxIters: 10, Seed: seed}
+		var secs [3]float64
+		for lvl := 0; lvl <= 2; lvl++ {
+			sol := central.PartialMedian(in.Pts, central.Config{K: 3, T: n / 50, Levels: lvl, Opts: opts})
+			secs[lvl] = sol.Elapsed.Seconds()
+		}
+		fmt.Printf("%d,%.3f,%.3f,%.3f\n", n, secs[0], secs[1], secs[2])
+	}
+}

@@ -1,0 +1,58 @@
+// Command dpc-tables regenerates the paper's evaluation artifacts: every
+// row-group of Table 1 and Table 2 plus the figure-style claims, as
+// measured on this implementation (experiments E1..E12 of DESIGN.md).
+//
+// Usage:
+//
+//	dpc-tables                 # run everything at full size
+//	dpc-tables -exp E1,E4      # selected experiments
+//	dpc-tables -quick          # smaller instances (seconds, not minutes)
+//	dpc-tables -seed 7         # different workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dpc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+	quick := flag.Bool("quick", false, "run reduced-size instances")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpc-tables: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := bench.Options{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		t0 := time.Now()
+		table := e.Run(opts)
+		fmt.Println(table.String())
+		fmt.Printf("   (%s finished in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,319 @@
+// Package dpc is a Go implementation of "Distributed Partial Clustering"
+// (Guha, Li, Zhang; SPAA 2017): communication-efficient algorithms in the
+// coordinator model for clustering with outliers — (k,t)-median, (k,t)-means
+// and (k,t)-center, where k centers are chosen and up to t points may be
+// ignored — plus their extensions to uncertain (distribution-valued) data
+// and the subquadratic centralized solvers obtained by self-simulation.
+//
+// # Quick start
+//
+//	sites := [][]dpc.Point{ ... } // one slice per site
+//	res, err := dpc.Run(sites, dpc.Config{K: 5, T: 50, Objective: dpc.Median})
+//	cost := dpc.Evaluate(dpc.FlattenSites(sites), res.Centers, res.OutlierBudget, dpc.Median)
+//	fmt.Println(res.Report.TotalBytes(), cost)
+//
+// The distributed run simulates the paper's star network exactly: every
+// message is serialized, byte-counted and decoded on the other side;
+// res.Report carries the measured communication and computation footprint
+// (the quantities bounded in Tables 1 and 2 of the paper).
+//
+// # Package map
+//
+//   - Run / Config / Result          — Algorithms 1 and 2 + variants
+//   - RunUncertain, RunCenterG       — Section 5 (compressed graph, Alg. 3/4)
+//   - Centralized                    — Section 3.1 (subquadratic simulation)
+//   - Mixture, UncertainMixture, ... — planted workload generators
+package dpc
+
+import (
+	"dpc/internal/central"
+	"dpc/internal/core"
+	"dpc/internal/gen"
+	"dpc/internal/kcenter"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/stream"
+	"dpc/internal/uncertain"
+)
+
+// Point is a point in d-dimensional Euclidean space.
+type Point = metric.Point
+
+// Objective selects the clustering objective of a distributed run.
+type Objective = core.Objective
+
+// Clustering objectives.
+const (
+	// Median is the (k,t)-median objective: sum of distances, t outliers free.
+	Median = core.Median
+	// Means is the (k,t)-means objective: sum of squared distances.
+	Means = core.Means
+	// Center is the (k,t)-center objective: maximum distance.
+	Center = core.Center
+)
+
+// Variant selects the communication protocol.
+type Variant = core.Variant
+
+// Protocol variants.
+const (
+	// TwoRound is Algorithm 1/2: Otilde((sk+t)B) communication, 2 rounds.
+	TwoRound = core.TwoRound
+	// TwoRoundNoOutliers is the Theorem 3.8 variant: outlier counts only,
+	// Otilde(s/delta + sk*B) communication.
+	TwoRoundNoOutliers = core.TwoRoundNoOutliers
+	// OneRound is the Otilde((sk+st)B) single-round baseline.
+	OneRound = core.OneRound
+)
+
+// Config parameterizes a distributed run; zero values select the paper's
+// defaults (rho=2, eps=1, geometric grid base 2).
+type Config = core.Config
+
+// Result is the outcome of a distributed run, including the measured
+// communication Report.
+type Result = core.Result
+
+// Engine selects the k-median optimization engine.
+type Engine = kmedian.Engine
+
+// Engines.
+const (
+	// EngineAuto picks JV for small instances, local search otherwise.
+	EngineAuto = kmedian.EngineAuto
+	// EngineLocalSearch always uses swap local search.
+	EngineLocalSearch = kmedian.EngineLocalSearch
+	// EngineJV always uses the Jain-Vazirani primal-dual engine.
+	EngineJV = kmedian.EngineJV
+)
+
+// EngineOptions tunes the optimization engines (seeds, iteration caps).
+type EngineOptions = kmedian.Options
+
+// Run executes distributed partial clustering over the per-site datasets.
+func Run(sites [][]Point, cfg Config) (Result, error) {
+	return core.Run(sites, cfg)
+}
+
+// Evaluate computes the true global partial cost of centers on a dataset:
+// every point connects to its nearest center, the `budget` largest
+// connection costs are free.
+func Evaluate(pts []Point, centers []Point, budget float64, obj Objective) float64 {
+	return core.Evaluate(pts, centers, budget, obj)
+}
+
+// FlattenSites concatenates per-site point slices.
+func FlattenSites(sites [][]Point) []Point {
+	return core.FlattenSites(sites)
+}
+
+// --- Uncertain data (Section 5) ---
+
+// Ground is the finite metric ground set P for uncertain data.
+type Ground = uncertain.Ground
+
+// Node is an uncertain input node: a discrete distribution over P.
+type Node = uncertain.Node
+
+// UncertainObjective selects the uncertain objective.
+type UncertainObjective = uncertain.Objective
+
+// Uncertain objectives.
+const (
+	// UncertainMedian is Eq. (1): sum of expected assignment distances.
+	UncertainMedian = uncertain.Median
+	// UncertainMeans is the squared variant.
+	UncertainMeans = uncertain.Means
+	// UncertainCenterPP is Eq. (2): max of expected assignment distances.
+	UncertainCenterPP = uncertain.CenterPP
+)
+
+// UncertainVariant selects the uncertain protocol.
+type UncertainVariant = uncertain.Variant
+
+// Uncertain protocol variants.
+const (
+	// UncertainTwoRound is Algorithm 3: only collapsed (y_j, ell_j) pairs
+	// cross the wire.
+	UncertainTwoRound = uncertain.TwoRound
+	// UncertainOneRoundShipDists is the naive baseline that ships full
+	// distributions (I bits per outlier node).
+	UncertainOneRoundShipDists = uncertain.OneRoundShipDists
+)
+
+// UncertainConfig parameterizes a distributed uncertain run.
+type UncertainConfig = uncertain.Config
+
+// UncertainResult is the outcome of a distributed uncertain run.
+type UncertainResult = uncertain.Result
+
+// RunUncertain executes Algorithm 3 (compressed-graph clustering) for the
+// uncertain median/means/center-pp objectives.
+func RunUncertain(g *Ground, sites [][]Node, cfg UncertainConfig, obj UncertainObjective) (UncertainResult, error) {
+	return uncertain.Run(g, sites, cfg, obj)
+}
+
+// CenterGConfig parameterizes Algorithm 4.
+type CenterGConfig = uncertain.CenterGConfig
+
+// CenterGResult is the outcome of Algorithm 4.
+type CenterGResult = uncertain.CenterGResult
+
+// RunCenterG executes Algorithm 4 for the uncertain (k,t)-center-g
+// objective (Eq. 3): parametric search over truncated distances.
+func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
+	return uncertain.RunCenterG(g, sites, cfg)
+}
+
+// EvalUncertainMedian computes the true uncertain (k,t)-median objective.
+func EvalUncertainMedian(g *Ground, nodes []Node, centers []Point, t float64) float64 {
+	return uncertain.EvalMedian(g, nodes, centers, t)
+}
+
+// EvalUncertainMeans computes the true uncertain (k,t)-means objective.
+func EvalUncertainMeans(g *Ground, nodes []Node, centers []Point, t float64) float64 {
+	return uncertain.EvalMeans(g, nodes, centers, t)
+}
+
+// EvalUncertainCenterPP computes the uncertain (k,t)-center-pp objective.
+func EvalUncertainCenterPP(g *Ground, nodes []Node, centers []Point, t float64) float64 {
+	return uncertain.EvalCenterPP(g, nodes, centers, t)
+}
+
+// EvalUncertainCenterG estimates the (k,t)-center-g objective by seeded
+// Monte Carlo over joint realizations.
+func EvalUncertainCenterG(g *Ground, nodes []Node, centers []Point, t float64, samples int, seed int64) float64 {
+	return uncertain.EvalCenterG(g, nodes, centers, t, samples, seed)
+}
+
+// --- Arbitrary metric oracles ---
+//
+// The paper's model is "clustering over a graph with n nodes and an oracle
+// distance function" — anything implementing CostOracle can be clustered
+// with the partial solvers below (they are the engines behind Run).
+
+// CostOracle is the client/facility connection-cost interface every solver
+// consumes.
+type CostOracle = metric.Costs
+
+// Edge is a weighted undirected edge of a graph metric.
+type Edge = metric.Edge
+
+// GraphMetric computes the shortest-path closure of a connected weighted
+// graph as a cost oracle (and finite metric).
+func GraphMetric(n int, edges []Edge) (CostOracle, error) {
+	return metric.GraphMetric(n, edges)
+}
+
+// AngularSpace wraps feature vectors in the angular (kernelized cosine)
+// metric — the "documents and images represented in a feature space"
+// setting of the paper's introduction.
+type AngularSpace = metric.AngularSpace
+
+// OracleSolution is a (k,t)-median/means solution over a cost oracle.
+type OracleSolution = kmedian.Solution
+
+// SolvePartialMedian solves the (k,t)-median problem on an arbitrary cost
+// oracle with optional client weights (nil = unit). For (k,t)-means, wrap
+// the oracle so Cost returns squared distances.
+func SolvePartialMedian(c CostOracle, w []float64, k int, t float64, engine Engine, opts EngineOptions) OracleSolution {
+	return kmedian.Solve(c, w, k, t, engine, opts)
+}
+
+// CenterSolution is a (k,t)-center solution over a cost oracle.
+type CenterSolution = kcenter.Solution
+
+// SolvePartialCenter solves the weighted (k,t)-center problem on an
+// arbitrary cost oracle (greedy 3-approximation of Charikar et al.).
+func SolvePartialCenter(c CostOracle, w []float64, k int, t float64) CenterSolution {
+	return kcenter.Partial(c, w, k, t)
+}
+
+// --- Streaming sketch (reference [14], the basis of Theorem 2.1) ---
+
+// StreamConfig tunes the one-pass partial clustering sketch.
+type StreamConfig = stream.Config
+
+// StreamSketch summarizes an unbounded point stream in O(chunk+k+t) memory
+// while preserving (k,t)-median/means cost up to the Theorem 2.1 constants.
+type StreamSketch = stream.Sketch
+
+// StreamResult is the solution extracted from a sketch.
+type StreamResult = stream.Result
+
+// NewStream creates a one-pass partial clustering sketch.
+func NewStream(cfg StreamConfig) (*StreamSketch, error) {
+	return stream.New(cfg)
+}
+
+// --- Centralized subquadratic solvers (Section 3.1) ---
+
+// CentralConfig parameterizes the centralized solver (Levels = simulation
+// depth; 0 is the direct quadratic Theorem 3.1 engine).
+type CentralConfig = central.Config
+
+// CentralSolution is a centralized result with wall-clock timing.
+type CentralSolution = central.Solution
+
+// Centralized solves (k,t)-median/means centrally, optionally simulating
+// the distributed algorithm to break the quadratic barrier (Theorem 3.10).
+func Centralized(pts []Point, cfg CentralConfig) CentralSolution {
+	return central.PartialMedian(pts, cfg)
+}
+
+// --- Workload generators ---
+
+// MixtureSpec describes a planted Gaussian-mixture-with-outliers workload.
+type MixtureSpec = gen.MixtureSpec
+
+// Instance is a planted deterministic instance.
+type Instance = gen.Instance
+
+// Mixture samples a planted instance.
+func Mixture(spec MixtureSpec) Instance { return gen.Mixture(spec) }
+
+// PartitionMode selects how points spread across sites.
+type PartitionMode = gen.PartitionMode
+
+// Partition modes.
+const (
+	// PartitionUniform spreads points evenly at random.
+	PartitionUniform = gen.Uniform
+	// PartitionSkewed gives site i a share proportional to i+1.
+	PartitionSkewed = gen.Skewed
+	// PartitionByCluster routes each planted cluster to one site.
+	PartitionByCluster = gen.ByCluster
+	// PartitionOutlierHeavy puts all planted outliers on site 0.
+	PartitionOutlierHeavy = gen.OutlierHeavy
+)
+
+// Partition splits an instance across s sites.
+func Partition(in Instance, s int, mode PartitionMode, seed int64) [][]int {
+	return gen.Partition(in, s, mode, seed)
+}
+
+// SitePoints materializes per-site point slices from a partition.
+func SitePoints(in Instance, parts [][]int) [][]Point {
+	return gen.SitePoints(in, parts)
+}
+
+// UncertainSpec describes a planted uncertain workload.
+type UncertainSpec = gen.UncertainSpec
+
+// UncertainInstance is a planted uncertain instance.
+type UncertainInstance = gen.UncertainInstance
+
+// UncertainMixture samples a planted uncertain instance.
+func UncertainMixture(spec UncertainSpec) UncertainInstance {
+	return gen.UncertainMixture(spec)
+}
+
+// PartitionNodes splits an uncertain instance across s sites.
+func PartitionNodes(in UncertainInstance, s int, mode PartitionMode, seed int64) [][]int {
+	return gen.PartitionNodes(in, s, mode, seed)
+}
+
+// SiteNodes materializes per-site node slices from a partition.
+func SiteNodes(in UncertainInstance, parts [][]int) [][]Node {
+	return gen.SiteNodes(in, parts)
+}

@@ -1,0 +1,130 @@
+// Package alloc implements the outlier-budget allocation protocol of
+// Algorithm 1 (Steps 7-14) and Lemma 3.3: given each site's convex local
+// cost curve f_i, split a global budget of R = floor(rho*t) outliers into
+// per-site budgets t_1..t_s minimizing sum_i f_i(t_i).
+//
+// The protocol ranks all marginal savings l(i,q) = f_i(q-1) - f_i(q) in
+// decreasing order, breaking ties by the lexicographic order of (i,q)
+// (Equation (4), "stable sort" in Step 8), takes the entry of rank R as the
+// pivot, and gives each site the prefix of its own savings that sort at or
+// before the pivot. Convexity of the f_i makes each site's included set a
+// prefix, and greedily taking the R largest savings is exactly the optimum
+// of the separable convex minimization (Lemma 3.3).
+package alloc
+
+import (
+	"sort"
+
+	"dpc/internal/geom"
+)
+
+// Pivot identifies the rank-R slope entry l(i0,q0) that the coordinator
+// broadcasts in Step 9 of Algorithm 1. Sites reconstruct their budget from
+// the pivot alone, so broadcasting it costs O(1) words per site.
+type Pivot struct {
+	I0, Q0 int     // site and budget index of the pivot entry
+	L0     float64 // the pivot slope value l(i0, q0)
+	Rank   int     // the requested rank R
+	// Exhausted reports that fewer than R slope entries exist in total; in
+	// that case every site simply takes its full domain and there is no
+	// meaningful pivot (I0 = -1).
+	Exhausted bool
+}
+
+// run is a site-tagged slope run.
+type run struct {
+	s      float64
+	site   int
+	lo, hi int
+}
+
+// Allocate computes the pivot of rank R over the slope entries of fns and
+// the per-site budgets it induces. fns[i] is site i's convex cost curve;
+// R is the global rank (floor(rho*t) in Algorithm 1).
+//
+// The returned budgets satisfy sum(ts) == min(R, total entries) and, by
+// Lemma 3.3, minimize sum_i fns[i](ts[i]) subject to that total.
+func Allocate(fns []geom.ConvexFn, R int) (Pivot, []int) {
+	s := len(fns)
+	ts := make([]int, s)
+	if R <= 0 {
+		return Pivot{I0: -1, Rank: R, Exhausted: false}, ts
+	}
+	var runs []run
+	total := 0
+	for i, f := range fns {
+		for _, sr := range f.Runs() {
+			runs = append(runs, run{s: sr.S, site: i, lo: sr.Lo, hi: sr.Hi})
+			total += sr.Hi - sr.Lo + 1
+		}
+	}
+	if total <= R {
+		for i, f := range fns {
+			ts[i] = f.T()
+		}
+		return Pivot{I0: -1, Rank: R, Exhausted: true}, ts
+	}
+	// Stable decreasing sort: larger slope first; ties by (site, q).
+	sort.Slice(runs, func(a, b int) bool {
+		if runs[a].s != runs[b].s {
+			return runs[a].s > runs[b].s
+		}
+		if runs[a].site != runs[b].site {
+			return runs[a].site < runs[b].site
+		}
+		return runs[a].lo < runs[b].lo
+	})
+	cum := 0
+	var p Pivot
+	for _, rn := range runs {
+		n := rn.hi - rn.lo + 1
+		if cum+n >= R {
+			p = Pivot{I0: rn.site, Q0: rn.lo + (R - cum) - 1, L0: rn.s, Rank: R}
+			break
+		}
+		cum += n
+	}
+	for i, f := range fns {
+		ts[i] = BudgetForSite(f, i, p)
+	}
+	return p, ts
+}
+
+// BudgetForSite recomputes site i's budget t_i from the broadcast pivot
+// (Step 11 of Algorithm 1): the number of entries (l(i,q), (i,q)) of site i
+// that sort at or before the pivot under the stable decreasing order. For
+// the pivot site itself this is exactly Q0.
+//
+// Both the coordinator and the sites derive slopes from the identical hull
+// representation (geom.ConvexFn.Runs), so the float comparisons below are
+// reproducible across the two ends of the protocol.
+func BudgetForSite(f geom.ConvexFn, i int, p Pivot) int {
+	if p.Exhausted {
+		return f.T()
+	}
+	if p.Rank <= 0 {
+		return 0
+	}
+	if i == p.I0 {
+		return p.Q0
+	}
+	t := 0
+	for _, sr := range f.Runs() {
+		switch {
+		case sr.S > p.L0:
+			t = sr.Hi
+		case sr.S == p.L0 && i < p.I0:
+			t = sr.Hi
+		}
+	}
+	return t
+}
+
+// Total returns the sum of the budgets (convenience for invariant checks).
+func Total(ts []int) int {
+	sum := 0
+	for _, t := range ts {
+		sum += t
+	}
+	return sum
+}

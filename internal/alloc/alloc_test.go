@@ -1,0 +1,219 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpc/internal/geom"
+)
+
+// randomConvexFn builds a convex fn from random samples on a geometric grid.
+func randomConvexFn(r *rand.Rand, t int) geom.ConvexFn {
+	grid := geom.Grid(t, 2)
+	samples := make([]geom.Vertex, 0, len(grid))
+	c := 100 + r.Float64()*900
+	for _, q := range grid {
+		samples = append(samples, geom.Vertex{Q: q, C: c})
+		c *= r.Float64() // strictly decreasing, convex-ish decay
+	}
+	f, err := geom.NewConvexFn(samples)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// dpOptimum solves min sum f_i(t_i) s.t. sum t_i <= R exactly by dynamic
+// programming (the truth Lemma 3.3 is checked against).
+func dpOptimum(fns []geom.ConvexFn, R int) float64 {
+	cur := make([]float64, R+1)
+	next := make([]float64, R+1)
+	for r := range cur {
+		cur[r] = 0
+	}
+	for i := len(fns) - 1; i >= 0; i-- {
+		f := fns[i]
+		for r := 0; r <= R; r++ {
+			best := math.Inf(1)
+			maxQ := f.T()
+			if maxQ > r {
+				maxQ = r
+			}
+			for q := 0; q <= maxQ; q++ {
+				if v := f.Eval(q) + cur[r-q]; v < best {
+					best = v
+				}
+			}
+			next[r] = best
+		}
+		cur, next = next, cur
+	}
+	return cur[R]
+}
+
+func TestAllocateMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		s := 1 + r.Intn(5)
+		tt := 1 + r.Intn(30)
+		fns := make([]geom.ConvexFn, s)
+		for i := range fns {
+			fns[i] = randomConvexFn(r, 1+r.Intn(tt))
+		}
+		R := 1 + r.Intn(2*tt)
+		_, ts := Allocate(fns, R)
+		var got float64
+		sum := 0
+		for i, f := range fns {
+			got += f.Eval(ts[i])
+			sum += ts[i]
+			if ts[i] < 0 || ts[i] > f.T() {
+				t.Fatalf("budget out of range: ts[%d]=%d, T=%d", i, ts[i], f.T())
+			}
+		}
+		if sum > R {
+			t.Fatalf("sum(ts)=%d > R=%d", sum, R)
+		}
+		want := dpOptimum(fns, R)
+		if got > want+1e-6*(1+want) {
+			t.Fatalf("trial %d: Allocate cost %g, DP optimum %g (ts=%v R=%d)", trial, got, want, ts, R)
+		}
+	}
+}
+
+func TestAllocateSumEqualsRankWhenNotExhausted(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		s := 1 + r.Intn(6)
+		fns := make([]geom.ConvexFn, s)
+		total := 0
+		for i := range fns {
+			fns[i] = randomConvexFn(r, 1+r.Intn(40))
+			total += fns[i].T()
+		}
+		R := 1 + r.Intn(total)
+		p, ts := Allocate(fns, R)
+		if p.Exhausted {
+			if Total(ts) != total {
+				t.Fatalf("exhausted but sum=%d, total=%d", Total(ts), total)
+			}
+			continue
+		}
+		if Total(ts) != R {
+			t.Fatalf("trial %d: sum(ts)=%d, want exactly R=%d (pivot %+v, ts=%v)", trial, Total(ts), R, p, ts)
+		}
+	}
+}
+
+func TestSitesReconstructBudgetsFromPivot(t *testing.T) {
+	// The essence of the 2-round protocol: a site, given only the pivot,
+	// must compute the same budget the coordinator computed.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		s := 2 + r.Intn(5)
+		fns := make([]geom.ConvexFn, s)
+		for i := range fns {
+			fns[i] = randomConvexFn(r, 1+r.Intn(25))
+		}
+		R := 1 + r.Intn(40)
+		p, ts := Allocate(fns, R)
+		for i, f := range fns {
+			if got := BudgetForSite(f, i, p); got != ts[i] {
+				t.Fatalf("site %d reconstructs %d, coordinator said %d (pivot %+v)", i, got, ts[i], p)
+			}
+		}
+	}
+}
+
+func TestAllocateZeroRank(t *testing.T) {
+	fns := []geom.ConvexFn{mustFn(t, []geom.Vertex{{Q: 0, C: 10}, {Q: 5, C: 0}})}
+	p, ts := Allocate(fns, 0)
+	if ts[0] != 0 {
+		t.Fatalf("ts = %v, want [0]", ts)
+	}
+	if got := BudgetForSite(fns[0], 0, p); got != 0 {
+		t.Fatalf("BudgetForSite = %d, want 0", got)
+	}
+}
+
+func TestAllocateExhausted(t *testing.T) {
+	fns := []geom.ConvexFn{
+		mustFn(t, []geom.Vertex{{Q: 0, C: 10}, {Q: 3, C: 0}}),
+		mustFn(t, []geom.Vertex{{Q: 0, C: 10}, {Q: 2, C: 0}}),
+	}
+	p, ts := Allocate(fns, 100)
+	if !p.Exhausted {
+		t.Fatal("expected exhausted pivot")
+	}
+	if ts[0] != 3 || ts[1] != 2 {
+		t.Fatalf("ts = %v, want [3 2]", ts)
+	}
+	for i, f := range fns {
+		if got := BudgetForSite(f, i, p); got != ts[i] {
+			t.Fatalf("reconstruction mismatch at %d", i)
+		}
+	}
+}
+
+func TestTieBreakIsLexicographic(t *testing.T) {
+	// Two sites with identical curves: slope 1 everywhere on [1..4].
+	mk := func() geom.ConvexFn {
+		return mustFn(t, []geom.Vertex{{Q: 0, C: 4}, {Q: 4, C: 0}})
+	}
+	fns := []geom.ConvexFn{mk(), mk()}
+	// R=3: entries sorted: (0,1),(0,2),(0,3),(0,4),(1,1),... pivot = (0,3).
+	p, ts := Allocate(fns, 3)
+	if p.I0 != 0 || p.Q0 != 3 {
+		t.Fatalf("pivot = %+v, want site 0 q 3", p)
+	}
+	if ts[0] != 3 || ts[1] != 0 {
+		t.Fatalf("ts = %v, want [3 0]", ts)
+	}
+	// R=6: pivot lands in site 1 at q=2; site 0 takes its full tie run.
+	p, ts = Allocate(fns, 6)
+	if p.I0 != 1 || p.Q0 != 2 {
+		t.Fatalf("pivot = %+v, want site 1 q 2", p)
+	}
+	if ts[0] != 4 || ts[1] != 2 {
+		t.Fatalf("ts = %v, want [4 2]", ts)
+	}
+}
+
+// Property: greedy allocation never exceeds per-site domains and is optimal.
+func TestAllocatePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 1 + r.Intn(4)
+		fns := make([]geom.ConvexFn, s)
+		for i := range fns {
+			fns[i] = randomConvexFn(r, 1+r.Intn(16))
+		}
+		R := r.Intn(30)
+		_, ts := Allocate(fns, R)
+		var got float64
+		for i, fn := range fns {
+			if ts[i] < 0 || ts[i] > fn.T() {
+				return false
+			}
+			got += fn.Eval(ts[i])
+		}
+		if Total(ts) > R && R >= 0 {
+			return false
+		}
+		return got <= dpOptimum(fns, R)+1e-6*(1+got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustFn(t *testing.T, samples []geom.Vertex) geom.ConvexFn {
+	t.Helper()
+	f, err := geom.NewConvexFn(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

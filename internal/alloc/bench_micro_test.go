@@ -1,0 +1,36 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpc/internal/geom"
+)
+
+func BenchmarkAllocate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	fns := make([]geom.ConvexFn, 32)
+	for i := range fns {
+		fns[i] = randomConvexFnBench(r, 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Allocate(fns, 2000)
+	}
+}
+
+func randomConvexFnBench(r *rand.Rand, t int) geom.ConvexFn {
+	grid := geom.Grid(t, 2)
+	samples := make([]geom.Vertex, 0, len(grid))
+	c := 1000 + r.Float64()*1000
+	for _, q := range grid {
+		samples = append(samples, geom.Vertex{Q: q, C: c})
+		c *= r.Float64()
+	}
+	f, err := geom.NewConvexFn(samples)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{ID: "X", Title: "demo", Claim: "c", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== X: demo", "paper claim: c", "a", "bb", "hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.ID == "" || e.Brief == "" {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("e11"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+// Every experiment must run in quick mode and produce a non-empty table.
+// This is the integration test for the whole harness; the full-size runs
+// live in cmd/dpc-tables and the root benchmarks.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tb := e.Run(Options{Seed: 1, Quick: true})
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tb.ID != e.ID {
+				t.Fatalf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			t.Logf("\n%s", tb.String())
+		})
+	}
+}
+
+func TestHelperSumDropTop(t *testing.T) {
+	if got := sumDropTop([]float64{5, 1, 9, 3}, 1); got != 9 { // drop the 9 -> 5+1+3
+		t.Fatalf("sumDropTop = %g, want 9", got)
+	}
+	if got := sumDropTop([]float64{5, 1}, 5); got != 0 {
+		t.Fatalf("sumDropTop over-drop = %g, want 0", got)
+	}
+}
+
+func TestHelperRandomCurveDomain(t *testing.T) {
+	r := newRand(3)
+	for trial := 0; trial < 10; trial++ {
+		f := randomCurve(r, 10)
+		if f.T() > 10 || f.T() < 1 {
+			t.Fatalf("curve domain T=%d", f.T())
+		}
+		if f.Eval(0) < f.Eval(f.T()) {
+			t.Fatal("curve not decreasing")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"dpc/internal/geom"
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// randomCurve builds a random decreasing convex-ish cost curve on [0, t].
+func randomCurve(r *rand.Rand, t int) geom.ConvexFn {
+	grid := geom.Grid(t, 2)
+	samples := make([]geom.Vertex, 0, len(grid))
+	c := 100 + r.Float64()*900
+	for _, q := range grid {
+		samples = append(samples, geom.Vertex{Q: q, C: c})
+		c *= r.Float64()
+	}
+	f, err := geom.NewConvexFn(samples)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// dpOptimum solves min sum f_i(t_i) s.t. sum t_i <= R exactly.
+func dpOptimum(fns []geom.ConvexFn, R int) float64 {
+	cur := make([]float64, R+1)
+	next := make([]float64, R+1)
+	for i := len(fns) - 1; i >= 0; i-- {
+		f := fns[i]
+		for r := 0; r <= R; r++ {
+			best := math.Inf(1)
+			maxQ := f.T()
+			if maxQ > r {
+				maxQ = r
+			}
+			for q := 0; q <= maxQ; q++ {
+				if v := f.Eval(q) + cur[r-q]; v < best {
+					best = v
+				}
+			}
+			next[r] = best
+		}
+		cur, next = next, cur
+	}
+	return cur[R]
+}
+
+// bruteCollapsed enumerates k-subsets of compressed-graph facilities with t
+// outliers dropped.
+func bruteCollapsed(col *uncertain.Collapsed, k, t int) float64 {
+	n := col.Len()
+	best := math.Inf(1)
+	var centers []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(centers) == k {
+			ds := make([]float64, n)
+			for j := 0; j < n; j++ {
+				d := math.Inf(1)
+				for _, f := range centers {
+					if x := col.Cost(j, f); x < d {
+						d = x
+					}
+				}
+				ds[j] = d
+			}
+			if c := sumDropTop(ds, t); c < best {
+				best = c
+			}
+			return
+		}
+		for f := start; f < n; f++ {
+			centers = append(centers, f)
+			rec(f + 1)
+			centers = centers[:len(centers)-1]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// bruteUncertain enumerates k-subsets of a center pool under the true
+// expected-distance objective.
+func bruteUncertain(g *uncertain.Ground, nodes []uncertain.Node, pool []metric.Point, k, t int) float64 {
+	best := math.Inf(1)
+	var centers []metric.Point
+	var rec func(start int)
+	rec = func(start int) {
+		if len(centers) == k {
+			ds := make([]float64, len(nodes))
+			for j, nd := range nodes {
+				d := math.Inf(1)
+				for _, c := range centers {
+					if x := uncertain.ExpectedDist(g, nd, c); x < d {
+						d = x
+					}
+				}
+				ds[j] = d
+			}
+			if c := sumDropTop(ds, t); c < best {
+				best = c
+			}
+			return
+		}
+		for f := start; f < len(pool); f++ {
+			centers = append(centers, pool[f])
+			rec(f + 1)
+			centers = centers[:len(centers)-1]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func sumDropTop(ds []float64, t int) float64 {
+	sorted := append([]float64(nil), ds...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	var s float64
+	for i := t; i < len(sorted); i++ {
+		s += sorted[i]
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package central
+
+import (
+	"testing"
+
+	"dpc/internal/core"
+	"dpc/internal/exact"
+	"dpc/internal/gen"
+	"dpc/internal/kmedian"
+)
+
+func TestRuntimeExponent(t *testing.T) {
+	cases := []struct {
+		level int
+		want  float64
+	}{
+		{0, 2}, {1, 4.0 / 3}, {2, 8.0 / 7}, {3, 16.0 / 15},
+	}
+	for _, c := range cases {
+		if got := runtimeExponent(c.level); got < c.want-1e-12 || got > c.want+1e-12 {
+			t.Errorf("exponent(%d) = %g, want %g", c.level, got, c.want)
+		}
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	// Level 1: s = n^{2/3}.
+	if s := chunkCount(1000, 1); s < 90 || s > 110 {
+		t.Fatalf("chunkCount(1000, 1) = %d, want ~100", s)
+	}
+	// Level 2: s = n^{(4/3)/(7/3)} = n^{4/7} ~ 52 for n=1000.
+	if s := chunkCount(1000, 2); s < 45 || s > 60 {
+		t.Fatalf("chunkCount(1000, 2) = %d, want ~52", s)
+	}
+	// Bounds.
+	if s := chunkCount(4, 1); s != 2 {
+		t.Fatalf("chunkCount(4,1) = %d", s)
+	}
+}
+
+func TestDirectSolveQuality(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 14, K: 2, Dim: 2, OutlierFrac: 0.1, Seed: 1, Box: 30})
+	sol := PartialMedian(in.Pts, Config{K: 2, T: 1, Levels: 0, Eps: 1})
+	opt := exact.Solve(in.Points(), nil, 2, 1, exact.Sum)
+	if opt.Cost > 0 && sol.Cost > 12*opt.Cost {
+		t.Fatalf("direct: %g vs exact %g", sol.Cost, opt.Cost)
+	}
+	if sol.TopChunks != 0 {
+		t.Fatalf("direct solve reported %d chunks", sol.TopChunks)
+	}
+}
+
+func TestSimulatedLevelsStayReasonable(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 800, K: 4, Dim: 2, OutlierFrac: 0.05, Seed: 2})
+	direct := PartialMedian(in.Pts, Config{K: 4, T: 40, Levels: 0})
+	if direct.Cost <= 0 {
+		t.Fatal("direct cost zero?")
+	}
+	for _, levels := range []int{1, 2} {
+		sim := PartialMedian(in.Pts, Config{K: 4, T: 40, Levels: levels})
+		if len(sim.Centers) == 0 || len(sim.Centers) > 4 {
+			t.Fatalf("levels=%d: %d centers", levels, len(sim.Centers))
+		}
+		if levels == 1 && sim.TopChunks < 50 {
+			t.Fatalf("levels=1: chunks = %d, want ~n^(2/3)", sim.TopChunks)
+		}
+		ratio := sim.Cost / direct.Cost
+		if ratio > 6 {
+			t.Fatalf("levels=%d: cost ratio vs direct %.2f (%g vs %g)",
+				levels, ratio, sim.Cost, direct.Cost)
+		}
+		t.Logf("levels=%d: cost ratio %.3f, chunks %d, elapsed %v",
+			levels, ratio, sim.TopChunks, sim.Elapsed)
+	}
+}
+
+func TestSimulatedMeans(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 400, K: 3, Dim: 2, OutlierFrac: 0.05, Seed: 3})
+	direct := PartialMedian(in.Pts, Config{K: 3, T: 20, Levels: 0, Objective: core.Means})
+	sim := PartialMedian(in.Pts, Config{K: 3, T: 20, Levels: 1, Objective: core.Means})
+	if direct.Cost > 0 && sim.Cost > 10*direct.Cost {
+		t.Fatalf("means simulation ratio %.2f", sim.Cost/direct.Cost)
+	}
+}
+
+// The point of Theorem 3.10: simulated levels scale better. We measure
+// work growth between two sizes and check the level-1 growth factor is
+// distinctly smaller than the level-0 one. (Kept modest so the test stays
+// fast; the full scaling curve is a benchmark.)
+func TestSimulationReducesGrowthRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement")
+	}
+	timeFor := func(n, levels int) float64 {
+		in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, Dim: 2, OutlierFrac: 0.03, Seed: 4})
+		// Leave SampleFacilities at the package default (-1): the direct
+		// engine must be genuinely quadratic for the claim to be testable.
+		opts := kmedian.Options{MaxIters: 10}
+		sol := PartialMedian(in.Pts, Config{K: 3, T: n / 50, Levels: levels, Opts: opts})
+		return sol.Elapsed.Seconds()
+	}
+	// Warm up and measure.
+	n1, n2 := 1500, 6000
+	d1, d2 := timeFor(n1, 0), timeFor(n2, 0)
+	s1, s2 := timeFor(n1, 1), timeFor(n2, 1)
+	growthDirect := d2 / d1
+	growthSim := s2 / s1
+	t.Logf("direct: %.3fs -> %.3fs (x%.2f); simulated: %.3fs -> %.3fs (x%.2f)",
+		d1, d2, growthDirect, s1, s2, growthSim)
+	if growthSim > growthDirect*1.2 {
+		t.Fatalf("simulation grew faster than direct: x%.2f vs x%.2f", growthSim, growthDirect)
+	}
+}

@@ -1,0 +1,45 @@
+package comm
+
+import (
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func BenchmarkMarshalPoints(b *testing.B) {
+	pts := make([]metric.Point, 1000)
+	for i := range pts {
+		pts[i] = metric.Point{float64(i), float64(i) * 2}
+	}
+	msg := PointsMsg{Pts: pts}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripWeighted(b *testing.B) {
+	msg := WeightedPointsMsg{
+		Pts: make([]metric.Point, 200),
+		W:   make([]float64, 200),
+	}
+	for i := range msg.Pts {
+		msg.Pts[i] = metric.Point{float64(i), 1}
+		msg.W[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := msg.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out WeightedPointsMsg
+		if err := out.UnmarshalBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package comm
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"dpc/internal/geom"
+	"dpc/internal/metric"
+)
+
+func TestPointsMsgRoundTrip(t *testing.T) {
+	in := PointsMsg{Pts: []metric.Point{{1, 2}, {3, 4}, {-5, 0.25}}}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 8+3*2*8 {
+		t.Fatalf("encoded size = %d, want %d", len(b), 8+48)
+	}
+	var out PointsMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v != %v", in, out)
+	}
+}
+
+func TestPointsMsgEmpty(t *testing.T) {
+	b, err := PointsMsg{}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PointsMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Pts) != 0 {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestPointsMsgRagged(t *testing.T) {
+	if _, err := (PointsMsg{Pts: []metric.Point{{1}, {1, 2}}}).MarshalBinary(); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+}
+
+func TestWeightedPointsMsgRoundTrip(t *testing.T) {
+	in := WeightedPointsMsg{Pts: []metric.Point{{1, 2, 3}}, W: []float64{42}}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 8+(3+1)*8 {
+		t.Fatalf("encoded size = %d", len(b))
+	}
+	var out WeightedPointsMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := (WeightedPointsMsg{Pts: []metric.Point{{1}}, W: nil}).MarshalBinary(); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+}
+
+func TestHullMsgRoundTrip(t *testing.T) {
+	in := HullMsg{V: []geom.Vertex{{Q: 0, C: 10}, {Q: 7, C: 0.5}}}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4+2*12 {
+		t.Fatalf("encoded size = %d", len(b))
+	}
+	var out HullMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestHullsMsgRoundTrip(t *testing.T) {
+	in := HullsMsg{Hulls: [][]geom.Vertex{
+		{{Q: 0, C: 3}},
+		{{Q: 0, C: 9}, {Q: 4, C: 1}},
+		{},
+	}}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out HullsMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Hulls) != 3 || len(out.Hulls[1]) != 2 || out.Hulls[1][1].Q != 4 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestPivotMsgRoundTrip(t *testing.T) {
+	in := PivotMsg{I0: -1, Q0: 9, L0: 2.5, Rank: 14, Exhausted: true, Tau: 0.125}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PivotMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestFloat64sMsgRoundTrip(t *testing.T) {
+	in := Float64sMsg{Vals: []float64{1, -2, 0.5}}
+	b, _ := in.MarshalBinary()
+	var out Float64sMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestNodesMsgRoundTrip(t *testing.T) {
+	in := NodesMsg{Nodes: []NodeWire{
+		{Support: []uint32{0, 3}, Prob: []float64{0.25, 0.75}},
+		{Support: []uint32{1}, Prob: []float64{1}},
+	}}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 + (4 + 2*12) + (4 + 12)
+	if len(b) != 4+4+24+4+12 {
+		t.Fatalf("encoded size = %d", len(b))
+	}
+	var out NodesMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := (NodesMsg{Nodes: []NodeWire{{Support: []uint32{1}, Prob: nil}}}).MarshalBinary(); err == nil {
+		t.Fatal("mismatched node accepted")
+	}
+}
+
+func TestCollapsedMsgRoundTrip(t *testing.T) {
+	in := CollapsedMsg{
+		Y:   []metric.Point{{1, 1}, {2, 2}},
+		Ell: []float64{0.1, 0.2},
+		W:   []float64{3, 4},
+	}
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CollapsedMsg
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestTruncatedMessagesRejected(t *testing.T) {
+	in := PointsMsg{Pts: []metric.Point{{1, 2}}}
+	b, _ := in.MarshalBinary()
+	for cut := 1; cut < len(b); cut++ {
+		var out PointsMsg
+		if err := out.UnmarshalBinary(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	var out PointsMsg
+	if err := out.UnmarshalBinary(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// Property: Float64sMsg round-trips arbitrary vectors.
+func TestFloat64sQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		in := Float64sMsg{Vals: vals}
+		b, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Float64sMsg
+		if err := out.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		if len(out.Vals) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN != NaN; compare bit patterns via encoding again.
+			a, b := in.Vals[i], out.Vals[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	nw := New(3, true)
+	nw.Broadcast(Float64sMsg{Vals: []float64{1}})     // 12 bytes x 3 sites
+	payload := PointsMsg{Pts: []metric.Point{{1, 2}}} // 24 bytes
+	nw.SiteRound(func(site int) Payload { return payload })
+	nw.Send(1, Float64sMsg{Vals: []float64{1, 2}}) // 20 bytes
+	nw.SiteRound(func(site int) Payload {
+		if site == 0 {
+			return nil // empty message
+		}
+		return Float64sMsg{Vals: []float64{3}}
+	})
+	r := nw.Report()
+	if r.Rounds != 2 {
+		t.Fatalf("rounds = %d", r.Rounds)
+	}
+	if r.DownBytes != 12*3+20 {
+		t.Fatalf("down = %d, want %d", r.DownBytes, 12*3+20)
+	}
+	if r.UpBytes != 24*3+12*2 {
+		t.Fatalf("up = %d, want %d", r.UpBytes, 24*3+24)
+	}
+	if r.RoundUp[0] != 72 || r.RoundUp[1] != 24 {
+		t.Fatalf("per-round up = %v", r.RoundUp)
+	}
+	if r.RoundDown[0] != 36 || r.RoundDown[1] != 20 {
+		t.Fatalf("per-round down = %v", r.RoundDown)
+	}
+	if r.TotalBytes() != r.UpBytes+r.DownBytes {
+		t.Fatal("TotalBytes mismatch")
+	}
+	if r.Sites != 3 {
+		t.Fatalf("sites = %d", r.Sites)
+	}
+}
+
+func TestNetworkParallelExecution(t *testing.T) {
+	nw := New(8, true)
+	var counter int64
+	nw.SiteRound(func(site int) Payload {
+		atomic.AddInt64(&counter, 1)
+		return nil
+	})
+	if counter != 8 {
+		t.Fatalf("ran %d sites", counter)
+	}
+	if nw.Report().UpBytes != 0 {
+		t.Fatal("nil payloads should cost nothing")
+	}
+}
+
+func TestNetworkSequentialMode(t *testing.T) {
+	nw := New(4, false)
+	order := make([]int, 0, 4)
+	nw.SiteRound(func(site int) Payload {
+		order = append(order, site) // safe: sequential mode
+		return nil
+	})
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSendPanicsOnBadSite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, false).Send(5, nil)
+}
+
+func TestMultiPayloadSize(t *testing.T) {
+	a := Float64sMsg{Vals: []float64{1}}      // 12
+	bm := PointsMsg{Pts: []metric.Point{{1}}} // 16
+	m := Multi{Parts: []Payload{a, bm}}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4+4+12+4+16 {
+		t.Fatalf("multi size = %d", len(b))
+	}
+}

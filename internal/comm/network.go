@@ -1,0 +1,187 @@
+// Package comm simulates the paper's coordinator model: s sites and one
+// coordinator on a star network, computing in synchronous rounds
+// (coordinator -> sites, local computation, sites -> coordinator).
+//
+// Every message is a Payload with a concrete wire format (encoding/binary,
+// little endian); the network accounts the exact encoded size, so the
+// communication columns of Tables 1 and 2 are measured on real bytes, not
+// estimated. Site computations run on one goroutine per site; the per-round
+// wall clock is the maximum site duration (sites run in parallel in the
+// modeled system) and the total work is the sum.
+package comm
+
+import (
+	"encoding"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Payload is a message body with a concrete wire format.
+type Payload interface {
+	encoding.BinaryMarshaler
+}
+
+// sizeOf returns the exact encoded size of p (0 for nil payloads, which
+// model the paper's "could be an empty message").
+func sizeOf(p Payload) int64 {
+	if p == nil {
+		return 0
+	}
+	b, err := p.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("comm: payload failed to marshal: %v", err))
+	}
+	return int64(len(b))
+}
+
+// Network is one simulated star network. Not safe for concurrent use by
+// multiple algorithm runs; the per-site goroutines inside a round are
+// synchronized internally.
+type Network struct {
+	s        int
+	parallel bool
+
+	mu       sync.Mutex
+	up       []int64 // bytes sites -> coordinator, per round
+	down     []int64 // bytes coordinator -> sites, per round
+	rounds   int
+	siteWall time.Duration // sum over rounds of max site duration
+	siteWork time.Duration // sum of all site durations
+	coord    time.Duration
+}
+
+// New creates a network with s sites. parallel selects whether site
+// computations of a round run concurrently (they do in the modeled system;
+// sequential mode exists for the centralized simulation of Section 3.1,
+// where total work is what matters).
+func New(s int, parallel bool) *Network {
+	return &Network{s: s, parallel: parallel}
+}
+
+// Sites returns the number of sites.
+func (nw *Network) Sites() int { return nw.s }
+
+// ensureRound grows the per-round byte slices up to index r.
+func (nw *Network) ensureRound(r int) {
+	for len(nw.up) <= r {
+		nw.up = append(nw.up, 0)
+		nw.down = append(nw.down, 0)
+	}
+}
+
+// Broadcast models the coordinator sending p to every site at the start of
+// the upcoming round.
+func (nw *Network) Broadcast(p Payload) {
+	sz := sizeOf(p)
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.ensureRound(nw.rounds)
+	nw.down[nw.rounds] += sz * int64(nw.s)
+}
+
+// Send models the coordinator sending p to one site at the start of the
+// upcoming round.
+func (nw *Network) Send(site int, p Payload) {
+	if site < 0 || site >= nw.s {
+		panic(fmt.Sprintf("comm: no such site %d", site))
+	}
+	sz := sizeOf(p)
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.ensureRound(nw.rounds)
+	nw.down[nw.rounds] += sz
+}
+
+// SiteRound runs fn on every site (in parallel when enabled) and collects
+// the payload each site sends back to the coordinator, closing the round.
+// fn receives the site index; a nil payload models an empty message.
+func (nw *Network) SiteRound(fn func(site int) Payload) []Payload {
+	out := make([]Payload, nw.s)
+	durs := make([]time.Duration, nw.s)
+	if nw.parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < nw.s; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				out[i] = fn(i)
+				durs[i] = time.Since(t0)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < nw.s; i++ {
+			t0 := time.Now()
+			out[i] = fn(i)
+			durs[i] = time.Since(t0)
+		}
+	}
+	var upBytes int64
+	var maxDur, sumDur time.Duration
+	for i := 0; i < nw.s; i++ {
+		upBytes += sizeOf(out[i])
+		sumDur += durs[i]
+		if durs[i] > maxDur {
+			maxDur = durs[i]
+		}
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.ensureRound(nw.rounds)
+	nw.up[nw.rounds] += upBytes
+	nw.rounds++
+	nw.siteWall += maxDur
+	nw.siteWork += sumDur
+	return out
+}
+
+// Coordinator times a coordinator-side computation.
+func (nw *Network) Coordinator(fn func()) {
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	nw.mu.Lock()
+	nw.coord += d
+	nw.mu.Unlock()
+}
+
+// Report is the measured footprint of a distributed run — the unit of
+// comparison for the communication and local-time columns of Tables 1-2.
+type Report struct {
+	Sites     int
+	Rounds    int
+	UpBytes   int64
+	DownBytes int64
+	RoundUp   []int64
+	RoundDown []int64
+	SiteWall  time.Duration // sum over rounds of the slowest site
+	SiteWork  time.Duration // total site CPU work
+	CoordWork time.Duration
+}
+
+// TotalBytes is all communication in both directions.
+func (r Report) TotalBytes() int64 { return r.UpBytes + r.DownBytes }
+
+// Report snapshots the accounting so far.
+func (nw *Network) Report() Report {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	r := Report{
+		Sites:     nw.s,
+		Rounds:    nw.rounds,
+		RoundUp:   append([]int64(nil), nw.up...),
+		RoundDown: append([]int64(nil), nw.down...),
+		SiteWall:  nw.siteWall,
+		SiteWork:  nw.siteWork,
+		CoordWork: nw.coord,
+	}
+	for _, b := range nw.up {
+		r.UpBytes += b
+	}
+	for _, b := range nw.down {
+		r.DownBytes += b
+	}
+	return r
+}

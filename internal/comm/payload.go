@@ -1,0 +1,479 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dpc/internal/geom"
+	"dpc/internal/metric"
+)
+
+// Wire helpers (little endian throughout).
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("comm: truncated message at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("comm: truncated message at offset %d", r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("comm: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// PointsMsg carries raw points (the B-bit objects of the paper; B = 8*dim
+// bytes per point here).
+type PointsMsg struct {
+	Pts []metric.Point
+}
+
+// MarshalBinary implements Payload.
+func (m PointsMsg) MarshalBinary() ([]byte, error) {
+	dim := 0
+	if len(m.Pts) > 0 {
+		dim = len(m.Pts[0])
+	}
+	b := make([]byte, 0, 8+len(m.Pts)*dim*8)
+	b = appendU32(b, uint32(len(m.Pts)))
+	b = appendU32(b, uint32(dim))
+	for _, p := range m.Pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("comm: ragged point dims %d vs %d", len(p), dim)
+		}
+		for _, x := range p {
+			b = appendF64(b, x)
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a PointsMsg.
+func (m *PointsMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	dim, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Pts = make([]metric.Point, n)
+	for i := range m.Pts {
+		p := make(metric.Point, dim)
+		for d := range p {
+			if p[d], err = r.f64(); err != nil {
+				return err
+			}
+		}
+		m.Pts[i] = p
+	}
+	return r.done()
+}
+
+// WeightedPointsMsg carries precluster centers with their attached weights
+// (Line 15 of Algorithm 1: "the 2k centers ... the number of points
+// attached to each center").
+type WeightedPointsMsg struct {
+	Pts []metric.Point
+	W   []float64
+}
+
+// MarshalBinary implements Payload.
+func (m WeightedPointsMsg) MarshalBinary() ([]byte, error) {
+	if len(m.Pts) != len(m.W) {
+		return nil, fmt.Errorf("comm: %d points but %d weights", len(m.Pts), len(m.W))
+	}
+	dim := 0
+	if len(m.Pts) > 0 {
+		dim = len(m.Pts[0])
+	}
+	b := make([]byte, 0, 8+len(m.Pts)*(dim+1)*8)
+	b = appendU32(b, uint32(len(m.Pts)))
+	b = appendU32(b, uint32(dim))
+	for i, p := range m.Pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("comm: ragged point dims %d vs %d", len(p), dim)
+		}
+		for _, x := range p {
+			b = appendF64(b, x)
+		}
+		b = appendF64(b, m.W[i])
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a WeightedPointsMsg.
+func (m *WeightedPointsMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	dim, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Pts = make([]metric.Point, n)
+	m.W = make([]float64, n)
+	for i := range m.Pts {
+		p := make(metric.Point, dim)
+		for d := range p {
+			if p[d], err = r.f64(); err != nil {
+				return err
+			}
+		}
+		m.Pts[i] = p
+		if m.W[i], err = r.f64(); err != nil {
+			return err
+		}
+	}
+	return r.done()
+}
+
+// HullMsg carries the lower convex hull a site ships in Round 1 of
+// Algorithm 1 (Line 5: "Send the function f_i to the coordinator").
+type HullMsg struct {
+	V []geom.Vertex
+}
+
+// MarshalBinary implements Payload.
+func (m HullMsg) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, 4+len(m.V)*12)
+	b = appendU32(b, uint32(len(m.V)))
+	for _, v := range m.V {
+		b = appendU32(b, uint32(v.Q))
+		b = appendF64(b, v.C)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a HullMsg.
+func (m *HullMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.V = make([]geom.Vertex, n)
+	for i := range m.V {
+		q, err := r.u32()
+		if err != nil {
+			return err
+		}
+		c, err := r.f64()
+		if err != nil {
+			return err
+		}
+		m.V[i] = geom.Vertex{Q: int(q), C: c}
+	}
+	return r.done()
+}
+
+// HullsMsg carries several hulls (Algorithm 4 ships one hull per tau).
+type HullsMsg struct {
+	Hulls [][]geom.Vertex
+}
+
+// MarshalBinary implements Payload.
+func (m HullsMsg) MarshalBinary() ([]byte, error) {
+	b := appendU32(nil, uint32(len(m.Hulls)))
+	for _, h := range m.Hulls {
+		sub, err := HullMsg{V: h}.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, sub...)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a HullsMsg.
+func (m *HullsMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Hulls = make([][]geom.Vertex, n)
+	for i := range m.Hulls {
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		hull := make([]geom.Vertex, cnt)
+		for j := range hull {
+			q, err := r.u32()
+			if err != nil {
+				return err
+			}
+			c, err := r.f64()
+			if err != nil {
+				return err
+			}
+			hull[j] = geom.Vertex{Q: int(q), C: c}
+		}
+		m.Hulls[i] = hull
+	}
+	return r.done()
+}
+
+// PivotMsg is the coordinator's Round-2 broadcast (Step 9 of Algorithm 1):
+// the rank-rho*t slope entry. Tau carries the truncation threshold chosen
+// by Algorithm 4 (zero otherwise).
+type PivotMsg struct {
+	I0, Q0    int
+	L0        float64
+	Rank      int
+	Exhausted bool
+	Tau       float64
+}
+
+// MarshalBinary implements Payload.
+func (m PivotMsg) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, 29)
+	b = appendU32(b, uint32(int32(m.I0)))
+	b = appendU32(b, uint32(m.Q0))
+	b = appendF64(b, m.L0)
+	b = appendU32(b, uint32(m.Rank))
+	if m.Exhausted {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendF64(b, m.Tau)
+	return b, nil
+}
+
+// UnmarshalBinary decodes a PivotMsg.
+func (m *PivotMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	i0, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.I0 = int(int32(i0))
+	q0, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Q0 = int(q0)
+	if m.L0, err = r.f64(); err != nil {
+		return err
+	}
+	rank, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Rank = int(rank)
+	if r.off >= len(r.b) {
+		return fmt.Errorf("comm: truncated pivot")
+	}
+	m.Exhausted = r.b[r.off] == 1
+	r.off++
+	if m.Tau, err = r.f64(); err != nil {
+		return err
+	}
+	return r.done()
+}
+
+// Float64sMsg carries a vector of scalars.
+type Float64sMsg struct {
+	Vals []float64
+}
+
+// MarshalBinary implements Payload.
+func (m Float64sMsg) MarshalBinary() ([]byte, error) {
+	b := appendU32(nil, uint32(len(m.Vals)))
+	for _, v := range m.Vals {
+		b = appendF64(b, v)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a Float64sMsg.
+func (m *Float64sMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Vals = make([]float64, n)
+	for i := range m.Vals {
+		if m.Vals[i], err = r.f64(); err != nil {
+			return err
+		}
+	}
+	return r.done()
+}
+
+// NodeWire is one uncertain node's full distribution: support indices into
+// the shared ground set and their probabilities. Its encoded size is the
+// paper's I (the information needed to encode a node).
+type NodeWire struct {
+	Support []uint32
+	Prob    []float64
+}
+
+// NodesMsg carries whole uncertain nodes — the expensive payload
+// Algorithm 3 avoids and Algorithm 4 pays only for the t outliers
+// (the t*I term of Theorem 5.14).
+type NodesMsg struct {
+	Nodes []NodeWire
+}
+
+// MarshalBinary implements Payload.
+func (m NodesMsg) MarshalBinary() ([]byte, error) {
+	b := appendU32(nil, uint32(len(m.Nodes)))
+	for _, nd := range m.Nodes {
+		if len(nd.Support) != len(nd.Prob) {
+			return nil, fmt.Errorf("comm: node support/prob mismatch")
+		}
+		b = appendU32(b, uint32(len(nd.Support)))
+		for i := range nd.Support {
+			b = appendU32(b, nd.Support[i])
+			b = appendF64(b, nd.Prob[i])
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a NodesMsg.
+func (m *NodesMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Nodes = make([]NodeWire, n)
+	for i := range m.Nodes {
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		nd := NodeWire{Support: make([]uint32, cnt), Prob: make([]float64, cnt)}
+		for j := 0; j < int(cnt); j++ {
+			if nd.Support[j], err = r.u32(); err != nil {
+				return err
+			}
+			if nd.Prob[j], err = r.f64(); err != nil {
+				return err
+			}
+		}
+		m.Nodes[i] = nd
+	}
+	return r.done()
+}
+
+// CollapsedMsg carries the compressed representation of uncertain nodes
+// from Algorithm 3: the 1-median y_j (a point, B bytes) and the collapse
+// cost ell_j = E[d(sigma(j), y_j)] — 8 extra bytes instead of I.
+type CollapsedMsg struct {
+	Y   []metric.Point
+	Ell []float64
+	W   []float64 // attached weight (for precluster centers)
+}
+
+// MarshalBinary implements Payload.
+func (m CollapsedMsg) MarshalBinary() ([]byte, error) {
+	if len(m.Y) != len(m.Ell) || len(m.Y) != len(m.W) {
+		return nil, fmt.Errorf("comm: collapsed lengths mismatch")
+	}
+	dim := 0
+	if len(m.Y) > 0 {
+		dim = len(m.Y[0])
+	}
+	b := appendU32(nil, uint32(len(m.Y)))
+	b = appendU32(b, uint32(dim))
+	for i, p := range m.Y {
+		if len(p) != dim {
+			return nil, fmt.Errorf("comm: ragged point dims")
+		}
+		for _, x := range p {
+			b = appendF64(b, x)
+		}
+		b = appendF64(b, m.Ell[i])
+		b = appendF64(b, m.W[i])
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a CollapsedMsg.
+func (m *CollapsedMsg) UnmarshalBinary(b []byte) error {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	dim, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Y = make([]metric.Point, n)
+	m.Ell = make([]float64, n)
+	m.W = make([]float64, n)
+	for i := range m.Y {
+		p := make(metric.Point, dim)
+		for d := range p {
+			if p[d], err = r.f64(); err != nil {
+				return err
+			}
+		}
+		m.Y[i] = p
+		if m.Ell[i], err = r.f64(); err != nil {
+			return err
+		}
+		if m.W[i], err = r.f64(); err != nil {
+			return err
+		}
+	}
+	return r.done()
+}
+
+// Multi bundles several payloads into one site message (e.g. centers +
+// outliers in Round 2 of Algorithm 1).
+type Multi struct {
+	Parts []Payload
+}
+
+// MarshalBinary implements Payload.
+func (m Multi) MarshalBinary() ([]byte, error) {
+	b := appendU32(nil, uint32(len(m.Parts)))
+	for _, p := range m.Parts {
+		sub, err := p.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b = appendU32(b, uint32(len(sub)))
+		b = append(b, sub...)
+	}
+	return b, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"dpc/internal/gen"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// ByCluster partitions give every site a biased view of the space (whole
+// clusters live on single sites) — the hard case for preclustering. The
+// protocol must still land within a modest factor of the centralized
+// reference for every objective.
+func TestAdversarialByClusterPartition(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 600, K: 6, Dim: 2, OutlierFrac: 0.05, Seed: 61})
+	parts := gen.Partition(in, 3, gen.ByCluster, 62)
+	sites := gen.SitePoints(in, parts)
+	for _, obj := range []Objective{Median, Means, Center} {
+		res, err := Run(sites, Config{K: 6, T: 30, Objective: obj})
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		got := Evaluate(in.Pts, res.Centers, res.OutlierBudget, obj)
+		var ref float64
+		switch obj {
+		case Center:
+			ref = Evaluate(in.Pts, in.TrueCenters, 30, Center)
+		case Means:
+			sol := kmedian.LocalSearch(metric.Squared{C: in.Points()}, nil, 6, 30, kmedian.Options{Seed: 63, Restarts: 3})
+			ref = sol.Cost
+		default:
+			sol := kmedian.LocalSearch(in.Points(), nil, 6, 30, kmedian.Options{Seed: 63, Restarts: 3})
+			ref = sol.Cost
+		}
+		if ref > 0 && got > 8*ref {
+			t.Fatalf("%v under ByCluster: %g vs reference %g (ratio %.2f)",
+				obj, got, ref, got/ref)
+		}
+		t.Logf("%v: distributed %.2f vs reference %.2f", obj, got, ref)
+	}
+}
+
+// Skewed partitions (site sizes ~ i+1) must not break anything either; the
+// biggest site dominates site wall time but quality holds.
+func TestSkewedPartitionQuality(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 600, K: 4, Dim: 2, OutlierFrac: 0.05, Seed: 64})
+	parts := gen.Partition(in, 5, gen.Skewed, 65)
+	sites := gen.SitePoints(in, parts)
+	res, err := Run(sites, Config{K: 4, T: 30, Objective: Median})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Evaluate(in.Pts, res.Centers, res.OutlierBudget, Median)
+	sol := kmedian.LocalSearch(in.Points(), nil, 4, 30, kmedian.Options{Seed: 66, Restarts: 3})
+	if sol.Cost > 0 && got > 6*sol.Cost {
+		t.Fatalf("skewed: %g vs %g", got, sol.Cost)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dpc/internal/alloc"
+	"dpc/internal/comm"
+	"dpc/internal/geom"
+	"dpc/internal/kcenter"
+	"dpc/internal/metric"
+)
+
+// centerSite is the per-site state of Algorithm 2.
+type centerSite struct {
+	pts     []metric.Point
+	space   *metric.Points
+	trav    kcenter.Traversal
+	fn      geom.ConvexFn
+	budget  int
+	ignored float64 // weight silently dropped by the no-ship variant
+}
+
+// noShipPayload implements Appendix A's "(2+delta)t" center row: assign
+// every point to the first k traversal centers, silently ignore the t_i
+// farthest points (they are counted into the global entitlement but never
+// cross the wire), and ship only the k centers with the surviving counts.
+func (st *centerSite) noShipPayload(k int) comm.Payload {
+	if k > len(st.trav.Order) {
+		k = len(st.trav.Order)
+	}
+	n := len(st.pts)
+	assign, _, _ := st.trav.AssignPrefix(st.space, k, nil)
+	dist := make([]float64, n)
+	order := make([]int, n)
+	for j := 0; j < n; j++ {
+		dist[j] = st.space.Dist(j, st.trav.Order[assign[j]])
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+	drop := st.budget
+	if drop > n {
+		drop = n
+	}
+	dropped := make([]bool, n)
+	for i := 0; i < drop; i++ {
+		dropped[order[i]] = true
+	}
+	st.ignored = float64(drop)
+	counts := make([]float64, k)
+	for j := 0; j < n; j++ {
+		if !dropped[j] {
+			counts[assign[j]]++
+		}
+	}
+	pts := make([]metric.Point, k)
+	for c := 0; c < k; c++ {
+		pts[c] = st.pts[st.trav.Order[c]]
+	}
+	return comm.WeightedPointsMsg{Pts: pts, W: counts}
+}
+
+// slope returns l(i,q): the insertion radius of the (k+q)-th point of the
+// Gonzalez re-ordering, min{d(a_j, a_{k+q}) : j < k+q} (Line 4 of
+// Algorithm 2). Sites with fewer than k+q points have run out of mass to
+// ignore: the marginal saving is 0.
+func (st *centerSite) slope(k, q int) float64 {
+	idx := k + q - 1 // 0-indexed position of the (k+q)-th point
+	if idx >= len(st.trav.Order) {
+		return 0
+	}
+	return st.trav.Radii[idx]
+}
+
+// runCenter executes Algorithm 2 for the (k,t)-center objective (TwoRound)
+// or the 1-round t_i = t baseline.
+func runCenter(sites [][]metric.Point, cfg Config) (Result, error) {
+	s := len(sites)
+	nw := comm.New(s, !cfg.Sequential)
+	k := cfg.K
+
+	states := make([]*centerSite, s)
+	newState := func(i int) *centerSite {
+		st := &centerSite{pts: sites[i], space: metric.NewPoints(sites[i])}
+		// One Gonzalez run to k+t points serves both the slope witnesses
+		// and every possible preclustering prefix (site time O((k+t) n_i)).
+		st.trav = kcenter.Gonzalez(st.space, k+cfg.T, 0)
+		return st
+	}
+
+	// payload ships the first k+ti traversal points with attached counts;
+	// Remark 3(i): no original point is ignored in the preclustering.
+	//
+	// The TwoRoundNoOutliers variant (Appendix A's "(2+delta)t" center row,
+	// comm Otilde(s/delta + sk B)) ships only the first k centers: the
+	// points attached to the t_i outlier-region centers are silently
+	// ignored (counted into the global (2+delta)t entitlement) and no
+	// outlier-shaped bytes cross the wire.
+	noShip := cfg.Variant == TwoRoundNoOutliers
+	payload := func(st *centerSite) comm.Payload {
+		if noShip {
+			return st.noShipPayload(k)
+		}
+		m := k + st.budget
+		if m > len(st.trav.Order) {
+			m = len(st.trav.Order)
+		}
+		_, counts, _ := st.trav.AssignPrefix(st.space, m, nil)
+		pts := make([]metric.Point, m)
+		for c := 0; c < m; c++ {
+			pts[c] = st.pts[st.trav.Order[c]]
+		}
+		return comm.WeightedPointsMsg{Pts: pts, W: counts}
+	}
+
+	var roundTwo []comm.Payload
+	if cfg.Variant == OneRound {
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			states[i] = st
+			st.budget = cfg.T
+			return payload(st)
+		})
+	} else {
+		// Round 1: sample the convex surrogate f_i(q) = sum_{r>q} l(i,r)
+		// on the geometric grid and ship its hull — the "subsequent steps
+		// as in Algorithm 1" (Line 7) with O(log t) communication.
+		hullUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			states[i] = st
+			tcap := capBudget(cfg.T, len(st.pts))
+			grid := geom.Grid(tcap, cfg.HullBase)
+			// Suffix sums of slopes once, then sample.
+			suffix := make([]float64, tcap+2)
+			for q := tcap; q >= 1; q-- {
+				suffix[q] = suffix[q+1] + st.slope(k, q)
+			}
+			samples := make([]geom.Vertex, 0, len(grid))
+			for _, q := range grid {
+				samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
+			}
+			fn, err := geom.NewConvexFn(samples)
+			if err != nil {
+				panic(fmt.Sprintf("core: center site %d hull: %v", i, err))
+			}
+			st.fn = fn
+			return comm.HullMsg{V: fn.Vertices()}
+		})
+
+		var pivot alloc.Pivot
+		fns := make([]geom.ConvexFn, s)
+		nw.Coordinator(func() {
+			for i, p := range hullUp {
+				var msg comm.HullMsg
+				if err := roundTrip(p, &msg); err != nil {
+					panic(err)
+				}
+				fn, err := geom.NewConvexFn(msg.V)
+				if err != nil {
+					panic(fmt.Sprintf("core: coordinator center hull %d: %v", i, err))
+				}
+				fns[i] = fn
+			}
+			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
+		})
+		nw.Broadcast(comm.PivotMsg{
+			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
+			Rank: pivot.Rank, Exhausted: pivot.Exhausted,
+		})
+
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := states[i]
+			ti := alloc.BudgetForSite(st.fn, i, pivot)
+			if i == pivot.I0 {
+				ti = st.fn.NextVertex(pivot.Q0)
+			}
+			st.budget = ti
+			return payload(st)
+		})
+	}
+
+	// Coordinator: weighted (k,t)-center with exactly t outliers on the
+	// union of precluster centers, via the greedy of [4].
+	var result Result
+	nw.Coordinator(func() {
+		var pts []metric.Point
+		var wts []float64
+		for _, p := range roundTwo {
+			var msg comm.WeightedPointsMsg
+			if err := roundTrip(p, &msg); err != nil {
+				panic(err)
+			}
+			pts = append(pts, msg.Pts...)
+			wts = append(wts, msg.W...)
+		}
+		space := metric.NewPoints(pts)
+		sol := kcenter.Partial(space, wts, cfg.K, float64(cfg.T))
+		result.Centers = pointsAt(pts, sol.Centers)
+		result.CoordinatorClients = len(pts)
+		result.CoordinatorCost = sol.Radius
+	})
+
+	result.Report = nw.Report()
+	result.SiteBudgets = make([]int, s)
+	result.OutlierBudget = float64(cfg.T)
+	for i, st := range states {
+		result.SiteBudgets[i] = st.budget
+		result.OutlierBudget += st.ignored
+	}
+	return result, nil
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's distributed partial clustering
+// algorithms in the coordinator model:
+//
+//   - Algorithm 1 (Section 3): 2-round (k,(1+eps)t)-median/means with
+//     Otilde((sk+t)B) communication via convex-hull cost curves and the
+//     rank-rho*t pivot allocation;
+//   - the modified Algorithm 1 (Theorem 3.8): outlier *counts* only,
+//     Otilde(s/delta + sk B) communication, 4k-center combination at the
+//     exceptional site (Lemma 3.7);
+//   - Algorithm 2 (Section 4): 2-round (k,t)-center from Gonzalez
+//     preclustering with insertion-radius slope witnesses;
+//   - 1-round baselines (Appendix A, Table 2): t_i = t at every site,
+//     Otilde((sk+st)B) communication — the [14]/[19]-style strawmen the
+//     paper improves on.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpc/internal/comm"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// Objective selects the clustering objective.
+type Objective int
+
+const (
+	// Median is the (k,t)-median objective (sum of distances).
+	Median Objective = iota
+	// Means is the (k,t)-means objective (sum of squared distances).
+	Means
+	// Center is the (k,t)-center objective (max distance).
+	Center
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Median:
+		return "median"
+	case Means:
+		return "means"
+	case Center:
+		return "center"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Variant selects the protocol variant.
+type Variant int
+
+const (
+	// TwoRound is Algorithm 1 / Algorithm 2: hull curves up, pivot down,
+	// centers + t_i outlier points up. Communication Otilde((sk+t)B).
+	TwoRound Variant = iota
+	// TwoRoundNoOutliers is the Theorem 3.8 variant: sites ship only the
+	// *number* of ignored points; the exceptional site combines two hull
+	// solutions into a 4k-center preclustering (Lemma 3.7).
+	// Communication Otilde(s/delta + sk*B); the solution ignores up to
+	// (2+eps+delta)t points. Median/means only.
+	TwoRoundNoOutliers
+	// OneRound ships every site's full local solution with t_i = t —
+	// the Otilde((sk+st)B) baseline of Table 2.
+	OneRound
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case TwoRound:
+		return "2round"
+	case TwoRoundNoOutliers:
+		return "2round-noship"
+	case OneRound:
+		return "1round"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config parameterizes a distributed run.
+type Config struct {
+	K int // number of centers
+	T int // outlier budget
+
+	Objective Objective
+	Variant   Variant
+
+	// Eps is the coordinator's bicriteria slack: the final solve may
+	// ignore (1+Eps)t weighted points (Theorem 3.6), or open (1+Eps)k
+	// centers when RelaxCenters is set. Default 1.
+	Eps float64
+	// RelaxCenters switches the coordinator to the second branch of
+	// Theorem 3.1: the output has up to ceil((1+Eps)k) centers but ignores
+	// only t points — the "(1+eps)k, t" rows of Table 2. Median/means only.
+	RelaxCenters bool
+	// LloydPolish refines the final means centers with unrestricted
+	// Euclidean centroids (k-means-- iterations on the coordinator's
+	// weighted instance) — the other side of Definition 1.1's "factor of
+	// 2" remark. Means objective only.
+	LloydPolish bool
+	// Rho is the allocation rank multiplier (Algorithm 1 uses rho = 2;
+	// Theorem 3.8 uses rho = 1+Delta). Default 2 (or 1+Delta for the
+	// no-ship variant).
+	Rho float64
+	// Delta is the budget slack of the no-ship variant. Default 0.25.
+	Delta float64
+	// HullBase is the geometric grid base for local budget sampling
+	// (Line 2 of Algorithm 1). Default 2.
+	HullBase float64
+	// Engine selects the local/coordinator k-median engine.
+	Engine kmedian.Engine
+	// LocalOpts tunes the site-side solver; per-site seeds are derived
+	// from LocalOpts.Seed + site index.
+	LocalOpts kmedian.Options
+	// Sequential disables parallel site execution (used by the
+	// centralized simulation of Section 3.1, where total work matters).
+	Sequential bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps == 0 {
+		c.Eps = 1
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.25
+	}
+	if c.Rho == 0 {
+		if c.Variant == TwoRoundNoOutliers {
+			c.Rho = 1 + c.Delta
+		} else {
+			c.Rho = 2
+		}
+	}
+	if c.HullBase == 0 {
+		c.HullBase = 2
+	}
+	return c
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Centers are the chosen centers as points.
+	Centers []metric.Point
+	// Report is the measured communication/time footprint.
+	Report comm.Report
+	// SiteBudgets are the per-site outlier budgets t_i chosen by the
+	// allocation (nil for 1-round runs, where t_i = t).
+	SiteBudgets []int
+	// CoordinatorClients is the size of the induced weighted instance the
+	// coordinator solved (the paper bounds it by 2sk + 3t).
+	CoordinatorClients int
+	// OutlierBudget is the number of (weighted) points the solution is
+	// entitled to ignore globally.
+	OutlierBudget float64
+	// CoordinatorCost is the coordinator's objective value on the induced
+	// weighted instance (not the true global cost; see Evaluate).
+	CoordinatorCost float64
+}
+
+// Run executes the configured distributed partial clustering over the given
+// site datasets and returns the chosen centers plus the measured footprint.
+func Run(sites [][]metric.Point, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(sites) == 0 {
+		return Result{}, fmt.Errorf("core: no sites")
+	}
+	total := 0
+	for i, pts := range sites {
+		if len(pts) == 0 {
+			return Result{}, fmt.Errorf("core: site %d is empty", i)
+		}
+		total += len(pts)
+	}
+	if cfg.K <= 0 {
+		return Result{}, fmt.Errorf("core: K = %d", cfg.K)
+	}
+	if cfg.T < 0 || cfg.T >= total {
+		return Result{}, fmt.Errorf("core: T = %d out of range [0, %d)", cfg.T, total)
+	}
+	switch cfg.Objective {
+	case Center:
+		if cfg.RelaxCenters {
+			return Result{}, fmt.Errorf("core: RelaxCenters applies to median/means only")
+		}
+		if cfg.LloydPolish {
+			return Result{}, fmt.Errorf("core: LloydPolish applies to means only")
+		}
+		return runCenter(sites, cfg)
+	case Median, Means:
+		if cfg.LloydPolish && cfg.Objective != Means {
+			return Result{}, fmt.Errorf("core: LloydPolish applies to means only")
+		}
+		return runMedianMeans(sites, cfg)
+	default:
+		return Result{}, fmt.Errorf("core: unknown objective %v", cfg.Objective)
+	}
+}
+
+// costsOver wraps points in the objective's cost oracle.
+func costsOver(pts []metric.Point, obj Objective) metric.Costs {
+	base := metric.NewPoints(pts)
+	if obj == Means {
+		return metric.Squared{C: base}
+	}
+	return base
+}
+
+// Evaluate computes the true global partial cost of centers on the full
+// dataset: every point connects to its nearest center and the `budget`
+// largest connection costs are free. This is the measuring stick for all
+// experiments (the coordinator itself never sees the full data).
+func Evaluate(pts []metric.Point, centers []metric.Point, budget float64, obj Objective) float64 {
+	if len(centers) == 0 {
+		if float64(len(pts)) <= budget {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := make([]float64, len(pts))
+	for j, p := range pts {
+		best := math.Inf(1)
+		for _, c := range centers {
+			x := metric.L2(p, c)
+			if obj == Means {
+				x = metric.SqL2(p, c)
+			}
+			if x < best {
+				best = x
+			}
+		}
+		d[j] = best
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(d)))
+	drop := int(budget)
+	if drop > len(d) {
+		drop = len(d)
+	}
+	rest := d[drop:]
+	if obj == Center {
+		if len(rest) == 0 {
+			return 0
+		}
+		return rest[0]
+	}
+	var sum float64
+	for _, x := range rest {
+		sum += x
+	}
+	return sum
+}
+
+// FlattenSites concatenates per-site point slices (evaluation helper).
+func FlattenSites(sites [][]metric.Point) []metric.Point {
+	var out []metric.Point
+	for _, pts := range sites {
+		out = append(out, pts...)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpc/internal/exact"
+	"dpc/internal/metric"
+)
+
+// A 1-D instance lets the exact DP certify the whole distributed pipeline
+// at realistic size: the end-to-end cost at the output's outlier
+// entitlement must be within a modest factor of the true optimum at the
+// same entitlement.
+func TestDistributedCertifiedByLineDP(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	n := 240
+	xs := make([]float64, n)
+	for i := range xs {
+		switch {
+		case i < 80:
+			xs[i] = r.NormFloat64() * 2
+		case i < 160:
+			xs[i] = 100 + r.NormFloat64()*2
+		case i < 225:
+			xs[i] = 200 + r.NormFloat64()*2
+		default:
+			xs[i] = 10000 + r.Float64()*5000 // 15 far noise points
+		}
+	}
+	// Shuffle and split across 4 sites.
+	r.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sites := make([][]metric.Point, 4)
+	for i, x := range xs {
+		sites[i%4] = append(sites[i%4], metric.Point{x})
+	}
+	cfg := Config{K: 3, T: 15, Objective: Median, Eps: 1}
+	res, err := Run(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := FlattenSites(sites)
+	got := Evaluate(all, res.Centers, res.OutlierBudget, Median)
+	// The exact optimum at the same outlier entitlement.
+	opt := exact.Line1D(xs, cfg.K, int(res.OutlierBudget), exact.Sum)
+	if math.IsInf(opt.Cost, 1) || opt.Cost <= 0 {
+		t.Fatalf("degenerate DP optimum %g", opt.Cost)
+	}
+	ratio := got / opt.Cost
+	t.Logf("distributed %g vs exact optimum %g: ratio %.3f", got, opt.Cost, ratio)
+	if ratio > 5 {
+		t.Fatalf("distributed/exact ratio %.3f exceeds 5", ratio)
+	}
+	// Also certify the center objective on the same data.
+	resC, err := Run(sites, Config{K: 3, T: 15, Objective: Center})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC := Evaluate(all, resC.Centers, resC.OutlierBudget, Center)
+	optC := exact.Line1D(xs, 3, 15, exact.Max)
+	if optC.Cost > 0 && gotC > 6*optC.Cost {
+		t.Fatalf("center: distributed %g vs exact %g", gotC, optC.Cost)
+	}
+	t.Logf("center: distributed %g vs exact %g", gotC, optC.Cost)
+}

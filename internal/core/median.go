@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"dpc/internal/alloc"
+	"dpc/internal/comm"
+	"dpc/internal/geom"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// medianSite is the per-site state kept between the two rounds of
+// Algorithm 1.
+type medianSite struct {
+	pts    []metric.Point
+	costs  metric.Costs
+	fn     geom.ConvexFn
+	sols   map[int]kmedian.Solution
+	opts   kmedian.Options
+	budget int // t_i chosen in round 2
+}
+
+// solve returns (computing and caching if needed) the site's local solution
+// with 2k centers and budget q.
+func (st *medianSite) solve(k2, q int, engine kmedian.Engine) kmedian.Solution {
+	if sol, ok := st.sols[q]; ok {
+		return sol
+	}
+	sol := kmedian.Solve(st.costs, nil, k2, float64(q), engine, st.opts)
+	st.sols[q] = sol
+	return sol
+}
+
+// preclusterPayload converts a local solution into the round-2 site message:
+// the centers with attached inlier counts and, when shipOutliers is set, the
+// ignored points themselves (Line 15 of Algorithm 1).
+func (st *medianSite) preclusterPayload(sol kmedian.Solution, shipOutliers bool) comm.Payload {
+	centers, weights := aggregateCenters(st.pts, sol)
+	msg := comm.WeightedPointsMsg{Pts: centers, W: weights}
+	if !shipOutliers {
+		return msg
+	}
+	var outs []metric.Point
+	for j, w := range sol.DroppedWeight {
+		if w > 0 {
+			outs = append(outs, st.pts[j])
+		}
+	}
+	return comm.Multi{Parts: []comm.Payload{msg, comm.PointsMsg{Pts: outs}}}
+}
+
+// aggregateCenters maps a local solution to (center points, inlier weight
+// attached to each center). Per Remark 1(i), no input point is lost: points
+// either contribute weight to a center or ship as outliers.
+func aggregateCenters(pts []metric.Point, sol kmedian.Solution) ([]metric.Point, []float64) {
+	idx := make(map[int]int, len(sol.Centers))
+	centers := make([]metric.Point, 0, len(sol.Centers))
+	weights := make([]float64, 0, len(sol.Centers))
+	for _, f := range sol.Centers {
+		idx[f] = len(centers)
+		centers = append(centers, pts[f])
+		weights = append(weights, 0)
+	}
+	for j, f := range sol.Assign {
+		if f < 0 {
+			continue
+		}
+		inW := 1 - sol.DroppedWeight[j]
+		if inW > 0 {
+			weights[idx[f]] += inW
+		}
+	}
+	return centers, weights
+}
+
+// combineTwoSolutions implements Lemma 3.7 for the exceptional site of the
+// no-ship variant: take the union of the centers of the two hull-vertex
+// solutions (at most 4k), attach every point to its nearest combined
+// center, and ignore the ti points with the largest distances.
+func combineTwoSolutions(st *medianSite, a, b kmedian.Solution, ti int) kmedian.Solution {
+	seen := make(map[int]bool)
+	var union []int
+	for _, f := range append(append([]int(nil), a.Centers...), b.Centers...) {
+		if !seen[f] {
+			seen[f] = true
+			union = append(union, f)
+		}
+	}
+	return kmedian.Eval(st.costs, nil, union, float64(ti))
+}
+
+// runMedianMeans executes Algorithm 1 (or a variant) for the median/means
+// objectives.
+func runMedianMeans(sites [][]metric.Point, cfg Config) (Result, error) {
+	s := len(sites)
+	nw := comm.New(s, !cfg.Sequential)
+	k2 := 2 * cfg.K
+	shipOutliers := cfg.Variant != TwoRoundNoOutliers
+
+	states := make([]*medianSite, s)
+	newState := func(i int) *medianSite {
+		opts := cfg.LocalOpts
+		opts.Seed += int64(i) * 1000003
+		return &medianSite{
+			pts:   sites[i],
+			costs: costsOver(sites[i], cfg.Objective),
+			sols:  make(map[int]kmedian.Solution),
+			opts:  opts,
+		}
+	}
+
+	var roundTwo []comm.Payload
+	if cfg.Variant == OneRound {
+		// Baseline: every site solves with the full budget t and ships
+		// centers plus t outliers in a single round.
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			states[i] = st
+			st.budget = capBudget(cfg.T, len(st.pts))
+			sol := st.solve(k2, st.budget, cfg.Engine)
+			return st.preclusterPayload(sol, true)
+		})
+	} else {
+		// Round 1: grid of local solves, hull up (Lines 1-6).
+		hullUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			states[i] = st
+			tcap := capBudget(cfg.T, len(st.pts))
+			samples := make([]geom.Vertex, 0, 8)
+			var warm []int
+			for _, q := range geom.Grid(tcap, cfg.HullBase) {
+				st.opts.Warm = warm
+				sol := st.solve(k2, q, cfg.Engine)
+				warm = sol.Centers
+				samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+			}
+			st.opts.Warm = nil
+			fn, err := geom.NewConvexFn(samples)
+			if err != nil {
+				panic(fmt.Sprintf("core: site %d hull: %v", i, err))
+			}
+			st.fn = fn
+			return comm.HullMsg{V: fn.Vertices()}
+		})
+
+		// Coordinator: decode hulls off the wire, rank slopes, pick the
+		// pivot (Lines 7-9).
+		var pivot alloc.Pivot
+		fns := make([]geom.ConvexFn, s)
+		nw.Coordinator(func() {
+			for i, p := range hullUp {
+				var msg comm.HullMsg
+				if err := roundTrip(p, &msg); err != nil {
+					panic(err)
+				}
+				fn, err := geom.NewConvexFn(msg.V)
+				if err != nil {
+					panic(fmt.Sprintf("core: coordinator hull %d: %v", i, err))
+				}
+				fns[i] = fn
+			}
+			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
+		})
+		nw.Broadcast(comm.PivotMsg{
+			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
+			Rank: pivot.Rank, Exhausted: pivot.Exhausted,
+		})
+
+		// Round 2: sites derive t_i from the pivot and ship preclusterings
+		// (Lines 10-16 / modified Lines 12-19).
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := states[i]
+			ti := alloc.BudgetForSite(st.fn, i, pivot)
+			if i == pivot.I0 {
+				// Exceptional site: round the pivot budget up to the next
+				// hull vertex (Line 13), where the hull cost is achieved.
+				ti = st.fn.NextVertex(pivot.Q0)
+			}
+			st.budget = ti
+			if shipOutliers {
+				return st.preclusterPayload(st.solve(k2, ti, cfg.Engine), true)
+			}
+			// Theorem 3.8 variant.
+			if i != pivot.I0 || st.fn.IsVertex(ti) {
+				// t_i is a hull vertex: its solution achieves f_i(t_i).
+				return st.preclusterPayload(st.solve(k2, ti, cfg.Engine), false)
+			}
+			lo := st.fn.PrevVertex(ti)
+			hi := st.fn.NextVertex(ti)
+			combined := combineTwoSolutions(st, st.solve(k2, lo, cfg.Engine), st.solve(k2, hi, cfg.Engine), ti)
+			return st.preclusterPayload(combined, false)
+		})
+	}
+
+	// Coordinator: union of weighted centers (+ shipped outliers), then the
+	// Theorem 3.1 solve with budget (1+eps)t (Line 17).
+	var result Result
+	nw.Coordinator(func() {
+		var pts []metric.Point
+		var wts []float64
+		for _, p := range roundTwo {
+			cp, cw, op := decodePrecluster(p, shipOutliers)
+			pts = append(pts, cp...)
+			wts = append(wts, cw...)
+			for _, o := range op {
+				pts = append(pts, o)
+				wts = append(wts, 1)
+			}
+		}
+		costs := costsOver(pts, cfg.Objective)
+		copt := cfg.LocalOpts
+		copt.Seed += 7777777
+		relax := kmedian.RelaxOutliers
+		if cfg.RelaxCenters {
+			relax = kmedian.RelaxCenters
+		}
+		sol := kmedian.Bicriteria(costs, wts, cfg.K, float64(cfg.T), cfg.Eps, relax, cfg.Engine, copt)
+		result.Centers = pointsAt(pts, sol.Centers)
+		result.CoordinatorClients = len(pts)
+		result.CoordinatorCost = sol.Cost
+		if cfg.LloydPolish && cfg.Objective == Means {
+			polished, pcost := kmedian.LloydPolish(pts, wts, result.Centers, sol.Budget, 32)
+			result.Centers = polished
+			result.CoordinatorCost = pcost
+		}
+	})
+
+	result.Report = nw.Report()
+	result.SiteBudgets = make([]int, s)
+	for i, st := range states {
+		result.SiteBudgets[i] = st.budget
+	}
+	result.OutlierBudget = outlierEntitlement(cfg, result.SiteBudgets)
+	return result, nil
+}
+
+// capBudget bounds a site budget so at least one point remains clustered.
+func capBudget(t, n int) int {
+	if t >= n {
+		return n - 1
+	}
+	return t
+}
+
+// roundTrip encodes p and decodes it into dst — the coordinator reads
+// messages off the wire format, proving the format carries everything the
+// protocol needs.
+func roundTrip(p comm.Payload, dst interface{ UnmarshalBinary([]byte) error }) error {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return dst.UnmarshalBinary(b)
+}
+
+// decodePrecluster splits a round-2 site message into centers, weights and
+// shipped outliers, going through the wire encoding.
+func decodePrecluster(p comm.Payload, shipOutliers bool) ([]metric.Point, []float64, []metric.Point) {
+	if !shipOutliers {
+		var msg comm.WeightedPointsMsg
+		if err := roundTrip(p, &msg); err != nil {
+			panic(err)
+		}
+		return msg.Pts, msg.W, nil
+	}
+	multi, ok := p.(comm.Multi)
+	if !ok || len(multi.Parts) != 2 {
+		panic("core: malformed precluster payload")
+	}
+	var centers comm.WeightedPointsMsg
+	if err := roundTrip(multi.Parts[0], &centers); err != nil {
+		panic(err)
+	}
+	var outs comm.PointsMsg
+	if err := roundTrip(multi.Parts[1], &outs); err != nil {
+		panic(err)
+	}
+	return centers.Pts, centers.W, outs.Pts
+}
+
+// pointsAt materializes facility indices as points.
+func pointsAt(pts []metric.Point, idx []int) []metric.Point {
+	out := make([]metric.Point, len(idx))
+	for i, f := range idx {
+		out[i] = pts[f].Clone()
+	}
+	return out
+}
+
+// outlierEntitlement returns the number of points the final solution is
+// allowed to ignore, per the theorem governing the configured variant.
+func outlierEntitlement(cfg Config, siteBudgets []int) float64 {
+	coord := (1 + cfg.Eps) * float64(cfg.T)
+	if cfg.RelaxCenters {
+		// The second branch of Theorem 3.1: extra centers, exact t outliers.
+		coord = float64(cfg.T)
+	}
+	switch cfg.Variant {
+	case TwoRoundNoOutliers:
+		// Preclusterings silently ignored sum(t_i) <= (1+delta)t + t points
+		// (Theorem 3.8: (2+eps+delta)t in total).
+		dropped := 0
+		for _, b := range siteBudgets {
+			dropped += b
+		}
+		return coord + float64(dropped)
+	case OneRound:
+		// Shipped outliers are all candidates again; only the coordinator
+		// budget is silently ignored.
+		return coord
+	default:
+		return coord
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpc/internal/gen"
+)
+
+// The "(1+eps)k, t" rows of Table 2: the coordinator may open extra centers
+// but must respect the exact outlier budget.
+func TestRelaxCentersVariant(t *testing.T) {
+	_, sites := plantedSites(t, 500, 3, 5, 0.06, gen.Uniform, 41)
+	cfg := Config{K: 3, T: 30, Objective: Median, Eps: 1, RelaxCenters: true}
+	res, err := Run(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCenters := int(math.Ceil(float64(cfg.K) * (1 + cfg.Eps)))
+	if len(res.Centers) > maxCenters {
+		t.Fatalf("%d centers > (1+eps)k = %d", len(res.Centers), maxCenters)
+	}
+	// Outlier entitlement is exactly t, not (1+eps)t.
+	if res.OutlierBudget != float64(cfg.T) {
+		t.Fatalf("outlier budget = %g, want %d", res.OutlierBudget, cfg.T)
+	}
+	cost := Evaluate(FlattenSites(sites), res.Centers, res.OutlierBudget, Median)
+	if math.IsInf(cost, 1) || cost < 0 {
+		t.Fatalf("bad cost %g", cost)
+	}
+}
+
+// With the same eps, relaxing centers at budget t and relaxing outliers at
+// budget (1+eps)t are both valid trade-offs; both must produce reasonable
+// solutions on the same instance.
+func TestRelaxModesBothReasonable(t *testing.T) {
+	in, sites := plantedSites(t, 500, 3, 5, 0.06, gen.Uniform, 43)
+	relaxT, err := Run(sites, Config{K: 3, T: 30, Objective: Median, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxK, err := Run(sites, Config{K: 3, T: 30, Objective: Median, Eps: 1, RelaxCenters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := Evaluate(in.Pts, relaxT.Centers, relaxT.OutlierBudget, Median)
+	ck := Evaluate(in.Pts, relaxK.Centers, relaxK.OutlierBudget, Median)
+	if ct <= 0 || ck <= 0 {
+		t.Fatalf("degenerate costs %g %g", ct, ck)
+	}
+	if ck > 25*ct || ct > 25*ck {
+		t.Fatalf("relax modes wildly inconsistent: relaxT=%g relaxK=%g", ct, ck)
+	}
+}
+
+func TestRelaxCentersRejectedForCenter(t *testing.T) {
+	_, sites := plantedSites(t, 100, 2, 2, 0, gen.Uniform, 44)
+	if _, err := Run(sites, Config{K: 2, T: 5, Objective: Center, RelaxCenters: true}); err == nil {
+		t.Fatal("center + RelaxCenters accepted")
+	}
+}
+
+func TestRelaxCentersMeans(t *testing.T) {
+	_, sites := plantedSites(t, 300, 2, 3, 0.05, gen.Uniform, 45)
+	res, err := Run(sites, Config{K: 2, T: 15, Objective: Means, RelaxCenters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > 4 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+}

@@ -1,0 +1,110 @@
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+// ReadNodesCSV parses uncertain nodes from CSV rows of the form
+//
+//	node_id, probability, coord_1, ..., coord_d
+//
+// Rows sharing a node_id form that node's support; the ground set is the
+// union of all support points. Probabilities must be positive and are
+// normalized per node. A single leading non-numeric-probability row is
+// treated as a header.
+func ReadNodesCSV(r io.Reader) (*uncertain.Ground, []uncertain.Node, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	g := &uncertain.Ground{}
+	var nodes []uncertain.Node
+	order := map[string]int{}
+	dim := -1
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataio: row %d: %w", row+1, err)
+		}
+		row++
+		if len(rec) < 3 {
+			return nil, nil, fmt.Errorf("dataio: row %d: need id, prob and coordinates", row)
+		}
+		prob, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			if row == 1 && len(nodes) == 0 {
+				continue // header
+			}
+			return nil, nil, fmt.Errorf("dataio: row %d: bad probability %q", row, rec[1])
+		}
+		if prob <= 0 || math.IsNaN(prob) || math.IsInf(prob, 0) {
+			return nil, nil, fmt.Errorf("dataio: row %d: probability %g out of range", row, prob)
+		}
+		p := make(metric.Point, len(rec)-2)
+		for i, cell := range rec[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("dataio: row %d: bad coordinate %q", row, cell)
+			}
+			p[i] = v
+		}
+		if dim == -1 {
+			dim = len(p)
+		} else if len(p) != dim {
+			return nil, nil, fmt.Errorf("dataio: row %d has dim %d, want %d", row, len(p), dim)
+		}
+		id := rec[0]
+		j, ok := order[id]
+		if !ok {
+			j = len(nodes)
+			order[id] = j
+			nodes = append(nodes, uncertain.Node{})
+		}
+		nodes[j].Support = append(nodes[j].Support, len(g.Pts))
+		nodes[j].Prob = append(nodes[j].Prob, prob)
+		g.Pts = append(g.Pts, p)
+	}
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("dataio: no nodes")
+	}
+	for j := range nodes {
+		var tot float64
+		for _, p := range nodes[j].Prob {
+			tot += p
+		}
+		for q := range nodes[j].Prob {
+			nodes[j].Prob[q] /= tot
+		}
+		if err := nodes[j].Validate(g); err != nil {
+			return nil, nil, fmt.Errorf("dataio: node %d: %w", j, err)
+		}
+	}
+	return g, nodes, nil
+}
+
+// SplitNodesRoundRobin partitions nodes across s sites deterministically.
+func SplitNodesRoundRobin(nodes []uncertain.Node, s int) [][]uncertain.Node {
+	if s < 1 {
+		s = 1
+	}
+	sites := make([][]uncertain.Node, s)
+	for i, nd := range nodes {
+		sites[i%s] = append(sites[i%s], nd)
+	}
+	out := sites[:0]
+	for _, site := range sites {
+		if len(site) > 0 {
+			out = append(out, site)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func line(xs ...float64) *metric.Points {
+	pts := make([]metric.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = metric.Point{x}
+	}
+	return metric.NewPoints(pts)
+}
+
+func TestSolveMedianNoOutliers(t *testing.T) {
+	// Points 0,1,10,11; k=2: optimal centers {0 or 1, 10 or 11}, cost 2.
+	sp := line(0, 1, 10, 11)
+	sol := Solve(sp, nil, 2, 0, Sum)
+	if math.Abs(sol.Cost-2) > 1e-12 {
+		t.Fatalf("cost = %g, want 2", sol.Cost)
+	}
+	if len(sol.Centers) != 2 {
+		t.Fatalf("centers = %v", sol.Centers)
+	}
+}
+
+func TestSolveMedianOutlierRemovesFarPoint(t *testing.T) {
+	// Points 0,1,2,100; k=1,t=1: drop 100, center 1, cost 2.
+	sp := line(0, 1, 2, 100)
+	sol := Solve(sp, nil, 1, 1, Sum)
+	if math.Abs(sol.Cost-2) > 1e-12 {
+		t.Fatalf("cost = %g, want 2", sol.Cost)
+	}
+	// Without the outlier budget the far point drags the cost up.
+	sol0 := Solve(sp, nil, 1, 0, Sum)
+	if sol0.Cost <= sol.Cost {
+		t.Fatalf("outlier budget did not help: %g vs %g", sol0.Cost, sol.Cost)
+	}
+}
+
+func TestSolveCenter(t *testing.T) {
+	sp := line(0, 1, 2, 100)
+	sol := Solve(sp, nil, 1, 1, Max)
+	if math.Abs(sol.Cost-1) > 1e-12 {
+		t.Fatalf("center cost = %g, want 1", sol.Cost)
+	}
+	sol2 := Solve(sp, nil, 2, 0, Max)
+	if math.Abs(sol2.Cost-1) > 1e-12 {
+		t.Fatalf("2-center cost = %g, want 1", sol2.Cost)
+	}
+}
+
+func TestSolveWeightedFractionalDrop(t *testing.T) {
+	// One heavy far client: weight 3 at distance 10; t=1 drops one unit of
+	// its weight, leaving 2 units paying 10 each.
+	m := metric.Matrix{
+		{0, 10},
+		{10, 0},
+	}
+	w := []float64{1, 3}
+	sol := Solve(m, w, 1, 1, Sum)
+	// Best: center at 0 -> cost = (3-1)*10 = 20; center at 1 -> cost = 1*10
+	// minus drop 1 unit of the client at 0... client 0 weight 1 distance 10,
+	// drop it entirely -> cost 0.
+	if math.Abs(sol.Cost-0) > 1e-12 {
+		t.Fatalf("cost = %g, want 0 (center at 1, drop client 0)", sol.Cost)
+	}
+	sol2 := Solve(m, w, 1, 0.5, Sum)
+	if math.Abs(sol2.Cost-5) > 1e-12 {
+		t.Fatalf("cost = %g, want 5 (half of client 0 remains)", sol2.Cost)
+	}
+}
+
+func TestSolveKZero(t *testing.T) {
+	sp := line(0, 1)
+	sol := Solve(sp, nil, 0, 2, Sum)
+	if sol.Cost != 0 {
+		t.Fatalf("k=0 t=n should be feasible with cost 0, got %g", sol.Cost)
+	}
+	sol = Solve(sp, nil, 0, 1, Sum)
+	if !math.IsInf(sol.Cost, 1) {
+		t.Fatalf("k=0 t<n should be infeasible, got %g", sol.Cost)
+	}
+}
+
+func TestSolveKLargerThanFacilities(t *testing.T) {
+	sp := line(0, 5)
+	sol := Solve(sp, nil, 10, 0, Sum)
+	if sol.Cost != 0 {
+		t.Fatalf("k >= n should give 0, got %g", sol.Cost)
+	}
+}
+
+func TestSolveMaxWeighted(t *testing.T) {
+	m := metric.Matrix{
+		{0, 4, 9},
+		{4, 0, 5},
+		{9, 5, 0},
+	}
+	w := []float64{1, 2, 1}
+	// k=1, t=1: center 1 -> costs (4 w1),(0 w2),(5 w1): drop the 5 -> max 4.
+	sol := Solve(m, w, 1, 1, Max)
+	if math.Abs(sol.Cost-4) > 1e-12 {
+		t.Fatalf("cost = %g, want 4", sol.Cost)
+	}
+	// t=0.5 cannot fully drop any unit-weight client: max stays 5.
+	sol = Solve(m, w, 1, 0.5, Max)
+	if math.Abs(sol.Cost-5) > 1e-12 {
+		t.Fatalf("cost = %g, want 5", sol.Cost)
+	}
+}
+
+// Cross-check Sum optimal-drop logic against an independent O(2^n) oracle on
+// unit weights: enumerate outlier subsets explicitly.
+func TestSolveAgainstSubsetEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 6
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 10, r.Float64() * 10}
+		}
+		sp := metric.NewPoints(pts)
+		k := 1 + r.Intn(2)
+		tt := r.Intn(3)
+		got := Solve(sp, nil, k, float64(tt), Sum)
+		want := bruteWithSubsets(sp, k, tt)
+		if math.Abs(got.Cost-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: Solve = %g, subset enumeration = %g", trial, got.Cost, want)
+		}
+	}
+}
+
+// bruteWithSubsets enumerates center subsets AND outlier subsets.
+func bruteWithSubsets(sp *metric.Points, k, t int) float64 {
+	n := sp.N()
+	best := math.Inf(1)
+	var centers []int
+	var recC func(start int)
+	recC = func(start int) {
+		if len(centers) == k {
+			// enumerate outlier subsets of size exactly t
+			var outliers []int
+			var recO func(start int)
+			recO = func(start int) {
+				if len(outliers) == t {
+					cost := 0.0
+					for j := 0; j < n; j++ {
+						skip := false
+						for _, o := range outliers {
+							if o == j {
+								skip = true
+							}
+						}
+						if skip {
+							continue
+						}
+						d := math.Inf(1)
+						for _, c := range centers {
+							if dd := sp.Dist(j, c); dd < d {
+								d = dd
+							}
+						}
+						cost += d
+					}
+					if cost < best {
+						best = cost
+					}
+					return
+				}
+				for o := start; o < n; o++ {
+					outliers = append(outliers, o)
+					recO(o + 1)
+					outliers = outliers[:len(outliers)-1]
+				}
+			}
+			recO(0)
+			return
+		}
+		for c := start; c < n; c++ {
+			centers = append(centers, c)
+			recC(c + 1)
+			centers = centers[:len(centers)-1]
+		}
+	}
+	recC(0)
+	return best
+}

@@ -1,0 +1,119 @@
+package exact
+
+import (
+	"math"
+	"sort"
+)
+
+// Line1D solves the (k,t)-median or (k,t)-center problem *exactly* on a set
+// of 1-dimensional points in O(n^2 k t) time by dynamic programming —
+// tractable far beyond the subset-enumeration solver, so it serves as the
+// strong test oracle on line instances (the setting of Wang & Zhang [21]
+// for uncertain 1-D k-center).
+//
+// Structure: in an optimal 1-D solution the surviving points of each
+// cluster form a contiguous run of the sorted order (median/center
+// assignment is monotone), and any outlier interior to a run can be
+// exchanged for the run's extreme without increasing cost (the extreme is
+// at least as far from the cluster's median/center). Hence the DP over
+// (prefix, clusters used, outliers used) with two transitions — "skip the
+// next point as an outlier" and "close a cluster on a whole interval" — is
+// exact.
+func Line1D(xs []float64, k, t int, obj Objective) Solution {
+	n := len(xs)
+	if n == 0 || k <= 0 {
+		if float64(n) <= float64(t) {
+			return Solution{Cost: 0}
+		}
+		return Solution{Cost: math.Inf(1)}
+	}
+	if t > n {
+		t = n
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	// Prefix sums for O(1) interval 1-median cost.
+	prefix := make([]float64, n+1)
+	for i, x := range sorted {
+		prefix[i+1] = prefix[i] + x
+	}
+	// intervalCost returns the optimal 1-cluster cost of sorted[l..r]
+	// (inclusive, 0-indexed) with the center restricted to input points,
+	// matching Solve's semantics.
+	intervalCost := func(l, r int) float64 {
+		if obj == Max {
+			// Best center: the input point nearest the interval midpoint.
+			mid := (sorted[l] + sorted[r]) / 2
+			i := sort.SearchFloat64s(sorted[l:r+1], mid) + l
+			best := math.Inf(1)
+			for _, c := range []int{i - 1, i} {
+				if c < l || c > r {
+					continue
+				}
+				if v := math.Max(sorted[c]-sorted[l], sorted[r]-sorted[c]); v < best {
+					best = v
+				}
+			}
+			return best
+		}
+		m := (l + r) / 2 // lower median minimizes sum of |x - med|
+		left := float64(m-l+1)*sorted[m] - (prefix[m+1] - prefix[l])
+		right := (prefix[r+1] - prefix[m+1]) - float64(r-m)*sorted[m]
+		return left + right
+	}
+	combine := func(a, b float64) float64 {
+		if obj == Max {
+			return math.Max(a, b)
+		}
+		return a + b
+	}
+
+	// dp[j][r][i]: first i points handled, j clusters closed, r outliers.
+	const inf = math.MaxFloat64
+	dp := make([][][]float64, k+1)
+	for j := range dp {
+		dp[j] = make([][]float64, t+1)
+		for r := range dp[j] {
+			dp[j][r] = make([]float64, n+1)
+			for i := range dp[j][r] {
+				dp[j][r][i] = inf
+			}
+		}
+	}
+	dp[0][0][0] = 0
+	for j := 0; j <= k; j++ {
+		for r := 0; r <= t; r++ {
+			for i := 0; i <= n; i++ {
+				cur := dp[j][r][i]
+				if cur == inf {
+					continue
+				}
+				// Skip point i as an outlier.
+				if i < n && r < t {
+					if cur < dp[j][r+1][i+1] {
+						dp[j][r+1][i+1] = cur
+					}
+				}
+				// Close a cluster on [i .. e-1].
+				if i < n && j < k {
+					for e := i + 1; e <= n; e++ {
+						c := combine(cur, intervalCost(i, e-1))
+						if c < dp[j+1][r][e] {
+							dp[j+1][r][e] = c
+						}
+					}
+				}
+			}
+		}
+	}
+	best := math.Inf(1)
+	for j := 0; j <= k; j++ {
+		for r := 0; r <= t; r++ {
+			if dp[j][r][n] < best {
+				best = dp[j][r][n]
+			}
+		}
+	}
+	return Solution{Cost: best}
+}

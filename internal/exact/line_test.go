@@ -1,0 +1,105 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+func linePoints(xs []float64) *metric.Points {
+	pts := make([]metric.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = metric.Point{x}
+	}
+	return metric.NewPoints(pts)
+}
+
+func TestLine1DKnownInstances(t *testing.T) {
+	// Two tight pairs and one far point; k=2, t=1 -> cost 2.
+	xs := []float64{0, 2, 10, 12, 500}
+	sol := Line1D(xs, 2, 1, Sum)
+	if math.Abs(sol.Cost-4) > 1e-12 { // clusters {0,2} and {10,12}: 2+2
+		t.Fatalf("cost = %g, want 4", sol.Cost)
+	}
+	sol = Line1D(xs, 2, 0, Sum)
+	if sol.Cost < 4 {
+		t.Fatalf("t=0 cost = %g, should be >= 4", sol.Cost)
+	}
+	// Center objective: radius of {0,2} with center at an input point is 2.
+	solc := Line1D(xs, 2, 1, Max)
+	if math.Abs(solc.Cost-2) > 1e-12 {
+		t.Fatalf("center cost = %g, want 2", solc.Cost)
+	}
+}
+
+func TestLine1DDegenerate(t *testing.T) {
+	if s := Line1D(nil, 1, 0, Sum); s.Cost != 0 {
+		t.Fatal("empty should be 0")
+	}
+	if s := Line1D([]float64{1, 2}, 0, 2, Sum); s.Cost != 0 {
+		t.Fatal("k=0 t=n should be 0")
+	}
+	if s := Line1D([]float64{1, 2}, 0, 1, Sum); !math.IsInf(s.Cost, 1) {
+		t.Fatal("k=0 t<n should be inf")
+	}
+	if s := Line1D([]float64{5}, 1, 0, Sum); s.Cost != 0 {
+		t.Fatal("single point should be 0")
+	}
+	if s := Line1D([]float64{1, 2, 3}, 1, 99, Sum); s.Cost != 0 {
+		t.Fatal("t > n should clamp and give 0")
+	}
+}
+
+// The DP must agree exactly with subset enumeration on small instances —
+// both for the median and the center objective.
+func TestLine1DMatchesEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + r.Intn(5)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		k := 1 + r.Intn(3)
+		tt := r.Intn(3)
+		sp := linePoints(xs)
+		for _, obj := range []Objective{Sum, Max} {
+			want := Solve(sp, nil, k, float64(tt), obj)
+			got := Line1D(xs, k, tt, obj)
+			if math.Abs(got.Cost-want.Cost) > 1e-9*(1+want.Cost) {
+				t.Fatalf("trial %d obj=%d k=%d t=%d: DP %g vs enumeration %g (xs=%v)",
+					trial, obj, k, tt, got.Cost, want.Cost, xs)
+			}
+		}
+	}
+}
+
+// The DP scales where enumeration cannot: use it to certify local search
+// on a 100-point line instance.
+func TestLine1DCertifiesLocalSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i < 90 {
+			xs[i] = float64(i%3)*30 + r.Float64()*2
+		} else {
+			xs[i] = 5000 + r.Float64()*1000 // far noise
+		}
+	}
+	k, tt := 3, 10
+	opt := Line1D(xs, k, tt, Sum)
+	if math.IsInf(opt.Cost, 1) || opt.Cost <= 0 {
+		t.Fatalf("degenerate DP optimum %g", opt.Cost)
+	}
+	ls := kmedian.LocalSearch(linePoints(xs), nil, k, float64(tt), kmedian.Options{Seed: 1, Restarts: 3})
+	if ls.Cost < opt.Cost-1e-9 {
+		t.Fatalf("local search %g beat the exact optimum %g — DP is wrong", ls.Cost, opt.Cost)
+	}
+	if ls.Cost > 3*opt.Cost {
+		t.Fatalf("local search %g vs exact %g: ratio %.2f", ls.Cost, opt.Cost, ls.Cost/opt.Cost)
+	}
+	t.Logf("n=100 line: exact %g, local search %g (ratio %.3f)", opt.Cost, ls.Cost, ls.Cost/opt.Cost)
+}

@@ -1,0 +1,231 @@
+// Package gen builds the synthetic workloads every experiment runs on:
+// planted Gaussian mixtures with far uniform outliers (the ground truth
+// against which partial clustering quality is judged) and the site
+// partitions of the coordinator model, including the adversarial layouts
+// that stress the outlier-budget allocation.
+package gen
+
+import (
+	"math/rand"
+
+	"dpc/internal/metric"
+)
+
+// MixtureSpec describes a planted instance.
+type MixtureSpec struct {
+	N           int     // total number of points (clusters + outliers)
+	K           int     // number of planted clusters
+	Dim         int     // dimension
+	OutlierFrac float64 // fraction of N placed as far outliers
+	ClusterStd  float64 // within-cluster standard deviation
+	Box         float64 // cluster centers are uniform in [0, Box]^Dim
+	OutlierBox  float64 // outliers are uniform in [-OutlierBox, OutlierBox]^Dim (choose >> Box)
+	Seed        int64
+}
+
+// WithDefaults fills zero fields with sane values.
+func (s MixtureSpec) WithDefaults() MixtureSpec {
+	if s.N == 0 {
+		s.N = 1000
+	}
+	if s.K == 0 {
+		s.K = 5
+	}
+	if s.Dim == 0 {
+		s.Dim = 2
+	}
+	if s.ClusterStd == 0 {
+		s.ClusterStd = 1
+	}
+	if s.Box == 0 {
+		s.Box = 100
+	}
+	if s.OutlierBox == 0 {
+		s.OutlierBox = 10 * s.Box
+	}
+	return s
+}
+
+// Instance is a planted clustering instance.
+type Instance struct {
+	Pts         []metric.Point
+	Label       []int // cluster id in [0,K), or -1 for planted outliers
+	TrueCenters []metric.Point
+	NumOutliers int
+}
+
+// Points wraps the instance's points in a metric space.
+func (in Instance) Points() *metric.Points { return metric.NewPoints(in.Pts) }
+
+// Mixture samples a planted Gaussian mixture with far uniform outliers.
+// Points are shuffled so index order carries no information.
+func Mixture(spec MixtureSpec) Instance {
+	spec = spec.WithDefaults()
+	r := rand.New(rand.NewSource(spec.Seed))
+	numOut := int(float64(spec.N) * spec.OutlierFrac)
+	numIn := spec.N - numOut
+
+	centers := make([]metric.Point, spec.K)
+	for c := range centers {
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = r.Float64() * spec.Box
+		}
+		centers[c] = p
+	}
+	pts := make([]metric.Point, 0, spec.N)
+	labels := make([]int, 0, spec.N)
+	for i := 0; i < numIn; i++ {
+		c := i % spec.K
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = centers[c][d] + r.NormFloat64()*spec.ClusterStd
+		}
+		pts = append(pts, p)
+		labels = append(labels, c)
+	}
+	for i := 0; i < numOut; i++ {
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = (r.Float64()*2 - 1) * spec.OutlierBox
+		}
+		pts = append(pts, p)
+		labels = append(labels, -1)
+	}
+	perm := r.Perm(spec.N)
+	shufPts := make([]metric.Point, spec.N)
+	shufLab := make([]int, spec.N)
+	for i, j := range perm {
+		shufPts[j] = pts[i]
+		shufLab[j] = labels[i]
+	}
+	return Instance{Pts: shufPts, Label: shufLab, TrueCenters: centers, NumOutliers: numOut}
+}
+
+// PartitionMode selects how points are spread across sites.
+type PartitionMode int
+
+const (
+	// Uniform spreads a random shuffle evenly (balanced n_i = n/s).
+	Uniform PartitionMode = iota
+	// Skewed gives site i a share proportional to i+1 (imbalanced n_i).
+	Skewed
+	// ByCluster routes each planted cluster to one site (site = cluster mod
+	// s) and spreads outliers round-robin — each site sees a biased slice
+	// of the space, the hard case for preclustering.
+	ByCluster
+	// OutlierHeavy puts every planted outlier on site 0 — the adversarial
+	// case for the outlier-budget allocation: a uniform t_i = t/s split
+	// starves site 0 while Algorithm 1's allocation concentrates there.
+	OutlierHeavy
+)
+
+// String implements fmt.Stringer.
+func (m PartitionMode) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case Skewed:
+		return "skewed"
+	case ByCluster:
+		return "bycluster"
+	case OutlierHeavy:
+		return "outlierheavy"
+	}
+	return "unknown"
+}
+
+// Partition assigns each point of the instance to a site, returning per-site
+// global index lists. Every point is assigned to exactly one site and no
+// site is left empty (provided n >= s).
+func Partition(in Instance, s int, mode PartitionMode, seed int64) [][]int {
+	return PartitionLabels(len(in.Pts), in.Label, s, mode, seed)
+}
+
+// PartitionLabels is Partition over any labeled collection of n items
+// (labels < 0 mark outliers); it also serves the uncertain-node instances.
+func PartitionLabels(n int, labels []int, s int, mode PartitionMode, seed int64) [][]int {
+	r := rand.New(rand.NewSource(seed))
+	sites := make([][]int, s)
+	assign := func(i, site int) {
+		sites[site] = append(sites[site], i)
+	}
+	switch mode {
+	case Skewed:
+		// Share of site i proportional to (i+1); assign by weighted draw of
+		// a shuffled order, then fix empties.
+		perm := r.Perm(n)
+		total := s * (s + 1) / 2
+		idx := 0
+		for site := 0; site < s; site++ {
+			cnt := n * (site + 1) / total
+			if site == s-1 {
+				cnt = n - idx
+			}
+			for c := 0; c < cnt && idx < n; c++ {
+				assign(perm[idx], site)
+				idx++
+			}
+		}
+		for idx < n {
+			assign(perm[idx], s-1)
+			idx++
+		}
+	case ByCluster:
+		rr := 0
+		for i, lab := range labels {
+			if lab < 0 {
+				assign(i, rr%s)
+				rr++
+			} else {
+				assign(i, lab%s)
+			}
+		}
+	case OutlierHeavy:
+		rr := 0
+		for i, lab := range labels {
+			if lab < 0 {
+				assign(i, 0)
+			} else {
+				assign(i, rr%s)
+				rr++
+			}
+		}
+	default: // Uniform
+		perm := r.Perm(n)
+		for pos, i := range perm {
+			assign(i, pos%s)
+		}
+	}
+	// Guarantee no empty site by stealing from the largest.
+	for site := 0; site < s; site++ {
+		if len(sites[site]) > 0 {
+			continue
+		}
+		big := 0
+		for j := range sites {
+			if len(sites[j]) > len(sites[big]) {
+				big = j
+			}
+		}
+		if len(sites[big]) > 1 {
+			last := sites[big][len(sites[big])-1]
+			sites[big] = sites[big][:len(sites[big])-1]
+			sites[site] = append(sites[site], last)
+		}
+	}
+	return sites
+}
+
+// SitePoints materializes the per-site point slices from a partition.
+func SitePoints(in Instance, parts [][]int) [][]metric.Point {
+	out := make([][]metric.Point, len(parts))
+	for i, idxs := range parts {
+		pts := make([]metric.Point, len(idxs))
+		for j, g := range idxs {
+			pts[j] = in.Pts[g]
+		}
+		out[i] = pts
+	}
+	return out
+}

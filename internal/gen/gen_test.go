@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func TestMixtureShape(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 200, K: 4, Dim: 3, OutlierFrac: 0.1, Seed: 1})
+	if len(in.Pts) != 200 || len(in.Label) != 200 {
+		t.Fatalf("sizes: %d %d", len(in.Pts), len(in.Label))
+	}
+	if in.NumOutliers != 20 {
+		t.Fatalf("outliers = %d, want 20", in.NumOutliers)
+	}
+	if len(in.TrueCenters) != 4 {
+		t.Fatalf("centers = %d", len(in.TrueCenters))
+	}
+	counts := map[int]int{}
+	for _, l := range in.Label {
+		counts[l]++
+	}
+	if counts[-1] != 20 {
+		t.Fatalf("labeled outliers = %d", counts[-1])
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+	}
+	if in.Pts[0].Dim() != 3 {
+		t.Fatal("dim wrong")
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	a := Mixture(MixtureSpec{N: 50, K: 2, Seed: 7})
+	b := Mixture(MixtureSpec{N: 50, K: 2, Seed: 7})
+	for i := range a.Pts {
+		if !a.Pts[i].Equal(b.Pts[i]) {
+			t.Fatal("same seed, different instance")
+		}
+	}
+	c := Mixture(MixtureSpec{N: 50, K: 2, Seed: 8})
+	same := true
+	for i := range a.Pts {
+		if !a.Pts[i].Equal(c.Pts[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestMixtureOutliersAreFar(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 300, K: 3, OutlierFrac: 0.1, Box: 10, OutlierBox: 1000, Seed: 3})
+	// Average outlier distance to nearest true center should dwarf the
+	// average inlier distance.
+	var inSum, outSum float64
+	var inN, outN int
+	for i, p := range in.Pts {
+		d := nearestCenterDist(p, in.TrueCenters)
+		if in.Label[i] < 0 {
+			outSum += d
+			outN++
+		} else {
+			inSum += d
+			inN++
+		}
+	}
+	if outSum/float64(outN) < 10*inSum/float64(inN) {
+		t.Fatalf("outliers not far: avg out %g vs avg in %g", outSum/float64(outN), inSum/float64(inN))
+	}
+}
+
+func nearestCenterDist(p metric.Point, centers []metric.Point) float64 {
+	best := -1.0
+	for _, c := range centers {
+		d := metric.L2(p, c)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func partitionInvariants(t *testing.T, in Instance, parts [][]int, s int) {
+	t.Helper()
+	if len(parts) != s {
+		t.Fatalf("parts = %d, want %d", len(parts), s)
+	}
+	seen := make([]bool, len(in.Pts))
+	for site, idxs := range parts {
+		if len(idxs) == 0 {
+			t.Fatalf("site %d empty", site)
+		}
+		for _, g := range idxs {
+			if g < 0 || g >= len(in.Pts) {
+				t.Fatalf("bad index %d", g)
+			}
+			if seen[g] {
+				t.Fatalf("point %d assigned twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+}
+
+func TestPartitionModes(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 200, K: 5, OutlierFrac: 0.1, Seed: 2})
+	for _, mode := range []PartitionMode{Uniform, Skewed, ByCluster, OutlierHeavy} {
+		parts := Partition(in, 7, mode, 11)
+		partitionInvariants(t, in, parts, 7)
+	}
+}
+
+func TestPartitionUniformBalanced(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 210, K: 3, Seed: 4})
+	parts := Partition(in, 7, Uniform, 5)
+	for site, idxs := range parts {
+		if len(idxs) != 30 {
+			t.Fatalf("site %d has %d points, want 30", site, len(idxs))
+		}
+	}
+}
+
+func TestPartitionSkewedIsSkewed(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 400, K: 3, Seed: 4})
+	parts := Partition(in, 4, Skewed, 5)
+	if len(parts[3]) <= len(parts[0]) {
+		t.Fatalf("skew missing: %d vs %d", len(parts[3]), len(parts[0]))
+	}
+}
+
+func TestPartitionOutlierHeavy(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 300, K: 3, OutlierFrac: 0.2, Seed: 6})
+	parts := Partition(in, 5, OutlierHeavy, 1)
+	for site, idxs := range parts {
+		for _, g := range idxs {
+			if in.Label[g] < 0 && site != 0 {
+				t.Fatalf("outlier %d on site %d", g, site)
+			}
+		}
+	}
+}
+
+func TestPartitionByClusterRoutesClusters(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 300, K: 4, OutlierFrac: 0, Seed: 6})
+	parts := Partition(in, 2, ByCluster, 1)
+	for site, idxs := range parts {
+		for _, g := range idxs {
+			if lab := in.Label[g]; lab >= 0 && lab%2 != site {
+				t.Fatalf("cluster %d point on site %d", lab, site)
+			}
+		}
+	}
+}
+
+func TestSitePoints(t *testing.T) {
+	in := Mixture(MixtureSpec{N: 40, K: 2, Seed: 9})
+	parts := Partition(in, 4, Uniform, 3)
+	sp := SitePoints(in, parts)
+	for i := range sp {
+		if len(sp[i]) != len(parts[i]) {
+			t.Fatal("length mismatch")
+		}
+		for j := range sp[i] {
+			if !sp[i][j].Equal(in.Pts[parts[i][j]]) {
+				t.Fatal("point mismatch")
+			}
+		}
+	}
+}
+
+func TestPartitionModeString(t *testing.T) {
+	if Uniform.String() != "uniform" || PartitionMode(99).String() != "unknown" {
+		t.Fatal("String() wrong")
+	}
+}

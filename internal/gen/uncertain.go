@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"math/rand"
+
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+// NodeShape selects how a node's support is laid out around its nominal
+// position.
+type NodeShape int
+
+const (
+	// ShapeScatter is an isotropic Gaussian scatter (default).
+	ShapeScatter NodeShape = iota
+	// ShapeBimodal splits the support between the nominal position and a
+	// second mode BimodalGap away — the "wide node" case where the
+	// collapse cost ell_j is large and the compressed graph's tentacles
+	// (Figure 1) carry real information.
+	ShapeBimodal
+)
+
+// UncertainSpec describes a planted uncertain instance: nodes are
+// distributions whose support scatters around a nominal position drawn from
+// the same mixture-plus-outliers process as the deterministic workloads.
+type UncertainSpec struct {
+	N           int     // number of nodes
+	K           int     // planted clusters
+	Dim         int     // dimension
+	Support     int     // support size m per node (the I knob)
+	OutlierFrac float64 // fraction of nodes whose nominal position is a far outlier
+	ClusterStd  float64 // spread of nominal positions within a cluster
+	Box         float64 // cluster centers in [0, Box]^Dim
+	OutlierBox  float64 // outlier nominals in [-OutlierBox, OutlierBox]^Dim
+	Scatter     float64 // spread of a node's support around its nominal position
+	Seed        int64
+
+	// Shape selects the node layout; BimodalFrac of nodes get the bimodal
+	// shape when Shape is ShapeBimodal (default 1.0), with the second mode
+	// BimodalGap away (default Box/2).
+	Shape       NodeShape
+	BimodalFrac float64
+	BimodalGap  float64
+}
+
+// WithDefaults fills zero fields.
+func (s UncertainSpec) WithDefaults() UncertainSpec {
+	if s.N == 0 {
+		s.N = 200
+	}
+	if s.K == 0 {
+		s.K = 3
+	}
+	if s.Dim == 0 {
+		s.Dim = 2
+	}
+	if s.Support == 0 {
+		s.Support = 4
+	}
+	if s.ClusterStd == 0 {
+		s.ClusterStd = 1
+	}
+	if s.Box == 0 {
+		s.Box = 100
+	}
+	if s.OutlierBox == 0 {
+		s.OutlierBox = 10 * s.Box
+	}
+	if s.Scatter == 0 {
+		s.Scatter = 0.5
+	}
+	if s.BimodalFrac == 0 {
+		s.BimodalFrac = 1
+	}
+	if s.BimodalGap == 0 {
+		s.BimodalGap = s.Box / 2
+	}
+	return s
+}
+
+// UncertainInstance is a planted uncertain clustering instance. The ground
+// set P is the union of all node supports.
+type UncertainInstance struct {
+	Ground      *uncertain.Ground
+	Nodes       []uncertain.Node
+	Label       []int // cluster id or -1 for outlier nominals
+	TrueCenters []metric.Point
+	NumOutliers int
+}
+
+// UncertainMixture samples a planted uncertain instance.
+func UncertainMixture(spec UncertainSpec) UncertainInstance {
+	spec = spec.WithDefaults()
+	r := rand.New(rand.NewSource(spec.Seed))
+	numOut := int(float64(spec.N) * spec.OutlierFrac)
+	numIn := spec.N - numOut
+
+	centers := make([]metric.Point, spec.K)
+	for c := range centers {
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = r.Float64() * spec.Box
+		}
+		centers[c] = p
+	}
+	nominal := make([]metric.Point, 0, spec.N)
+	labels := make([]int, 0, spec.N)
+	for i := 0; i < numIn; i++ {
+		c := i % spec.K
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = centers[c][d] + r.NormFloat64()*spec.ClusterStd
+		}
+		nominal = append(nominal, p)
+		labels = append(labels, c)
+	}
+	for i := 0; i < numOut; i++ {
+		p := make(metric.Point, spec.Dim)
+		for d := range p {
+			p[d] = (r.Float64()*2 - 1) * spec.OutlierBox
+		}
+		nominal = append(nominal, p)
+		labels = append(labels, -1)
+	}
+
+	g := &uncertain.Ground{}
+	nodes := make([]uncertain.Node, spec.N)
+	for j := range nodes {
+		nd := uncertain.Node{
+			Support: make([]int, spec.Support),
+			Prob:    make([]float64, spec.Support),
+		}
+		bimodal := spec.Shape == ShapeBimodal && r.Float64() < spec.BimodalFrac
+		var tot float64
+		for q := 0; q < spec.Support; q++ {
+			p := make(metric.Point, spec.Dim)
+			for d := range p {
+				p[d] = nominal[j][d] + r.NormFloat64()*spec.Scatter
+			}
+			if bimodal && q >= spec.Support/2 {
+				p[0] += spec.BimodalGap // second mode offset along axis 0
+			}
+			nd.Support[q] = len(g.Pts)
+			g.Pts = append(g.Pts, p)
+			w := 0.25 + r.Float64()
+			nd.Prob[q] = w
+			tot += w
+		}
+		for q := range nd.Prob {
+			nd.Prob[q] /= tot
+		}
+		nodes[j] = nd
+	}
+	return UncertainInstance{
+		Ground:      g,
+		Nodes:       nodes,
+		Label:       labels,
+		TrueCenters: centers,
+		NumOutliers: numOut,
+	}
+}
+
+// PartitionNodes splits nodes across sites with the usual partition modes.
+func PartitionNodes(in UncertainInstance, s int, mode PartitionMode, seed int64) [][]int {
+	return PartitionLabels(len(in.Nodes), in.Label, s, mode, seed)
+}
+
+// SiteNodes materializes per-site node slices from a partition.
+func SiteNodes(in UncertainInstance, parts [][]int) [][]uncertain.Node {
+	out := make([][]uncertain.Node, len(parts))
+	for i, idxs := range parts {
+		nds := make([]uncertain.Node, len(idxs))
+		for j, g := range idxs {
+			nds[j] = in.Nodes[g]
+		}
+		out[i] = nds
+	}
+	return out
+}

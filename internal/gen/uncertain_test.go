@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"testing"
+
+	"dpc/internal/uncertain"
+)
+
+func TestUncertainMixtureShape(t *testing.T) {
+	in := UncertainMixture(UncertainSpec{N: 100, K: 3, Support: 4, OutlierFrac: 0.1, Seed: 1})
+	if len(in.Nodes) != 100 || len(in.Label) != 100 {
+		t.Fatalf("sizes %d %d", len(in.Nodes), len(in.Label))
+	}
+	if in.NumOutliers != 10 {
+		t.Fatalf("outliers = %d", in.NumOutliers)
+	}
+	if in.Ground.N() != 400 {
+		t.Fatalf("ground = %d, want n*m = 400", in.Ground.N())
+	}
+	for j, nd := range in.Nodes {
+		if err := nd.Validate(in.Ground); err != nil {
+			t.Fatalf("node %d invalid: %v", j, err)
+		}
+	}
+}
+
+func TestUncertainMixtureDeterministic(t *testing.T) {
+	a := UncertainMixture(UncertainSpec{N: 30, K: 2, Support: 3, Seed: 5})
+	b := UncertainMixture(UncertainSpec{N: 30, K: 2, Support: 3, Seed: 5})
+	for j := range a.Nodes {
+		for q := range a.Nodes[j].Prob {
+			if a.Nodes[j].Prob[q] != b.Nodes[j].Prob[q] {
+				t.Fatal("same seed, different nodes")
+			}
+		}
+	}
+}
+
+// Bimodal nodes must have a much larger collapse cost than scattered ones —
+// that is exactly the signal the compressed graph's tentacles carry.
+func TestBimodalNodesAreWide(t *testing.T) {
+	scatter := UncertainMixture(UncertainSpec{N: 60, K: 2, Support: 4, Seed: 7})
+	bimodal := UncertainMixture(UncertainSpec{
+		N: 60, K: 2, Support: 4, Seed: 7, Shape: ShapeBimodal, BimodalGap: 80,
+	})
+	avgEll := func(in UncertainInstance) float64 {
+		col := uncertain.Collapse(in.Ground, in.Nodes, false, uncertain.OwnSupport)
+		var s float64
+		for _, e := range col.Ell {
+			s += e
+		}
+		return s / float64(len(col.Ell))
+	}
+	es, eb := avgEll(scatter), avgEll(bimodal)
+	if eb < 5*es {
+		t.Fatalf("bimodal ell %g not much larger than scatter ell %g", eb, es)
+	}
+}
+
+func TestBimodalFracPartial(t *testing.T) {
+	in := UncertainMixture(UncertainSpec{
+		N: 200, K: 2, Support: 4, Seed: 9, Shape: ShapeBimodal, BimodalFrac: 0.3, BimodalGap: 90,
+	})
+	col := uncertain.Collapse(in.Ground, in.Nodes, false, uncertain.OwnSupport)
+	wide := 0
+	for _, e := range col.Ell {
+		if e > 10 {
+			wide++
+		}
+	}
+	if wide < 30 || wide > 100 {
+		t.Fatalf("wide nodes = %d, want roughly 30%% of 200", wide)
+	}
+}
+
+func TestPartitionNodesInvariants(t *testing.T) {
+	in := UncertainMixture(UncertainSpec{N: 90, K: 3, Support: 2, OutlierFrac: 0.1, Seed: 11})
+	parts := PartitionNodes(in, 5, OutlierHeavy, 12)
+	seen := make([]bool, len(in.Nodes))
+	for site, idxs := range parts {
+		for _, g := range idxs {
+			if seen[g] {
+				t.Fatal("node assigned twice")
+			}
+			seen[g] = true
+			if in.Label[g] < 0 && site != 0 {
+				t.Fatal("outlier node off site 0")
+			}
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			t.Fatal("node unassigned")
+		}
+	}
+	sn := SiteNodes(in, parts)
+	total := 0
+	for _, nds := range sn {
+		total += len(nds)
+	}
+	if total != 90 {
+		t.Fatalf("site nodes total %d", total)
+	}
+}

@@ -1,0 +1,35 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLowerHull(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	samples := make([]Vertex, 0, 64)
+	c := 1e6
+	for _, q := range Grid(1_000_000, 1.2) {
+		samples = append(samples, Vertex{Q: q, C: c})
+		c *= 0.5 + r.Float64()/2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewConvexFn(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlopeRuns(b *testing.B) {
+	f, err := NewConvexFn([]Vertex{{0, 1000}, {10, 100}, {100, 10}, {1000, 1}, {10000, 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Runs()
+	}
+}

@@ -1,0 +1,56 @@
+package kcenter
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func benchPoints(n int) *metric.Points {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	return metric.NewPoints(pts)
+}
+
+// Ablation (DESIGN.md section 6): Algorithm 2 only needs the first k+t
+// traversal points — compare against a full-length traversal.
+func BenchmarkGonzalezPrefix(b *testing.B) {
+	sp := benchPoints(4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gonzalez(sp, 60, 0) // k + t points
+	}
+}
+
+func BenchmarkGonzalezFull(b *testing.B) {
+	sp := benchPoints(4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gonzalez(sp, 4000, 0)
+	}
+}
+
+func BenchmarkCharikarPartial(b *testing.B) {
+	sp := benchPoints(300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partial(sp, nil, 5, 15)
+	}
+}
+
+func BenchmarkEvalMax(b *testing.B) {
+	sp := benchPoints(2000)
+	centers := []int{1, 100, 500, 900, 1500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalMax(sp, nil, centers, 50)
+	}
+}

@@ -1,0 +1,232 @@
+// Package kcenter implements the k-center machinery the paper builds on:
+// Gonzalez's farthest-first traversal [13] (the preclustering of
+// Algorithm 2, which simultaneously yields local solutions and the slope
+// witnesses l(i,q)), and a Charikar-et-al.-style greedy 3-approximation for
+// the (k,t)-center problem with outliers [4] (the coordinator's final step),
+// in a weighted variant so it can run on aggregated precluster centers.
+package kcenter
+
+import (
+	"math"
+	"sort"
+
+	"dpc/internal/metric"
+)
+
+// Traversal is the result of a farthest-first traversal.
+type Traversal struct {
+	// Order lists the selected point indices in selection order.
+	Order []int
+	// Radii[r] is the insertion radius of Order[r]: its distance to the
+	// previously selected points. Radii[0] is +Inf by convention. The
+	// sequence is non-increasing from index 1 on, and Radii[r] is a lower
+	// bound witness: any (r-1)-center solution has radius >= Radii[r]/2.
+	Radii []float64
+}
+
+// Gonzalez runs farthest-first traversal on sp, selecting up to m points
+// starting from the point `first`. Runtime O(m * n).
+func Gonzalez(sp metric.Space, m, first int) Traversal {
+	n := sp.N()
+	if m > n {
+		m = n
+	}
+	if m <= 0 || first < 0 || first >= n {
+		return Traversal{}
+	}
+	order := make([]int, 0, m)
+	radii := make([]float64, 0, m)
+	dmin := make([]float64, n)
+	for j := range dmin {
+		dmin[j] = math.Inf(1)
+	}
+	cur := first
+	curR := math.Inf(1)
+	for len(order) < m {
+		order = append(order, cur)
+		radii = append(radii, curR)
+		// Update dmin against the newly selected point and find farthest.
+		next, far := -1, -1.0
+		for j := 0; j < n; j++ {
+			if d := sp.Dist(j, cur); d < dmin[j] {
+				dmin[j] = d
+			}
+			if dmin[j] > far {
+				far = dmin[j]
+				next = j
+			}
+		}
+		cur, curR = next, far
+	}
+	return Traversal{Order: order, Radii: radii}
+}
+
+// AssignPrefix assigns every point of sp to its nearest center among the
+// first r points of the traversal order. It returns the assignment (center
+// position in Order, not point index), the weight attached to each center
+// (unit weights when w == nil), and the maximum assignment distance.
+func (tr Traversal) AssignPrefix(sp metric.Space, r int, w []float64) (assign []int, counts []float64, maxDist float64) {
+	if r > len(tr.Order) {
+		r = len(tr.Order)
+	}
+	n := sp.N()
+	assign = make([]int, n)
+	counts = make([]float64, r)
+	for j := 0; j < n; j++ {
+		best, bd := -1, math.Inf(1)
+		for c := 0; c < r; c++ {
+			if d := sp.Dist(j, tr.Order[c]); d < bd {
+				bd = d
+				best = c
+			}
+		}
+		assign[j] = best
+		wj := 1.0
+		if w != nil {
+			wj = w[j]
+		}
+		if best >= 0 {
+			counts[best] += wj
+		}
+		if bd > maxDist {
+			maxDist = bd
+		}
+	}
+	return assign, counts, maxDist
+}
+
+// Solution is a (k,t)-center solution.
+type Solution struct {
+	Centers []int   // facility indices
+	Radius  float64 // objective value after discarding t units of weight
+}
+
+// EvalMax returns the (k,t)-center objective of the given centers: assign
+// each client to its cheapest facility, discard up to t units of the
+// largest connection costs, and return the largest remaining cost.
+// w == nil means unit weights.
+func EvalMax(c metric.Costs, w []float64, centers []int, t float64) float64 {
+	n := c.Clients()
+	type cd struct{ d, w float64 }
+	ds := make([]cd, n)
+	for j := 0; j < n; j++ {
+		dmin := math.Inf(1)
+		for _, f := range centers {
+			if d := c.Cost(j, f); d < dmin {
+				dmin = d
+			}
+		}
+		wj := 1.0
+		if w != nil {
+			wj = w[j]
+		}
+		ds[j] = cd{d: dmin, w: wj}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	budget := t
+	for _, x := range ds {
+		if x.w > budget+1e-12 {
+			return x.d
+		}
+		budget -= x.w
+	}
+	return 0
+}
+
+// Partial solves the weighted (k,t)-center problem with the greedy
+// disk-cover algorithm of Charikar, Khuller, Mount and Narasimhan [4]:
+// binary-search the optimal radius over the candidate set of client-facility
+// distances; for a guess r, greedily pick the facility whose r-ball covers
+// the most uncovered client weight and remove the 3r-ball around it, k
+// times; the guess is feasible when at most t weight remains uncovered. The
+// returned radius is the exact objective of the selected centers (<= 3 OPT).
+//
+// Runtime O(nc * nf * log(nc*nf) + feasibility * log(candidates)).
+func Partial(c metric.Costs, w []float64, k int, t float64) Solution {
+	nc, nf := c.Clients(), c.Facilities()
+	if nc == 0 || k <= 0 || nf == 0 {
+		return Solution{}
+	}
+	weight := func(j int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[j]
+	}
+	var totalW float64
+	for j := 0; j < nc; j++ {
+		totalW += weight(j)
+	}
+	if totalW <= t {
+		return Solution{Centers: []int{0}, Radius: 0}
+	}
+	// Candidate radii: every distinct client-facility distance (the optimal
+	// radius is one of them when centers are facility points).
+	cand := make([]float64, 0, nc*nf)
+	for j := 0; j < nc; j++ {
+		for f := 0; f < nf; f++ {
+			cand = append(cand, c.Cost(j, f))
+		}
+	}
+	sort.Float64s(cand)
+	cand = dedupFloats(cand)
+
+	feasible := func(r float64) ([]int, bool) {
+		covered := make([]bool, nc)
+		remaining := totalW
+		centers := make([]int, 0, k)
+		for it := 0; it < k && remaining > t+1e-12; it++ {
+			bestF, bestGain := -1, -1.0
+			for f := 0; f < nf; f++ {
+				gain := 0.0
+				for j := 0; j < nc; j++ {
+					if !covered[j] && c.Cost(j, f) <= r {
+						gain += weight(j)
+					}
+				}
+				if gain > bestGain {
+					bestGain, bestF = gain, f
+				}
+			}
+			if bestF < 0 {
+				break
+			}
+			centers = append(centers, bestF)
+			for j := 0; j < nc; j++ {
+				if !covered[j] && c.Cost(j, bestF) <= 3*r {
+					covered[j] = true
+					remaining -= weight(j)
+				}
+			}
+		}
+		return centers, remaining <= t+1e-12
+	}
+
+	lo, hi := 0, len(cand)-1
+	bestCenters, ok := feasible(cand[hi])
+	if !ok {
+		// Even the largest candidate fails (can happen only with k <
+		// effective clusters); fall back to greedy top-k facilities.
+		return Solution{Centers: bestCenters, Radius: EvalMax(c, w, bestCenters, t)}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if centers, ok := feasible(cand[mid]); ok {
+			bestCenters = centers
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return Solution{Centers: bestCenters, Radius: EvalMax(c, w, bestCenters, t)}
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package kmedian
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func benchPoints(n int) *metric.Points {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	return metric.NewPoints(pts)
+}
+
+func BenchmarkLocalSearch(b *testing.B) {
+	sp := benchPoints(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalSearch(sp, nil, 8, 25, Options{Seed: int64(i)})
+	}
+}
+
+func BenchmarkLocalSearchQuadraticEngine(b *testing.B) {
+	// The faithful Theorem 3.1 engine: all facilities scanned per round.
+	sp := benchPoints(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalSearch(sp, nil, 8, 25, Options{Seed: int64(i), SampleFacilities: -1})
+	}
+}
+
+func BenchmarkJV(b *testing.B) {
+	sp := benchPoints(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JV(sp, nil, 5, 5, 0, Options{})
+	}
+}
+
+func BenchmarkEvalSum(b *testing.B) {
+	sp := benchPoints(2000)
+	centers := []int{1, 100, 500, 900, 1500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalSum(sp, nil, centers, 50)
+	}
+}

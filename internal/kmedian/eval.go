@@ -1,0 +1,162 @@
+// Package kmedian implements the k-median/k-means machinery of the paper:
+// weighted partial-cost evaluation (outliers dropped greedily by distance),
+// a swap-based local-search engine for (k,t)-median with outliers, the
+// Jain-Vazirani primal-dual facility-location algorithm with an outlier stop
+// (Appendix B), and the Theorem 3.1 bicriteria solver built from them.
+//
+// All engines consume the metric.Costs oracle, so they serve the plain
+// Euclidean case, the (k,t)-means case (squared costs), the compressed
+// graph of Section 5 and the truncated rho_tau costs of Definition 5.7.
+package kmedian
+
+import (
+	"math"
+	"sort"
+
+	"dpc/internal/metric"
+)
+
+// Solution is a (k,t)-median/means solution over a Costs oracle.
+type Solution struct {
+	// Centers are facility indices, at most k of them.
+	Centers []int
+	// Cost is the partial connection cost: the weighted sum of client
+	// connection costs after discarding up to the outlier budget of weight.
+	Cost float64
+	// Budget is the outlier budget the solution was evaluated with.
+	Budget float64
+	// DroppedWeight[j], when non-nil, is the amount of client j's weight
+	// discarded as outlier (fractional for weighted clients).
+	DroppedWeight []float64
+	// Assign[j] is the facility serving client j (its nearest center), or
+	// -1 when the instance has no centers.
+	Assign []int
+}
+
+// Outliers returns the indices of clients with any dropped weight, in
+// decreasing order of connection cost.
+func (s Solution) Outliers() []int {
+	var out []int
+	for j, w := range s.DroppedWeight {
+		if w > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// weight returns client j's weight under w (nil = unit weights).
+func weight(w []float64, j int) float64 {
+	if w == nil {
+		return 1
+	}
+	return w[j]
+}
+
+// TotalWeight sums client weights.
+func TotalWeight(c metric.Costs, w []float64) float64 {
+	if w == nil {
+		return float64(c.Clients())
+	}
+	var s float64
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+// Eval computes the full evaluation of centers on (c, w) with outlier
+// budget t: each client connects to its cheapest center; the t units of
+// weight with the largest connection costs are discarded (fractionally for
+// weighted clients, per Remark 1(ii) — the coordinator may exclude only
+// some copies of an aggregated point).
+func Eval(c metric.Costs, w []float64, centers []int, t float64) Solution {
+	n := c.Clients()
+	sol := Solution{
+		Centers:       append([]int(nil), centers...),
+		Budget:        t,
+		Assign:        make([]int, n),
+		DroppedWeight: make([]float64, n),
+	}
+	d := make([]float64, n)
+	order := make([]int, n)
+	for j := 0; j < n; j++ {
+		best, bd := -1, math.Inf(1)
+		for _, f := range centers {
+			if x := c.Cost(j, f); x < bd {
+				bd, best = x, f
+			}
+		}
+		sol.Assign[j] = best
+		d[j] = bd
+		order[j] = j
+	}
+	if len(centers) == 0 {
+		// Degenerate: cost is defined only if everything fits in the budget.
+		if TotalWeight(c, w) <= t {
+			for j := 0; j < n; j++ {
+				sol.DroppedWeight[j] = weight(w, j)
+			}
+			return sol
+		}
+		sol.Cost = math.Inf(1)
+		return sol
+	}
+	sort.Slice(order, func(a, b int) bool { return d[order[a]] > d[order[b]] })
+	budget := t
+	var cost float64
+	for _, j := range order {
+		wj := weight(w, j)
+		if wj <= budget {
+			budget -= wj
+			sol.DroppedWeight[j] = wj
+			continue
+		}
+		if budget > 0 {
+			sol.DroppedWeight[j] = budget
+			wj -= budget
+			budget = 0
+		}
+		cost += wj * d[j]
+	}
+	sol.Cost = cost
+	return sol
+}
+
+// EvalSum is Eval returning only the cost (avoids the slices).
+func EvalSum(c metric.Costs, w []float64, centers []int, t float64) float64 {
+	n := c.Clients()
+	type cd struct{ d, w float64 }
+	ds := make([]cd, n)
+	for j := 0; j < n; j++ {
+		bd := math.Inf(1)
+		for _, f := range centers {
+			if x := c.Cost(j, f); x < bd {
+				bd = x
+			}
+		}
+		ds[j] = cd{d: bd, w: weight(w, j)}
+	}
+	if len(centers) == 0 {
+		if TotalWeight(c, w) <= t {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	budget := t
+	var cost float64
+	for _, x := range ds {
+		if x.w <= budget {
+			budget -= x.w
+			continue
+		}
+		keep := x.w
+		if budget > 0 {
+			keep -= budget
+			budget = 0
+		}
+		cost += keep * x.d
+	}
+	return cost
+}

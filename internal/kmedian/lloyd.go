@@ -1,0 +1,143 @@
+package kmedian
+
+import (
+	"math"
+	"sort"
+
+	"dpc/internal/metric"
+)
+
+// LloydPolish refines a (k,t)-means solution with *unrestricted* Euclidean
+// centers, in the k-means-- style (assign, drop the t units of weight with
+// the largest squared distances, recompute weighted centroids). The paper
+// restricts centers to input points and notes the restriction costs at most
+// a factor 2 in Euclidean space (Definition 1.1); this is the other side of
+// that trade, available as a final polish when the data is Euclidean.
+//
+// Returns the polished centers and the weighted partial means cost. The
+// cost is non-increasing across iterations and the loop stops at
+// convergence or maxIters.
+func LloydPolish(pts []metric.Point, w []float64, centers []metric.Point, t float64, maxIters int) ([]metric.Point, float64) {
+	if len(pts) == 0 || len(centers) == 0 {
+		return centers, 0
+	}
+	if maxIters <= 0 {
+		maxIters = 32
+	}
+	cur := make([]metric.Point, len(centers))
+	for i, c := range centers {
+		cur[i] = c.Clone()
+	}
+	dim := len(pts[0])
+	weightOf := func(j int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[j]
+	}
+	prevCost := math.Inf(1)
+	var cost float64
+	for iter := 0; iter < maxIters; iter++ {
+		// Assign and compute per-point squared distances.
+		assign := make([]int, len(pts))
+		d := make([]float64, len(pts))
+		order := make([]int, len(pts))
+		for j, p := range pts {
+			best, bd := -1, math.Inf(1)
+			for c, cp := range cur {
+				if x := metric.SqL2(p, cp); x < bd {
+					bd, best = x, c
+				}
+			}
+			assign[j] = best
+			d[j] = bd
+			order[j] = j
+		}
+		// Drop the largest t units of weight (fractionally).
+		sort.Slice(order, func(a, b int) bool { return d[order[a]] > d[order[b]] })
+		inW := make([]float64, len(pts))
+		budget := t
+		cost = 0
+		for _, j := range order {
+			wj := weightOf(j)
+			if wj <= budget {
+				budget -= wj
+				continue
+			}
+			keep := wj - budget
+			budget = 0
+			inW[j] = keep
+			cost += keep * d[j]
+		}
+		if cost >= prevCost-1e-12*(1+prevCost) {
+			break
+		}
+		prevCost = cost
+		// Update centroids on the surviving weight.
+		sums := make([][]float64, len(cur))
+		wsum := make([]float64, len(cur))
+		for c := range cur {
+			sums[c] = make([]float64, dim)
+		}
+		for j, p := range pts {
+			if inW[j] <= 0 {
+				continue
+			}
+			c := assign[j]
+			wsum[c] += inW[j]
+			for dd := 0; dd < dim; dd++ {
+				sums[c][dd] += inW[j] * p[dd]
+			}
+		}
+		for c := range cur {
+			if wsum[c] <= 0 {
+				continue // empty cluster keeps its position
+			}
+			nc := make(metric.Point, dim)
+			for dd := 0; dd < dim; dd++ {
+				nc[dd] = sums[c][dd] / wsum[c]
+			}
+			cur[c] = nc
+		}
+	}
+	return cur, cost
+}
+
+// EvalPointsMeans computes the weighted partial means cost of arbitrary
+// (not necessarily input) centers on a Euclidean point set.
+func EvalPointsMeans(pts []metric.Point, w []float64, centers []metric.Point, t float64) float64 {
+	if len(centers) == 0 {
+		return math.Inf(1)
+	}
+	type cd struct{ d, w float64 }
+	ds := make([]cd, len(pts))
+	for j, p := range pts {
+		bd := math.Inf(1)
+		for _, c := range centers {
+			if x := metric.SqL2(p, c); x < bd {
+				bd = x
+			}
+		}
+		wj := 1.0
+		if w != nil {
+			wj = w[j]
+		}
+		ds[j] = cd{d: bd, w: wj}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	budget := t
+	var cost float64
+	for _, x := range ds {
+		if x.w <= budget {
+			budget -= x.w
+			continue
+		}
+		keep := x.w
+		if budget > 0 {
+			keep -= budget
+			budget = 0
+		}
+		cost += keep * x.d
+	}
+	return cost
+}

@@ -1,0 +1,262 @@
+package kmedian
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dpc/internal/metric"
+)
+
+// Options tunes the local-search engine.
+type Options struct {
+	// Seed drives all randomness (D^2 seeding, facility sampling).
+	Seed int64
+	// MaxIters caps the number of swap rounds (default 40).
+	MaxIters int
+	// SampleFacilities bounds the number of candidate facilities examined
+	// per round (default 128; 0 means "use the default"; negative means
+	// "examine all facilities").
+	SampleFacilities int
+	// Restarts runs the search from multiple seeds and keeps the best
+	// (default 1).
+	Restarts int
+	// Warm, when non-empty, seeds the first restart with these facility
+	// indices instead of D^2 sampling — used by Algorithm 1's grid of
+	// budget solves, where the solution for the previous budget is an
+	// excellent starting point for the next.
+	Warm []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 40
+	}
+	if o.SampleFacilities == 0 {
+		o.SampleFacilities = 128
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1
+	}
+	return o
+}
+
+// LocalSearch solves the weighted (k,t)-median problem on c with a
+// swap-based local search: D^2-weighted greedy seeding (k-means++ style)
+// followed by single-swap descent. Outliers are handled by evaluating every
+// accepted configuration with the true partial cost (largest t units of
+// connection weight free), and swap gains are estimated on the current
+// inlier set — the standard partial-clustering local-search scheme.
+//
+// The engine is objective-agnostic: pass metric.Squared costs for
+// (k,t)-means. Each round is O(nf * nc) plus one O(nc log nc) exact
+// re-evaluation.
+func LocalSearch(c metric.Costs, w []float64, k int, t float64, opt Options) Solution {
+	opt = opt.withDefaults()
+	nc, nf := c.Clients(), c.Facilities()
+	if nc == 0 || nf == 0 || k <= 0 {
+		return Eval(c, w, nil, t)
+	}
+	if TotalWeight(c, w) <= t {
+		return Eval(c, w, nil, t)
+	}
+	if k > nf {
+		k = nf
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	best := Solution{Cost: math.Inf(1)}
+	for restart := 0; restart < opt.Restarts; restart++ {
+		var centers []int
+		if restart == 0 && len(opt.Warm) > 0 {
+			centers = warmCenters(opt.Warm, k, nf)
+		} else {
+			centers = seedDSquared(c, w, k, rng)
+		}
+		sol := descend(c, w, centers, t, opt, rng)
+		if sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+	return best
+}
+
+// warmCenters sanitizes a warm-start center list: in-range, deduplicated,
+// truncated or padded to k facilities.
+func warmCenters(warm []int, k, nf int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for _, f := range warm {
+		if f >= 0 && f < nf && !seen[f] && len(out) < k {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for f := 0; f < nf && len(out) < k; f++ {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// seedDSquared picks k facilities by D^2 sampling: the first uniformly at
+// random, each next with probability proportional to the weighted distance
+// of clients to the current set (sampling a client, then using its cheapest
+// facility as the new center).
+func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
+	nc, nf := c.Clients(), c.Facilities()
+	centers := make([]int, 0, k)
+	centers = append(centers, rng.Intn(nf))
+	d := make([]float64, nc)
+	for j := range d {
+		d[j] = c.Cost(j, centers[0])
+	}
+	inSet := map[int]bool{centers[0]: true}
+	for len(centers) < k {
+		var total float64
+		for j := 0; j < nc; j++ {
+			total += weight(w, j) * d[j]
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(nc)
+		} else {
+			x := rng.Float64() * total
+			for j := 0; j < nc; j++ {
+				x -= weight(w, j) * d[j]
+				if x <= 0 {
+					pick = j
+					break
+				}
+			}
+		}
+		// Use the picked client's cheapest *unused* facility as the center.
+		bestF, bd := -1, math.Inf(1)
+		for f := 0; f < nf; f++ {
+			if inSet[f] {
+				continue
+			}
+			if x := c.Cost(pick, f); x < bd {
+				bd, bestF = x, f
+			}
+		}
+		if bestF < 0 { // all facilities used
+			break
+		}
+		centers = append(centers, bestF)
+		inSet[bestF] = true
+		for j := 0; j < nc; j++ {
+			if x := c.Cost(j, bestF); x < d[j] {
+				d[j] = x
+			}
+		}
+	}
+	return centers
+}
+
+// descend runs single-swap descent from the given centers. Each round ranks
+// candidate facilities by their "add potential" on the current inlier set
+// (the saving from adding the facility without removing anything), then
+// exactly re-evaluates the swaps of the top facilities against every
+// current center — crucially with the outlier set re-selected, so the
+// budget can migrate to newly-far points (e.g. off a point that used to be
+// a center).
+func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options, rng *rand.Rand) Solution {
+	nc, nf := c.Clients(), c.Facilities()
+	cur := Eval(c, w, centers, t)
+	const relTol = 1e-6
+	const topE = 12 // facilities exactly evaluated per round
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		k := len(cur.Centers)
+		pos := make(map[int]int, k) // facility -> position in centers
+		for p, f := range cur.Centers {
+			pos[f] = p
+		}
+		d1 := make([]float64, nc)
+		inW := make([]float64, nc)
+		for j := 0; j < nc; j++ {
+			d1[j] = math.Inf(1)
+			for _, f := range cur.Centers {
+				if x := c.Cost(j, f); x < d1[j] {
+					d1[j] = x
+				}
+			}
+			inW[j] = weight(w, j) - cur.DroppedWeight[j]
+		}
+		cands := facilityCandidates(nf, pos, opt, rng)
+		type scored struct {
+			f   int
+			pot float64
+		}
+		top := make([]scored, 0, len(cands))
+		for _, f := range cands {
+			var pot float64
+			for j := 0; j < nc; j++ {
+				if inW[j] <= 0 {
+					continue
+				}
+				if s := d1[j] - c.Cost(j, f); s > 0 {
+					pot += inW[j] * s
+				}
+			}
+			if pot > 0 {
+				top = append(top, scored{f: f, pot: pot})
+			}
+		}
+		sort.Slice(top, func(a, b int) bool { return top[a].pot > top[b].pot })
+		if len(top) > topE {
+			top = top[:topE]
+		}
+		bestCost := cur.Cost
+		bestSwap := [2]int{-1, -1} // (center position, facility)
+		trial := append([]int(nil), cur.Centers...)
+		for _, s := range top {
+			for p := 0; p < k; p++ {
+				old := trial[p]
+				trial[p] = s.f
+				if cost := EvalSum(c, w, trial, t); cost < bestCost {
+					bestCost = cost
+					bestSwap = [2]int{p, s.f}
+				}
+				trial[p] = old
+			}
+		}
+		if bestSwap[0] < 0 || bestCost >= cur.Cost*(1-relTol) {
+			break
+		}
+		trial[bestSwap[0]] = bestSwap[1]
+		cur = Eval(c, w, trial, t)
+	}
+	return cur
+}
+
+// facilityCandidates returns the facilities to try swapping in, excluding
+// current centers; sampled without replacement when the facility set is
+// large.
+func facilityCandidates(nf int, pos map[int]int, opt Options, rng *rand.Rand) []int {
+	limit := opt.SampleFacilities
+	if limit < 0 || nf <= limit {
+		out := make([]int, 0, nf)
+		for f := 0; f < nf; f++ {
+			if _, used := pos[f]; !used {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool, limit)
+	out := make([]int, 0, limit)
+	for len(out) < limit && len(seen) < nf {
+		f := rng.Intn(nf)
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		if _, used := pos[f]; !used {
+			out = append(out, f)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,123 @@
+package kmedian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpc/internal/exact"
+	"dpc/internal/metric"
+)
+
+// Property: Eval and EvalSum agree on random weighted instances, and
+// neither ever reports less than the exact optimum for the same (k,t).
+func TestEvalPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		pts := make([]metric.Point, n)
+		w := make([]float64, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 20, r.Float64() * 20}
+			w[i] = 0.5 + 2*r.Float64()
+		}
+		sp := metric.NewPoints(pts)
+		k := 1 + r.Intn(2)
+		tt := r.Float64() * 2
+		centers := []int{r.Intn(n)}
+		if k == 2 {
+			centers = append(centers, r.Intn(n))
+		}
+		sol := Eval(sp, w, centers, tt)
+		if math.Abs(sol.Cost-EvalSum(sp, w, centers, tt)) > 1e-9*(1+sol.Cost) {
+			return false
+		}
+		// Dropped weight never exceeds the budget.
+		var dropped float64
+		for _, dw := range sol.DroppedWeight {
+			dropped += dw
+		}
+		if dropped > tt+1e-9 {
+			return false
+		}
+		// The exact optimum over all center subsets can only be cheaper.
+		opt := exact.Solve(sp, w, k, tt, exact.Sum)
+		return opt.Cost <= sol.Cost+1e-9*(1+sol.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: local search and JV never report a cost below the exact
+// optimum and always respect the center budget.
+func TestEnginesSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 6 + r.Intn(6)
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 50}
+		}
+		sp := metric.NewPoints(pts)
+		k := 1 + r.Intn(2)
+		tt := float64(r.Intn(3))
+		opt := exact.Solve(sp, nil, k, tt, exact.Sum)
+		ls := LocalSearch(sp, nil, k, tt, Options{Seed: seed})
+		if len(ls.Centers) > k || ls.Cost < opt.Cost-1e-9*(1+opt.Cost) {
+			return false
+		}
+		jv := JV(sp, nil, k, tt, 0, Options{})
+		return len(jv.Centers) <= k && jv.Cost >= opt.Cost-1e-9*(1+opt.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost is monotone non-increasing in the outlier budget.
+func TestEvalMonotoneInBudgetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 100}
+		}
+		sp := metric.NewPoints(pts)
+		centers := []int{r.Intn(n)}
+		prev := math.Inf(1)
+		for tt := 0; tt <= n; tt++ {
+			c := EvalSum(sp, nil, centers, float64(tt))
+			if c > prev+1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return prev == 0 // all dropped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Warm starts must never hurt determinism or validity.
+func TestWarmStartSanity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([]metric.Point, 40)
+	for i := range pts {
+		pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	sp := metric.NewPoints(pts)
+	cold := LocalSearch(sp, nil, 3, 2, Options{Seed: 5})
+	warm := LocalSearch(sp, nil, 3, 2, Options{Seed: 5, Warm: cold.Centers})
+	if warm.Cost > cold.Cost+1e-9 {
+		t.Fatalf("warm start worsened the solution: %g vs %g", warm.Cost, cold.Cost)
+	}
+	// Bogus warm lists are sanitized.
+	junk := LocalSearch(sp, nil, 3, 2, Options{Seed: 5, Warm: []int{-5, 999, 0, 0, 0}})
+	if len(junk.Centers) > 3 {
+		t.Fatalf("junk warm start produced %d centers", len(junk.Centers))
+	}
+}

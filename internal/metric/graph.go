@@ -1,0 +1,133 @@
+package metric
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a weighted undirected edge of a graph metric.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// GraphMetric computes the shortest-path closure of a weighted undirected
+// graph as an explicit Matrix — the paper's general setting, "clustering
+// over a graph with n nodes and an oracle distance function d(.,.)".
+// Edge weights must be non-negative and the graph connected (a metric
+// needs finite distances). Runtime O(n * (m + n) log n) via Dijkstra from
+// every source.
+func GraphMetric(n int, edges []Edge) (Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("metric: graph needs n > 0")
+	}
+	adj := make([][]Edge, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("metric: edge (%d,%d) out of range", e.U, e.V)
+		}
+		if e.W < 0 || math.IsNaN(e.W) {
+			return nil, fmt.Errorf("metric: bad edge weight %g", e.W)
+		}
+		adj[e.U] = append(adj[e.U], Edge{U: e.U, V: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, W: e.W})
+	}
+	m := make(Matrix, n)
+	for src := 0; src < n; src++ {
+		dist := dijkstra(adj, src)
+		for _, d := range dist {
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("metric: graph is disconnected (node unreachable from %d)", src)
+			}
+		}
+		m[src] = dist
+	}
+	return m, nil
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node int
+	d    float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; x := old[len(old)-1]; *p = old[:len(old)-1]; return x }
+
+func dijkstra(adj [][]Edge, src int) []float64 {
+	n := len(adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{node: src, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			if nd := it.d + e.W; nd < dist[e.V] {
+				dist[e.V] = nd
+				heap.Push(q, pqItem{node: e.V, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Angular returns the angular (great-circle) distance between two feature
+// vectors: arccos of their cosine similarity, in [0, pi]. It is the metric
+// behind "documents and images represented in a feature space and the
+// distance function computed via a kernel" (Section 1). Zero vectors are
+// treated as orthogonal to everything and coincident with each other.
+func Angular(a, b Point) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// AngularSpace wraps feature vectors in the angular metric; it implements
+// Space and Costs like Points.
+type AngularSpace struct {
+	Pts []Point
+}
+
+// N implements Space.
+func (a *AngularSpace) N() int { return len(a.Pts) }
+
+// Dist implements Space.
+func (a *AngularSpace) Dist(i, j int) float64 { return Angular(a.Pts[i], a.Pts[j]) }
+
+// Clients implements Costs.
+func (a *AngularSpace) Clients() int { return len(a.Pts) }
+
+// Facilities implements Costs.
+func (a *AngularSpace) Facilities() int { return len(a.Pts) }
+
+// Cost implements Costs.
+func (a *AngularSpace) Cost(c, f int) float64 { return Angular(a.Pts[c], a.Pts[f]) }

@@ -1,0 +1,136 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphMetricPathGraph(t *testing.T) {
+	// 0 -1- 1 -2- 2 -3- 3
+	m, err := GraphMetric(4, []Edge{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Matrix{
+		{0, 1, 3, 6},
+		{1, 0, 2, 5},
+		{3, 2, 0, 3},
+		{6, 5, 3, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(m[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("d(%d,%d) = %g, want %g", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+	if err := CheckMetric(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphMetricShortcut(t *testing.T) {
+	// Triangle with a heavy edge: shortest path must route around it.
+	m, err := GraphMetric(3, []Edge{{0, 1, 1}, {1, 2, 1}, {0, 2, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][2] != 2 {
+		t.Fatalf("d(0,2) = %g, want 2 (via node 1)", m[0][2])
+	}
+}
+
+func TestGraphMetricErrors(t *testing.T) {
+	if _, err := GraphMetric(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GraphMetric(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := GraphMetric(2, []Edge{{0, 1, -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := GraphMetric(3, []Edge{{0, 1, 1}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+// Property: random connected graphs produce valid metrics.
+func TestGraphMetricIsMetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		// Spanning path keeps it connected, then random extra edges.
+		var edges []Edge
+		for i := 1; i < n; i++ {
+			edges = append(edges, Edge{i - 1, i, 0.1 + r.Float64()*5})
+		}
+		for e := 0; e < n; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{u, v, 0.1 + r.Float64()*5})
+			}
+		}
+		m, err := GraphMetric(n, edges)
+		if err != nil {
+			return false
+		}
+		return CheckMetric(m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularKnownValues(t *testing.T) {
+	x := Point{1, 0}
+	y := Point{0, 1}
+	if got := Angular(x, y); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("angular(x,y) = %g, want pi/2", got)
+	}
+	if got := Angular(x, Point{-1, 0}); math.Abs(got-math.Pi) > 1e-12 {
+		t.Fatalf("antipodal = %g, want pi", got)
+	}
+	if got := Angular(x, Point{5, 0}); got != 0 {
+		t.Fatalf("parallel = %g, want 0 (scale invariant)", got)
+	}
+	// Zero-vector conventions.
+	if got := Angular(Point{0, 0}, Point{0, 0}); got != 0 {
+		t.Fatalf("zero-zero = %g", got)
+	}
+	if got := Angular(Point{0, 0}, x); got != math.Pi/2 {
+		t.Fatalf("zero-x = %g", got)
+	}
+}
+
+// Property: the angular distance is a metric on random nonzero vectors
+// (it is the geodesic distance on the unit sphere).
+func TestAngularIsMetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([]Point, 8)
+		for i := range pts {
+			p := Point{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+			if L2(p, Point{0, 0, 0}) < 1e-6 {
+				p = Point{1, 0, 0}
+			}
+			pts[i] = p
+		}
+		return CheckMetric(&AngularSpace{Pts: pts}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularSpaceInterfaces(t *testing.T) {
+	sp := &AngularSpace{Pts: []Point{{1, 0}, {0, 1}}}
+	if sp.N() != 2 || sp.Clients() != 2 || sp.Facilities() != 2 {
+		t.Fatal("sizes")
+	}
+	if sp.Cost(0, 1) != sp.Dist(0, 1) {
+		t.Fatal("cost != dist")
+	}
+}

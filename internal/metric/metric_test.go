@@ -1,0 +1,243 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoint(r *rand.Rand, dim int) Point {
+	p := make(Point, dim)
+	for i := range p {
+		p[i] = r.NormFloat64() * 10
+	}
+	return p
+}
+
+func TestDistanceFunctionsKnownValues(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := L2(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+	if got := SqL2(a, b); math.Abs(got-25) > 1e-12 {
+		t.Errorf("SqL2 = %g, want 25", got)
+	}
+	if got := L1(a, b); math.Abs(got-7) > 1e-12 {
+		t.Errorf("L1 = %g, want 7", got)
+	}
+	if got := Linf(a, b); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Linf = %g, want 4", got)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	cases := map[Metric]string{EuclideanL2: "L2", ManhattanL1: "L1", ChebyshevLinf: "Linf", Metric(42): "Metric(42)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestPointCloneEqual(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 99
+	if p.Equal(q) {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(Point{1, 2}) {
+		t.Fatal("points of different dims reported equal")
+	}
+	if p.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", p.Dim())
+	}
+}
+
+// Property: every built-in metric satisfies the metric axioms on random
+// point sets.
+func TestBuiltinMetricsAreMetrics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, m := range []Metric{EuclideanL2, ManhattanL1, ChebyshevLinf} {
+		pts := make([]Point, 12)
+		for i := range pts {
+			pts[i] = randPoint(r, 3)
+		}
+		sp := &Points{Pts: pts, M: m}
+		if err := CheckMetric(sp); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// Property (testing/quick): symmetry and triangle inequality of L2 on random
+// triples.
+func TestL2TriangleQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if anyNaN(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		slack := 1e-9 * (1 + L2(a, b))
+		return L2(a, b) <= L2(a, c)+L2(c, b)+slack && math.Abs(L2(a, b)-L2(b, a)) < slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPointsImplementsCostsConsistently(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = randPoint(r, 2)
+	}
+	sp := NewPoints(pts)
+	if sp.Clients() != 8 || sp.Facilities() != 8 || sp.N() != 8 {
+		t.Fatalf("sizes: %d %d %d", sp.Clients(), sp.Facilities(), sp.N())
+	}
+	if sp.Dim() != 2 {
+		t.Fatalf("Dim = %d", sp.Dim())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if sp.Cost(i, j) != sp.Dist(i, j) {
+				t.Fatalf("Cost != Dist at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyPointsDim(t *testing.T) {
+	if (&Points{}).Dim() != 0 {
+		t.Fatal("empty Dim should be 0")
+	}
+}
+
+func TestMatrixSpace(t *testing.T) {
+	m := Matrix{
+		{0, 1, 2},
+		{1, 0, 1.5},
+		{2, 1.5, 0},
+	}
+	if err := CheckMetric(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 || m.Clients() != 3 || m.Facilities() != 3 {
+		t.Fatal("sizes wrong")
+	}
+	if m.Cost(0, 2) != 2 {
+		t.Fatal("cost wrong")
+	}
+}
+
+func TestCheckMetricDetectsViolations(t *testing.T) {
+	asym := Matrix{{0, 1}, {2, 0}}
+	if err := CheckMetric(asym); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	nonzeroDiag := Matrix{{1, 1}, {1, 0}}
+	if err := CheckMetric(nonzeroDiag); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	triangle := Matrix{{0, 10, 1}, {10, 0, 1}, {1, 1, 0}}
+	if err := CheckMetric(triangle); err == nil {
+		t.Error("triangle violation accepted")
+	}
+	negative := Matrix{{0, -1}, {-1, 0}}
+	if err := CheckMetric(negative); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestSelfCostsAndSquared(t *testing.T) {
+	pts := []Point{{0}, {2}, {5}}
+	sp := NewPoints(pts)
+	sc := SelfCosts{S: sp}
+	if sc.Clients() != 3 || sc.Facilities() != 3 {
+		t.Fatal("SelfCosts sizes")
+	}
+	if sc.Cost(0, 2) != 5 {
+		t.Fatalf("SelfCosts cost = %g", sc.Cost(0, 2))
+	}
+	sq := Squared{C: sc}
+	if sq.Clients() != 3 || sq.Facilities() != 3 {
+		t.Fatal("Squared sizes")
+	}
+	if sq.Cost(0, 2) != 25 {
+		t.Fatalf("Squared cost = %g", sq.Cost(0, 2))
+	}
+}
+
+func TestSubCostsAndFacilitySubset(t *testing.T) {
+	pts := []Point{{0}, {1}, {4}, {9}}
+	sp := NewPoints(pts)
+	sub := SubCosts{C: sp, ClientIdx: []int{3, 0}}
+	if sub.Clients() != 2 || sub.Facilities() != 4 {
+		t.Fatal("SubCosts sizes")
+	}
+	if sub.Cost(0, 1) != 8 { // client 3 (=9) to facility 1 (=1)
+		t.Fatalf("SubCosts cost = %g", sub.Cost(0, 1))
+	}
+	fs := FacilitySubset{C: sp, FacIdx: []int{2}}
+	if fs.Clients() != 4 || fs.Facilities() != 1 {
+		t.Fatal("FacilitySubset sizes")
+	}
+	if fs.Cost(0, 0) != 4 {
+		t.Fatalf("FacilitySubset cost = %g", fs.Cost(0, 0))
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	pts := []Point{{0}, {1}, {10}}
+	dmin, dmax := MinMaxDist(NewPoints(pts))
+	if dmin != 1 || dmax != 10 {
+		t.Fatalf("MinMaxDist = (%g,%g), want (1,10)", dmin, dmax)
+	}
+	// Duplicate points: zero distances ignored for dmin.
+	dup := []Point{{0}, {0}, {3}}
+	dmin, dmax = MinMaxDist(NewPoints(dup))
+	if dmin != 3 || dmax != 3 {
+		t.Fatalf("dup MinMaxDist = (%g,%g), want (3,3)", dmin, dmax)
+	}
+	// Degenerate cases.
+	if a, b := MinMaxDist(NewPoints(nil)); a != 0 || b != 0 {
+		t.Fatal("empty space should give (0,0)")
+	}
+	if a, b := MinMaxDist(NewPoints([]Point{{0}, {0}})); a != 0 || b != 0 {
+		t.Fatal("all-identical space should give (0,0)")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 2}}
+	c := Centroid(pts, nil)
+	if !c.Equal(Point{1, 1}) {
+		t.Fatalf("centroid = %v", c)
+	}
+	cw := Centroid(pts, []float64{3, 1})
+	if !cw.Equal(Point{0.5, 0.5}) {
+		t.Fatalf("weighted centroid = %v", cw)
+	}
+	if Centroid(nil, nil) != nil {
+		t.Fatal("empty centroid should be nil")
+	}
+	cz := Centroid(pts, []float64{0, 0})
+	if !cz.Equal(Point{0, 0}) {
+		t.Fatalf("zero-weight centroid = %v", cz)
+	}
+}

@@ -1,0 +1,167 @@
+// Package stream implements the one-pass partial clustering sketch in the
+// style of Guha, Meyerson, Mishra, Motwani, O'Callaghan [14] — the result
+// the paper builds on ("we observe that results from streaming algorithms
+// [14] can in fact provide us 1-round O(1)-approximation algorithms") and
+// whose combining theorem (Theorem 2.1) underlies every precluster-and-
+// merge step in this repository.
+//
+// The sketch buffers points; when the buffer fills it preclusters the
+// buffered weighted points into 2k centers plus t carried outliers and
+// keeps only those. Memory stays O(chunk + k + t) while the stream is
+// arbitrarily long; Theorem 2.1/Corollary 2.2 bound the quality loss per
+// compression level.
+package stream
+
+import (
+	"fmt"
+
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// Config tunes the sketch.
+type Config struct {
+	K int // centers of the final solution
+	T int // outliers of the final solution
+	// Chunk is the buffer capacity before a compression fires.
+	// Default max(512, 4*(2K+T)).
+	Chunk  int
+	Engine kmedian.Engine
+	Opts   kmedian.Options
+	// Means switches connection costs to squared distances.
+	Means bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chunk == 0 {
+		c.Chunk = 4 * (2*c.K + c.T)
+		if c.Chunk < 512 {
+			c.Chunk = 512
+		}
+	}
+	return c
+}
+
+// Sketch is a one-pass partial k-median/means summarizer.
+type Sketch struct {
+	cfg Config
+	pts []metric.Point
+	w   []float64
+	// compressions counts how many times the buffer was folded; the
+	// approximation constant grows geometrically with it (Theorem 2.1
+	// applied per level), matching [14].
+	compressions int
+	n            int // points consumed
+}
+
+// New creates a sketch. K must be positive.
+func New(cfg Config) (*Sketch, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("stream: K = %d", cfg.K)
+	}
+	if cfg.T < 0 {
+		return nil, fmt.Errorf("stream: T = %d", cfg.T)
+	}
+	if cfg.Chunk < 2*(2*cfg.K+cfg.T) {
+		return nil, fmt.Errorf("stream: chunk %d too small for 2k+t = %d", cfg.Chunk, 2*cfg.K+cfg.T)
+	}
+	return &Sketch{cfg: cfg}, nil
+}
+
+// Add consumes one stream point.
+func (s *Sketch) Add(p metric.Point) {
+	s.pts = append(s.pts, p)
+	s.w = append(s.w, 1)
+	s.n++
+	if len(s.pts) >= s.cfg.Chunk {
+		s.compress()
+	}
+}
+
+// AddWeighted consumes a weighted point (e.g. when chaining sketches).
+func (s *Sketch) AddWeighted(p metric.Point, weight float64) {
+	s.pts = append(s.pts, p)
+	s.w = append(s.w, weight)
+	s.n++
+	if len(s.pts) >= s.cfg.Chunk {
+		s.compress()
+	}
+}
+
+// Size returns the current summary size (buffered weighted points).
+func (s *Sketch) Size() int { return len(s.pts) }
+
+// N returns how many stream points were consumed.
+func (s *Sketch) N() int { return s.n }
+
+// Compressions returns how many buffer folds have happened.
+func (s *Sketch) Compressions() int { return s.compressions }
+
+// compress folds the buffer into 2k weighted centers plus up to t carried
+// outlier points (Remark 1: nothing is silently dropped — outliers stay in
+// the summary as unit-weight points for the final decision).
+func (s *Sketch) compress() {
+	costs := s.costs()
+	opts := s.cfg.Opts
+	opts.Seed += int64(s.compressions) * 7919
+	sol := kmedian.Solve(costs, s.w, 2*s.cfg.K, float64(s.cfg.T), s.cfg.Engine, opts)
+	if len(sol.Centers) == 0 {
+		return // nothing sensible to do; keep buffer (can only happen for tiny buffers)
+	}
+	var npts []metric.Point
+	var nw []float64
+	idx := make(map[int]int, len(sol.Centers))
+	for _, f := range sol.Centers {
+		idx[f] = len(npts)
+		npts = append(npts, s.pts[f])
+		nw = append(nw, 0)
+	}
+	for j, f := range sol.Assign {
+		if f < 0 {
+			continue
+		}
+		if inW := s.w[j] - sol.DroppedWeight[j]; inW > 0 {
+			nw[idx[f]] += inW
+		}
+	}
+	for j, dw := range sol.DroppedWeight {
+		if dw > 0 {
+			npts = append(npts, s.pts[j])
+			nw = append(nw, dw)
+		}
+	}
+	s.pts, s.w = npts, nw
+	s.compressions++
+}
+
+func (s *Sketch) costs() metric.Costs {
+	base := metric.NewPoints(s.pts)
+	if s.cfg.Means {
+		return metric.Squared{C: base}
+	}
+	return base
+}
+
+// Result is the final solution extracted from a sketch.
+type Result struct {
+	Centers []metric.Point
+	// SummaryCost is the (k,t) partial cost on the weighted summary (not
+	// the true stream cost; evaluate externally if the stream is stored).
+	SummaryCost  float64
+	Compressions int
+}
+
+// Finish solves (k,t) on the remaining summary and returns the centers.
+// The sketch remains usable (more points may be added afterwards).
+func (s *Sketch) Finish() Result {
+	costs := s.costs()
+	opts := s.cfg.Opts
+	opts.Seed += 104729
+	sol := kmedian.Solve(costs, s.w, s.cfg.K, float64(s.cfg.T), s.cfg.Engine, opts)
+	centers := make([]metric.Point, len(sol.Centers))
+	for i, f := range sol.Centers {
+		centers[i] = s.pts[f].Clone()
+	}
+	return Result{Centers: centers, SummaryCost: sol.Cost, Compressions: s.compressions}
+}

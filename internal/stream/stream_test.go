@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"testing"
+
+	"dpc/internal/core"
+	"dpc/internal/gen"
+	"dpc/internal/kmedian"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := New(Config{K: 1, T: -1}); err == nil {
+		t.Error("negative T accepted")
+	}
+	if _, err := New(Config{K: 100, T: 100, Chunk: 10}); err == nil {
+		t.Error("tiny chunk accepted")
+	}
+	if _, err := New(Config{K: 2, T: 4}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestSketchMemoryBound(t *testing.T) {
+	s, err := New(Config{K: 3, T: 10, Chunk: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gen.Mixture(gen.MixtureSpec{N: 5000, K: 3, OutlierFrac: 0.02, Seed: 1})
+	maxSize := 0
+	for _, p := range in.Pts {
+		s.Add(p)
+		if s.Size() > maxSize {
+			maxSize = s.Size()
+		}
+	}
+	if maxSize > 128 {
+		t.Fatalf("buffer exceeded chunk: %d", maxSize)
+	}
+	if s.N() != 5000 {
+		t.Fatalf("consumed %d points", s.N())
+	}
+	if s.Compressions() == 0 {
+		t.Fatal("no compressions on a 5000-point stream with chunk 128")
+	}
+}
+
+func TestSketchQualityVsBatch(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 3000, K: 4, OutlierFrac: 0.04, Seed: 2})
+	k, tt := 4, 120
+	s, err := New(Config{K: k, T: tt, Chunk: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range in.Pts {
+		s.Add(p)
+	}
+	res := s.Finish()
+	if len(res.Centers) == 0 || len(res.Centers) > k {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+	streamCost := core.Evaluate(in.Pts, res.Centers, float64(tt), core.Median)
+	batch := kmedian.LocalSearch(in.Points(), nil, k, float64(tt), kmedian.Options{Seed: 3, Restarts: 3})
+	if batch.Cost > 0 && streamCost > 6*batch.Cost {
+		t.Fatalf("stream cost %g vs batch %g (ratio %.2f)", streamCost, batch.Cost, streamCost/batch.Cost)
+	}
+	t.Logf("stream/batch cost ratio: %.3f after %d compressions", streamCost/batch.Cost, res.Compressions)
+}
+
+func TestSketchOutliersSurviveCompression(t *testing.T) {
+	// Far outliers fed early must still be droppable at Finish: the sketch
+	// carries them as weighted points instead of merging them into
+	// clusters (Remark 1 discipline).
+	s, err := New(Config{K: 2, T: 3, Chunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gen.Mixture(gen.MixtureSpec{N: 800, K: 2, OutlierFrac: 0, Seed: 4, Box: 50})
+	// Three extreme outliers first.
+	s.Add([]float64{1e6, 1e6})
+	s.Add([]float64{-1e6, 2e6})
+	s.Add([]float64{3e6, -1e6})
+	for _, p := range in.Pts {
+		s.Add(p)
+	}
+	res := s.Finish()
+	cost := core.Evaluate(append(in.Pts, []float64{1e6, 1e6}, []float64{-1e6, 2e6}, []float64{3e6, -1e6}),
+		res.Centers, 3, core.Median)
+	// If an outlier had been merged into a cluster centroid the cost would
+	// be astronomically large.
+	if cost > 1e5 {
+		t.Fatalf("outliers polluted the sketch: cost %g", cost)
+	}
+}
+
+func TestSketchWeightedAndMeans(t *testing.T) {
+	s, err := New(Config{K: 2, T: 2, Chunk: 64, Means: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gen.Mixture(gen.MixtureSpec{N: 500, K: 2, OutlierFrac: 0.01, Seed: 5})
+	for i, p := range in.Pts {
+		if i%2 == 0 {
+			s.AddWeighted(p, 2)
+		} else {
+			s.Add(p)
+		}
+	}
+	res := s.Finish()
+	if len(res.Centers) == 0 {
+		t.Fatal("no centers")
+	}
+	if res.SummaryCost < 0 {
+		t.Fatal("negative summary cost")
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 1000, K: 3, OutlierFrac: 0.03, Seed: 6})
+	run := func() Result {
+		s, err := New(Config{K: 3, T: 30, Chunk: 256, Opts: kmedian.Options{Seed: 11}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range in.Pts {
+			s.Add(p)
+		}
+		return s.Finish()
+	}
+	a, b := run(), run()
+	if a.SummaryCost != b.SummaryCost || len(a.Centers) != len(b.Centers) {
+		t.Fatal("sketch not deterministic")
+	}
+	for i := range a.Centers {
+		if !a.Centers[i].Equal(b.Centers[i]) {
+			t.Fatal("centers differ")
+		}
+	}
+}

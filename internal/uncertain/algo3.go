@@ -1,0 +1,482 @@
+package uncertain
+
+import (
+	"fmt"
+
+	"dpc/internal/alloc"
+	"dpc/internal/comm"
+	"dpc/internal/geom"
+	"dpc/internal/kcenter"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// Objective selects the uncertain clustering objective.
+type Objective int
+
+const (
+	// Median is uncertain (k,t)-median: sum of expected distances (Eq. 1).
+	Median Objective = iota
+	// Means is uncertain (k,t)-means: sum of expected squared distances.
+	Means
+	// CenterPP is uncertain (k,t)-center-pp: max of expected distances
+	// (Eq. 2, the per-point objective).
+	CenterPP
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Median:
+		return "u-median"
+	case Means:
+		return "u-means"
+	case CenterPP:
+		return "u-center-pp"
+	}
+	return fmt.Sprintf("uncertain.Objective(%d)", int(o))
+}
+
+// Variant selects the protocol.
+type Variant int
+
+const (
+	// TwoRound is Algorithm 3 over the Algorithm 1/2 machinery: nodes are
+	// collapsed to (y_j, ell_j) and only that compressed form ever crosses
+	// the wire — B+8 bytes per shipped node instead of I.
+	TwoRound Variant = iota
+	// OneRoundShipDists is the naive baseline: one round, t_i = t, and
+	// outlier nodes shipped as full distributions (I bits each). Its
+	// communication carries the s*t*I term Algorithm 3 removes.
+	OneRoundShipDists
+)
+
+// Config parameterizes a distributed uncertain run.
+type Config struct {
+	K int
+	T int
+
+	Variant    Variant
+	Eps        float64 // coordinator bicriteria slack (default 1)
+	Rho        float64 // allocation rank multiplier (default 2)
+	HullBase   float64 // budget grid base (default 2)
+	Engine     kmedian.Engine
+	LocalOpts  kmedian.Options
+	Candidates CandidateSet // where 1-medians are searched
+	Sequential bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps == 0 {
+		c.Eps = 1
+	}
+	if c.Rho == 0 {
+		c.Rho = 2
+	}
+	if c.HullBase == 0 {
+		c.HullBase = 2
+	}
+	return c
+}
+
+// Result of a distributed uncertain run.
+type Result struct {
+	// Centers are the chosen centers as ground-space points.
+	Centers []metric.Point
+	// Report is the measured communication/time footprint.
+	Report comm.Report
+	// SiteBudgets are the allocated per-site outlier budgets.
+	SiteBudgets []int
+	// CoordinatorClients is the size of the coordinator's induced instance.
+	CoordinatorClients int
+	// OutlierBudget is the global ignore entitlement ((1+eps)t).
+	OutlierBudget float64
+}
+
+// uSite is per-site state.
+type uSite struct {
+	nodes  []Node
+	col    *Collapsed
+	trav   kcenter.Traversal
+	fn     geom.ConvexFn
+	sols   map[int]kmedian.Solution
+	opts   kmedian.Options
+	budget int
+}
+
+// Run executes the distributed uncertain (k,t)-median/means/center-pp
+// protocol (Algorithm 3 wrapped around Algorithm 1 or 2).
+func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(sites) == 0 {
+		return Result{}, fmt.Errorf("uncertain: no sites")
+	}
+	total := 0
+	for i, nds := range sites {
+		if len(nds) == 0 {
+			return Result{}, fmt.Errorf("uncertain: site %d empty", i)
+		}
+		total += len(nds)
+	}
+	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= total {
+		return Result{}, fmt.Errorf("uncertain: bad K=%d T=%d (n=%d)", cfg.K, cfg.T, total)
+	}
+	if obj == CenterPP {
+		return runCenterPP(g, sites, cfg)
+	}
+	return runMedianMeans(g, sites, cfg, obj)
+}
+
+func newUSite(g *Ground, nodes []Node, cfg Config, squared bool, i int) *uSite {
+	opts := cfg.LocalOpts
+	opts.Seed += int64(i) * 999983
+	return &uSite{
+		nodes: nodes,
+		col:   Collapse(g, nodes, squared, cfg.Candidates),
+		sols:  make(map[int]kmedian.Solution),
+		opts:  opts,
+	}
+}
+
+func (st *uSite) solve(k2, q int, engine kmedian.Engine) kmedian.Solution {
+	if sol, ok := st.sols[q]; ok {
+		return sol
+	}
+	sol := kmedian.Solve(st.col, nil, k2, float64(q), engine, st.opts)
+	st.sols[q] = sol
+	return sol
+}
+
+// collapsedPayload ships centers as (y, 0, weight) and outliers as
+// (y_j, ell_j, 1) — Algorithm 3's "whenever the site has to communicate
+// p_j, it also sends y_j and E[d(sigma(j), y_j)]".
+func (st *uSite) collapsedPayload(sol kmedian.Solution) comm.Payload {
+	var msg comm.CollapsedMsg
+	idx := make(map[int]int, len(sol.Centers))
+	for _, f := range sol.Centers {
+		idx[f] = len(msg.Y)
+		msg.Y = append(msg.Y, st.col.Y[f])
+		msg.Ell = append(msg.Ell, 0)
+		msg.W = append(msg.W, 0)
+	}
+	for j, f := range sol.Assign {
+		if f < 0 {
+			continue
+		}
+		if inW := 1 - sol.DroppedWeight[j]; inW > 0 {
+			msg.W[idx[f]] += inW
+		}
+	}
+	for j, w := range sol.DroppedWeight {
+		if w > 0 {
+			msg.Y = append(msg.Y, st.col.Y[j])
+			msg.Ell = append(msg.Ell, st.col.Ell[j])
+			msg.W = append(msg.W, 1)
+		}
+	}
+	return msg
+}
+
+// nodesPayload ships outliers as full distributions (the naive baseline).
+func (st *uSite) nodesPayload(sol kmedian.Solution) comm.Payload {
+	var centers comm.CollapsedMsg
+	idx := make(map[int]int, len(sol.Centers))
+	for _, f := range sol.Centers {
+		idx[f] = len(centers.Y)
+		centers.Y = append(centers.Y, st.col.Y[f])
+		centers.Ell = append(centers.Ell, 0)
+		centers.W = append(centers.W, 0)
+	}
+	for j, f := range sol.Assign {
+		if f < 0 {
+			continue
+		}
+		if inW := 1 - sol.DroppedWeight[j]; inW > 0 {
+			centers.W[idx[f]] += inW
+		}
+	}
+	var outs comm.NodesMsg
+	for j, w := range sol.DroppedWeight {
+		if w > 0 {
+			nd := st.nodes[j]
+			wire := comm.NodeWire{Support: make([]uint32, len(nd.Support)), Prob: append([]float64(nil), nd.Prob...)}
+			for i, u := range nd.Support {
+				wire.Support[i] = uint32(u)
+			}
+			outs.Nodes = append(outs.Nodes, wire)
+		}
+	}
+	return comm.Multi{Parts: []comm.Payload{centers, outs}}
+}
+
+func runMedianMeans(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
+	s := len(sites)
+	nw := comm.New(s, !cfg.Sequential)
+	k2 := 2 * cfg.K
+	squared := obj == Means
+
+	states := make([]*uSite, s)
+	var roundTwo []comm.Payload
+
+	if cfg.Variant == OneRoundShipDists {
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := newUSite(g, sites[i], cfg, squared, i)
+			states[i] = st
+			st.budget = capBudget(cfg.T, len(st.nodes))
+			return st.nodesPayload(st.solve(k2, st.budget, cfg.Engine))
+		})
+	} else {
+		hullUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newUSite(g, sites[i], cfg, squared, i)
+			states[i] = st
+			samples := make([]geom.Vertex, 0, 8)
+			var warm []int
+			for _, q := range geom.Grid(capBudget(cfg.T, len(st.nodes)), cfg.HullBase) {
+				st.opts.Warm = warm
+				sol := st.solve(k2, q, cfg.Engine)
+				warm = sol.Centers
+				samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+			}
+			st.opts.Warm = nil
+			fn, err := geom.NewConvexFn(samples)
+			if err != nil {
+				panic(fmt.Sprintf("uncertain: site %d hull: %v", i, err))
+			}
+			st.fn = fn
+			return comm.HullMsg{V: fn.Vertices()}
+		})
+
+		var pivot alloc.Pivot
+		fns := make([]geom.ConvexFn, s)
+		nw.Coordinator(func() {
+			for i, p := range hullUp {
+				var msg comm.HullMsg
+				if err := roundTrip(p, &msg); err != nil {
+					panic(err)
+				}
+				fn, err := geom.NewConvexFn(msg.V)
+				if err != nil {
+					panic(err)
+				}
+				fns[i] = fn
+			}
+			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
+		})
+		nw.Broadcast(comm.PivotMsg{I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0, Rank: pivot.Rank, Exhausted: pivot.Exhausted})
+
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := states[i]
+			ti := alloc.BudgetForSite(st.fn, i, pivot)
+			if i == pivot.I0 {
+				ti = st.fn.NextVertex(pivot.Q0)
+			}
+			st.budget = ti
+			return st.collapsedPayload(st.solve(k2, ti, cfg.Engine))
+		})
+	}
+
+	var result Result
+	nw.Coordinator(func() {
+		col := &Collapsed{Squared: squared}
+		var wts []float64
+		for _, p := range roundTwo {
+			y, ell, w := decodeCollapsed(p, cfg.Variant == OneRoundShipDists, g, squared, cfg.Candidates)
+			col.Y = append(col.Y, y...)
+			col.Ell = append(col.Ell, ell...)
+			wts = append(wts, w...)
+		}
+		copt := cfg.LocalOpts
+		copt.Seed += 555557
+		sol := kmedian.Bicriteria(col, wts, cfg.K, float64(cfg.T), cfg.Eps, kmedian.RelaxOutliers, cfg.Engine, copt)
+		result.Centers = clonePoints(col.Y, sol.Centers)
+		result.CoordinatorClients = col.Len()
+	})
+
+	finish(&result, nw, states, cfg)
+	return result, nil
+}
+
+func runCenterPP(g *Ground, sites [][]Node, cfg Config) (Result, error) {
+	s := len(sites)
+	nw := comm.New(s, !cfg.Sequential)
+	k := cfg.K
+
+	states := make([]*uSite, s)
+	payload := func(st *uSite) comm.Payload {
+		m := k + st.budget
+		if m > len(st.trav.Order) {
+			m = len(st.trav.Order)
+		}
+		_, counts, _ := st.trav.AssignPrefix(st.col, m, nil)
+		var msg comm.CollapsedMsg
+		for c := 0; c < m; c++ {
+			j := st.trav.Order[c]
+			msg.Y = append(msg.Y, st.col.Y[j])
+			msg.Ell = append(msg.Ell, 0)
+			msg.W = append(msg.W, counts[c])
+		}
+		return msg
+	}
+
+	var roundTwo []comm.Payload
+	if cfg.Variant == OneRoundShipDists {
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := newUSite(g, sites[i], cfg, false, i)
+			states[i] = st
+			st.trav = kcenter.Gonzalez(st.col, k+cfg.T, 0)
+			st.budget = cfg.T
+			return payload(st)
+		})
+	} else {
+		hullUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newUSite(g, sites[i], cfg, false, i)
+			states[i] = st
+			st.trav = kcenter.Gonzalez(st.col, k+cfg.T, 0)
+			tcap := capBudget(cfg.T, len(st.nodes))
+			suffix := make([]float64, tcap+2)
+			for q := tcap; q >= 1; q-- {
+				slope := 0.0
+				if idx := k + q - 1; idx < len(st.trav.Order) {
+					slope = st.trav.Radii[idx]
+				}
+				suffix[q] = suffix[q+1] + slope
+			}
+			samples := make([]geom.Vertex, 0, 8)
+			for _, q := range geom.Grid(tcap, cfg.HullBase) {
+				samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
+			}
+			fn, err := geom.NewConvexFn(samples)
+			if err != nil {
+				panic(err)
+			}
+			st.fn = fn
+			return comm.HullMsg{V: fn.Vertices()}
+		})
+
+		var pivot alloc.Pivot
+		fns := make([]geom.ConvexFn, s)
+		nw.Coordinator(func() {
+			for i, p := range hullUp {
+				var msg comm.HullMsg
+				if err := roundTrip(p, &msg); err != nil {
+					panic(err)
+				}
+				fn, err := geom.NewConvexFn(msg.V)
+				if err != nil {
+					panic(err)
+				}
+				fns[i] = fn
+			}
+			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
+		})
+		nw.Broadcast(comm.PivotMsg{I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0, Rank: pivot.Rank, Exhausted: pivot.Exhausted})
+
+		roundTwo = nw.SiteRound(func(i int) comm.Payload {
+			st := states[i]
+			ti := alloc.BudgetForSite(st.fn, i, pivot)
+			if i == pivot.I0 {
+				ti = st.fn.NextVertex(pivot.Q0)
+			}
+			st.budget = ti
+			return payload(st)
+		})
+	}
+
+	var result Result
+	nw.Coordinator(func() {
+		col := &Collapsed{}
+		var wts []float64
+		for _, p := range roundTwo {
+			var msg comm.CollapsedMsg
+			if err := roundTrip(p, &msg); err != nil {
+				panic(err)
+			}
+			col.Y = append(col.Y, msg.Y...)
+			col.Ell = append(col.Ell, msg.Ell...)
+			wts = append(wts, msg.W...)
+		}
+		sol := kcenter.Partial(col, wts, cfg.K, float64(cfg.T))
+		result.Centers = clonePoints(col.Y, sol.Centers)
+		result.CoordinatorClients = col.Len()
+	})
+
+	finish(&result, nw, states, cfg)
+	return result, nil
+}
+
+func finish(result *Result, nw *comm.Network, states []*uSite, cfg Config) {
+	result.Report = nw.Report()
+	result.SiteBudgets = make([]int, len(states))
+	for i, st := range states {
+		result.SiteBudgets[i] = st.budget
+	}
+	result.OutlierBudget = (1 + cfg.Eps) * float64(cfg.T)
+}
+
+func capBudget(t, n int) int {
+	if t >= n {
+		return n - 1
+	}
+	return t
+}
+
+func roundTrip(p comm.Payload, dst interface{ UnmarshalBinary([]byte) error }) error {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return dst.UnmarshalBinary(b)
+}
+
+// decodeCollapsed extracts (y, ell, w) triples from a round-2 payload; for
+// the naive variant the outlier nodes arrive as full distributions and are
+// collapsed at the coordinator.
+func decodeCollapsed(p comm.Payload, naive bool, g *Ground, squared bool, cand CandidateSet) ([]metric.Point, []float64, []float64) {
+	if !naive {
+		var msg comm.CollapsedMsg
+		if err := roundTrip(p, &msg); err != nil {
+			panic(err)
+		}
+		return msg.Y, msg.Ell, msg.W
+	}
+	multi, ok := p.(comm.Multi)
+	if !ok || len(multi.Parts) != 2 {
+		panic("uncertain: malformed naive payload")
+	}
+	var centers comm.CollapsedMsg
+	if err := roundTrip(multi.Parts[0], &centers); err != nil {
+		panic(err)
+	}
+	var outs comm.NodesMsg
+	if err := roundTrip(multi.Parts[1], &outs); err != nil {
+		panic(err)
+	}
+	y := append([]metric.Point(nil), centers.Y...)
+	ell := append([]float64(nil), centers.Ell...)
+	w := append([]float64(nil), centers.W...)
+	for _, wire := range outs.Nodes {
+		nd := Node{Support: make([]int, len(wire.Support)), Prob: wire.Prob}
+		for i, u := range wire.Support {
+			nd.Support[i] = int(u)
+		}
+		var yi int
+		var li float64
+		if squared {
+			yi, li = OneMean(g, nd, cand)
+		} else {
+			yi, li = OneMedian(g, nd, cand)
+		}
+		y = append(y, g.Pts[yi])
+		ell = append(ell, li)
+		w = append(w, 1)
+	}
+	return y, ell, w
+}
+
+func clonePoints(pts []metric.Point, idx []int) []metric.Point {
+	out := make([]metric.Point, len(idx))
+	for i, f := range idx {
+		out[i] = pts[f].Clone()
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpc/internal/alloc"
+	"dpc/internal/comm"
+	"dpc/internal/geom"
+	"dpc/internal/kcenter"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+)
+
+// CenterGConfig parameterizes Algorithm 4.
+type CenterGConfig struct {
+	K int
+	T int
+
+	Eps      float64 // outlier slack of the output ((1+eps)t); default 1
+	Rho      float64 // allocation rank multiplier; default 2
+	HullBase float64 // budget grid base; default 2
+	// TauBase is the geometric step of the truncation grid
+	// T = {TauBase^i * dmin/18}; the paper uses 2. Coarser grids trade
+	// approximation for fewer local solves. Default 2.
+	TauBase float64
+	// MaxFacilities caps the per-site candidate facility set P(A_i)
+	// (all realization points); larger sets are thinned deterministically.
+	// Default 256.
+	MaxFacilities int
+	Engine        kmedian.Engine
+	LocalOpts     kmedian.Options
+	Sequential    bool
+	// OneRound runs the Table 2 single-round variant: every site ships,
+	// for every tau in the grid, its full (2k, t, rho_6tau) preclustering
+	// (centers + outlier distributions + cost) — communication
+	// Otilde(s (kB + tI) log Delta) — and the coordinator picks tau-hat
+	// from the shipped costs.
+	OneRound bool
+}
+
+func (c CenterGConfig) withDefaults() CenterGConfig {
+	if c.Eps == 0 {
+		c.Eps = 1
+	}
+	if c.Rho == 0 {
+		c.Rho = 2
+	}
+	if c.HullBase == 0 {
+		c.HullBase = 2
+	}
+	if c.TauBase == 0 {
+		c.TauBase = 2
+	}
+	if c.MaxFacilities == 0 {
+		c.MaxFacilities = 256
+	}
+	return c
+}
+
+// CenterGResult is the outcome of Algorithm 4.
+type CenterGResult struct {
+	Centers []metric.Point
+	// Tau is the truncation threshold the parametric search selected
+	// (Step 6); Copt(A,k,t) >= Tau/3 by Lemma 5.13, so Tau is also a
+	// reported lower-bound witness.
+	Tau float64
+	// TauGrid is the searched grid (|TauGrid| = O(log Delta)).
+	TauGrid []float64
+	Report  comm.Report
+	// SiteBudgets are the t_i(tau-hat) of the chosen threshold.
+	SiteBudgets   []int
+	OutlierBudget float64
+}
+
+// cgSite is per-site state of Algorithm 4.
+type cgSite struct {
+	nodes  []Node
+	fac    []int                       // candidate facility indices into the ground set
+	sols   map[[2]int]kmedian.Solution // (tauIdx, q) -> solution
+	fns    []geom.ConvexFn             // one per tau
+	opts   kmedian.Options
+	budget int
+}
+
+func (st *cgSite) solve(g *Ground, tauIdx int, tau6 float64, k2, q int, engine kmedian.Engine) kmedian.Solution {
+	key := [2]int{tauIdx, q}
+	if sol, ok := st.sols[key]; ok {
+		return sol
+	}
+	tc := &TruncCosts{G: g, Nodes: st.nodes, Fac: st.fac, Tau: tau6}
+	sol := kmedian.Solve(tc, nil, k2, float64(q), engine, st.opts)
+	st.sols[key] = sol
+	return sol
+}
+
+// wirePrecluster serializes a local solution: the chosen centers as ground
+// points with attached node counts, and the outlier nodes as full
+// distributions (the I-bit payload).
+func (st *cgSite) wirePrecluster(g *Ground, sol kmedian.Solution) (comm.WeightedPointsMsg, comm.NodesMsg) {
+	var centers comm.WeightedPointsMsg
+	idx := make(map[int]int, len(sol.Centers))
+	for _, f := range sol.Centers {
+		idx[f] = len(centers.Pts)
+		centers.Pts = append(centers.Pts, g.Pts[st.fac[f]])
+		centers.W = append(centers.W, 0)
+	}
+	for j, f := range sol.Assign {
+		if f < 0 {
+			continue
+		}
+		if inW := 1 - sol.DroppedWeight[j]; inW > 0 {
+			centers.W[idx[f]] += inW
+		}
+	}
+	var outs comm.NodesMsg
+	for j, w := range sol.DroppedWeight {
+		if w > 0 {
+			nd := st.nodes[j]
+			wire := comm.NodeWire{Support: make([]uint32, len(nd.Support)), Prob: append([]float64(nil), nd.Prob...)}
+			for q, u := range nd.Support {
+				wire.Support[q] = uint32(u)
+			}
+			outs.Nodes = append(outs.Nodes, wire)
+		}
+	}
+	return centers, outs
+}
+
+// RunCenterG executes Algorithm 4 for the uncertain (k,t)-center-g
+// objective: parametric search over truncation thresholds tau, local
+// (2k, q, rho_6tau)-median preclusterings per threshold, the usual
+// allocation, and a final weighted truncated solve at the coordinator.
+// Outlier nodes cross the wire as full distributions (the t*I term of
+// Theorem 5.14).
+func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
+	cfg = cfg.withDefaults()
+	s := len(sites)
+	if s == 0 {
+		return CenterGResult{}, fmt.Errorf("uncertain: no sites")
+	}
+	total := 0
+	for i, nds := range sites {
+		if len(nds) == 0 {
+			return CenterGResult{}, fmt.Errorf("uncertain: site %d empty", i)
+		}
+		total += len(nds)
+	}
+	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= total {
+		return CenterGResult{}, fmt.Errorf("uncertain: bad K=%d T=%d", cfg.K, cfg.T)
+	}
+	dmin, dmax := g.MinMax()
+	if dmin <= 0 {
+		return CenterGResult{}, fmt.Errorf("uncertain: degenerate ground set (dmin=0)")
+	}
+	// Step 2: T = {base^i * dmin/18 : 0 <= i <= ceil(log Delta) + 2}.
+	delta := dmax / dmin
+	steps := int(math.Ceil(math.Log(delta)/math.Log(cfg.TauBase))) + 3
+	grid := make([]float64, steps)
+	tau := dmin / 18
+	for i := range grid {
+		grid[i] = tau
+		tau *= cfg.TauBase
+	}
+
+	nw := comm.New(s, !cfg.Sequential)
+	k2 := 2 * cfg.K
+	states := make([]*cgSite, s)
+	newState := func(i int) *cgSite {
+		opts := cfg.LocalOpts
+		opts.Seed += int64(i) * 1000033
+		st := &cgSite{nodes: sites[i], sols: make(map[[2]int]kmedian.Solution), opts: opts}
+		st.fac = facilityCandidates(sites[i], cfg.MaxFacilities)
+		states[i] = st
+		return st
+	}
+
+	tauIdx := len(grid) - 1
+	// centerParts/outParts hold, per site, the tau-hat preclustering as it
+	// came off the wire.
+	centerParts := make([]comm.WeightedPointsMsg, s)
+	outParts := make([]comm.NodesMsg, s)
+
+	if cfg.OneRound {
+		// Table 2 variant: one round, everything for every tau —
+		// Otilde(s (kB + tI) log Delta) communication.
+		oneUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			st.budget = capBudget(cfg.T, len(st.nodes))
+			costs := make([]float64, len(grid))
+			parts := make([]comm.Payload, 1, 1+2*len(grid))
+			for ti, tv := range grid {
+				sol := st.solve(g, ti, 6*tv, k2, st.budget, cfg.Engine)
+				costs[ti] = sol.Cost
+				centers, outs := st.wirePrecluster(g, sol)
+				parts = append(parts, centers, outs)
+			}
+			parts[0] = comm.Float64sMsg{Vals: costs}
+			return comm.Multi{Parts: parts}
+		})
+		nw.Coordinator(func() {
+			sums := make([]float64, len(grid))
+			multis := make([]comm.Multi, s)
+			for i, p := range oneUp {
+				multi, ok := p.(comm.Multi)
+				if !ok || len(multi.Parts) != 1+2*len(grid) {
+					panic("uncertain: malformed one-round center-g payload")
+				}
+				multis[i] = multi
+				var cm comm.Float64sMsg
+				if err := roundTrip(multi.Parts[0], &cm); err != nil {
+					panic(err)
+				}
+				for ti, v := range cm.Vals {
+					sums[ti] += v
+				}
+			}
+			tauIdx = len(grid) - 1
+			for ti, tv := range grid {
+				if sums[ti] <= 12*tv {
+					tauIdx = ti
+					break
+				}
+			}
+			for i, multi := range multis {
+				if err := roundTrip(multi.Parts[1+2*tauIdx], &centerParts[i]); err != nil {
+					panic(err)
+				}
+				if err := roundTrip(multi.Parts[2+2*tauIdx], &outParts[i]); err != nil {
+					panic(err)
+				}
+			}
+		})
+	} else {
+		// Round 1: per tau, the hull of local truncated costs (Steps 3-5).
+		hullUp := nw.SiteRound(func(i int) comm.Payload {
+			st := newState(i)
+			tcap := capBudget(cfg.T, len(st.nodes))
+			budgetGrid := geom.Grid(tcap, cfg.HullBase)
+			msg := comm.HullsMsg{Hulls: make([][]geom.Vertex, len(grid))}
+			st.fns = make([]geom.ConvexFn, len(grid))
+			for ti, tv := range grid {
+				samples := make([]geom.Vertex, 0, len(budgetGrid))
+				var warm []int
+				for _, q := range budgetGrid {
+					st.opts.Warm = warm
+					sol := st.solve(g, ti, 6*tv, k2, q, cfg.Engine)
+					warm = sol.Centers
+					samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+				}
+				st.opts.Warm = nil
+				fn, err := geom.NewConvexFn(samples)
+				if err != nil {
+					panic(err)
+				}
+				st.fns[ti] = fn
+				msg.Hulls[ti] = fn.Vertices()
+			}
+			return msg
+		})
+
+		// Coordinator: tau-hat = min{tau : sum_i f_i(t_i(tau)) <= 12 tau}
+		// (Step 6), then the pivot for tau-hat.
+		var pivot alloc.Pivot
+		nw.Coordinator(func() {
+			all := make([][]geom.ConvexFn, len(grid)) // [tau][site]
+			for ti := range grid {
+				all[ti] = make([]geom.ConvexFn, s)
+			}
+			for i, p := range hullUp {
+				var msg comm.HullsMsg
+				if err := roundTrip(p, &msg); err != nil {
+					panic(err)
+				}
+				for ti := range grid {
+					fn, err := geom.NewConvexFn(msg.Hulls[ti])
+					if err != nil {
+						panic(err)
+					}
+					all[ti][i] = fn
+				}
+			}
+			R := int(cfg.Rho * float64(cfg.T))
+			found := false
+			for ti, tv := range grid {
+				p, ts := alloc.Allocate(all[ti], R)
+				var sum float64
+				for i, fn := range all[ti] {
+					b := ts[i]
+					if i == p.I0 {
+						b = fn.NextVertex(p.Q0)
+					}
+					sum += fn.Eval(b)
+				}
+				if sum <= 12*tv {
+					pivot, tauIdx, found = p, ti, true
+					break
+				}
+			}
+			if !found { // cannot happen for tau_max (rho_6tau = 0); be safe
+				tauIdx = len(grid) - 1
+				pivot, _ = alloc.Allocate(all[tauIdx], R)
+			}
+		})
+		nw.Broadcast(comm.PivotMsg{
+			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
+			Rank: pivot.Rank, Exhausted: pivot.Exhausted, Tau: grid[tauIdx],
+		})
+
+		// Round 2: preclustering at tau-hat; centers as points, outliers as
+		// full node distributions (Step 7).
+		roundTwo := nw.SiteRound(func(i int) comm.Payload {
+			st := states[i]
+			fn := st.fns[tauIdx]
+			ti := alloc.BudgetForSite(fn, i, pivot)
+			if i == pivot.I0 {
+				ti = fn.NextVertex(pivot.Q0)
+			}
+			st.budget = ti
+			sol := st.solve(g, tauIdx, 6*grid[tauIdx], k2, ti, cfg.Engine)
+			centers, outs := st.wirePrecluster(g, sol)
+			return comm.Multi{Parts: []comm.Payload{centers, outs}}
+		})
+		for i, p := range roundTwo {
+			multi, ok := p.(comm.Multi)
+			if !ok || len(multi.Parts) != 2 {
+				panic("uncertain: malformed center-g payload")
+			}
+			if err := roundTrip(multi.Parts[0], &centerParts[i]); err != nil {
+				panic(err)
+			}
+			if err := roundTrip(multi.Parts[1], &outParts[i]); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Coordinator: weighted truncated (k,t)-center over the union.
+	var result CenterGResult
+	nw.Coordinator(func() {
+		cc := &coordTruncCosts{g: g, tau: 6 * grid[tauIdx]}
+		var wts []float64
+		for i := range centerParts {
+			for c, pt := range centerParts[i].Pts {
+				cc.addPoint(pt)
+				wts = append(wts, centerParts[i].W[c])
+			}
+			for _, wire := range outParts[i].Nodes {
+				nd := Node{Support: make([]int, len(wire.Support)), Prob: wire.Prob}
+				for q, u := range wire.Support {
+					nd.Support[q] = int(u)
+				}
+				cc.addNode(nd)
+				wts = append(wts, 1)
+			}
+		}
+		sol := kcenter.Partial(cc, wts, cfg.K, float64(cfg.T))
+		result.Centers = make([]metric.Point, len(sol.Centers))
+		for i, f := range sol.Centers {
+			result.Centers[i] = cc.facPts[f].Clone()
+		}
+	})
+
+	result.Tau = grid[tauIdx]
+	result.TauGrid = grid
+	result.Report = nw.Report()
+	result.SiteBudgets = make([]int, s)
+	for i, st := range states {
+		result.SiteBudgets[i] = st.budget
+	}
+	result.OutlierBudget = (1 + cfg.Eps) * float64(cfg.T)
+	return result, nil
+}
+
+// facilityCandidates returns the union of the nodes' support indices,
+// deterministically thinned to at most max entries.
+func facilityCandidates(nodes []Node, max int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, nd := range nodes {
+		for _, u := range nd.Support {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	if len(out) > max {
+		stride := float64(len(out)) / float64(max)
+		thin := make([]int, 0, max)
+		for i := 0; i < max; i++ {
+			thin = append(thin, out[int(float64(i)*stride)])
+		}
+		out = thin
+	}
+	return out
+}
+
+// coordTruncCosts is the coordinator's mixed instance for center-g:
+// clients are either Dirac points (aggregated precluster centers) or full
+// outlier nodes; facilities are the client representative points; costs are
+// truncated (expected) distances at the chosen threshold.
+type coordTruncCosts struct {
+	g      *Ground
+	tau    float64
+	diracs []metric.Point // nil entry means the client is a node
+	nodes  []Node
+	facPts []metric.Point
+}
+
+func (cc *coordTruncCosts) addPoint(p metric.Point) {
+	cc.diracs = append(cc.diracs, p)
+	cc.nodes = append(cc.nodes, Node{})
+	cc.facPts = append(cc.facPts, p)
+}
+
+func (cc *coordTruncCosts) addNode(nd Node) {
+	cc.diracs = append(cc.diracs, nil)
+	cc.nodes = append(cc.nodes, nd)
+	// Representative facility: the node's highest-probability support point.
+	best, bp := 0, -1.0
+	for i, p := range nd.Prob {
+		if p > bp {
+			bp, best = p, i
+		}
+	}
+	cc.facPts = append(cc.facPts, cc.g.Pts[nd.Support[best]])
+}
+
+// Clients implements metric.Costs.
+func (cc *coordTruncCosts) Clients() int { return len(cc.diracs) }
+
+// Facilities implements metric.Costs.
+func (cc *coordTruncCosts) Facilities() int { return len(cc.facPts) }
+
+// Cost implements metric.Costs.
+func (cc *coordTruncCosts) Cost(j, f int) float64 {
+	fp := cc.facPts[f]
+	if p := cc.diracs[j]; p != nil {
+		if d := metric.L2(p, fp) - cc.tau; d > 0 {
+			return d
+		}
+		return 0
+	}
+	return TruncExpectedDist(cc.g, cc.nodes[j], fp, cc.tau)
+}

@@ -1,0 +1,103 @@
+package uncertain
+
+import (
+	"dpc/internal/metric"
+)
+
+// Collapsed is the compressed-graph representation of a set of uncertain
+// nodes (Definition 5.2, Figure 1): node j is the tentacle vertex p_j,
+// hanging off its 1-median y_j with edge weight ell_j; the y_j form a
+// clique weighted by the underlying metric.
+//
+// It implements metric.Costs with clients = tentacle vertices {p_j} and
+// facilities = 1-medians {y_j} (the paper's demand/facility split on G),
+// and metric.Space with the demand-demand shortest-path distance
+// d_G(p_i, p_j) = ell_i + d(y_i, y_j) + ell_j (used by Gonzalez for
+// center-pp).
+//
+// For the means objective, set Squared: costs become the relaxed
+// 2*ell' + 2*d^2 form of Lemma 5.5(b), with ell' the squared collapse cost.
+type Collapsed struct {
+	Y       []metric.Point // 1-median of each node
+	Ell     []float64      // collapse cost of each node
+	Squared bool
+}
+
+// Len returns the number of nodes.
+func (c *Collapsed) Len() int { return len(c.Y) }
+
+// Clients implements metric.Costs.
+func (c *Collapsed) Clients() int { return len(c.Y) }
+
+// Facilities implements metric.Costs.
+func (c *Collapsed) Facilities() int { return len(c.Y) }
+
+// Cost implements metric.Costs: connection of demand p_i to center y_f on
+// the compressed graph.
+func (c *Collapsed) Cost(i, f int) float64 {
+	if c.Squared {
+		d2 := metric.SqL2(c.Y[i], c.Y[f])
+		return 2*c.Ell[i] + 2*d2
+	}
+	return c.Ell[i] + metric.L2(c.Y[i], c.Y[f])
+}
+
+// N implements metric.Space.
+func (c *Collapsed) N() int { return len(c.Y) }
+
+// Dist implements metric.Space: demand-demand distance on G. For the
+// squared variant this is the relaxed symmetric form.
+func (c *Collapsed) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if c.Squared {
+		d2 := metric.SqL2(c.Y[i], c.Y[j])
+		return 2*c.Ell[i] + 2*c.Ell[j] + 2*d2
+	}
+	return c.Ell[i] + metric.L2(c.Y[i], c.Y[j]) + c.Ell[j]
+}
+
+// Collapse computes the compressed representation of the given nodes:
+// 1-medians (or 1-means when squared) and collapse costs.
+func Collapse(g *Ground, nodes []Node, squared bool, cand CandidateSet) *Collapsed {
+	c := &Collapsed{
+		Y:       make([]metric.Point, len(nodes)),
+		Ell:     make([]float64, len(nodes)),
+		Squared: squared,
+	}
+	for j, nd := range nodes {
+		var y int
+		var ell float64
+		if squared {
+			y, ell = OneMean(g, nd, cand)
+		} else {
+			y, ell = OneMedian(g, nd, cand)
+		}
+		c.Y[j] = g.Pts[y]
+		c.Ell[j] = ell
+	}
+	return c
+}
+
+// TruncCosts is the rho_tau connection-cost oracle of Definition 5.8:
+// clients are uncertain nodes, facilities are candidate points of P, and
+// Cost(j, f) = rho_tau(j, P[f]). Not a metric (it satisfies only the
+// relaxed inequality rho_3tau(j,m) <= rho_tau(j,m') + ... of Lemma 5.9).
+type TruncCosts struct {
+	G     *Ground
+	Nodes []Node
+	Fac   []int // candidate facility indices into the ground set
+	Tau   float64
+}
+
+// Clients implements metric.Costs.
+func (tc *TruncCosts) Clients() int { return len(tc.Nodes) }
+
+// Facilities implements metric.Costs.
+func (tc *TruncCosts) Facilities() int { return len(tc.Fac) }
+
+// Cost implements metric.Costs.
+func (tc *TruncCosts) Cost(j, f int) float64 {
+	return TruncExpectedDist(tc.G, tc.Nodes[j], tc.G.Pts[tc.Fac[f]], tc.Tau)
+}

@@ -1,0 +1,101 @@
+package uncertain
+
+import (
+	"dpc/internal/metric"
+)
+
+// WeiszfeldMedian computes the (unconstrained) Euclidean geometric median
+// of a weighted point set by Weiszfeld iteration — the fast path behind the
+// paper's footnote "for a general discrete distribution on m points in
+// Euclidean space with P the whole space, T = O(m) [Dyer]". w == nil means
+// unit weights. The iteration is started from the weighted centroid and
+// stopped after maxIters rounds or when the step falls below tol.
+func WeiszfeldMedian(pts []metric.Point, w []float64, maxIters int, tol float64) metric.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	if maxIters <= 0 {
+		maxIters = 64
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	cur := metric.Centroid(pts, w)
+	dim := len(cur)
+	for iter := 0; iter < maxIters; iter++ {
+		next := make(metric.Point, dim)
+		var totalW float64
+		onPoint := false
+		for i, p := range pts {
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			d := metric.L2(cur, p)
+			if d < 1e-12 {
+				// Iterate sits on an input point; it is optimal unless the
+				// pull of the others exceeds this point's weight — the
+				// classic Weiszfeld singularity. Returning the point is
+				// within tolerance for our use (collapse-cost estimation).
+				onPoint = true
+				break
+			}
+			c := wi / d
+			for dd := 0; dd < dim; dd++ {
+				next[dd] += c * p[dd]
+			}
+			totalW += c
+		}
+		if onPoint || totalW == 0 {
+			break
+		}
+		for dd := 0; dd < dim; dd++ {
+			next[dd] /= totalW
+		}
+		if metric.L2(cur, next) < tol {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// oneMedianEuclidean computes the node's 1-median via Weiszfeld on its
+// support (cost O(m) per iteration) and snaps the continuous optimum to
+// the nearest support point, keeping y_j in P per Definition 5.1. The
+// snap at most doubles the collapse cost (triangle inequality), which the
+// framework's constants absorb.
+func oneMedianEuclidean(g *Ground, nd Node) (int, float64) {
+	pts := make([]metric.Point, len(nd.Support))
+	for i, u := range nd.Support {
+		pts[i] = g.Pts[u]
+	}
+	med := WeiszfeldMedian(pts, nd.Prob, 64, 1e-9)
+	best, bd := -1, 0.0
+	for i, p := range pts {
+		if d := metric.L2(med, p); best < 0 || d < bd {
+			best, bd = i, d
+		}
+	}
+	y := nd.Support[best]
+	return y, ExpectedDist(g, nd, g.Pts[y])
+}
+
+// oneMeanEuclidean: the continuous 1-mean is the weighted centroid; snap to
+// the nearest support point.
+func oneMeanEuclidean(g *Ground, nd Node) (int, float64) {
+	pts := make([]metric.Point, len(nd.Support))
+	for i, u := range nd.Support {
+		pts[i] = g.Pts[u]
+	}
+	cen := metric.Centroid(pts, nd.Prob)
+	best, bd := -1, 0.0
+	for i, p := range pts {
+		if d := metric.L2(cen, p); best < 0 || d < bd {
+			best, bd = i, d
+		}
+	}
+	y := nd.Support[best]
+	return y, ExpectedSqDist(g, nd, g.Pts[y])
+}

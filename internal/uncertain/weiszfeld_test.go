@@ -1,0 +1,140 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpc/internal/metric"
+)
+
+func TestWeiszfeldSymmetricConfigurations(t *testing.T) {
+	// The geometric median of the vertices of a square is its center.
+	pts := []metric.Point{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	med := WeiszfeldMedian(pts, nil, 128, 1e-12)
+	if metric.L2(med, metric.Point{1, 1}) > 1e-6 {
+		t.Fatalf("square median = %v, want (1,1)", med)
+	}
+	// Collinear points: the median is the (weighted) middle point.
+	line := []metric.Point{{0}, {1}, {10}}
+	med = WeiszfeldMedian(line, nil, 128, 1e-12)
+	if math.Abs(med[0]-1) > 1e-3 {
+		t.Fatalf("line median = %v, want ~1", med)
+	}
+}
+
+func TestWeiszfeldWeighted(t *testing.T) {
+	// A heavy point dominates: the median is pulled (all the way) onto it.
+	pts := []metric.Point{{0, 0}, {10, 0}}
+	med := WeiszfeldMedian(pts, []float64{10, 1}, 256, 1e-12)
+	if metric.L2(med, pts[0]) > 0.5 {
+		t.Fatalf("weighted median = %v, want near (0,0)", med)
+	}
+}
+
+func TestWeiszfeldDegenerate(t *testing.T) {
+	if WeiszfeldMedian(nil, nil, 10, 0) != nil {
+		t.Fatal("empty input should give nil")
+	}
+	one := []metric.Point{{3, 4}}
+	if med := WeiszfeldMedian(one, nil, 10, 0); metric.L2(med, one[0]) > 1e-12 {
+		t.Fatalf("single point median = %v", med)
+	}
+	// All points identical: centroid start already sits on them.
+	same := []metric.Point{{1, 1}, {1, 1}, {1, 1}}
+	if med := WeiszfeldMedian(same, nil, 10, 0); metric.L2(med, same[0]) > 1e-12 {
+		t.Fatalf("identical points median = %v", med)
+	}
+}
+
+// Weiszfeld minimizes the weighted sum of distances: compare against a
+// dense grid search on random instances.
+func TestWeiszfeldNearOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		pts := make([]metric.Point, 6)
+		w := make([]float64, 6)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 10, r.Float64() * 10}
+			w[i] = 0.5 + r.Float64()
+		}
+		obj := func(p metric.Point) float64 {
+			var s float64
+			for i, q := range pts {
+				s += w[i] * metric.L2(p, q)
+			}
+			return s
+		}
+		med := WeiszfeldMedian(pts, w, 256, 1e-12)
+		got := obj(med)
+		best := math.Inf(1)
+		for x := 0.0; x <= 10; x += 0.05 {
+			for y := 0.0; y <= 10; y += 0.05 {
+				if v := obj(metric.Point{x, y}); v < best {
+					best = v
+				}
+			}
+		}
+		if got > best*1.001+1e-9 {
+			t.Fatalf("trial %d: weiszfeld %g vs grid %g", trial, got, best)
+		}
+	}
+}
+
+// The EuclideanSnap candidate strategy must agree with the exact
+// own-support argmin up to the snap factor (and usually exactly, because
+// the discrete argmin is the support point nearest the continuous median
+// on concentrated distributions).
+func TestEuclideanSnapQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	exactMatches := 0
+	for trial := 0; trial < 30; trial++ {
+		g := &Ground{}
+		nd := Node{}
+		var tot float64
+		base := metric.Point{r.Float64() * 100, r.Float64() * 100}
+		for q := 0; q < 5; q++ {
+			p := metric.Point{base[0] + r.NormFloat64(), base[1] + r.NormFloat64()}
+			nd.Support = append(nd.Support, len(g.Pts))
+			g.Pts = append(g.Pts, p)
+			w := 0.2 + r.Float64()
+			nd.Prob = append(nd.Prob, w)
+			tot += w
+		}
+		for q := range nd.Prob {
+			nd.Prob[q] /= tot
+		}
+		ySnap, ellSnap := OneMedian(g, nd, EuclideanSnap)
+		yExact, ellExact := OneMedian(g, nd, OwnSupport)
+		if ySnap == yExact {
+			exactMatches++
+		}
+		if ellSnap > 2*ellExact+1e-9 {
+			t.Fatalf("trial %d: snap ell %g > 2x exact %g", trial, ellSnap, ellExact)
+		}
+	}
+	if exactMatches < 20 {
+		t.Fatalf("snap matched the exact argmin only %d/30 times", exactMatches)
+	}
+}
+
+// The distributed pipeline accepts the Euclidean fast path end to end.
+func TestCollapseWithEuclideanSnap(t *testing.T) {
+	g := twoClusterGround()
+	nodes := []Node{
+		{Support: []int{0, 1, 2}, Prob: []float64{0.3, 0.4, 0.3}},
+		{Support: []int{3, 4}, Prob: []float64{0.5, 0.5}},
+	}
+	col := Collapse(g, nodes, false, EuclideanSnap)
+	if col.Len() != 2 {
+		t.Fatal("collapse size")
+	}
+	// The snapped 1-medians must be support points of their nodes.
+	if !col.Y[0].Equal(g.Pts[1]) {
+		t.Fatalf("node 0 snapped to %v, want ground point 1", col.Y[0])
+	}
+	colMean := Collapse(g, nodes, true, EuclideanSnap)
+	if colMean.Ell[0] <= 0 {
+		t.Fatal("squared collapse cost should be positive")
+	}
+}
