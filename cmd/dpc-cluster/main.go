@@ -9,6 +9,11 @@
 //	dpc-cluster -k 5 -t 100 -in points.csv -out centers.csv
 //	dpc-cluster -k 3 -t 10 -objective center -sites 16 -assign labels.csv < points.csv
 //	dpc-cluster -k 4 -t 50 -variant noship -report
+//	dpc-cluster -k 5 -t 100 -transport tcp -report < points.csv   # real localhost sockets
+//
+// -transport=tcp runs the identical protocol over real localhost TCP
+// sockets (one in-process site server per site); for sites in separate
+// processes see dpc-coordinator and dpc-site.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"dpc/internal/dataio"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/transport"
 	"dpc/internal/uncertain"
 )
 
@@ -40,15 +46,20 @@ func main() {
 		report    = flag.Bool("report", false, "print the communication report to stderr")
 		polish    = flag.Bool("lloyd", false, "Lloyd-polish the final centers (means only)")
 		uncFlag   = flag.Bool("uncertain", false, "input rows are uncertain nodes: node_id,prob,coords...")
+		transp    = flag.String("transport", "loopback", "wire backend: loopback (in-process) | tcp (real localhost sockets)")
 	)
 	flag.Parse()
 
+	tkind, err := transport.ParseKind(*transp)
+	if err != nil {
+		fatal(err)
+	}
 	in, err := openIn(*inPath)
 	if err != nil {
 		fatal(err)
 	}
 	if *uncFlag {
-		runUncertainCLI(in, *k, *t, *objective, *sites, *eps, *seed, *outPath, *report)
+		runUncertainCLI(in, *k, *t, *objective, *sites, *eps, *seed, *outPath, *report, tkind)
 		return
 	}
 	pts, err := dataio.ReadPointsCSV(in)
@@ -85,6 +96,7 @@ func main() {
 		K: *k, T: *t, Objective: obj, Variant: vr, Eps: *eps,
 		LloydPolish: *polish,
 		LocalOpts:   kmedian.Options{Seed: *seed},
+		Transport:   tkind,
 	})
 	if err != nil {
 		fatal(err)
@@ -123,14 +135,14 @@ func main() {
 }
 
 // runUncertainCLI handles -uncertain mode: nodes in, centers out.
-func runUncertainCLI(in io.ReadCloser, k, t int, objective string, sites int, eps float64, seed int64, outPath string, report bool) {
+func runUncertainCLI(in io.ReadCloser, k, t int, objective string, sites int, eps float64, seed int64, outPath string, report bool, tkind transport.Kind) {
 	g, nodes, err := dataio.ReadNodesCSV(in)
 	in.Close()
 	if err != nil {
 		fatal(err)
 	}
 	siteNodes := dataio.SplitNodesRoundRobin(nodes, sites)
-	cfg := uncertain.Config{K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}}
+	cfg := uncertain.Config{K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}, Transport: tkind}
 	var (
 		centers []metric.Point
 		rep     comm.Report
@@ -164,7 +176,7 @@ func runUncertainCLI(in io.ReadCloser, k, t int, objective string, sites int, ep
 		label = objective
 	case "centerg":
 		res, err := uncertain.RunCenterG(g, siteNodes, uncertain.CenterGConfig{
-			K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed},
+			K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}, Transport: tkind,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,139 @@
+// Command dpc-coordinator is the coordinator daemon of a real distributed
+// deployment: it listens for s dpc-site processes, ships them the run
+// configuration in the transport handshake, drives Algorithm 1/2 over the
+// framed TCP wire protocol, and writes the chosen centers as CSV.
+//
+// The per-site solves are seeded deterministically from -seed + site id,
+// so a TCP deployment reproduces the equivalent in-process loopback run
+// (same centers, same payload-byte accounting; frame headers are excluded
+// from the accounting by construction).
+//
+// Usage:
+//
+//	dpc-coordinator -listen 127.0.0.1:9009 -sites 4 -k 5 -t 100 -out centers.csv
+//	# then, in four other terminals / machines:
+//	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv
+//	dpc-site -connect 127.0.0.1:9009 -site 1 -in part1.csv
+//	...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpc/internal/core"
+	"dpc/internal/dataio"
+	"dpc/internal/kmedian"
+	"dpc/internal/transport"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9009", "address to listen on for sites")
+		sites     = flag.Int("sites", 2, "number of sites that will dial in")
+		k         = flag.Int("k", 3, "number of centers")
+		t         = flag.Int("t", 0, "outlier budget (points that may be ignored)")
+		objective = flag.String("objective", "median", "median | means | center")
+		variant   = flag.String("variant", "2round", "2round | 1round | noship")
+		eps       = flag.Float64("eps", 1, "coordinator bicriteria slack")
+		seed      = flag.Int64("seed", 1, "engine seed (site i uses seed + i*const)")
+		polish    = flag.Bool("lloyd", false, "Lloyd-polish the final centers (means only)")
+		outPath   = flag.String("out", "-", "output CSV of centers ('-' = stdout)")
+		report    = flag.Bool("report", false, "print the communication report to stderr")
+	)
+	flag.Parse()
+
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		fatal(err)
+	}
+	vr, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		K: *k, T: *t, Objective: obj, Variant: vr, Eps: *eps,
+		LloydPolish: *polish,
+		LocalOpts:   kmedian.Options{Seed: *seed},
+	}
+
+	l, err := transport.Listen(*listen, *sites)
+	if err != nil {
+		fatal(err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "dpc-coordinator: listening on %s, waiting for %d site(s)\n", l.Addr(), *sites)
+	tr, err := l.Accept(*sites, core.EncodeConfig(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+	fmt.Fprintf(os.Stderr, "dpc-coordinator: all %d site(s) connected, running %s/%s\n", *sites, obj, vr)
+
+	res, err := core.RunOver(tr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpc-coordinator: close: %v\n", err)
+	}
+
+	out, err := openOut(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dataio.WritePointsCSV(out, res.Centers); err != nil {
+		fatal(err)
+	}
+	out.Close()
+
+	if *report {
+		fmt.Fprintf(os.Stderr, "sites: %d  centers: %d  ignorable: %.0f\n",
+			res.Report.Sites, len(res.Centers), res.OutlierBudget)
+		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
+			res.Report.Rounds, res.Report.UpBytes, res.Report.DownBytes)
+		fmt.Fprintf(os.Stderr, "site budgets t_i: %v\n", res.SiteBudgets)
+	}
+}
+
+func parseObjective(s string) (core.Objective, error) {
+	switch s {
+	case "median":
+		return core.Median, nil
+	case "means":
+		return core.Means, nil
+	case "center":
+		return core.Center, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q", s)
+}
+
+func parseVariant(s string) (core.Variant, error) {
+	switch s {
+	case "2round":
+		return core.TwoRound, nil
+	case "1round":
+		return core.OneRound, nil
+	case "noship":
+		return core.TwoRoundNoOutliers, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpc-coordinator:", err)
+	os.Exit(1)
+}

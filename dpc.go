@@ -12,14 +12,36 @@
 //	cost := dpc.Evaluate(dpc.FlattenSites(sites), res.Centers, res.OutlierBudget, dpc.Median)
 //	fmt.Println(res.Report.TotalBytes(), cost)
 //
-// The distributed run simulates the paper's star network exactly: every
+// The distributed run realizes the paper's star network exactly: every
 // message is serialized, byte-counted and decoded on the other side;
 // res.Report carries the measured communication and computation footprint
 // (the quantities bounded in Tables 1 and 2 of the paper).
 //
+// # Transports
+//
+// The protocol runs over a pluggable transport. The default loopback
+// backend keeps the s sites in-process (one goroutine each), which is the
+// exact simulated star network. Setting Config.Transport to TransportTCP
+// runs the identical protocol over real localhost sockets with a framed
+// wire format:
+//
+//	res, err := dpc.Run(sites, dpc.Config{K: 5, T: 50, Transport: dpc.TransportTCP})
+//
+// Byte accounting counts payload bytes only — fixed frame headers are
+// transport overhead — so a TCP run reports exactly the communication a
+// loopback run does, and the per-site solves are seeded deterministically,
+// so both backends return the same centers.
+//
+// For sites in genuinely separate processes (or machines), the
+// cmd/dpc-coordinator and cmd/dpc-site daemons run Algorithms 1 and 2 end
+// to end over TCP: the coordinator listens, s sites dial in with their
+// local CSV shards, and the run configuration ships in the connection
+// handshake.
+//
 // # Package map
 //
 //   - Run / Config / Result          — Algorithms 1 and 2 + variants
+//   - TransportLoopback/TransportTCP — wire backends for distributed runs
 //   - RunUncertain, RunCenterG       — Section 5 (compressed graph, Alg. 3/4)
 //   - Centralized                    — Section 3.1 (subquadratic simulation)
 //   - Mixture, UncertainMixture, ... — planted workload generators
@@ -33,6 +55,7 @@ import (
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/stream"
+	"dpc/internal/transport"
 	"dpc/internal/uncertain"
 )
 
@@ -66,8 +89,21 @@ const (
 	OneRound = core.OneRound
 )
 
+// TransportKind selects the wire backend of a distributed run.
+type TransportKind = transport.Kind
+
+// Wire backends.
+const (
+	// TransportLoopback runs sites in-process (the default; exact
+	// simulation of the paper's star network).
+	TransportLoopback = transport.KindLoopback
+	// TransportTCP runs the identical protocol over real localhost TCP
+	// sockets with a length-prefixed framed wire format.
+	TransportTCP = transport.KindTCP
+)
+
 // Config parameterizes a distributed run; zero values select the paper's
-// defaults (rho=2, eps=1, geometric grid base 2).
+// defaults (rho=2, eps=1, geometric grid base 2, loopback transport).
 type Config = core.Config
 
 // Result is the outcome of a distributed run, including the measured

@@ -1,0 +1,161 @@
+package dpc_test
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpc"
+	"dpc/internal/dataio"
+)
+
+// TestDaemonsEndToEnd is the acceptance test of the transport subsystem at
+// the process level: it builds dpc-coordinator and dpc-site, runs one
+// coordinator plus s site processes over localhost TCP on a seeded
+// instance, and demands the same centers and the same payload-byte
+// accounting (frame headers excluded) as the in-process loopback run.
+func TestDaemonsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns real processes")
+	}
+	tmp := t.TempDir()
+
+	// Build the two daemons from the module under test.
+	coordBin := filepath.Join(tmp, "dpc-coordinator")
+	siteBin := filepath.Join(tmp, "dpc-site")
+	for bin, pkg := range map[string]string{coordBin: "./cmd/dpc-coordinator", siteBin: "./cmd/dpc-site"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Seeded instance, split round-robin across 3 sites.
+	const s, n, k, tt = 3, 180, 3, 12
+	rng := rand.New(rand.NewSource(41))
+	var all []dpc.Point
+	sites := make([][]dpc.Point, s)
+	for j := 0; j < n; j++ {
+		c := j % k
+		p := dpc.Point{float64(12*c) + rng.NormFloat64(), float64(12*c) + rng.NormFloat64()}
+		all = append(all, p)
+		sites[j%s] = append(sites[j%s], p)
+	}
+	for i := 0; i < s; i++ {
+		f, err := os.Create(filepath.Join(tmp, fmt.Sprintf("part%d.csv", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataio.WritePointsCSV(f, sites[i]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	// Reference: the in-process loopback run with the daemons' defaults.
+	want, err := dpc.Run(sites, dpc.Config{K: k, T: tt, LocalOpts: dpc.EngineOptions{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator on an ephemeral port; its first stderr line tells us
+	// where the sites should dial.
+	centersPath := filepath.Join(tmp, "centers.csv")
+	coord := exec.Command(coordBin,
+		"-listen", "127.0.0.1:0", "-sites", strconv.Itoa(s),
+		"-k", strconv.Itoa(k), "-t", strconv.Itoa(tt),
+		"-report", "-out", centersPath)
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		re := regexp.MustCompile(`listening on (\S+),`)
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			lines = append(lines, line)
+			mu.Unlock()
+			if m := re.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+		}
+		close(addrCh)
+	}()
+	addr, ok := <-addrCh
+	if !ok {
+		coord.Wait()
+		t.Fatalf("coordinator never listened; stderr:\n%s", strings.Join(lines, "\n"))
+	}
+
+	var wg sync.WaitGroup
+	siteErrs := make([]error, s)
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(siteBin,
+				"-connect", addr, "-site", strconv.Itoa(i),
+				"-in", filepath.Join(tmp, fmt.Sprintf("part%d.csv", i)))
+			if out, err := cmd.CombinedOutput(); err != nil {
+				siteErrs[i] = fmt.Errorf("site %d: %v\n%s", i, err, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\nstderr:\n%s", err, strings.Join(lines, "\n"))
+	}
+	for _, err := range siteErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same centers...
+	f, err := os.Open(centersPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataio.ReadPointsCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Centers, got) {
+		t.Fatalf("centers differ:\nloopback: %v\ndaemons:  %v", want.Centers, got)
+	}
+
+	// ...and the same payload-byte accounting, parsed off the report.
+	mu.Lock()
+	report := strings.Join(lines, "\n")
+	mu.Unlock()
+	re := regexp.MustCompile(`rounds: (\d+)  up: (\d+) B  down: (\d+) B`)
+	m := re.FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("no report in coordinator stderr:\n%s", report)
+	}
+	rounds, _ := strconv.Atoi(m[1])
+	up, _ := strconv.ParseInt(m[2], 10, 64)
+	down, _ := strconv.ParseInt(m[3], 10, 64)
+	if rounds != want.Report.Rounds || up != want.Report.UpBytes || down != want.Report.DownBytes {
+		t.Fatalf("daemon accounting %d rounds/%d up/%d down, loopback %d/%d/%d",
+			rounds, up, down, want.Report.Rounds, want.Report.UpBytes, want.Report.DownBytes)
+	}
+}

@@ -1,0 +1,3 @@
+module dpc
+
+go 1.24

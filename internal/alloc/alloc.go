@@ -120,6 +120,18 @@ func BudgetForSite(f geom.ConvexFn, i int, p Pivot) int {
 	return t
 }
 
+// FinalBudget is the budget a site actually solves with in round 2:
+// Step 11's BudgetForSite for ordinary sites, and the Line 13 rounding for
+// the pivot site itself (its budget moves up to the next hull vertex,
+// where the hull cost is achieved). Sites and coordinator both call this,
+// so the two ends of the protocol cannot drift apart.
+func FinalBudget(f geom.ConvexFn, i int, p Pivot) int {
+	if i == p.I0 {
+		return f.NextVertex(p.Q0)
+	}
+	return BudgetForSite(f, i, p)
+}
+
 // Total returns the sum of the budgets (convenience for invariant checks).
 func Total(ts []int) int {
 	sum := 0

@@ -9,6 +9,7 @@ import (
 
 	"dpc/internal/geom"
 	"dpc/internal/metric"
+	"dpc/internal/transport"
 )
 
 func TestPointsMsgRoundTrip(t *testing.T) {
@@ -222,18 +223,47 @@ func TestFloat64sQuick(t *testing.T) {
 	}
 }
 
+// sitePayloads builds a loopback transport whose site i answers round r
+// with fn(i, r)'s encoding.
+func sitePayloads(t *testing.T, s int, parallel bool, fn func(site, round int) Payload) *Network {
+	t.Helper()
+	handlers := make([]transport.Handler, s)
+	for i := 0; i < s; i++ {
+		i := i
+		handlers[i] = func(round int, in []byte) ([]byte, error) {
+			return Encode(fn(i, round))
+		}
+	}
+	return NewOver(transport.NewLoopback(handlers, parallel))
+}
+
 func TestNetworkAccounting(t *testing.T) {
-	nw := New(3, true)
-	nw.Broadcast(Float64sMsg{Vals: []float64{1}})     // 12 bytes x 3 sites
 	payload := PointsMsg{Pts: []metric.Point{{1, 2}}} // 24 bytes
-	nw.SiteRound(func(site int) Payload { return payload })
-	nw.Send(1, Float64sMsg{Vals: []float64{1, 2}}) // 20 bytes
-	nw.SiteRound(func(site int) Payload {
+	nw := sitePayloads(t, 3, true, func(site, round int) Payload {
+		if round == 0 {
+			return payload
+		}
 		if site == 0 {
 			return nil // empty message
 		}
-		return Float64sMsg{Vals: []float64{3}}
+		return Float64sMsg{Vals: []float64{3}} // 12 bytes
 	})
+	if err := nw.Broadcast(Float64sMsg{Vals: []float64{1}}); err != nil { // 12 bytes x 3 sites
+		t.Fatal(err)
+	}
+	if _, err := nw.SiteRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Send(1, Float64sMsg{Vals: []float64{1, 2}}); err != nil { // 20 bytes
+		t.Fatal(err)
+	}
+	up, err := nw.SiteRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[0] != nil {
+		t.Fatalf("site 0 reply = %v, want nil", up[0])
+	}
 	r := nw.Report()
 	if r.Rounds != 2 {
 		t.Fatalf("rounds = %d", r.Rounds)
@@ -258,13 +288,69 @@ func TestNetworkAccounting(t *testing.T) {
 	}
 }
 
+// TestNetworkAccountingBackendInvariant: the byte accounting must not
+// depend on the wire — loopback and real TCP sockets report identically.
+func TestNetworkAccountingBackendInvariant(t *testing.T) {
+	const s = 3
+	newHandlers := func() []transport.Handler {
+		handlers := make([]transport.Handler, s)
+		for i := 0; i < s; i++ {
+			i := i
+			handlers[i] = func(round int, in []byte) ([]byte, error) {
+				if round == 0 {
+					return Encode(PointsMsg{Pts: []metric.Point{{float64(i), 2}, {3, 4}}})
+				}
+				// Echo-size reply: proves the downstream arrived intact.
+				return Encode(Float64sMsg{Vals: make([]float64, len(in))})
+			}
+		}
+		return handlers
+	}
+	run := func(tr transport.Transport) Report {
+		nw := NewOver(tr)
+		if _, err := nw.SiteRound(); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Broadcast(PivotMsg{I0: 1, Q0: 2, L0: 3, Rank: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.SiteRound(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return nw.Report()
+	}
+	loop := run(transport.NewLoopback(newHandlers(), true))
+	tcpTr, err := transport.NewLocalTCP(newHandlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := run(tcpTr)
+	if loop.UpBytes != tcp.UpBytes || loop.DownBytes != tcp.DownBytes || loop.Rounds != tcp.Rounds {
+		t.Fatalf("loopback (%d up, %d down, %d rounds) != tcp (%d up, %d down, %d rounds)",
+			loop.UpBytes, loop.DownBytes, loop.Rounds, tcp.UpBytes, tcp.DownBytes, tcp.Rounds)
+	}
+	if !reflect.DeepEqual(loop.RoundUp, tcp.RoundUp) || !reflect.DeepEqual(loop.RoundDown, tcp.RoundDown) {
+		t.Fatalf("per-round accounting differs: %v/%v vs %v/%v",
+			loop.RoundUp, loop.RoundDown, tcp.RoundUp, tcp.RoundDown)
+	}
+}
+
 func TestNetworkParallelExecution(t *testing.T) {
-	nw := New(8, true)
 	var counter int64
-	nw.SiteRound(func(site int) Payload {
-		atomic.AddInt64(&counter, 1)
-		return nil
-	})
+	handlers := make([]transport.Handler, 8)
+	for i := range handlers {
+		handlers[i] = func(round int, in []byte) ([]byte, error) {
+			atomic.AddInt64(&counter, 1)
+			return nil, nil
+		}
+	}
+	nw := NewOver(transport.NewLoopback(handlers, true))
+	if _, err := nw.SiteRound(); err != nil {
+		t.Fatal(err)
+	}
 	if counter != 8 {
 		t.Fatalf("ran %d sites", counter)
 	}
@@ -274,12 +360,19 @@ func TestNetworkParallelExecution(t *testing.T) {
 }
 
 func TestNetworkSequentialMode(t *testing.T) {
-	nw := New(4, false)
 	order := make([]int, 0, 4)
-	nw.SiteRound(func(site int) Payload {
-		order = append(order, site) // safe: sequential mode
-		return nil
-	})
+	handlers := make([]transport.Handler, 4)
+	for i := range handlers {
+		i := i
+		handlers[i] = func(round int, in []byte) ([]byte, error) {
+			order = append(order, i) // safe: sequential mode
+			return nil, nil
+		}
+	}
+	nw := NewOver(transport.NewLoopback(handlers, false))
+	if _, err := nw.SiteRound(); err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
 		t.Fatalf("order = %v", order)
 	}
@@ -291,7 +384,40 @@ func TestSendPanicsOnBadSite(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(2, false).Send(5, nil)
+	nw := NewOver(transport.NewLoopback(make([]transport.Handler, 2), false))
+	nw.Send(5, nil)
+}
+
+func TestSplitMulti(t *testing.T) {
+	a := Float64sMsg{Vals: []float64{1}}
+	b := PointsMsg{Pts: []metric.Point{{1, 2}}}
+	enc, err := (Multi{Parts: []Payload{a, b}}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := SplitMulti(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	var a2 Float64sMsg
+	if err := a2.UnmarshalBinary(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	var b2 PointsMsg
+	if err := b2.UnmarshalBinary(parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, a2) || !reflect.DeepEqual(b, b2) {
+		t.Fatal("split round trip mismatch")
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := SplitMulti(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
 }
 
 func TestMultiPayloadSize(t *testing.T) {

@@ -1,13 +1,17 @@
-// Package comm simulates the paper's coordinator model: s sites and one
+// Package comm implements the paper's coordinator model: s sites and one
 // coordinator on a star network, computing in synchronous rounds
 // (coordinator -> sites, local computation, sites -> coordinator).
 //
 // Every message is a Payload with a concrete wire format (encoding/binary,
-// little endian); the network accounts the exact encoded size, so the
-// communication columns of Tables 1 and 2 are measured on real bytes, not
-// estimated. Site computations run on one goroutine per site; the per-round
-// wall clock is the maximum site duration (sites run in parallel in the
-// modeled system) and the total work is the sum.
+// little endian). Network is a thin accounting layer over a
+// transport.Transport: the transport moves the encoded bytes (in-process
+// loopback, or framed TCP between real processes) while Network counts the
+// exact payload sizes, so the communication columns of Tables 1 and 2 are
+// measured on real bytes, not estimated — and a TCP run reports exactly
+// the bytes a loopback run does, because fixed frame headers are transport
+// overhead and never counted. Per-round site wall clock is the maximum
+// site duration (sites run in parallel in the modeled system) and total
+// work is the sum; both are measured on the site side of the transport.
 package comm
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dpc/internal/transport"
 )
 
 // Payload is a message body with a concrete wire format.
@@ -22,45 +28,45 @@ type Payload interface {
 	encoding.BinaryMarshaler
 }
 
-// sizeOf returns the exact encoded size of p (0 for nil payloads, which
-// model the paper's "could be an empty message").
-func sizeOf(p Payload) int64 {
+// Encode marshals a payload to its wire bytes; a nil payload encodes as
+// nil, modeling the paper's "could be an empty message".
+func Encode(p Payload) ([]byte, error) {
 	if p == nil {
-		return 0
+		return nil, nil
 	}
-	b, err := p.MarshalBinary()
+	return p.MarshalBinary()
+}
+
+// mustEncode panics on marshal failure (payload bugs, not runtime input).
+func mustEncode(p Payload) []byte {
+	b, err := Encode(p)
 	if err != nil {
 		panic(fmt.Sprintf("comm: payload failed to marshal: %v", err))
 	}
-	return int64(len(b))
+	return b
 }
 
-// Network is one simulated star network. Not safe for concurrent use by
-// multiple algorithm runs; the per-site goroutines inside a round are
-// synchronized internally.
+// Network accounts one protocol run over a transport. Not safe for
+// concurrent use by multiple algorithm runs.
 type Network struct {
-	s        int
-	parallel bool
+	tr transport.Transport
 
 	mu       sync.Mutex
-	up       []int64 // bytes sites -> coordinator, per round
-	down     []int64 // bytes coordinator -> sites, per round
+	up       []int64 // payload bytes sites -> coordinator, per round
+	down     []int64 // payload bytes coordinator -> sites, per round
 	rounds   int
 	siteWall time.Duration // sum over rounds of max site duration
 	siteWork time.Duration // sum of all site durations
 	coord    time.Duration
 }
 
-// New creates a network with s sites. parallel selects whether site
-// computations of a round run concurrently (they do in the modeled system;
-// sequential mode exists for the centralized simulation of Section 3.1,
-// where total work is what matters).
-func New(s int, parallel bool) *Network {
-	return &Network{s: s, parallel: parallel}
+// NewOver wraps a connected transport in an accounting layer.
+func NewOver(tr transport.Transport) *Network {
+	return &Network{tr: tr}
 }
 
 // Sites returns the number of sites.
-func (nw *Network) Sites() int { return nw.s }
+func (nw *Network) Sites() int { return nw.tr.Sites() }
 
 // ensureRound grows the per-round byte slices up to index r.
 func (nw *Network) ensureRound(r int) {
@@ -70,71 +76,62 @@ func (nw *Network) ensureRound(r int) {
 	}
 }
 
-// Broadcast models the coordinator sending p to every site at the start of
-// the upcoming round.
-func (nw *Network) Broadcast(p Payload) {
-	sz := sizeOf(p)
+// Broadcast sends p to every site as the downstream message of the
+// upcoming round, accounting len(encoding) bytes per site.
+func (nw *Network) Broadcast(p Payload) error {
+	b := mustEncode(p)
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.ensureRound(nw.rounds)
-	nw.down[nw.rounds] += sz * int64(nw.s)
+	round := nw.rounds
+	nw.ensureRound(round)
+	nw.down[round] += int64(len(b)) * int64(nw.tr.Sites())
+	nw.mu.Unlock()
+	return nw.tr.Broadcast(round, b)
 }
 
-// Send models the coordinator sending p to one site at the start of the
-// upcoming round.
-func (nw *Network) Send(site int, p Payload) {
-	if site < 0 || site >= nw.s {
+// Send sends p to one site as its downstream message of the upcoming round.
+func (nw *Network) Send(site int, p Payload) error {
+	if site < 0 || site >= nw.tr.Sites() {
 		panic(fmt.Sprintf("comm: no such site %d", site))
 	}
-	sz := sizeOf(p)
+	b := mustEncode(p)
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.ensureRound(nw.rounds)
-	nw.down[nw.rounds] += sz
+	round := nw.rounds
+	nw.ensureRound(round)
+	nw.down[round] += int64(len(b))
+	nw.mu.Unlock()
+	return nw.tr.Send(round, site, b)
 }
 
-// SiteRound runs fn on every site (in parallel when enabled) and collects
-// the payload each site sends back to the coordinator, closing the round.
-// fn receives the site index; a nil payload models an empty message.
-func (nw *Network) SiteRound(fn func(site int) Payload) []Payload {
-	out := make([]Payload, nw.s)
-	durs := make([]time.Duration, nw.s)
-	if nw.parallel {
-		var wg sync.WaitGroup
-		for i := 0; i < nw.s; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				t0 := time.Now()
-				out[i] = fn(i)
-				durs[i] = time.Since(t0)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := 0; i < nw.s; i++ {
-			t0 := time.Now()
-			out[i] = fn(i)
-			durs[i] = time.Since(t0)
-		}
+// SiteRound closes the round: every site receives its downstream message
+// (empty when none was sent), computes, and replies. The per-site reply
+// bytes are returned for the coordinator to decode; upstream bytes and
+// site durations are accounted.
+func (nw *Network) SiteRound() ([][]byte, error) {
+	nw.mu.Lock()
+	round := nw.rounds
+	nw.mu.Unlock()
+	res, err := nw.tr.Gather(round)
+	if err != nil {
+		return nil, err
 	}
 	var upBytes int64
 	var maxDur, sumDur time.Duration
-	for i := 0; i < nw.s; i++ {
-		upBytes += sizeOf(out[i])
-		sumDur += durs[i]
-		if durs[i] > maxDur {
-			maxDur = durs[i]
+	for i, b := range res.Payloads {
+		upBytes += int64(len(b))
+		d := res.Work[i]
+		sumDur += d
+		if d > maxDur {
+			maxDur = d
 		}
 	}
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.ensureRound(nw.rounds)
-	nw.up[nw.rounds] += upBytes
+	nw.ensureRound(round)
+	nw.up[round] += upBytes
 	nw.rounds++
 	nw.siteWall += maxDur
 	nw.siteWork += sumDur
-	return out
+	nw.mu.Unlock()
+	return res.Payloads, nil
 }
 
 // Coordinator times a coordinator-side computation.
@@ -169,7 +166,7 @@ func (nw *Network) Report() Report {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	r := Report{
-		Sites:     nw.s,
+		Sites:     nw.tr.Sites(),
 		Rounds:    nw.rounds,
 		RoundUp:   append([]int64(nil), nw.up...),
 		RoundDown: append([]int64(nil), nw.down...),

@@ -49,6 +49,23 @@ func (r *reader) done() error {
 	return nil
 }
 
+// need guards decoders against hostile length fields: the declared element
+// count must fit in the bytes actually present, checked before any
+// count-sized allocation happens. Wire input can come off a real socket,
+// so a corrupt 4-byte count must not demand gigabytes.
+func (r *reader) need(count, bytesPer uint64) error {
+	if bytesPer == 0 {
+		return nil
+	}
+	// Division, not multiplication: count and bytesPer are both
+	// attacker-controlled, and their product can overflow uint64.
+	if rem := uint64(len(r.b) - r.off); count > rem/bytesPer {
+		return fmt.Errorf("comm: message declares %d elements of %d bytes but only %d bytes follow",
+			count, bytesPer, rem)
+	}
+	return nil
+}
+
 // PointsMsg carries raw points (the B-bit objects of the paper; B = 8*dim
 // bytes per point here).
 type PointsMsg struct {
@@ -60,6 +77,12 @@ func (m PointsMsg) MarshalBinary() ([]byte, error) {
 	dim := 0
 	if len(m.Pts) > 0 {
 		dim = len(m.Pts[0])
+		if dim == 0 {
+			// Zero-dim points would make elements free on the wire, which
+			// breaks the decoder's allocation guard; they carry no
+			// information anyway.
+			return nil, fmt.Errorf("comm: zero-dimensional points")
+		}
 	}
 	b := make([]byte, 0, 8+len(m.Pts)*dim*8)
 	b = appendU32(b, uint32(len(m.Pts)))
@@ -84,6 +107,12 @@ func (m *PointsMsg) UnmarshalBinary(b []byte) error {
 	}
 	dim, err := r.u32()
 	if err != nil {
+		return err
+	}
+	if n > 0 && dim == 0 {
+		return fmt.Errorf("comm: %d zero-dimensional points", n)
+	}
+	if err := r.need(uint64(n), uint64(dim)*8); err != nil {
 		return err
 	}
 	m.Pts = make([]metric.Point, n)
@@ -142,6 +171,9 @@ func (m *WeightedPointsMsg) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.need(uint64(n), (uint64(dim)+1)*8); err != nil {
+		return err
+	}
 	m.Pts = make([]metric.Point, n)
 	m.W = make([]float64, n)
 	for i := range m.Pts {
@@ -181,6 +213,9 @@ func (m *HullMsg) UnmarshalBinary(b []byte) error {
 	r := &reader{b: b}
 	n, err := r.u32()
 	if err != nil {
+		return err
+	}
+	if err := r.need(uint64(n), 12); err != nil {
 		return err
 	}
 	m.V = make([]geom.Vertex, n)
@@ -223,10 +258,16 @@ func (m *HullsMsg) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.need(uint64(n), 4); err != nil {
+		return err
+	}
 	m.Hulls = make([][]geom.Vertex, n)
 	for i := range m.Hulls {
 		cnt, err := r.u32()
 		if err != nil {
+			return err
+		}
+		if err := r.need(uint64(cnt), 12); err != nil {
 			return err
 		}
 		hull := make([]geom.Vertex, cnt)
@@ -326,6 +367,9 @@ func (m *Float64sMsg) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.need(uint64(n), 8); err != nil {
+		return err
+	}
 	m.Vals = make([]float64, n)
 	for i := range m.Vals {
 		if m.Vals[i], err = r.f64(); err != nil {
@@ -373,10 +417,16 @@ func (m *NodesMsg) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.need(uint64(n), 4); err != nil {
+		return err
+	}
 	m.Nodes = make([]NodeWire, n)
 	for i := range m.Nodes {
 		cnt, err := r.u32()
 		if err != nil {
+			return err
+		}
+		if err := r.need(uint64(cnt), 12); err != nil {
 			return err
 		}
 		nd := NodeWire{Support: make([]uint32, cnt), Prob: make([]float64, cnt)}
@@ -437,6 +487,9 @@ func (m *CollapsedMsg) UnmarshalBinary(b []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := r.need(uint64(n), (uint64(dim)+2)*8); err != nil {
+		return err
+	}
 	m.Y = make([]metric.Point, n)
 	m.Ell = make([]float64, n)
 	m.W = make([]float64, n)
@@ -459,7 +512,9 @@ func (m *CollapsedMsg) UnmarshalBinary(b []byte) error {
 }
 
 // Multi bundles several payloads into one site message (e.g. centers +
-// outliers in Round 2 of Algorithm 1).
+// outliers in Round 2 of Algorithm 1). The wire form carries a length
+// prefix per part, so the receiver splits it back with SplitMulti and
+// decodes each part with the matching message type.
 type Multi struct {
 	Parts []Payload
 }
@@ -476,4 +531,33 @@ func (m Multi) MarshalBinary() ([]byte, error) {
 		b = append(b, sub...)
 	}
 	return b, nil
+}
+
+// SplitMulti splits the wire form of a Multi back into its parts' bytes
+// (the inverse of Multi.MarshalBinary, up to decoding the parts).
+func SplitMulti(b []byte) ([][]byte, error) {
+	r := &reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(uint64(n), 4); err != nil {
+		return nil, err
+	}
+	parts := make([][]byte, 0, n)
+	for i := 0; i < int(n); i++ {
+		sz, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if r.off+int(sz) > len(r.b) {
+			return nil, fmt.Errorf("comm: truncated multi part %d", i)
+		}
+		parts = append(parts, r.b[r.off:r.off+int(sz)])
+		r.off += int(sz)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return parts, nil
 }

@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+
+	"dpc/internal/geom"
+	"dpc/internal/metric"
+)
+
+// wireTypes enumerates every payload type with representative and
+// degenerate values, plus a decoder that re-encodes — the round-trip
+// contract is encode(decode(encode(m))) == encode(m) for every m.
+type wireType struct {
+	name   string
+	msgs   []Payload
+	decode func([]byte) (Payload, error)
+}
+
+func wireTypes() []wireType {
+	return []wireType{
+		{
+			name: "PointsMsg",
+			msgs: []Payload{
+				PointsMsg{},
+				PointsMsg{Pts: []metric.Point{{1, 2}, {3, 4}, {-5, 0.25}}},
+				PointsMsg{Pts: []metric.Point{{7}}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m PointsMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "WeightedPointsMsg",
+			msgs: []Payload{
+				WeightedPointsMsg{},
+				WeightedPointsMsg{Pts: []metric.Point{{1, 2, 3}}, W: []float64{42}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m WeightedPointsMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "HullMsg",
+			msgs: []Payload{
+				HullMsg{},
+				HullMsg{V: []geom.Vertex{{Q: 0, C: 10}, {Q: 7, C: 0.5}}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m HullMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "HullsMsg",
+			msgs: []Payload{
+				HullsMsg{},
+				HullsMsg{Hulls: [][]geom.Vertex{{{Q: 0, C: 3}}, {{Q: 0, C: 9}, {Q: 4, C: 1}}, {}}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m HullsMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "PivotMsg",
+			msgs: []Payload{
+				PivotMsg{},
+				PivotMsg{I0: -1, Q0: 9, L0: 2.5, Rank: 14, Exhausted: true, Tau: 0.125},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m PivotMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "Float64sMsg",
+			msgs: []Payload{
+				Float64sMsg{},
+				Float64sMsg{Vals: []float64{1, -2, 0.5}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m Float64sMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "NodesMsg",
+			msgs: []Payload{
+				NodesMsg{},
+				NodesMsg{Nodes: []NodeWire{
+					{Support: []uint32{0, 3}, Prob: []float64{0.25, 0.75}},
+					{Support: []uint32{1}, Prob: []float64{1}},
+					{},
+				}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m NodesMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+		{
+			name: "CollapsedMsg",
+			msgs: []Payload{
+				CollapsedMsg{},
+				CollapsedMsg{Y: []metric.Point{{1, 1}, {2, 2}}, Ell: []float64{0.1, 0.2}, W: []float64{3, 4}},
+			},
+			decode: func(b []byte) (Payload, error) {
+				var m CollapsedMsg
+				err := m.UnmarshalBinary(b)
+				return m, err
+			},
+		},
+	}
+}
+
+// TestPayloadRoundTripAll: MarshalBinary and UnmarshalBinary are inverses
+// for every payload type — re-encoding a decoded message reproduces the
+// wire bytes exactly (so byte accounting is representation-independent).
+func TestPayloadRoundTripAll(t *testing.T) {
+	for _, wt := range wireTypes() {
+		t.Run(wt.name, func(t *testing.T) {
+			for i, msg := range wt.msgs {
+				b1, err := msg.MarshalBinary()
+				if err != nil {
+					t.Fatalf("msg %d: marshal: %v", i, err)
+				}
+				dec, err := wt.decode(b1)
+				if err != nil {
+					t.Fatalf("msg %d: unmarshal: %v", i, err)
+				}
+				b2, err := dec.MarshalBinary()
+				if err != nil {
+					t.Fatalf("msg %d: re-marshal: %v", i, err)
+				}
+				if !bytes.Equal(b1, b2) {
+					t.Fatalf("msg %d: round trip changed bytes:\n%x\n%x", i, b1, b2)
+				}
+			}
+		})
+	}
+}
+
+// TestPayloadRejectsTruncationAll: every strict prefix and every one-byte
+// extension of a valid encoding must be rejected, for every type.
+func TestPayloadRejectsTruncationAll(t *testing.T) {
+	for _, wt := range wireTypes() {
+		t.Run(wt.name, func(t *testing.T) {
+			msg := wt.msgs[len(wt.msgs)-1] // the non-trivial instance
+			b, err := msg.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := 0; cut < len(b); cut++ {
+				if _, err := wt.decode(b[:cut]); err == nil {
+					t.Fatalf("truncation at %d accepted", cut)
+				}
+			}
+			if _, err := wt.decode(append(append([]byte(nil), b...), 0)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+}
+
+// TestHostileLengthsRejected: decoders must reject length fields claiming
+// more elements than the message can hold, before allocating for them.
+func TestHostileLengthsRejected(t *testing.T) {
+	// PointsMsg claiming 2^32-1 points of dim 2^32-1.
+	hostile := appendU32(appendU32(nil, 0xffffffff), 0xffffffff)
+	var pm PointsMsg
+	if err := pm.UnmarshalBinary(hostile); err == nil {
+		t.Fatal("hostile points count accepted")
+	}
+	// Multi claiming 2^32-1 parts.
+	if _, err := SplitMulti(appendU32(nil, 0xffffffff)); err == nil {
+		t.Fatal("hostile multi count accepted")
+	}
+	// NodesMsg with a huge inner count.
+	inner := appendU32(appendU32(nil, 1), 0xffffffff)
+	var nm NodesMsg
+	if err := nm.UnmarshalBinary(inner); err == nil {
+		t.Fatal("hostile node support count accepted")
+	}
+}
+
+// FuzzPayloadDecode feeds arbitrary bytes to every decoder: decoding must
+// never panic or over-allocate, and anything that decodes must re-encode
+// and decode again cleanly.
+func FuzzPayloadDecode(f *testing.F) {
+	for kind, wt := range wireTypes() {
+		for _, msg := range wt.msgs {
+			b, err := msg.MarshalBinary()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(byte(kind), b)
+		}
+	}
+	multiSeed, _ := Multi{Parts: []Payload{Float64sMsg{Vals: []float64{1}}, PointsMsg{}}}.MarshalBinary()
+	f.Add(byte(8), multiSeed)
+
+	types := wireTypes()
+	f.Fuzz(func(t *testing.T, kind byte, data []byte) {
+		k := int(kind) % (len(types) + 1)
+		if k == len(types) {
+			// SplitMulti has no re-encode; parts are opaque.
+			parts, err := SplitMulti(data)
+			if err == nil && len(parts) > len(data) {
+				t.Fatalf("%d parts out of %d bytes", len(parts), len(data))
+			}
+			return
+		}
+		wt := types[k]
+		dec, err := wt.decode(data)
+		if err != nil {
+			return // invalid input rejected: fine
+		}
+		re, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: decoded message failed to re-marshal: %v", wt.name, err)
+		}
+		if _, err := wt.decode(re); err != nil {
+			t.Fatalf("%s: re-encoded message rejected: %v", wt.name, err)
+		}
+	})
+}

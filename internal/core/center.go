@@ -9,16 +9,106 @@ import (
 	"dpc/internal/geom"
 	"dpc/internal/kcenter"
 	"dpc/internal/metric"
+	"dpc/internal/protocol"
 )
 
-// centerSite is the per-site state of Algorithm 2.
+// centerSite is the site half of Algorithm 2, driven by round number and
+// wire bytes like medianSite.
 type centerSite struct {
+	cfg     Config
+	site    int
 	pts     []metric.Point
 	space   *metric.Points
 	trav    kcenter.Traversal
 	fn      geom.ConvexFn
 	budget  int
-	ignored float64 // weight silently dropped by the no-ship variant
+	started bool
+}
+
+// newCenterSite builds site i's state; cfg must already have defaults
+// applied.
+func newCenterSite(cfg Config, site int, pts []metric.Point) *centerSite {
+	return &centerSite{cfg: cfg, site: site, pts: pts, space: metric.NewPoints(pts)}
+}
+
+// start runs the Gonzalez traversal lazily on the first round, so the
+// O((k+t) n_i) work executes on the site side of the transport — in
+// parallel with the other sites, and counted as site compute time. One
+// run to k+t points serves both the slope witnesses and every possible
+// preclustering prefix.
+func (st *centerSite) start() {
+	if st.started {
+		return
+	}
+	st.started = true
+	st.trav = kcenter.Gonzalez(st.space, st.cfg.K+st.cfg.T, 0)
+}
+
+// handle implements transport.Handler for Algorithm 2's site side.
+func (st *centerSite) handle(round int, in []byte) ([]byte, error) {
+	st.start()
+	cfg := st.cfg
+	switch {
+	case cfg.Variant == OneRound && round == 0:
+		st.budget = cfg.T
+		return comm.Encode(st.payload())
+
+	case round == 0:
+		// Round 1: sample the convex surrogate f_i(q) = sum_{r>q} l(i,r)
+		// on the geometric grid and ship its hull — the "subsequent steps
+		// as in Algorithm 1" (Line 7) with O(log t) communication.
+		tcap := capBudget(cfg.T, len(st.pts))
+		grid := geom.Grid(tcap, cfg.HullBase)
+		// Suffix sums of slopes once, then sample.
+		suffix := make([]float64, tcap+2)
+		for q := tcap; q >= 1; q-- {
+			suffix[q] = suffix[q+1] + st.slope(cfg.K, q)
+		}
+		samples := make([]geom.Vertex, 0, len(grid))
+		for _, q := range grid {
+			samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
+		}
+		fn, err := geom.NewConvexFn(samples)
+		if err != nil {
+			return nil, fmt.Errorf("core: center site hull: %w", err)
+		}
+		st.fn = fn
+		return comm.Encode(comm.HullMsg{V: fn.Vertices()})
+
+	case round == 1 && cfg.Variant != OneRound:
+		var pm comm.PivotMsg
+		if err := pm.UnmarshalBinary(in); err != nil {
+			return nil, fmt.Errorf("core: center site pivot: %w", err)
+		}
+		pivot := alloc.Pivot{I0: pm.I0, Q0: pm.Q0, L0: pm.L0, Rank: pm.Rank, Exhausted: pm.Exhausted}
+		st.budget = alloc.FinalBudget(st.fn, st.site, pivot)
+		return comm.Encode(st.payload())
+	}
+	return nil, fmt.Errorf("core: center site has no round %d for variant %v", round, cfg.Variant)
+}
+
+// payload ships the first k+ti traversal points with attached counts;
+// Remark 3(i): no original point is ignored in the preclustering.
+//
+// The TwoRoundNoOutliers variant (Appendix A's "(2+delta)t" center row,
+// comm Otilde(s/delta + sk B)) ships only the first k centers: the
+// points attached to the t_i outlier-region centers are silently
+// ignored (counted into the global (2+delta)t entitlement) and no
+// outlier-shaped bytes cross the wire.
+func (st *centerSite) payload() comm.Payload {
+	if st.cfg.Variant == TwoRoundNoOutliers {
+		return st.noShipPayload(st.cfg.K)
+	}
+	m := st.cfg.K + st.budget
+	if m > len(st.trav.Order) {
+		m = len(st.trav.Order)
+	}
+	_, counts, _ := st.trav.AssignPrefix(st.space, m, nil)
+	pts := make([]metric.Point, m)
+	for c := 0; c < m; c++ {
+		pts[c] = st.pts[st.trav.Order[c]]
+	}
+	return comm.WeightedPointsMsg{Pts: pts, W: counts}
 }
 
 // noShipPayload implements Appendix A's "(2+delta)t" center row: assign
@@ -46,7 +136,6 @@ func (st *centerSite) noShipPayload(k int) comm.Payload {
 	for i := 0; i < drop; i++ {
 		dropped[order[i]] = true
 	}
-	st.ignored = float64(drop)
 	counts := make([]float64, k)
 	for j := 0; j < n; j++ {
 		if !dropped[j] {
@@ -72,123 +161,37 @@ func (st *centerSite) slope(k, q int) float64 {
 	return st.trav.Radii[idx]
 }
 
-// runCenter executes Algorithm 2 for the (k,t)-center objective (TwoRound)
-// or the 1-round t_i = t baseline.
-func runCenter(sites [][]metric.Point, cfg Config) (Result, error) {
-	s := len(sites)
-	nw := comm.New(s, !cfg.Sequential)
-	k := cfg.K
-
-	states := make([]*centerSite, s)
-	newState := func(i int) *centerSite {
-		st := &centerSite{pts: sites[i], space: metric.NewPoints(sites[i])}
-		// One Gonzalez run to k+t points serves both the slope witnesses
-		// and every possible preclustering prefix (site time O((k+t) n_i)).
-		st.trav = kcenter.Gonzalez(st.space, k+cfg.T, 0)
-		return st
-	}
-
-	// payload ships the first k+ti traversal points with attached counts;
-	// Remark 3(i): no original point is ignored in the preclustering.
-	//
-	// The TwoRoundNoOutliers variant (Appendix A's "(2+delta)t" center row,
-	// comm Otilde(s/delta + sk B)) ships only the first k centers: the
-	// points attached to the t_i outlier-region centers are silently
-	// ignored (counted into the global (2+delta)t entitlement) and no
-	// outlier-shaped bytes cross the wire.
-	noShip := cfg.Variant == TwoRoundNoOutliers
-	payload := func(st *centerSite) comm.Payload {
-		if noShip {
-			return st.noShipPayload(k)
-		}
-		m := k + st.budget
-		if m > len(st.trav.Order) {
-			m = len(st.trav.Order)
-		}
-		_, counts, _ := st.trav.AssignPrefix(st.space, m, nil)
-		pts := make([]metric.Point, m)
-		for c := 0; c < m; c++ {
-			pts[c] = st.pts[st.trav.Order[c]]
-		}
-		return comm.WeightedPointsMsg{Pts: pts, W: counts}
-	}
-
-	var roundTwo []comm.Payload
+// runCenter executes the coordinator side of Algorithm 2 for the
+// (k,t)-center objective (TwoRound) or the 1-round t_i = t baseline.
+func runCenter(nw *comm.Network, cfg Config) (Result, error) {
+	var roundTwo [][]byte
+	var budgets []int
 	if cfg.Variant == OneRound {
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			states[i] = st
-			st.budget = cfg.T
-			return payload(st)
-		})
+		up, err := nw.SiteRound()
+		if err != nil {
+			return Result{}, err
+		}
+		roundTwo = up
 	} else {
-		// Round 1: sample the convex surrogate f_i(q) = sum_{r>q} l(i,r)
-		// on the geometric grid and ship its hull — the "subsequent steps
-		// as in Algorithm 1" (Line 7) with O(log t) communication.
-		hullUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			states[i] = st
-			tcap := capBudget(cfg.T, len(st.pts))
-			grid := geom.Grid(tcap, cfg.HullBase)
-			// Suffix sums of slopes once, then sample.
-			suffix := make([]float64, tcap+2)
-			for q := tcap; q >= 1; q-- {
-				suffix[q] = suffix[q+1] + st.slope(k, q)
-			}
-			samples := make([]geom.Vertex, 0, len(grid))
-			for _, q := range grid {
-				samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
-			}
-			fn, err := geom.NewConvexFn(samples)
-			if err != nil {
-				panic(fmt.Sprintf("core: center site %d hull: %v", i, err))
-			}
-			st.fn = fn
-			return comm.HullMsg{V: fn.Vertices()}
-		})
-
-		var pivot alloc.Pivot
-		fns := make([]geom.ConvexFn, s)
-		nw.Coordinator(func() {
-			for i, p := range hullUp {
-				var msg comm.HullMsg
-				if err := roundTrip(p, &msg); err != nil {
-					panic(err)
-				}
-				fn, err := geom.NewConvexFn(msg.V)
-				if err != nil {
-					panic(fmt.Sprintf("core: coordinator center hull %d: %v", i, err))
-				}
-				fns[i] = fn
-			}
-			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
-		})
-		nw.Broadcast(comm.PivotMsg{
-			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
-			Rank: pivot.Rank, Exhausted: pivot.Exhausted,
-		})
-
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := states[i]
-			ti := alloc.BudgetForSite(st.fn, i, pivot)
-			if i == pivot.I0 {
-				ti = st.fn.NextVertex(pivot.Q0)
-			}
-			st.budget = ti
-			return payload(st)
-		})
+		var err error
+		roundTwo, budgets, err = protocol.TwoRoundGather(nw, int(cfg.Rho*float64(cfg.T)), "core")
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	// Coordinator: weighted (k,t)-center with exactly t outliers on the
 	// union of precluster centers, via the greedy of [4].
 	var result Result
+	var decodeErr error
 	nw.Coordinator(func() {
 		var pts []metric.Point
 		var wts []float64
-		for _, p := range roundTwo {
+		for i, b := range roundTwo {
 			var msg comm.WeightedPointsMsg
-			if err := roundTrip(p, &msg); err != nil {
-				panic(err)
+			if err := msg.UnmarshalBinary(b); err != nil {
+				decodeErr = fmt.Errorf("core: center precluster from site %d: %w", i, err)
+				return
 			}
 			pts = append(pts, msg.Pts...)
 			wts = append(wts, msg.W...)
@@ -199,13 +202,20 @@ func runCenter(sites [][]metric.Point, cfg Config) (Result, error) {
 		result.CoordinatorClients = len(pts)
 		result.CoordinatorCost = sol.Radius
 	})
+	if decodeErr != nil {
+		return Result{}, decodeErr
+	}
 
 	result.Report = nw.Report()
-	result.SiteBudgets = make([]int, s)
+	result.SiteBudgets = budgets
 	result.OutlierBudget = float64(cfg.T)
-	for i, st := range states {
-		result.SiteBudgets[i] = st.budget
-		result.OutlierBudget += st.ignored
+	if cfg.Variant == TwoRoundNoOutliers {
+		// Each site silently dropped its t_i farthest points (t_i is at
+		// most the hull domain, hence < n_i, so the drop is exactly t_i):
+		// count them into the global entitlement.
+		for _, b := range budgets {
+			result.OutlierBudget += float64(b)
+		}
 	}
 	return result, nil
 }

@@ -22,6 +22,7 @@ import (
 	"dpc/internal/comm"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/transport"
 )
 
 // Objective selects the clustering objective.
@@ -117,7 +118,15 @@ type Config struct {
 	LocalOpts kmedian.Options
 	// Sequential disables parallel site execution (used by the
 	// centralized simulation of Section 3.1, where total work matters).
+	// Loopback transport only; TCP sites always run concurrently.
 	Sequential bool
+	// Transport selects the wire backend for Run: empty or
+	// transport.KindLoopback keeps sites in-process (the exact simulated
+	// star network); transport.KindTCP drives the identical protocol over
+	// real localhost sockets, one in-process site server per site. For
+	// sites in genuinely separate processes, see RunOver, NewSiteHandler
+	// and the dpc-coordinator / dpc-site commands.
+	Transport transport.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -160,8 +169,36 @@ type Result struct {
 	CoordinatorCost float64
 }
 
+// validate rejects configuration combinations no variant supports; cfg
+// must already have defaults applied.
+func validate(cfg Config) error {
+	if cfg.K <= 0 {
+		return fmt.Errorf("core: K = %d", cfg.K)
+	}
+	if cfg.T < 0 {
+		return fmt.Errorf("core: T = %d", cfg.T)
+	}
+	switch cfg.Objective {
+	case Center:
+		if cfg.RelaxCenters {
+			return fmt.Errorf("core: RelaxCenters applies to median/means only")
+		}
+		if cfg.LloydPolish {
+			return fmt.Errorf("core: LloydPolish applies to means only")
+		}
+	case Median, Means:
+		if cfg.LloydPolish && cfg.Objective != Means {
+			return fmt.Errorf("core: LloydPolish applies to means only")
+		}
+	default:
+		return fmt.Errorf("core: unknown objective %v", cfg.Objective)
+	}
+	return nil
+}
+
 // Run executes the configured distributed partial clustering over the given
 // site datasets and returns the chosen centers plus the measured footprint.
+// Sites run in-process over the backend cfg.Transport selects.
 func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if len(sites) == 0 {
@@ -174,29 +211,66 @@ func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 		}
 		total += len(pts)
 	}
-	if cfg.K <= 0 {
-		return Result{}, fmt.Errorf("core: K = %d", cfg.K)
+	if err := validate(cfg); err != nil {
+		return Result{}, err
 	}
-	if cfg.T < 0 || cfg.T >= total {
+	if cfg.T >= total {
 		return Result{}, fmt.Errorf("core: T = %d out of range [0, %d)", cfg.T, total)
 	}
-	switch cfg.Objective {
-	case Center:
-		if cfg.RelaxCenters {
-			return Result{}, fmt.Errorf("core: RelaxCenters applies to median/means only")
+	handlers := make([]transport.Handler, len(sites))
+	for i := range sites {
+		h, err := NewSiteHandler(cfg, i, sites[i])
+		if err != nil {
+			return Result{}, err
 		}
-		if cfg.LloydPolish {
-			return Result{}, fmt.Errorf("core: LloydPolish applies to means only")
-		}
-		return runCenter(sites, cfg)
-	case Median, Means:
-		if cfg.LloydPolish && cfg.Objective != Means {
-			return Result{}, fmt.Errorf("core: LloydPolish applies to means only")
-		}
-		return runMedianMeans(sites, cfg)
-	default:
-		return Result{}, fmt.Errorf("core: unknown objective %v", cfg.Objective)
+		handlers[i] = h
 	}
+	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	if err != nil {
+		return Result{}, err
+	}
+	defer tr.Close()
+	return RunOver(tr, cfg)
+}
+
+// RunOver executes the coordinator side of the protocol over an
+// already-connected transport; every site must be served elsewhere with a
+// handler built by NewSiteHandler from the identical Config (the
+// dpc-coordinator daemon ships the config in the transport handshake to
+// guarantee this). The transport is left open; the caller closes it.
+func RunOver(tr transport.Transport, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(cfg); err != nil {
+		return Result{}, err
+	}
+	if tr.Sites() == 0 {
+		return Result{}, fmt.Errorf("core: no sites")
+	}
+	nw := comm.NewOver(tr)
+	if cfg.Objective == Center {
+		return runCenter(nw, cfg)
+	}
+	return runMedianMeans(nw, cfg)
+}
+
+// NewSiteHandler builds the site half of the protocol for site i holding
+// pts: a transport.Handler that consumes each round's downstream message
+// and produces the site's reply. It is the entry point for dpc-site.
+func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("core: site %d is empty", site)
+	}
+	if site < 0 {
+		return nil, fmt.Errorf("core: negative site id %d", site)
+	}
+	if cfg.Objective == Center {
+		return newCenterSite(cfg, site, pts).handle, nil
+	}
+	return newMedianSite(cfg, site, pts).handle, nil
 }
 
 // costsOver wraps points in the objective's cost oracle.

@@ -8,17 +8,96 @@ import (
 	"dpc/internal/geom"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/protocol"
 )
 
-// medianSite is the per-site state kept between the two rounds of
-// Algorithm 1.
+// medianSite is the site half of Algorithm 1: per-site state kept between
+// the two rounds, driven purely by the round number and the wire bytes the
+// coordinator sent — so the same code runs in-process (loopback) and in a
+// separate dpc-site process (TCP).
 type medianSite struct {
+	cfg    Config
+	site   int
 	pts    []metric.Point
 	costs  metric.Costs
 	fn     geom.ConvexFn
 	sols   map[int]kmedian.Solution
 	opts   kmedian.Options
 	budget int // t_i chosen in round 2
+}
+
+// newMedianSite builds site i's state; cfg must already have defaults
+// applied. Per-site seeds are derived from LocalOpts.Seed + site index.
+func newMedianSite(cfg Config, site int, pts []metric.Point) *medianSite {
+	opts := cfg.LocalOpts
+	opts.Seed += int64(site) * 1000003
+	return &medianSite{
+		cfg:   cfg,
+		site:  site,
+		pts:   pts,
+		costs: costsOver(pts, cfg.Objective),
+		sols:  make(map[int]kmedian.Solution),
+		opts:  opts,
+	}
+}
+
+// handle implements transport.Handler for Algorithm 1's site side.
+func (st *medianSite) handle(round int, in []byte) ([]byte, error) {
+	cfg := st.cfg
+	k2 := 2 * cfg.K
+	switch {
+	case cfg.Variant == OneRound && round == 0:
+		// Baseline: solve with the full budget t and ship centers plus
+		// t outliers in a single round.
+		st.budget = capBudget(cfg.T, len(st.pts))
+		sol := st.solve(k2, st.budget, cfg.Engine)
+		return comm.Encode(st.preclusterPayload(sol, true))
+
+	case round == 0:
+		// Round 1: grid of local solves, hull up (Lines 1-6).
+		tcap := capBudget(cfg.T, len(st.pts))
+		samples := make([]geom.Vertex, 0, 8)
+		var warm []int
+		for _, q := range geom.Grid(tcap, cfg.HullBase) {
+			st.opts.Warm = warm
+			sol := st.solve(k2, q, cfg.Engine)
+			warm = sol.Centers
+			samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+		}
+		st.opts.Warm = nil
+		fn, err := geom.NewConvexFn(samples)
+		if err != nil {
+			return nil, fmt.Errorf("core: site hull: %w", err)
+		}
+		st.fn = fn
+		return comm.Encode(comm.HullMsg{V: fn.Vertices()})
+
+	case round == 1 && cfg.Variant != OneRound:
+		// Round 2: derive t_i from the pivot and ship the preclustering
+		// (Lines 10-16 / modified Lines 12-19).
+		var pm comm.PivotMsg
+		if err := pm.UnmarshalBinary(in); err != nil {
+			return nil, fmt.Errorf("core: site pivot: %w", err)
+		}
+		pivot := alloc.Pivot{I0: pm.I0, Q0: pm.Q0, L0: pm.L0, Rank: pm.Rank, Exhausted: pm.Exhausted}
+		i := st.site
+		ti := alloc.FinalBudget(st.fn, i, pivot)
+		st.budget = ti
+		shipOutliers := cfg.Variant != TwoRoundNoOutliers
+		if shipOutliers {
+			return comm.Encode(st.preclusterPayload(st.solve(k2, ti, cfg.Engine), true))
+		}
+		// Theorem 3.8 variant.
+		if i != pivot.I0 || st.fn.IsVertex(ti) {
+			// t_i is a hull vertex: its solution achieves f_i(t_i).
+			return comm.Encode(st.preclusterPayload(st.solve(k2, ti, cfg.Engine), false))
+		}
+		lo := st.fn.PrevVertex(ti)
+		hi := st.fn.NextVertex(ti)
+		combined := combineTwoSolutions(st, st.solve(k2, lo, cfg.Engine), st.solve(k2, hi, cfg.Engine), ti)
+		return comm.Encode(st.preclusterPayload(combined, false))
+	}
+	return nil, fmt.Errorf("core: median site has no round %d for variant %v", round, cfg.Variant)
 }
 
 // solve returns (computing and caching if needed) the site's local solution
@@ -90,117 +169,45 @@ func combineTwoSolutions(st *medianSite, a, b kmedian.Solution, ti int) kmedian.
 	return kmedian.Eval(st.costs, nil, union, float64(ti))
 }
 
-// runMedianMeans executes Algorithm 1 (or a variant) for the median/means
-// objectives.
-func runMedianMeans(sites [][]metric.Point, cfg Config) (Result, error) {
-	s := len(sites)
-	nw := comm.New(s, !cfg.Sequential)
-	k2 := 2 * cfg.K
+// runMedianMeans executes the coordinator side of Algorithm 1 (or a
+// variant) for the median/means objectives over an already-connected
+// network of sites.
+func runMedianMeans(nw *comm.Network, cfg Config) (Result, error) {
 	shipOutliers := cfg.Variant != TwoRoundNoOutliers
 
-	states := make([]*medianSite, s)
-	newState := func(i int) *medianSite {
-		opts := cfg.LocalOpts
-		opts.Seed += int64(i) * 1000003
-		return &medianSite{
-			pts:   sites[i],
-			costs: costsOver(sites[i], cfg.Objective),
-			sols:  make(map[int]kmedian.Solution),
-			opts:  opts,
-		}
-	}
-
-	var roundTwo []comm.Payload
+	var roundTwo [][]byte
+	var budgets []int
 	if cfg.Variant == OneRound {
-		// Baseline: every site solves with the full budget t and ships
-		// centers plus t outliers in a single round.
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			states[i] = st
-			st.budget = capBudget(cfg.T, len(st.pts))
-			sol := st.solve(k2, st.budget, cfg.Engine)
-			return st.preclusterPayload(sol, true)
-		})
+		// Baseline: one round, t_i = t everywhere; the coordinator never
+		// learns per-site budgets (SiteBudgets stays nil).
+		up, err := nw.SiteRound()
+		if err != nil {
+			return Result{}, err
+		}
+		roundTwo = up
 	} else {
-		// Round 1: grid of local solves, hull up (Lines 1-6).
-		hullUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			states[i] = st
-			tcap := capBudget(cfg.T, len(st.pts))
-			samples := make([]geom.Vertex, 0, 8)
-			var warm []int
-			for _, q := range geom.Grid(tcap, cfg.HullBase) {
-				st.opts.Warm = warm
-				sol := st.solve(k2, q, cfg.Engine)
-				warm = sol.Centers
-				samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
-			}
-			st.opts.Warm = nil
-			fn, err := geom.NewConvexFn(samples)
-			if err != nil {
-				panic(fmt.Sprintf("core: site %d hull: %v", i, err))
-			}
-			st.fn = fn
-			return comm.HullMsg{V: fn.Vertices()}
-		})
-
-		// Coordinator: decode hulls off the wire, rank slopes, pick the
-		// pivot (Lines 7-9).
-		var pivot alloc.Pivot
-		fns := make([]geom.ConvexFn, s)
-		nw.Coordinator(func() {
-			for i, p := range hullUp {
-				var msg comm.HullMsg
-				if err := roundTrip(p, &msg); err != nil {
-					panic(err)
-				}
-				fn, err := geom.NewConvexFn(msg.V)
-				if err != nil {
-					panic(fmt.Sprintf("core: coordinator hull %d: %v", i, err))
-				}
-				fns[i] = fn
-			}
-			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
-		})
-		nw.Broadcast(comm.PivotMsg{
-			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
-			Rank: pivot.Rank, Exhausted: pivot.Exhausted,
-		})
-
-		// Round 2: sites derive t_i from the pivot and ship preclusterings
-		// (Lines 10-16 / modified Lines 12-19).
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := states[i]
-			ti := alloc.BudgetForSite(st.fn, i, pivot)
-			if i == pivot.I0 {
-				// Exceptional site: round the pivot budget up to the next
-				// hull vertex (Line 13), where the hull cost is achieved.
-				ti = st.fn.NextVertex(pivot.Q0)
-			}
-			st.budget = ti
-			if shipOutliers {
-				return st.preclusterPayload(st.solve(k2, ti, cfg.Engine), true)
-			}
-			// Theorem 3.8 variant.
-			if i != pivot.I0 || st.fn.IsVertex(ti) {
-				// t_i is a hull vertex: its solution achieves f_i(t_i).
-				return st.preclusterPayload(st.solve(k2, ti, cfg.Engine), false)
-			}
-			lo := st.fn.PrevVertex(ti)
-			hi := st.fn.NextVertex(ti)
-			combined := combineTwoSolutions(st, st.solve(k2, lo, cfg.Engine), st.solve(k2, hi, cfg.Engine), ti)
-			return st.preclusterPayload(combined, false)
-		})
+		// Lines 1-14: hulls up, pivot allocation + broadcast,
+		// preclusterings up; budgets are the coordinator's Step-11 replay.
+		var err error
+		roundTwo, budgets, err = protocol.TwoRoundGather(nw, int(cfg.Rho*float64(cfg.T)), "core")
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	// Coordinator: union of weighted centers (+ shipped outliers), then the
 	// Theorem 3.1 solve with budget (1+eps)t (Line 17).
 	var result Result
+	var decodeErr error
 	nw.Coordinator(func() {
 		var pts []metric.Point
 		var wts []float64
-		for _, p := range roundTwo {
-			cp, cw, op := decodePrecluster(p, shipOutliers)
+		for i, b := range roundTwo {
+			cp, cw, op, err := decodePrecluster(b, shipOutliers)
+			if err != nil {
+				decodeErr = fmt.Errorf("core: precluster from site %d: %w", i, err)
+				return
+			}
 			pts = append(pts, cp...)
 			wts = append(wts, cw...)
 			for _, o := range op {
@@ -225,13 +232,13 @@ func runMedianMeans(sites [][]metric.Point, cfg Config) (Result, error) {
 			result.CoordinatorCost = pcost
 		}
 	})
+	if decodeErr != nil {
+		return Result{}, decodeErr
+	}
 
 	result.Report = nw.Report()
-	result.SiteBudgets = make([]int, s)
-	for i, st := range states {
-		result.SiteBudgets[i] = st.budget
-	}
-	result.OutlierBudget = outlierEntitlement(cfg, result.SiteBudgets)
+	result.SiteBudgets = budgets
+	result.OutlierBudget = outlierEntitlement(cfg, budgets)
 	return result, nil
 }
 
@@ -243,40 +250,32 @@ func capBudget(t, n int) int {
 	return t
 }
 
-// roundTrip encodes p and decodes it into dst — the coordinator reads
-// messages off the wire format, proving the format carries everything the
-// protocol needs.
-func roundTrip(p comm.Payload, dst interface{ UnmarshalBinary([]byte) error }) error {
-	b, err := p.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	return dst.UnmarshalBinary(b)
-}
-
 // decodePrecluster splits a round-2 site message into centers, weights and
-// shipped outliers, going through the wire encoding.
-func decodePrecluster(p comm.Payload, shipOutliers bool) ([]metric.Point, []float64, []metric.Point) {
+// shipped outliers.
+func decodePrecluster(b []byte, shipOutliers bool) ([]metric.Point, []float64, []metric.Point, error) {
 	if !shipOutliers {
 		var msg comm.WeightedPointsMsg
-		if err := roundTrip(p, &msg); err != nil {
-			panic(err)
+		if err := msg.UnmarshalBinary(b); err != nil {
+			return nil, nil, nil, err
 		}
-		return msg.Pts, msg.W, nil
+		return msg.Pts, msg.W, nil, nil
 	}
-	multi, ok := p.(comm.Multi)
-	if !ok || len(multi.Parts) != 2 {
-		panic("core: malformed precluster payload")
+	parts, err := comm.SplitMulti(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(parts) != 2 {
+		return nil, nil, nil, fmt.Errorf("core: malformed precluster payload (%d parts)", len(parts))
 	}
 	var centers comm.WeightedPointsMsg
-	if err := roundTrip(multi.Parts[0], &centers); err != nil {
-		panic(err)
+	if err := centers.UnmarshalBinary(parts[0]); err != nil {
+		return nil, nil, nil, err
 	}
 	var outs comm.PointsMsg
-	if err := roundTrip(multi.Parts[1], &outs); err != nil {
-		panic(err)
+	if err := outs.UnmarshalBinary(parts[1]); err != nil {
+		return nil, nil, nil, err
 	}
-	return centers.Pts, centers.W, outs.Pts
+	return centers.Pts, centers.W, outs.Pts, nil
 }
 
 // pointsAt materializes facility indices as points.

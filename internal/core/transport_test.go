@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/transport"
+)
+
+// testSites builds a deterministic clustered instance split across s sites.
+func testSites(s, n, dim int, seed int64) [][]metric.Point {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([][]metric.Point, s)
+	for j := 0; j < n; j++ {
+		c := j % 3
+		p := make(metric.Point, dim)
+		for d := range p {
+			p[d] = float64(c*10) + rng.NormFloat64()
+		}
+		sites[j%s] = append(sites[j%s], p)
+	}
+	return sites
+}
+
+// TestTCPMatchesLoopback is the acceptance gate of the transport
+// subsystem: the same seeded instance clustered over real TCP sockets must
+// return the same centers as the in-process loopback run, with payload
+// byte accounting (frame headers excluded) matching exactly.
+func TestTCPMatchesLoopback(t *testing.T) {
+	sites := testSites(4, 120, 3, 7)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"median-2round", Config{K: 3, T: 10, Objective: Median, Variant: TwoRound}},
+		{"median-1round", Config{K: 3, T: 10, Objective: Median, Variant: OneRound}},
+		{"median-noship", Config{K: 3, T: 10, Objective: Median, Variant: TwoRoundNoOutliers}},
+		{"means-2round", Config{K: 3, T: 10, Objective: Means, Variant: TwoRound}},
+		{"center-2round", Config{K: 3, T: 10, Objective: Center, Variant: TwoRound}},
+		{"center-1round", Config{K: 3, T: 10, Objective: Center, Variant: OneRound}},
+		{"center-noship", Config{K: 3, T: 10, Objective: Center, Variant: TwoRoundNoOutliers}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.LocalOpts = kmedian.Options{Seed: 11}
+			loop, err := Run(sites, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Transport = transport.KindTCP
+			tcp, err := Run(sites, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(loop.Centers, tcp.Centers) {
+				t.Fatalf("centers differ:\nloopback: %v\ntcp:      %v", loop.Centers, tcp.Centers)
+			}
+			if loop.Report.UpBytes != tcp.Report.UpBytes ||
+				loop.Report.DownBytes != tcp.Report.DownBytes ||
+				loop.Report.Rounds != tcp.Report.Rounds {
+				t.Fatalf("accounting differs: loopback %d up/%d down/%d rounds, tcp %d up/%d down/%d rounds",
+					loop.Report.UpBytes, loop.Report.DownBytes, loop.Report.Rounds,
+					tcp.Report.UpBytes, tcp.Report.DownBytes, tcp.Report.Rounds)
+			}
+			if !reflect.DeepEqual(loop.Report.RoundUp, tcp.Report.RoundUp) ||
+				!reflect.DeepEqual(loop.Report.RoundDown, tcp.Report.RoundDown) {
+				t.Fatalf("per-round accounting differs: %v/%v vs %v/%v",
+					loop.Report.RoundUp, loop.Report.RoundDown, tcp.Report.RoundUp, tcp.Report.RoundDown)
+			}
+			if !reflect.DeepEqual(loop.SiteBudgets, tcp.SiteBudgets) {
+				t.Fatalf("budgets differ: %v vs %v", loop.SiteBudgets, tcp.SiteBudgets)
+			}
+			if loop.OutlierBudget != tcp.OutlierBudget {
+				t.Fatalf("outlier budget differs: %v vs %v", loop.OutlierBudget, tcp.OutlierBudget)
+			}
+		})
+	}
+}
+
+// TestRunOverSeparateHandshake mimics the dpc-coordinator / dpc-site
+// deployment inside one test process: the coordinator listens and ships
+// its config in the welcome frame; each site decodes that config, builds
+// its handler from it, and serves. Catches config-wire drift that the
+// in-process paths cannot.
+func TestRunOverSeparateHandshake(t *testing.T) {
+	sites := testSites(3, 90, 2, 3)
+	cfg := Config{K: 2, T: 6, Objective: Median, Variant: TwoRound, LocalOpts: kmedian.Options{Seed: 5}}
+
+	want, err := Run(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := transport.Listen("127.0.0.1:0", len(sites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	for i := range sites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc, err := transport.Dial(addr, i, 5*time.Second)
+			if err != nil {
+				t.Errorf("site %d dial: %v", i, err)
+				return
+			}
+			defer sc.Close()
+			siteCfg, err := DecodeConfig(sc.Hello())
+			if err != nil {
+				t.Errorf("site %d config: %v", i, err)
+				return
+			}
+			h, err := NewSiteHandler(siteCfg, i, sites[i])
+			if err != nil {
+				t.Errorf("site %d handler: %v", i, err)
+				return
+			}
+			sc.Serve(h)
+		}(i)
+	}
+	tr, err := l.Accept(len(sites), EncodeConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunOver(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	wg.Wait()
+
+	if !reflect.DeepEqual(want.Centers, got.Centers) {
+		t.Fatalf("centers differ:\nin-process: %v\nhandshake:  %v", want.Centers, got.Centers)
+	}
+	if want.Report.UpBytes != got.Report.UpBytes || want.Report.DownBytes != got.Report.DownBytes {
+		t.Fatalf("bytes differ: %d/%d vs %d/%d",
+			want.Report.UpBytes, want.Report.DownBytes, got.Report.UpBytes, got.Report.DownBytes)
+	}
+}
+
+// TestConfigWireRoundTrip: DecodeConfig inverts EncodeConfig for the
+// protocol-relevant fields, including negatives and defaults.
+func TestConfigWireRoundTrip(t *testing.T) {
+	in := Config{
+		K: 7, T: 99, Objective: Means, Variant: TwoRoundNoOutliers,
+		Eps: 0.5, RelaxCenters: true, LloydPolish: true,
+		Rho: 1.25, Delta: 0.125, HullBase: 3,
+		Engine: kmedian.EngineJV,
+		LocalOpts: kmedian.Options{
+			Seed: -12345, MaxIters: 17, SampleFacilities: -1, Restarts: 2,
+		},
+	}
+	out, err := DecodeConfig(EncodeConfig(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.withDefaults(), out) {
+		t.Fatalf("round trip:\nin:  %+v\nout: %+v", in.withDefaults(), out)
+	}
+	// Defaults are applied before shipping, so a zero config decodes to
+	// the paper's defaults, not zeros.
+	zero, err := DecodeConfig(EncodeConfig(Config{K: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Eps != 1 || zero.Rho != 2 || zero.HullBase != 2 {
+		t.Fatalf("defaults not applied: %+v", zero)
+	}
+	if _, err := DecodeConfig([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short record accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dpc/internal/kmedian"
+)
+
+// Config handshake encoding. The dpc-coordinator daemon ships its
+// (defaults-applied) Config to every dpc-site in the transport welcome
+// frame, so all processes provably run the same protocol parameters — the
+// per-site solves are seeded from LocalOpts.Seed + site index, which makes
+// a TCP run reproduce the loopback run bit for bit. The format is a fixed
+// little-endian record; Sequential and Transport are coordinator-local and
+// not shipped.
+
+const configWireVersion = 1
+
+// configWireSize is the encoded size: version byte plus the fixed fields.
+const configWireSize = 1 + // version
+	8 + 8 + // K, T
+	1 + 1 + // Objective, Variant
+	8 + // Eps
+	1 + 1 + // RelaxCenters, LloydPolish
+	8 + 8 + 8 + // Rho, Delta, HullBase
+	1 + // Engine
+	8 + 8 + 8 + 8 // LocalOpts: Seed, MaxIters, SampleFacilities, Restarts
+
+// EncodeConfig serializes the protocol-relevant configuration (with
+// defaults applied) for the coordinator -> site handshake.
+func EncodeConfig(cfg Config) []byte {
+	cfg = cfg.withDefaults()
+	b := make([]byte, 0, configWireSize)
+	b = append(b, configWireVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.K)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.T)))
+	b = append(b, byte(cfg.Objective), byte(cfg.Variant))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cfg.Eps))
+	b = append(b, boolByte(cfg.RelaxCenters), boolByte(cfg.LloydPolish))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cfg.Rho))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cfg.Delta))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cfg.HullBase))
+	b = append(b, byte(cfg.Engine))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cfg.LocalOpts.Seed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.MaxIters)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.SampleFacilities)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.Restarts)))
+	return b
+}
+
+// DecodeConfig parses an EncodeConfig record.
+func DecodeConfig(b []byte) (Config, error) {
+	if len(b) != configWireSize {
+		return Config{}, fmt.Errorf("core: config record is %d bytes, want %d", len(b), configWireSize)
+	}
+	if b[0] != configWireVersion {
+		return Config{}, fmt.Errorf("core: unsupported config version %d", b[0])
+	}
+	var cfg Config
+	off := 1
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	u8 := func() byte {
+		v := b[off]
+		off++
+		return v
+	}
+	cfg.K = int(int64(u64()))
+	cfg.T = int(int64(u64()))
+	cfg.Objective = Objective(u8())
+	cfg.Variant = Variant(u8())
+	cfg.Eps = math.Float64frombits(u64())
+	cfg.RelaxCenters = u8() == 1
+	cfg.LloydPolish = u8() == 1
+	cfg.Rho = math.Float64frombits(u64())
+	cfg.Delta = math.Float64frombits(u64())
+	cfg.HullBase = math.Float64frombits(u64())
+	cfg.Engine = kmedian.Engine(u8())
+	cfg.LocalOpts.Seed = int64(u64())
+	cfg.LocalOpts.MaxIters = int(int64(u64()))
+	cfg.LocalOpts.SampleFacilities = int(int64(u64()))
+	cfg.LocalOpts.Restarts = int(int64(u64()))
+	return cfg, nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

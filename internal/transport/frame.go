@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The TCP wire format is a stream of frames, little endian throughout:
+//
+//	offset size field
+//	     0    4 magic   "DPC1" (0x31435044)
+//	     4    1 version (1)
+//	     5    1 kind    (hello | welcome | data | close | error)
+//	     6    4 round   round number (data), 0 otherwise
+//	    10    4 site    site id (hello, site->coordinator data), 0 otherwise
+//	    14    8 work    site compute nanoseconds (site->coordinator data)
+//	    22    4 length  payload byte count
+//	    26    n payload
+//
+// The 26-byte header is fixed framing overhead and deliberately excluded
+// from the protocol's byte accounting: comm.Network counts payload bytes
+// only, so a TCP run reports exactly the communication a loopback run does.
+const (
+	frameMagic   = 0x31435044 // "DPC1"
+	frameVersion = 1
+	headerSize   = 26
+
+	// maxFramePayload bounds a frame so a corrupt or hostile length field
+	// cannot trigger an enormous allocation.
+	maxFramePayload = 1 << 30
+)
+
+// Frame kinds.
+const (
+	kindHello   = 1 // site -> coordinator: announce site id
+	kindWelcome = 2 // coordinator -> site: handshake ack, carries hello payload
+	kindData    = 3 // one round's downstream or upstream message
+	kindClose   = 4 // coordinator -> site: protocol over, exit Serve
+	kindError   = 5 // site -> coordinator: handler failed, payload is the message
+)
+
+// header is the decoded fixed-size frame prefix.
+type header struct {
+	kind  uint8
+	round uint32
+	site  uint32
+	work  uint64
+	size  uint32
+}
+
+// writeFrame emits one frame. payload may be nil. The sender enforces the
+// same size bound the receiver does: an unchecked length would truncate
+// to uint32 past 4 GiB and desynchronize the whole stream.
+func writeFrame(w io.Writer, h header, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("transport: frame payload of %d bytes exceeds limit %d", len(payload), maxFramePayload)
+	}
+	buf := make([]byte, headerSize, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	buf[4] = frameVersion
+	buf[5] = h.kind
+	binary.LittleEndian.PutUint32(buf[6:], h.round)
+	binary.LittleEndian.PutUint32(buf[10:], h.site)
+	binary.LittleEndian.PutUint64(buf[14:], h.work)
+	binary.LittleEndian.PutUint32(buf[22:], uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame. A zero-length payload decodes as nil so empty
+// messages survive a TCP round trip identically to loopback.
+func readFrame(r io.Reader) (header, []byte, error) {
+	var raw [headerSize]byte
+	if _, err := io.ReadFull(r, raw[:]); err != nil {
+		return header{}, nil, err
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:]); m != frameMagic {
+		return header{}, nil, fmt.Errorf("transport: bad frame magic %#x", m)
+	}
+	if v := raw[4]; v != frameVersion {
+		return header{}, nil, fmt.Errorf("transport: unsupported frame version %d", v)
+	}
+	h := header{
+		kind:  raw[5],
+		round: binary.LittleEndian.Uint32(raw[6:]),
+		site:  binary.LittleEndian.Uint32(raw[10:]),
+		work:  binary.LittleEndian.Uint64(raw[14:]),
+		size:  binary.LittleEndian.Uint32(raw[22:]),
+	}
+	if h.size > maxFramePayload {
+		return header{}, nil, fmt.Errorf("transport: frame payload of %d bytes exceeds limit", h.size)
+	}
+	if h.size == 0 {
+		return h, nil, nil
+	}
+	payload := make([]byte, h.size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return header{}, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
+	}
+	return h, payload, nil
+}

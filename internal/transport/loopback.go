@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Loopback is the in-process backend: sites are Handlers invoked directly,
+// one goroutine per site (or sequentially, for the centralized simulation
+// of Section 3.1 where total work is what matters). Payload bytes are
+// passed by reference and never copied, so the byte accounting upstream is
+// exactly the encoded payload sizes — identical to the simulated star
+// network the repository started with.
+type Loopback struct {
+	handlers []Handler
+	parallel bool
+
+	pending [][]byte // downstream message queued per site for the open round
+	queued  []bool
+	closed  bool
+}
+
+// NewLoopback creates an in-process transport over the given site handlers.
+// parallel selects whether sites compute concurrently during Gather.
+func NewLoopback(handlers []Handler, parallel bool) *Loopback {
+	return &Loopback{
+		handlers: handlers,
+		parallel: parallel,
+		pending:  make([][]byte, len(handlers)),
+		queued:   make([]bool, len(handlers)),
+	}
+}
+
+// Sites implements Transport.
+func (l *Loopback) Sites() int { return len(l.handlers) }
+
+func (l *Loopback) queue(site int, b []byte) error {
+	if l.closed {
+		return fmt.Errorf("transport: loopback is closed")
+	}
+	if site < 0 || site >= len(l.handlers) {
+		return fmt.Errorf("transport: no such site %d", site)
+	}
+	if l.queued[site] {
+		return fmt.Errorf("transport: site %d already has a downstream message this round", site)
+	}
+	l.pending[site] = b
+	l.queued[site] = true
+	return nil
+}
+
+// Broadcast implements Transport.
+func (l *Loopback) Broadcast(round int, b []byte) error {
+	for i := range l.handlers {
+		if err := l.queue(i, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send implements Transport.
+func (l *Loopback) Send(round, site int, b []byte) error {
+	return l.queue(site, b)
+}
+
+// Gather implements Transport: every handler runs on its queued downstream
+// message (nil when none was sent) and the replies are collected.
+func (l *Loopback) Gather(round int) (RoundResult, error) {
+	if l.closed {
+		return RoundResult{}, fmt.Errorf("transport: loopback is closed")
+	}
+	s := len(l.handlers)
+	res := RoundResult{
+		Payloads: make([][]byte, s),
+		Work:     make([]time.Duration, s),
+	}
+	errs := make([]error, s)
+	runSite := func(i int) {
+		t0 := time.Now()
+		res.Payloads[i], errs[i] = l.handlers[i](round, l.pending[i])
+		res.Work[i] = time.Since(t0)
+	}
+	if l.parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < s; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runSite(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < s; i++ {
+			runSite(i)
+		}
+	}
+	for i := range l.pending {
+		l.pending[i] = nil
+		l.queued[i] = false
+	}
+	for i, err := range errs {
+		if err != nil {
+			return RoundResult{}, fmt.Errorf("transport: site %d round %d: %w", i, round, err)
+		}
+	}
+	return res, nil
+}
+
+// Close implements Transport.
+func (l *Loopback) Close() error {
+	l.closed = true
+	return nil
+}

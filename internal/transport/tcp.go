@@ -1,0 +1,453 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// site-side and coordinator-side halves of the TCP backend. The lifecycle:
+//
+//	coordinator                       sites (one process or goroutine each)
+//	-----------                       ----------------------------------
+//	Listen(addr, s)
+//	                                  Dial(addr, i)   -> hello{site: i}
+//	Accept(hello) -> welcome{hello}   Serve(handler)
+//	Broadcast/Send/Gather  <-data->   handler(round, in)
+//	Close          -> close frame     Serve returns nil
+//
+// The welcome frame's payload is an arbitrary blob chosen by the
+// coordinator (cmd/dpc-coordinator ships the encoded run configuration in
+// it, so all processes provably run the same protocol parameters).
+
+// Listener accepts site connections for one coordinator run.
+type Listener struct {
+	ln net.Listener
+}
+
+// handshakeTimeout bounds how long one connecting socket may take to
+// deliver its hello frame. Without it a slow-loris connection (or a
+// half-open scan) would park the accept loop on a blocking read and
+// starve the legitimate sites behind it.
+const handshakeTimeout = 10 * time.Second
+
+// Listen starts listening for sites on addr (e.g. "127.0.0.1:9009" or
+// ":0" for an ephemeral port).
+func Listen(addr string, sites int) (*Listener, error) {
+	if sites <= 0 {
+		return nil, fmt.Errorf("transport: need at least one site, got %d", sites)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting; it does not touch already-accepted connections.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Accept blocks until every site id in [0, sites) has dialed in and
+// completed the handshake, then returns the connected Transport. hello is
+// delivered verbatim to every site in its welcome frame.
+//
+// A connection that fails the handshake — garbage bytes, an out-of-range
+// or duplicate site id — is rejected individually (with a best-effort
+// error frame, so a misconfigured dpc-site prints why) and Accept keeps
+// waiting; a port scanner or one mistyped -site flag cannot tear down the
+// legitimate sites that already joined. Accept returns an error only when
+// the listener itself fails (e.g. it was closed).
+func (l *Listener) Accept(sites int, hello []byte) (*Coordinator, error) {
+	c := &Coordinator{
+		conns: make([]net.Conn, sites),
+		rd:    make([]*bufio.Reader, sites),
+		wr:    make([]*bufio.Writer, sites),
+		sent:  make([]bool, sites),
+	}
+	joined := 0
+	for joined < sites {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		rd := bufio.NewReader(conn)
+		wr := bufio.NewWriter(conn)
+		reject := func(msg string) {
+			writeFrame(wr, header{kind: kindError}, []byte(msg))
+			wr.Flush()
+			conn.Close()
+		}
+		conn.SetDeadline(time.Now().Add(handshakeTimeout))
+		h, _, err := readFrame(rd)
+		if err != nil {
+			reject(fmt.Sprintf("bad handshake: %v", err))
+			continue
+		}
+		if h.kind != kindHello {
+			reject(fmt.Sprintf("unexpected frame kind %d, want hello", h.kind))
+			continue
+		}
+		id := int(h.site)
+		if id < 0 || id >= sites {
+			reject(fmt.Sprintf("site id %d out of range [0,%d)", id, sites))
+			continue
+		}
+		if c.conns[id] != nil {
+			reject(fmt.Sprintf("duplicate site id %d", id))
+			continue
+		}
+		if err := writeFrame(wr, header{kind: kindWelcome}, hello); err != nil {
+			conn.Close()
+			continue
+		}
+		if err := wr.Flush(); err != nil {
+			conn.Close()
+			continue
+		}
+		conn.SetDeadline(time.Time{}) // rounds have no transport deadline
+		c.conns[id], c.rd[id], c.wr[id] = conn, rd, wr
+		joined++
+	}
+	return c, nil
+}
+
+// NewCoordinator performs the coordinator-side handshake over
+// pre-established connections — net.Pipe in tests, or sockets accepted by
+// other means — and returns the connected Transport. Each conn must carry
+// a hello frame announcing a distinct site id in [0, len(conns)); hello is
+// shipped back verbatim in every welcome frame.
+func NewCoordinator(conns []net.Conn, hello []byte) (*Coordinator, error) {
+	s := len(conns)
+	c := &Coordinator{
+		conns: make([]net.Conn, s),
+		rd:    make([]*bufio.Reader, s),
+		wr:    make([]*bufio.Writer, s),
+		sent:  make([]bool, s),
+	}
+	fail := func(err error) (*Coordinator, error) {
+		for _, conn := range conns {
+			conn.Close()
+		}
+		return nil, err
+	}
+	for _, conn := range conns {
+		rd := bufio.NewReader(conn)
+		wr := bufio.NewWriter(conn)
+		h, _, err := readFrame(rd)
+		if err != nil {
+			return fail(fmt.Errorf("transport: handshake: %w", err))
+		}
+		if h.kind != kindHello {
+			return fail(fmt.Errorf("transport: handshake: unexpected frame kind %d", h.kind))
+		}
+		id := int(h.site)
+		if id < 0 || id >= s {
+			return fail(fmt.Errorf("transport: site id %d out of range [0,%d)", id, s))
+		}
+		if c.conns[id] != nil {
+			return fail(fmt.Errorf("transport: duplicate site id %d", id))
+		}
+		if err := writeFrame(wr, header{kind: kindWelcome}, hello); err != nil {
+			return fail(fmt.Errorf("transport: welcome site %d: %w", id, err))
+		}
+		if err := wr.Flush(); err != nil {
+			return fail(fmt.Errorf("transport: welcome site %d: %w", id, err))
+		}
+		c.conns[id], c.rd[id], c.wr[id] = conn, rd, wr
+	}
+	return c, nil
+}
+
+// Coordinator is the coordinator end of a TCP star network; it implements
+// Transport over one socket per site.
+type Coordinator struct {
+	conns []net.Conn
+	rd    []*bufio.Reader
+	wr    []*bufio.Writer
+	sent  []bool // downstream message already written this round
+}
+
+// Sites implements Transport.
+func (c *Coordinator) Sites() int { return len(c.conns) }
+
+func (c *Coordinator) writeDown(round, site int, b []byte) error {
+	if site < 0 || site >= len(c.conns) {
+		return fmt.Errorf("transport: no such site %d", site)
+	}
+	if c.sent[site] {
+		return fmt.Errorf("transport: site %d already has a downstream message this round", site)
+	}
+	h := header{kind: kindData, round: uint32(round)}
+	if err := writeFrame(c.wr[site], h, b); err != nil {
+		return fmt.Errorf("transport: send to site %d: %w", site, err)
+	}
+	if err := c.wr[site].Flush(); err != nil {
+		return fmt.Errorf("transport: send to site %d: %w", site, err)
+	}
+	c.sent[site] = true
+	return nil
+}
+
+// Broadcast implements Transport.
+func (c *Coordinator) Broadcast(round int, b []byte) error {
+	for i := range c.conns {
+		if err := c.writeDown(round, i, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send implements Transport.
+func (c *Coordinator) Send(round, site int, b []byte) error {
+	return c.writeDown(round, site, b)
+}
+
+// Gather implements Transport: sites that received no downstream message
+// this round get an empty one, then one reply frame is read per site (in
+// parallel — replies arrive in arbitrary relative order).
+func (c *Coordinator) Gather(round int) (RoundResult, error) {
+	s := len(c.conns)
+	for i := 0; i < s; i++ {
+		if !c.sent[i] {
+			if err := c.writeDown(round, i, nil); err != nil {
+				return RoundResult{}, err
+			}
+		}
+		c.sent[i] = false
+	}
+	res := RoundResult{
+		Payloads: make([][]byte, s),
+		Work:     make([]time.Duration, s),
+	}
+	errs := make([]error, s)
+	var wg sync.WaitGroup
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, payload, err := readFrame(c.rd[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("transport: reply from site %d: %w", i, err)
+				return
+			}
+			switch h.kind {
+			case kindData:
+				if int(h.round) != round {
+					errs[i] = fmt.Errorf("transport: site %d replied for round %d, want %d", i, h.round, round)
+					return
+				}
+				res.Payloads[i] = payload
+				res.Work[i] = time.Duration(h.work)
+			case kindError:
+				errs[i] = fmt.Errorf("transport: site %d round %d: %s", i, round, payload)
+			default:
+				errs[i] = fmt.Errorf("transport: site %d sent unexpected frame kind %d", i, h.kind)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return RoundResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// Close implements Transport: every connected site receives a close frame
+// (ending its Serve loop) and the sockets are shut.
+func (c *Coordinator) Close() error {
+	var first error
+	for i, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		if err := writeFrame(c.wr[i], header{kind: kindClose}, nil); err == nil {
+			if err := c.wr[i].Flush(); err != nil && first == nil {
+				first = err
+			}
+		} else if first == nil {
+			first = err
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.conns[i] = nil
+	}
+	return first
+}
+
+// Site is the site end of a TCP star network.
+type Site struct {
+	conn  net.Conn
+	rd    *bufio.Reader
+	wr    *bufio.Writer
+	id    int
+	hello []byte
+}
+
+// Dial connects site id to the coordinator at addr, retrying until timeout
+// elapses (sites commonly start before the coordinator listens; timeout 0
+// means a single attempt), and performs the handshake.
+func Dial(addr string, id int, timeout time.Duration) (*Site, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return NewSite(conn, id)
+		}
+		if timeout == 0 || time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// NewSite performs the site-side handshake over an established connection
+// (exposed so tests can run the wire protocol over net.Pipe).
+func NewSite(conn net.Conn, id int) (*Site, error) {
+	s := &Site{
+		conn: conn,
+		rd:   bufio.NewReader(conn),
+		wr:   bufio.NewWriter(conn),
+		id:   id,
+	}
+	if err := writeFrame(s.wr, header{kind: kindHello, site: uint32(id)}, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	if err := s.wr.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	h, payload, err := readFrame(s.rd)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: welcome: %w", err)
+	}
+	switch h.kind {
+	case kindWelcome:
+		s.hello = payload
+		return s, nil
+	case kindError:
+		conn.Close()
+		return nil, fmt.Errorf("transport: coordinator rejected site %d: %s", id, payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("transport: expected welcome, got frame kind %d", h.kind)
+	}
+}
+
+// Hello returns the blob the coordinator shipped in the welcome frame.
+func (s *Site) Hello() []byte { return s.hello }
+
+// Serve runs the site's round loop: for every data frame, h computes the
+// reply, which is sent back with the measured compute duration in the
+// frame header. Serve returns nil when the coordinator closes the
+// protocol, or the first transport/handler error otherwise (handler errors
+// are also reported to the coordinator as error frames).
+func (s *Site) Serve(h Handler) error {
+	for {
+		fh, payload, err := readFrame(s.rd)
+		if err != nil {
+			return fmt.Errorf("transport: site %d: %w", s.id, err)
+		}
+		switch fh.kind {
+		case kindClose:
+			return nil
+		case kindData:
+			round := int(fh.round)
+			t0 := time.Now()
+			out, err := h(round, payload)
+			work := time.Since(t0)
+			if err != nil {
+				writeFrame(s.wr, header{kind: kindError, round: fh.round, site: uint32(s.id)}, []byte(err.Error()))
+				s.wr.Flush()
+				return fmt.Errorf("transport: site %d round %d: %w", s.id, round, err)
+			}
+			reply := header{
+				kind:  kindData,
+				round: fh.round,
+				site:  uint32(s.id),
+				work:  uint64(work),
+			}
+			if err := writeFrame(s.wr, reply, out); err != nil {
+				return fmt.Errorf("transport: site %d reply: %w", s.id, err)
+			}
+			if err := s.wr.Flush(); err != nil {
+				return fmt.Errorf("transport: site %d reply: %w", s.id, err)
+			}
+		default:
+			return fmt.Errorf("transport: site %d: unexpected frame kind %d", s.id, fh.kind)
+		}
+	}
+}
+
+// Close shuts the site's socket.
+func (s *Site) Close() error { return s.conn.Close() }
+
+// NewLocalTCP runs handlers as in-process TCP sites: a localhost listener,
+// one dialing goroutine per site, and the connected Coordinator as the
+// transport. It exists so any protocol (core, uncertain) can exercise the
+// real wire path without separate processes — the dpc-cluster
+// -transport=tcp mode. Close waits for the site goroutines to drain.
+func NewLocalTCP(handlers []Handler) (Transport, error) {
+	s := len(handlers)
+	l, err := Listen("127.0.0.1:0", s)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	var dialOnce sync.Once
+	var dialErr error
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			site, err := Dial(addr, i, 10*time.Second)
+			if err != nil {
+				// Unblock Accept: a site that cannot dial means the run
+				// cannot complete, so tear the listener down and surface
+				// the dial error instead of waiting forever.
+				dialOnce.Do(func() {
+					dialErr = err
+					l.Close()
+				})
+				return
+			}
+			defer site.Close()
+			site.Serve(handlers[i]) // handler errors surface as error frames
+		}(i)
+	}
+	coord, err := l.Accept(s, nil)
+	if err != nil {
+		wg.Wait()
+		if dialErr != nil {
+			err = dialErr
+		}
+		return nil, err
+	}
+	return &localTCP{Coordinator: coord, wg: &wg}, nil
+}
+
+// localTCP wraps a Coordinator so Close also joins the site goroutines.
+type localTCP struct {
+	*Coordinator
+	wg *sync.WaitGroup
+}
+
+// Close implements Transport.
+func (t *localTCP) Close() error {
+	err := t.Coordinator.Close()
+	t.wg.Wait()
+	return err
+}

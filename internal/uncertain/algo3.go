@@ -9,6 +9,8 @@ import (
 	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/protocol"
+	"dpc/internal/transport"
 )
 
 // Objective selects the uncertain clustering objective.
@@ -64,6 +66,10 @@ type Config struct {
 	LocalOpts  kmedian.Options
 	Candidates CandidateSet // where 1-medians are searched
 	Sequential bool
+	// Transport selects the wire backend: empty or transport.KindLoopback
+	// keeps sites in-process; transport.KindTCP runs the identical
+	// protocol over real localhost sockets.
+	Transport transport.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +91,8 @@ type Result struct {
 	Centers []metric.Point
 	// Report is the measured communication/time footprint.
 	Report comm.Report
-	// SiteBudgets are the allocated per-site outlier budgets.
+	// SiteBudgets are the allocated per-site outlier budgets (nil for
+	// 1-round runs, where every t_i = t).
 	SiteBudgets []int
 	// CoordinatorClients is the size of the coordinator's induced instance.
 	CoordinatorClients int
@@ -93,49 +100,144 @@ type Result struct {
 	OutlierBudget float64
 }
 
-// uSite is per-site state.
+// uSite is the site half of Algorithm 3 (wrapped around Algorithm 1 for
+// median/means, Algorithm 2 for center-pp): per-site state driven by round
+// number and wire bytes, like core's site handlers.
 type uSite struct {
-	nodes  []Node
-	col    *Collapsed
-	trav   kcenter.Traversal
-	fn     geom.ConvexFn
-	sols   map[int]kmedian.Solution
-	opts   kmedian.Options
-	budget int
+	cfg     Config
+	obj     Objective
+	site    int
+	g       *Ground
+	nodes   []Node
+	col     *Collapsed
+	trav    kcenter.Traversal
+	fn      geom.ConvexFn
+	sols    map[int]kmedian.Solution
+	opts    kmedian.Options
+	budget  int
+	started bool
 }
 
-// Run executes the distributed uncertain (k,t)-median/means/center-pp
-// protocol (Algorithm 3 wrapped around Algorithm 1 or 2).
-func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
-	cfg = cfg.withDefaults()
-	if len(sites) == 0 {
-		return Result{}, fmt.Errorf("uncertain: no sites")
-	}
-	total := 0
-	for i, nds := range sites {
-		if len(nds) == 0 {
-			return Result{}, fmt.Errorf("uncertain: site %d empty", i)
-		}
-		total += len(nds)
-	}
-	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= total {
-		return Result{}, fmt.Errorf("uncertain: bad K=%d T=%d (n=%d)", cfg.K, cfg.T, total)
-	}
-	if obj == CenterPP {
-		return runCenterPP(g, sites, cfg)
-	}
-	return runMedianMeans(g, sites, cfg, obj)
-}
-
-func newUSite(g *Ground, nodes []Node, cfg Config, squared bool, i int) *uSite {
+func newUSite(g *Ground, nodes []Node, cfg Config, obj Objective, site int) *uSite {
 	opts := cfg.LocalOpts
-	opts.Seed += int64(i) * 999983
+	opts.Seed += int64(site) * 999983
 	return &uSite{
+		cfg:   cfg,
+		obj:   obj,
+		site:  site,
+		g:     g,
 		nodes: nodes,
-		col:   Collapse(g, nodes, squared, cfg.Candidates),
-		sols:  make(map[int]kmedian.Solution),
 		opts:  opts,
 	}
+}
+
+// start collapses the site's nodes lazily on the first round, so the cost
+// is attributed to site compute time on whatever transport is in use.
+func (st *uSite) start() {
+	if st.started {
+		return
+	}
+	st.started = true
+	st.col = Collapse(st.g, st.nodes, st.obj == Means, st.cfg.Candidates)
+	st.sols = make(map[int]kmedian.Solution)
+	if st.obj == CenterPP {
+		st.trav = kcenter.Gonzalez(st.col, st.cfg.K+st.cfg.T, 0)
+	}
+}
+
+// handle implements transport.Handler for the uncertain site side.
+func (st *uSite) handle(round int, in []byte) ([]byte, error) {
+	st.start()
+	if st.obj == CenterPP {
+		return st.handleCenterPP(round, in)
+	}
+	return st.handleMedianMeans(round, in)
+}
+
+func (st *uSite) handleMedianMeans(round int, in []byte) ([]byte, error) {
+	cfg := st.cfg
+	k2 := 2 * cfg.K
+	switch {
+	case cfg.Variant == OneRoundShipDists && round == 0:
+		st.budget = capBudget(cfg.T, len(st.nodes))
+		return comm.Encode(st.nodesPayload(st.solve(k2, st.budget, cfg.Engine)))
+
+	case round == 0:
+		samples := make([]geom.Vertex, 0, 8)
+		var warm []int
+		for _, q := range geom.Grid(capBudget(cfg.T, len(st.nodes)), cfg.HullBase) {
+			st.opts.Warm = warm
+			sol := st.solve(k2, q, cfg.Engine)
+			warm = sol.Centers
+			samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+		}
+		st.opts.Warm = nil
+		fn, err := geom.NewConvexFn(samples)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: site hull: %w", err)
+		}
+		st.fn = fn
+		return comm.Encode(comm.HullMsg{V: fn.Vertices()})
+
+	case round == 1 && cfg.Variant != OneRoundShipDists:
+		ti, err := st.budgetFromPivot(in)
+		if err != nil {
+			return nil, err
+		}
+		st.budget = ti
+		return comm.Encode(st.collapsedPayload(st.solve(k2, ti, cfg.Engine)))
+	}
+	return nil, fmt.Errorf("uncertain: site has no round %d for variant %v", round, cfg.Variant)
+}
+
+func (st *uSite) handleCenterPP(round int, in []byte) ([]byte, error) {
+	cfg := st.cfg
+	switch {
+	case cfg.Variant == OneRoundShipDists && round == 0:
+		st.budget = cfg.T
+		return comm.Encode(st.centerPayload())
+
+	case round == 0:
+		tcap := capBudget(cfg.T, len(st.nodes))
+		suffix := make([]float64, tcap+2)
+		for q := tcap; q >= 1; q-- {
+			slope := 0.0
+			if idx := cfg.K + q - 1; idx < len(st.trav.Order) {
+				slope = st.trav.Radii[idx]
+			}
+			suffix[q] = suffix[q+1] + slope
+		}
+		samples := make([]geom.Vertex, 0, 8)
+		for _, q := range geom.Grid(tcap, cfg.HullBase) {
+			samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
+		}
+		fn, err := geom.NewConvexFn(samples)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: center-pp site hull: %w", err)
+		}
+		st.fn = fn
+		return comm.Encode(comm.HullMsg{V: fn.Vertices()})
+
+	case round == 1 && cfg.Variant != OneRoundShipDists:
+		ti, err := st.budgetFromPivot(in)
+		if err != nil {
+			return nil, err
+		}
+		st.budget = ti
+		return comm.Encode(st.centerPayload())
+	}
+	return nil, fmt.Errorf("uncertain: center-pp site has no round %d for variant %v", round, cfg.Variant)
+}
+
+// budgetFromPivot decodes the broadcast pivot and replays Step 11 for this
+// site's hull.
+func (st *uSite) budgetFromPivot(in []byte) (int, error) {
+	var pm comm.PivotMsg
+	if err := pm.UnmarshalBinary(in); err != nil {
+		return 0, fmt.Errorf("uncertain: site pivot: %w", err)
+	}
+	pivot := alloc.Pivot{I0: pm.I0, Q0: pm.Q0, L0: pm.L0, Rank: pm.Rank, Exhausted: pm.Exhausted}
+	return alloc.FinalBudget(st.fn, st.site, pivot), nil
 }
 
 func (st *uSite) solve(k2, q int, engine kmedian.Engine) kmedian.Solution {
@@ -209,78 +311,113 @@ func (st *uSite) nodesPayload(sol kmedian.Solution) comm.Payload {
 	return comm.Multi{Parts: []comm.Payload{centers, outs}}
 }
 
-func runMedianMeans(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
-	s := len(sites)
-	nw := comm.New(s, !cfg.Sequential)
-	k2 := 2 * cfg.K
+// centerPayload ships the first k+ti traversal collapse points with
+// attached counts (the Algorithm 2 preclustering over collapsed nodes).
+func (st *uSite) centerPayload() comm.Payload {
+	m := st.cfg.K + st.budget
+	if m > len(st.trav.Order) {
+		m = len(st.trav.Order)
+	}
+	_, counts, _ := st.trav.AssignPrefix(st.col, m, nil)
+	var msg comm.CollapsedMsg
+	for c := 0; c < m; c++ {
+		j := st.trav.Order[c]
+		msg.Y = append(msg.Y, st.col.Y[j])
+		msg.Ell = append(msg.Ell, 0)
+		msg.W = append(msg.W, counts[c])
+	}
+	return msg
+}
+
+// Run executes the distributed uncertain (k,t)-median/means/center-pp
+// protocol (Algorithm 3 wrapped around Algorithm 1 or 2) with sites
+// in-process over the backend cfg.Transport selects.
+func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(sites) == 0 {
+		return Result{}, fmt.Errorf("uncertain: no sites")
+	}
+	total := 0
+	for i, nds := range sites {
+		if len(nds) == 0 {
+			return Result{}, fmt.Errorf("uncertain: site %d empty", i)
+		}
+		total += len(nds)
+	}
+	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= total {
+		return Result{}, fmt.Errorf("uncertain: bad K=%d T=%d (n=%d)", cfg.K, cfg.T, total)
+	}
+	handlers := make([]transport.Handler, len(sites))
+	for i := range sites {
+		h, err := NewSiteHandler(g, sites[i], cfg, obj, i)
+		if err != nil {
+			return Result{}, err
+		}
+		handlers[i] = h
+	}
+	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	if err != nil {
+		return Result{}, err
+	}
+	defer tr.Close()
+	return RunOver(g, tr, cfg, obj)
+}
+
+// NewSiteHandler builds the site half of the uncertain protocol for site i
+// holding nodes over the shared ground set g.
+func NewSiteHandler(g *Ground, nodes []Node, cfg Config, obj Objective, site int) (transport.Handler, error) {
+	cfg = cfg.withDefaults()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("uncertain: site %d empty", site)
+	}
+	if cfg.K <= 0 || cfg.T < 0 {
+		return nil, fmt.Errorf("uncertain: bad K=%d T=%d", cfg.K, cfg.T)
+	}
+	return newUSite(g, nodes, cfg, obj, site).handle, nil
+}
+
+// RunOver executes the coordinator side of the uncertain protocol over an
+// already-connected transport (sites served elsewhere via NewSiteHandler
+// with the identical config, objective and ground set g — in the paper's
+// model the ground metric is shared knowledge).
+func RunOver(g *Ground, tr transport.Transport, cfg Config, obj Objective) (Result, error) {
+	cfg = cfg.withDefaults()
+	if tr.Sites() == 0 {
+		return Result{}, fmt.Errorf("uncertain: no sites")
+	}
+	nw := comm.NewOver(tr)
+	if obj == CenterPP {
+		return runCenterPP(nw, cfg)
+	}
+	return runMedianMeans(g, nw, cfg, obj)
+}
+
+func runMedianMeans(g *Ground, nw *comm.Network, cfg Config, obj Objective) (Result, error) {
 	squared := obj == Means
 
-	states := make([]*uSite, s)
-	var roundTwo []comm.Payload
-
+	var roundTwo [][]byte
+	var budgets []int
+	var err error
 	if cfg.Variant == OneRoundShipDists {
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := newUSite(g, sites[i], cfg, squared, i)
-			states[i] = st
-			st.budget = capBudget(cfg.T, len(st.nodes))
-			return st.nodesPayload(st.solve(k2, st.budget, cfg.Engine))
-		})
+		roundTwo, err = nw.SiteRound()
 	} else {
-		hullUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newUSite(g, sites[i], cfg, squared, i)
-			states[i] = st
-			samples := make([]geom.Vertex, 0, 8)
-			var warm []int
-			for _, q := range geom.Grid(capBudget(cfg.T, len(st.nodes)), cfg.HullBase) {
-				st.opts.Warm = warm
-				sol := st.solve(k2, q, cfg.Engine)
-				warm = sol.Centers
-				samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
-			}
-			st.opts.Warm = nil
-			fn, err := geom.NewConvexFn(samples)
-			if err != nil {
-				panic(fmt.Sprintf("uncertain: site %d hull: %v", i, err))
-			}
-			st.fn = fn
-			return comm.HullMsg{V: fn.Vertices()}
-		})
-
-		var pivot alloc.Pivot
-		fns := make([]geom.ConvexFn, s)
-		nw.Coordinator(func() {
-			for i, p := range hullUp {
-				var msg comm.HullMsg
-				if err := roundTrip(p, &msg); err != nil {
-					panic(err)
-				}
-				fn, err := geom.NewConvexFn(msg.V)
-				if err != nil {
-					panic(err)
-				}
-				fns[i] = fn
-			}
-			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
-		})
-		nw.Broadcast(comm.PivotMsg{I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0, Rank: pivot.Rank, Exhausted: pivot.Exhausted})
-
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := states[i]
-			ti := alloc.BudgetForSite(st.fn, i, pivot)
-			if i == pivot.I0 {
-				ti = st.fn.NextVertex(pivot.Q0)
-			}
-			st.budget = ti
-			return st.collapsedPayload(st.solve(k2, ti, cfg.Engine))
-		})
+		roundTwo, budgets, err = protocol.TwoRoundGather(nw, int(cfg.Rho*float64(cfg.T)), "uncertain")
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
 	var result Result
+	var decodeErr error
 	nw.Coordinator(func() {
 		col := &Collapsed{Squared: squared}
 		var wts []float64
-		for _, p := range roundTwo {
-			y, ell, w := decodeCollapsed(p, cfg.Variant == OneRoundShipDists, g, squared, cfg.Candidates)
+		for i, b := range roundTwo {
+			y, ell, w, err := decodeCollapsed(b, cfg.Variant == OneRoundShipDists, g, squared, cfg.Candidates)
+			if err != nil {
+				decodeErr = fmt.Errorf("uncertain: payload from site %d: %w", i, err)
+				return
+			}
 			col.Y = append(col.Y, y...)
 			col.Ell = append(col.Ell, ell...)
 			wts = append(wts, w...)
@@ -291,105 +428,37 @@ func runMedianMeans(g *Ground, sites [][]Node, cfg Config, obj Objective) (Resul
 		result.Centers = clonePoints(col.Y, sol.Centers)
 		result.CoordinatorClients = col.Len()
 	})
+	if decodeErr != nil {
+		return Result{}, decodeErr
+	}
 
-	finish(&result, nw, states, cfg)
+	finish(&result, nw, budgets, cfg)
 	return result, nil
 }
 
-func runCenterPP(g *Ground, sites [][]Node, cfg Config) (Result, error) {
-	s := len(sites)
-	nw := comm.New(s, !cfg.Sequential)
-	k := cfg.K
-
-	states := make([]*uSite, s)
-	payload := func(st *uSite) comm.Payload {
-		m := k + st.budget
-		if m > len(st.trav.Order) {
-			m = len(st.trav.Order)
-		}
-		_, counts, _ := st.trav.AssignPrefix(st.col, m, nil)
-		var msg comm.CollapsedMsg
-		for c := 0; c < m; c++ {
-			j := st.trav.Order[c]
-			msg.Y = append(msg.Y, st.col.Y[j])
-			msg.Ell = append(msg.Ell, 0)
-			msg.W = append(msg.W, counts[c])
-		}
-		return msg
-	}
-
-	var roundTwo []comm.Payload
+func runCenterPP(nw *comm.Network, cfg Config) (Result, error) {
+	var roundTwo [][]byte
+	var budgets []int
+	var err error
 	if cfg.Variant == OneRoundShipDists {
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := newUSite(g, sites[i], cfg, false, i)
-			states[i] = st
-			st.trav = kcenter.Gonzalez(st.col, k+cfg.T, 0)
-			st.budget = cfg.T
-			return payload(st)
-		})
+		roundTwo, err = nw.SiteRound()
 	} else {
-		hullUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newUSite(g, sites[i], cfg, false, i)
-			states[i] = st
-			st.trav = kcenter.Gonzalez(st.col, k+cfg.T, 0)
-			tcap := capBudget(cfg.T, len(st.nodes))
-			suffix := make([]float64, tcap+2)
-			for q := tcap; q >= 1; q-- {
-				slope := 0.0
-				if idx := k + q - 1; idx < len(st.trav.Order) {
-					slope = st.trav.Radii[idx]
-				}
-				suffix[q] = suffix[q+1] + slope
-			}
-			samples := make([]geom.Vertex, 0, 8)
-			for _, q := range geom.Grid(tcap, cfg.HullBase) {
-				samples = append(samples, geom.Vertex{Q: q, C: suffix[q+1]})
-			}
-			fn, err := geom.NewConvexFn(samples)
-			if err != nil {
-				panic(err)
-			}
-			st.fn = fn
-			return comm.HullMsg{V: fn.Vertices()}
-		})
-
-		var pivot alloc.Pivot
-		fns := make([]geom.ConvexFn, s)
-		nw.Coordinator(func() {
-			for i, p := range hullUp {
-				var msg comm.HullMsg
-				if err := roundTrip(p, &msg); err != nil {
-					panic(err)
-				}
-				fn, err := geom.NewConvexFn(msg.V)
-				if err != nil {
-					panic(err)
-				}
-				fns[i] = fn
-			}
-			pivot, _ = alloc.Allocate(fns, int(cfg.Rho*float64(cfg.T)))
-		})
-		nw.Broadcast(comm.PivotMsg{I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0, Rank: pivot.Rank, Exhausted: pivot.Exhausted})
-
-		roundTwo = nw.SiteRound(func(i int) comm.Payload {
-			st := states[i]
-			ti := alloc.BudgetForSite(st.fn, i, pivot)
-			if i == pivot.I0 {
-				ti = st.fn.NextVertex(pivot.Q0)
-			}
-			st.budget = ti
-			return payload(st)
-		})
+		roundTwo, budgets, err = protocol.TwoRoundGather(nw, int(cfg.Rho*float64(cfg.T)), "uncertain")
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
 	var result Result
+	var decodeErr error
 	nw.Coordinator(func() {
 		col := &Collapsed{}
 		var wts []float64
-		for _, p := range roundTwo {
+		for i, b := range roundTwo {
 			var msg comm.CollapsedMsg
-			if err := roundTrip(p, &msg); err != nil {
-				panic(err)
+			if err := msg.UnmarshalBinary(b); err != nil {
+				decodeErr = fmt.Errorf("uncertain: payload from site %d: %w", i, err)
+				return
 			}
 			col.Y = append(col.Y, msg.Y...)
 			col.Ell = append(col.Ell, msg.Ell...)
@@ -399,17 +468,17 @@ func runCenterPP(g *Ground, sites [][]Node, cfg Config) (Result, error) {
 		result.Centers = clonePoints(col.Y, sol.Centers)
 		result.CoordinatorClients = col.Len()
 	})
+	if decodeErr != nil {
+		return Result{}, decodeErr
+	}
 
-	finish(&result, nw, states, cfg)
+	finish(&result, nw, budgets, cfg)
 	return result, nil
 }
 
-func finish(result *Result, nw *comm.Network, states []*uSite, cfg Config) {
+func finish(result *Result, nw *comm.Network, budgets []int, cfg Config) {
 	result.Report = nw.Report()
-	result.SiteBudgets = make([]int, len(states))
-	for i, st := range states {
-		result.SiteBudgets[i] = st.budget
-	}
+	result.SiteBudgets = budgets
 	result.OutlierBudget = (1 + cfg.Eps) * float64(cfg.T)
 }
 
@@ -420,36 +489,31 @@ func capBudget(t, n int) int {
 	return t
 }
 
-func roundTrip(p comm.Payload, dst interface{ UnmarshalBinary([]byte) error }) error {
-	b, err := p.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	return dst.UnmarshalBinary(b)
-}
-
 // decodeCollapsed extracts (y, ell, w) triples from a round-2 payload; for
 // the naive variant the outlier nodes arrive as full distributions and are
-// collapsed at the coordinator.
-func decodeCollapsed(p comm.Payload, naive bool, g *Ground, squared bool, cand CandidateSet) ([]metric.Point, []float64, []float64) {
+// collapsed at the coordinator (over the shared ground set g).
+func decodeCollapsed(b []byte, naive bool, g *Ground, squared bool, cand CandidateSet) ([]metric.Point, []float64, []float64, error) {
 	if !naive {
 		var msg comm.CollapsedMsg
-		if err := roundTrip(p, &msg); err != nil {
-			panic(err)
+		if err := msg.UnmarshalBinary(b); err != nil {
+			return nil, nil, nil, err
 		}
-		return msg.Y, msg.Ell, msg.W
+		return msg.Y, msg.Ell, msg.W, nil
 	}
-	multi, ok := p.(comm.Multi)
-	if !ok || len(multi.Parts) != 2 {
-		panic("uncertain: malformed naive payload")
+	parts, err := comm.SplitMulti(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(parts) != 2 {
+		return nil, nil, nil, fmt.Errorf("uncertain: malformed naive payload (%d parts)", len(parts))
 	}
 	var centers comm.CollapsedMsg
-	if err := roundTrip(multi.Parts[0], &centers); err != nil {
-		panic(err)
+	if err := centers.UnmarshalBinary(parts[0]); err != nil {
+		return nil, nil, nil, err
 	}
 	var outs comm.NodesMsg
-	if err := roundTrip(multi.Parts[1], &outs); err != nil {
-		panic(err)
+	if err := outs.UnmarshalBinary(parts[1]); err != nil {
+		return nil, nil, nil, err
 	}
 	y := append([]metric.Point(nil), centers.Y...)
 	ell := append([]float64(nil), centers.Ell...)
@@ -470,7 +534,7 @@ func decodeCollapsed(p comm.Payload, naive bool, g *Ground, squared bool, cand C
 		ell = append(ell, li)
 		w = append(w, 1)
 	}
-	return y, ell, w
+	return y, ell, w, nil
 }
 
 func clonePoints(pts []metric.Point, idx []int) []metric.Point {

@@ -11,6 +11,7 @@ import (
 	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/transport"
 )
 
 // CenterGConfig parameterizes Algorithm 4.
@@ -38,6 +39,9 @@ type CenterGConfig struct {
 	// Otilde(s (kB + tI) log Delta) — and the coordinator picks tau-hat
 	// from the shipped costs.
 	OneRound bool
+	// Transport selects the wire backend (loopback in-process by default,
+	// tcp for real localhost sockets).
+	Transport transport.Kind
 }
 
 func (c CenterGConfig) withDefaults() CenterGConfig {
@@ -69,28 +73,69 @@ type CenterGResult struct {
 	// TauGrid is the searched grid (|TauGrid| = O(log Delta)).
 	TauGrid []float64
 	Report  comm.Report
-	// SiteBudgets are the t_i(tau-hat) of the chosen threshold.
+	// SiteBudgets are the t_i(tau-hat) of the chosen threshold (nil for
+	// the 1-round variant, where every t_i = t).
 	SiteBudgets   []int
 	OutlierBudget float64
 }
 
-// cgSite is per-site state of Algorithm 4.
+// tauGrid computes Step 2's truncation grid
+// T = {base^i * dmin/18 : 0 <= i <= ceil(log Delta) + 2}. The grid is a
+// deterministic function of the shared ground set, so coordinator and
+// sites derive the identical grid independently — only the chosen tau-hat
+// crosses the wire (in the pivot broadcast).
+func tauGrid(g *Ground, base float64) ([]float64, error) {
+	dmin, dmax := g.MinMax()
+	if dmin <= 0 {
+		return nil, fmt.Errorf("uncertain: degenerate ground set (dmin=0)")
+	}
+	delta := dmax / dmin
+	steps := int(math.Ceil(math.Log(delta)/math.Log(base))) + 3
+	grid := make([]float64, steps)
+	tau := dmin / 18
+	for i := range grid {
+		grid[i] = tau
+		tau *= base
+	}
+	return grid, nil
+}
+
+// cgSite is the site half of Algorithm 4.
 type cgSite struct {
+	cfg    CenterGConfig
+	site   int
+	g      *Ground
+	grid   []float64
 	nodes  []Node
 	fac    []int                       // candidate facility indices into the ground set
 	sols   map[[2]int]kmedian.Solution // (tauIdx, q) -> solution
 	fns    []geom.ConvexFn             // one per tau
-	opts   kmedian.Options
 	budget int
 }
 
-func (st *cgSite) solve(g *Ground, tauIdx int, tau6 float64, k2, q int, engine kmedian.Engine) kmedian.Solution {
+func newCGSite(g *Ground, nodes []Node, cfg CenterGConfig, grid []float64, site int) *cgSite {
+	opts := cfg.LocalOpts
+	opts.Seed += int64(site) * 1000033
+	st := &cgSite{
+		cfg:   cfg,
+		site:  site,
+		g:     g,
+		grid:  grid,
+		nodes: nodes,
+		sols:  make(map[[2]int]kmedian.Solution),
+	}
+	st.cfg.LocalOpts = opts
+	st.fac = facilityCandidates(nodes, cfg.MaxFacilities)
+	return st
+}
+
+func (st *cgSite) solve(tauIdx int, tau6 float64, k2, q int) kmedian.Solution {
 	key := [2]int{tauIdx, q}
 	if sol, ok := st.sols[key]; ok {
 		return sol
 	}
-	tc := &TruncCosts{G: g, Nodes: st.nodes, Fac: st.fac, Tau: tau6}
-	sol := kmedian.Solve(tc, nil, k2, float64(q), engine, st.opts)
+	tc := &TruncCosts{G: st.g, Nodes: st.nodes, Fac: st.fac, Tau: tau6}
+	sol := kmedian.Solve(tc, nil, k2, float64(q), st.cfg.Engine, st.cfg.LocalOpts)
 	st.sols[key] = sol
 	return sol
 }
@@ -98,12 +143,12 @@ func (st *cgSite) solve(g *Ground, tauIdx int, tau6 float64, k2, q int, engine k
 // wirePrecluster serializes a local solution: the chosen centers as ground
 // points with attached node counts, and the outlier nodes as full
 // distributions (the I-bit payload).
-func (st *cgSite) wirePrecluster(g *Ground, sol kmedian.Solution) (comm.WeightedPointsMsg, comm.NodesMsg) {
+func (st *cgSite) wirePrecluster(sol kmedian.Solution) (comm.WeightedPointsMsg, comm.NodesMsg) {
 	var centers comm.WeightedPointsMsg
 	idx := make(map[int]int, len(sol.Centers))
 	for _, f := range sol.Centers {
 		idx[f] = len(centers.Pts)
-		centers.Pts = append(centers.Pts, g.Pts[st.fac[f]])
+		centers.Pts = append(centers.Pts, st.g.Pts[st.fac[f]])
 		centers.W = append(centers.W, 0)
 	}
 	for j, f := range sol.Assign {
@@ -128,12 +173,106 @@ func (st *cgSite) wirePrecluster(g *Ground, sol kmedian.Solution) (comm.Weighted
 	return centers, outs
 }
 
+// handle implements transport.Handler for Algorithm 4's site side.
+func (st *cgSite) handle(round int, in []byte) ([]byte, error) {
+	cfg := st.cfg
+	k2 := 2 * cfg.K
+	switch {
+	case cfg.OneRound && round == 0:
+		// Table 2 variant: one round, everything for every tau —
+		// Otilde(s (kB + tI) log Delta) communication.
+		st.budget = capBudget(cfg.T, len(st.nodes))
+		costs := make([]float64, len(st.grid))
+		parts := make([]comm.Payload, 1, 1+2*len(st.grid))
+		for ti, tv := range st.grid {
+			sol := st.solve(ti, 6*tv, k2, st.budget)
+			costs[ti] = sol.Cost
+			centers, outs := st.wirePrecluster(sol)
+			parts = append(parts, centers, outs)
+		}
+		parts[0] = comm.Float64sMsg{Vals: costs}
+		return comm.Encode(comm.Multi{Parts: parts})
+
+	case round == 0:
+		// Round 1: per tau, the hull of local truncated costs (Steps 3-5).
+		tcap := capBudget(cfg.T, len(st.nodes))
+		budgetGrid := geom.Grid(tcap, cfg.HullBase)
+		msg := comm.HullsMsg{Hulls: make([][]geom.Vertex, len(st.grid))}
+		st.fns = make([]geom.ConvexFn, len(st.grid))
+		for ti, tv := range st.grid {
+			samples := make([]geom.Vertex, 0, len(budgetGrid))
+			var warm []int
+			for _, q := range budgetGrid {
+				st.cfg.LocalOpts.Warm = warm
+				sol := st.solve(ti, 6*tv, k2, q)
+				warm = sol.Centers
+				samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
+			}
+			st.cfg.LocalOpts.Warm = nil
+			fn, err := geom.NewConvexFn(samples)
+			if err != nil {
+				return nil, fmt.Errorf("uncertain: center-g site hull: %w", err)
+			}
+			st.fns[ti] = fn
+			msg.Hulls[ti] = fn.Vertices()
+		}
+		return comm.Encode(msg)
+
+	case round == 1 && !cfg.OneRound:
+		// Round 2: preclustering at tau-hat; centers as points, outliers
+		// as full node distributions (Step 7). Tau-hat arrives in the
+		// pivot broadcast; the site locates it on its own grid.
+		var pm comm.PivotMsg
+		if err := pm.UnmarshalBinary(in); err != nil {
+			return nil, fmt.Errorf("uncertain: center-g site pivot: %w", err)
+		}
+		tauIdx := -1
+		for ti, tv := range st.grid {
+			if tv == pm.Tau {
+				tauIdx = ti
+				break
+			}
+		}
+		if tauIdx < 0 {
+			return nil, fmt.Errorf("uncertain: broadcast tau %g not on the site grid", pm.Tau)
+		}
+		pivot := alloc.Pivot{I0: pm.I0, Q0: pm.Q0, L0: pm.L0, Rank: pm.Rank, Exhausted: pm.Exhausted}
+		fn := st.fns[tauIdx]
+		ti := alloc.FinalBudget(fn, st.site, pivot)
+		st.budget = ti
+		sol := st.solve(tauIdx, 6*st.grid[tauIdx], k2, ti)
+		centers, outs := st.wirePrecluster(sol)
+		return comm.Encode(comm.Multi{Parts: []comm.Payload{centers, outs}})
+	}
+	return nil, fmt.Errorf("uncertain: center-g site has no round %d", round)
+}
+
+// NewCenterGSiteHandler builds the site half of Algorithm 4 for site i,
+// deriving the tau grid from the shared ground set (a genuinely remote
+// site must compute it itself; in-process runs share one grid instead).
+func NewCenterGSiteHandler(g *Ground, nodes []Node, cfg CenterGConfig, site int) (transport.Handler, error) {
+	cfg = cfg.withDefaults()
+	grid, err := tauGrid(g, cfg.TauBase)
+	if err != nil {
+		return nil, err
+	}
+	return newCenterGSiteHandler(g, nodes, cfg, grid, site)
+}
+
+func newCenterGSiteHandler(g *Ground, nodes []Node, cfg CenterGConfig, grid []float64, site int) (transport.Handler, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("uncertain: site %d empty", site)
+	}
+	return newCGSite(g, nodes, cfg, grid, site).handle, nil
+}
+
 // RunCenterG executes Algorithm 4 for the uncertain (k,t)-center-g
 // objective: parametric search over truncation thresholds tau, local
 // (2k, q, rho_6tau)-median preclusterings per threshold, the usual
 // allocation, and a final weighted truncated solve at the coordinator.
 // Outlier nodes cross the wire as full distributions (the t*I term of
-// Theorem 5.14).
+// Theorem 5.14). Sites run in-process over the backend cfg.Transport
+// selects.
 func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
 	cfg = cfg.withDefaults()
 	s := len(sites)
@@ -150,67 +289,82 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 	if cfg.K <= 0 || cfg.T < 0 || cfg.T >= total {
 		return CenterGResult{}, fmt.Errorf("uncertain: bad K=%d T=%d", cfg.K, cfg.T)
 	}
-	dmin, dmax := g.MinMax()
-	if dmin <= 0 {
-		return CenterGResult{}, fmt.Errorf("uncertain: degenerate ground set (dmin=0)")
+	// One grid for everyone: tauGrid costs an O(|ground|^2) min/max scan,
+	// so in-process runs must not pay it once per site.
+	grid, err := tauGrid(g, cfg.TauBase)
+	if err != nil {
+		return CenterGResult{}, err
 	}
-	// Step 2: T = {base^i * dmin/18 : 0 <= i <= ceil(log Delta) + 2}.
-	delta := dmax / dmin
-	steps := int(math.Ceil(math.Log(delta)/math.Log(cfg.TauBase))) + 3
-	grid := make([]float64, steps)
-	tau := dmin / 18
-	for i := range grid {
-		grid[i] = tau
-		tau *= cfg.TauBase
+	handlers := make([]transport.Handler, s)
+	for i := range sites {
+		h, err := newCenterGSiteHandler(g, sites[i], cfg, grid, i)
+		if err != nil {
+			return CenterGResult{}, err
+		}
+		handlers[i] = h
 	}
+	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	if err != nil {
+		return CenterGResult{}, err
+	}
+	defer tr.Close()
+	return runCenterGOver(g, tr, cfg, grid)
+}
 
-	nw := comm.New(s, !cfg.Sequential)
-	k2 := 2 * cfg.K
-	states := make([]*cgSite, s)
-	newState := func(i int) *cgSite {
-		opts := cfg.LocalOpts
-		opts.Seed += int64(i) * 1000033
-		st := &cgSite{nodes: sites[i], sols: make(map[[2]int]kmedian.Solution), opts: opts}
-		st.fac = facilityCandidates(sites[i], cfg.MaxFacilities)
-		states[i] = st
-		return st
+// RunCenterGOver executes the coordinator side of Algorithm 4 over an
+// already-connected transport.
+func RunCenterGOver(g *Ground, tr transport.Transport, cfg CenterGConfig) (CenterGResult, error) {
+	cfg = cfg.withDefaults()
+	grid, err := tauGrid(g, cfg.TauBase)
+	if err != nil {
+		return CenterGResult{}, err
 	}
+	return runCenterGOver(g, tr, cfg, grid)
+}
+
+// runCenterGOver is RunCenterGOver with the tau grid already computed
+// (cfg must have defaults applied).
+func runCenterGOver(g *Ground, tr transport.Transport, cfg CenterGConfig, grid []float64) (CenterGResult, error) {
+	s := tr.Sites()
+	if s == 0 {
+		return CenterGResult{}, fmt.Errorf("uncertain: no sites")
+	}
+	nw := comm.NewOver(tr)
 
 	tauIdx := len(grid) - 1
 	// centerParts/outParts hold, per site, the tau-hat preclustering as it
 	// came off the wire.
 	centerParts := make([]comm.WeightedPointsMsg, s)
 	outParts := make([]comm.NodesMsg, s)
+	var budgets []int
 
 	if cfg.OneRound {
-		// Table 2 variant: one round, everything for every tau —
-		// Otilde(s (kB + tI) log Delta) communication.
-		oneUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			st.budget = capBudget(cfg.T, len(st.nodes))
-			costs := make([]float64, len(grid))
-			parts := make([]comm.Payload, 1, 1+2*len(grid))
-			for ti, tv := range grid {
-				sol := st.solve(g, ti, 6*tv, k2, st.budget, cfg.Engine)
-				costs[ti] = sol.Cost
-				centers, outs := st.wirePrecluster(g, sol)
-				parts = append(parts, centers, outs)
-			}
-			parts[0] = comm.Float64sMsg{Vals: costs}
-			return comm.Multi{Parts: parts}
-		})
+		oneUp, err := nw.SiteRound()
+		if err != nil {
+			return CenterGResult{}, err
+		}
+		var decodeErr error
 		nw.Coordinator(func() {
 			sums := make([]float64, len(grid))
-			multis := make([]comm.Multi, s)
-			for i, p := range oneUp {
-				multi, ok := p.(comm.Multi)
-				if !ok || len(multi.Parts) != 1+2*len(grid) {
-					panic("uncertain: malformed one-round center-g payload")
+			multis := make([][][]byte, s)
+			for i, b := range oneUp {
+				parts, err := comm.SplitMulti(b)
+				if err == nil && len(parts) != 1+2*len(grid) {
+					err = fmt.Errorf("uncertain: %d parts, want %d", len(parts), 1+2*len(grid))
 				}
-				multis[i] = multi
+				if err != nil {
+					decodeErr = fmt.Errorf("uncertain: one-round center-g payload from site %d: %w", i, err)
+					return
+				}
+				multis[i] = parts
 				var cm comm.Float64sMsg
-				if err := roundTrip(multi.Parts[0], &cm); err != nil {
-					panic(err)
+				if err := cm.UnmarshalBinary(parts[0]); err != nil {
+					decodeErr = fmt.Errorf("uncertain: costs from site %d: %w", i, err)
+					return
+				}
+				if len(cm.Vals) != len(grid) {
+					decodeErr = fmt.Errorf("uncertain: site %d shipped %d costs, want %d", i, len(cm.Vals), len(grid))
+					return
 				}
 				for ti, v := range cm.Vals {
 					sums[ti] += v
@@ -223,60 +377,51 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 					break
 				}
 			}
-			for i, multi := range multis {
-				if err := roundTrip(multi.Parts[1+2*tauIdx], &centerParts[i]); err != nil {
-					panic(err)
+			for i, parts := range multis {
+				if err := centerParts[i].UnmarshalBinary(parts[1+2*tauIdx]); err != nil {
+					decodeErr = fmt.Errorf("uncertain: centers from site %d: %w", i, err)
+					return
 				}
-				if err := roundTrip(multi.Parts[2+2*tauIdx], &outParts[i]); err != nil {
-					panic(err)
+				if err := outParts[i].UnmarshalBinary(parts[2+2*tauIdx]); err != nil {
+					decodeErr = fmt.Errorf("uncertain: outliers from site %d: %w", i, err)
+					return
 				}
 			}
 		})
+		if decodeErr != nil {
+			return CenterGResult{}, decodeErr
+		}
 	} else {
-		// Round 1: per tau, the hull of local truncated costs (Steps 3-5).
-		hullUp := nw.SiteRound(func(i int) comm.Payload {
-			st := newState(i)
-			tcap := capBudget(cfg.T, len(st.nodes))
-			budgetGrid := geom.Grid(tcap, cfg.HullBase)
-			msg := comm.HullsMsg{Hulls: make([][]geom.Vertex, len(grid))}
-			st.fns = make([]geom.ConvexFn, len(grid))
-			for ti, tv := range grid {
-				samples := make([]geom.Vertex, 0, len(budgetGrid))
-				var warm []int
-				for _, q := range budgetGrid {
-					st.opts.Warm = warm
-					sol := st.solve(g, ti, 6*tv, k2, q, cfg.Engine)
-					warm = sol.Centers
-					samples = append(samples, geom.Vertex{Q: q, C: sol.Cost})
-				}
-				st.opts.Warm = nil
-				fn, err := geom.NewConvexFn(samples)
-				if err != nil {
-					panic(err)
-				}
-				st.fns[ti] = fn
-				msg.Hulls[ti] = fn.Vertices()
-			}
-			return msg
-		})
+		hullUp, err := nw.SiteRound()
+		if err != nil {
+			return CenterGResult{}, err
+		}
 
 		// Coordinator: tau-hat = min{tau : sum_i f_i(t_i(tau)) <= 12 tau}
 		// (Step 6), then the pivot for tau-hat.
 		var pivot alloc.Pivot
+		var ts []int
+		var decodeErr error
 		nw.Coordinator(func() {
 			all := make([][]geom.ConvexFn, len(grid)) // [tau][site]
 			for ti := range grid {
 				all[ti] = make([]geom.ConvexFn, s)
 			}
-			for i, p := range hullUp {
+			for i, b := range hullUp {
 				var msg comm.HullsMsg
-				if err := roundTrip(p, &msg); err != nil {
-					panic(err)
+				if err := msg.UnmarshalBinary(b); err != nil {
+					decodeErr = fmt.Errorf("uncertain: hulls from site %d: %w", i, err)
+					return
+				}
+				if len(msg.Hulls) != len(grid) {
+					decodeErr = fmt.Errorf("uncertain: site %d shipped %d hulls, want %d", i, len(msg.Hulls), len(grid))
+					return
 				}
 				for ti := range grid {
 					fn, err := geom.NewConvexFn(msg.Hulls[ti])
 					if err != nil {
-						panic(err)
+						decodeErr = fmt.Errorf("uncertain: hull %d from site %d: %w", ti, i, err)
+						return
 					}
 					all[ti][i] = fn
 				}
@@ -284,14 +429,10 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 			R := int(cfg.Rho * float64(cfg.T))
 			found := false
 			for ti, tv := range grid {
-				p, ts := alloc.Allocate(all[ti], R)
+				p, _ := alloc.Allocate(all[ti], R)
 				var sum float64
 				for i, fn := range all[ti] {
-					b := ts[i]
-					if i == p.I0 {
-						b = fn.NextVertex(p.Q0)
-					}
-					sum += fn.Eval(b)
+					sum += fn.Eval(alloc.FinalBudget(fn, i, p))
 				}
 				if sum <= 12*tv {
 					pivot, tauIdx, found = p, ti, true
@@ -302,38 +443,43 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 				tauIdx = len(grid) - 1
 				pivot, _ = alloc.Allocate(all[tauIdx], R)
 			}
+			// Replay Step 11 per site: the coordinator knows every
+			// t_i(tau-hat) without extra bytes.
+			ts = make([]int, s)
+			for i, fn := range all[tauIdx] {
+				ts[i] = alloc.FinalBudget(fn, i, pivot)
+			}
 		})
-		nw.Broadcast(comm.PivotMsg{
+		if decodeErr != nil {
+			return CenterGResult{}, decodeErr
+		}
+		if err := nw.Broadcast(comm.PivotMsg{
 			I0: pivot.I0, Q0: pivot.Q0, L0: pivot.L0,
 			Rank: pivot.Rank, Exhausted: pivot.Exhausted, Tau: grid[tauIdx],
-		})
+		}); err != nil {
+			return CenterGResult{}, err
+		}
 
-		// Round 2: preclustering at tau-hat; centers as points, outliers as
-		// full node distributions (Step 7).
-		roundTwo := nw.SiteRound(func(i int) comm.Payload {
-			st := states[i]
-			fn := st.fns[tauIdx]
-			ti := alloc.BudgetForSite(fn, i, pivot)
-			if i == pivot.I0 {
-				ti = fn.NextVertex(pivot.Q0)
+		roundTwo, err := nw.SiteRound()
+		if err != nil {
+			return CenterGResult{}, err
+		}
+		for i, b := range roundTwo {
+			parts, err := comm.SplitMulti(b)
+			if err == nil && len(parts) != 2 {
+				err = fmt.Errorf("uncertain: %d parts, want 2", len(parts))
 			}
-			st.budget = ti
-			sol := st.solve(g, tauIdx, 6*grid[tauIdx], k2, ti, cfg.Engine)
-			centers, outs := st.wirePrecluster(g, sol)
-			return comm.Multi{Parts: []comm.Payload{centers, outs}}
-		})
-		for i, p := range roundTwo {
-			multi, ok := p.(comm.Multi)
-			if !ok || len(multi.Parts) != 2 {
-				panic("uncertain: malformed center-g payload")
+			if err != nil {
+				return CenterGResult{}, fmt.Errorf("uncertain: center-g payload from site %d: %w", i, err)
 			}
-			if err := roundTrip(multi.Parts[0], &centerParts[i]); err != nil {
-				panic(err)
+			if err := centerParts[i].UnmarshalBinary(parts[0]); err != nil {
+				return CenterGResult{}, fmt.Errorf("uncertain: centers from site %d: %w", i, err)
 			}
-			if err := roundTrip(multi.Parts[1], &outParts[i]); err != nil {
-				panic(err)
+			if err := outParts[i].UnmarshalBinary(parts[1]); err != nil {
+				return CenterGResult{}, fmt.Errorf("uncertain: outliers from site %d: %w", i, err)
 			}
 		}
+		budgets = ts
 	}
 
 	// Coordinator: weighted truncated (k,t)-center over the union.
@@ -365,10 +511,7 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 	result.Tau = grid[tauIdx]
 	result.TauGrid = grid
 	result.Report = nw.Report()
-	result.SiteBudgets = make([]int, s)
-	for i, st := range states {
-		result.SiteBudgets[i] = st.budget
-	}
+	result.SiteBudgets = budgets
 	result.OutlierBudget = (1 + cfg.Eps) * float64(cfg.T)
 	return result, nil
 }
