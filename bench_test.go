@@ -14,8 +14,14 @@ import (
 )
 
 // runExperiment is the harness adapter: one experiment execution per
-// benchmark iteration.
+// benchmark iteration. Benchmarks always use the reduced ("quick")
+// instance sizes and are skipped entirely under -short, so
+// `go test -short -bench . ./...` stays fast; the full-size runs live in
+// cmd/dpc-tables and the engine comparison in cmd/dpc-bench.
 func runExperiment(b *testing.B, id string) {
+	if testing.Short() {
+		b.Skipf("%s: experiment benchmarks are skipped in -short mode", id)
+	}
 	e, ok := bench.Lookup(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
@@ -79,9 +85,13 @@ func BenchmarkLemma33Allocation(b *testing.B) { runExperiment(b, "E11") }
 func BenchmarkTheorem36SiteSpeedup(b *testing.B) { runExperiment(b, "E12") }
 
 // BenchmarkEndToEndMedian measures one full 2-round (k,t)-median run
-// (communication reported as a custom metric).
+// (communication reported as a custom metric). Shrunk under -short.
 func BenchmarkEndToEndMedian(b *testing.B) {
-	in := dpc.Mixture(dpc.MixtureSpec{N: 1200, K: 4, OutlierFrac: 0.05, Seed: 11})
+	n := 1200
+	if testing.Short() {
+		n = 300
+	}
+	in := dpc.Mixture(dpc.MixtureSpec{N: n, K: 4, OutlierFrac: 0.05, Seed: 11})
 	parts := dpc.Partition(in, 6, dpc.PartitionUniform, 12)
 	sites := dpc.SitePoints(in, parts)
 	b.ReportAllocs()
@@ -97,9 +107,14 @@ func BenchmarkEndToEndMedian(b *testing.B) {
 	b.ReportMetric(float64(bytes), "wire-bytes")
 }
 
-// BenchmarkEndToEndCenter measures one full Algorithm 2 run.
+// BenchmarkEndToEndCenter measures one full Algorithm 2 run. Shrunk under
+// -short.
 func BenchmarkEndToEndCenter(b *testing.B) {
-	in := dpc.Mixture(dpc.MixtureSpec{N: 1200, K: 4, OutlierFrac: 0.05, Seed: 13})
+	n := 1200
+	if testing.Short() {
+		n = 300
+	}
+	in := dpc.Mixture(dpc.MixtureSpec{N: n, K: 4, OutlierFrac: 0.05, Seed: 13})
 	parts := dpc.Partition(in, 6, dpc.PartitionUniform, 14)
 	sites := dpc.SitePoints(in, parts)
 	b.ReportAllocs()

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E42"}, &sb); err == nil || !strings.Contains(err.Error(), "E42") {
+		t.Fatalf("unknown experiment: err=%v", err)
+	}
+}
+
+func TestBenchUnknownPreset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-preset", "enormous"}, &sb); err == nil || !strings.Contains(err.Error(), "enormous") {
+		t.Fatalf("unknown preset: err=%v", err)
+	}
+}
+
+// TestBenchE11QuickArtifact runs the cheapest experiment through the full
+// baseline-vs-tuned comparison and validates the JSON artifact schema.
+func TestBenchE11QuickArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E11", "-preset", "quick", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(art.Experiments) != 1 || art.Experiments[0].ID != "E11" {
+		t.Fatalf("unexpected experiments: %+v", art.Experiments)
+	}
+	e := art.Experiments[0]
+	if !e.RowsCompared || !e.RowsIdentical {
+		t.Fatalf("E11 rows not compared identical: %+v", e)
+	}
+	if e.BaselineMS <= 0 || e.TunedMS <= 0 {
+		t.Fatalf("non-positive timings: %+v", e)
+	}
+	if len(e.Rows) == 0 || len(e.Header) == 0 {
+		t.Fatal("artifact carries no table")
+	}
+	if _, ok := art.Summary["E11_speedup"]; !ok {
+		t.Fatalf("summary missing E11_speedup: %v", art.Summary)
+	}
+}
+
+func TestTablesEqual(t *testing.T) {
+	a := [][]string{{"1", "2"}, {"3"}}
+	if !tablesEqual(a, [][]string{{"1", "2"}, {"3"}}) {
+		t.Fatal("equal tables reported unequal")
+	}
+	if tablesEqual(a, [][]string{{"1", "2"}}) {
+		t.Fatal("row-count mismatch missed")
+	}
+	if tablesEqual(a, [][]string{{"1", "2"}, {"4"}}) {
+		t.Fatal("cell mismatch missed")
+	}
+}

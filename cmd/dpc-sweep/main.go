@@ -10,11 +10,14 @@
 //	dpc-sweep -sweep eps        # cost vs coordinator slack
 //	dpc-sweep -sweep m          # uncertain: bytes vs support size
 //	dpc-sweep -sweep subq       # centralized runtime vs n per level
+//	dpc-sweep -quick            # reduced instance sizes (seconds, not minutes)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpc/internal/central"
@@ -25,117 +28,209 @@ import (
 	"dpc/internal/uncertain"
 )
 
-func main() {
-	sweep := flag.String("sweep", "t", "one of: t, s, n, eps, m, subq")
-	seed := flag.Int64("seed", 1, "workload seed")
-	flag.Parse()
+// sweeper runs one sweep series, writing CSV to w.
+type sweeper struct {
+	out   io.Writer
+	seed  int64
+	quick bool
+}
 
-	switch *sweep {
-	case "t":
-		sweepT(*seed)
-	case "s":
-		sweepS(*seed)
-	case "n":
-		sweepN(*seed)
-	case "eps":
-		sweepEps(*seed)
-	case "m":
-		sweepM(*seed)
-	case "subq":
-		sweepSubq(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "dpc-sweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if _, printed := err.(parsedError); !printed {
+			fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
+		}
+		os.Exit(exitCode(err))
 	}
 }
 
-func sites(n, k, s int, seed int64) (gen.Instance, [][]metric.Point) {
-	in := gen.Mixture(gen.MixtureSpec{N: n, K: k, Dim: 2, OutlierFrac: 0.1, Seed: seed})
-	parts := gen.Partition(in, s, gen.Uniform, seed+1)
+// usageError marks bad invocations (exit 2, like flag parsing).
+type usageError struct{ error }
+
+// parsedError wraps an error the FlagSet already reported to stderr, so
+// main does not print it a second time.
+type parsedError struct{ usageError }
+
+func exitCode(err error) int {
+	switch err.(type) {
+	case usageError, parsedError:
+		return 2
+	}
+	return 1
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpc-sweep", flag.ContinueOnError)
+	sweep := fs.String("sweep", "t", "one of: t, s, n, eps, m, subq")
+	seed := fs.Int64("seed", 1, "workload seed")
+	quick := fs.Bool("quick", false, "reduced instance sizes")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed
+		}
+		// The FlagSet already printed the error and usage to stderr.
+		return parsedError{usageError{err}}
+	}
+	sw := &sweeper{out: stdout, seed: *seed, quick: *quick}
+	switch *sweep {
+	case "t":
+		return sw.sweepT()
+	case "s":
+		return sw.sweepS()
+	case "n":
+		return sw.sweepN()
+	case "eps":
+		return sw.sweepEps()
+	case "m":
+		return sw.sweepM()
+	case "subq":
+		return sw.sweepSubq()
+	}
+	return usageError{fmt.Errorf("unknown sweep %q (want t, s, n, eps, m or subq)", *sweep)}
+}
+
+// shrink halves-and-more a full-size parameter in quick mode.
+func (sw *sweeper) shrink(full, quick int) int {
+	if sw.quick {
+		return quick
+	}
+	return full
+}
+
+func (sw *sweeper) sites(n, k, s int) (gen.Instance, [][]metric.Point) {
+	in := gen.Mixture(gen.MixtureSpec{N: n, K: k, Dim: 2, OutlierFrac: 0.1, Seed: sw.seed})
+	parts := gen.Partition(in, s, gen.Uniform, sw.seed+1)
 	return in, gen.SitePoints(in, parts)
 }
 
-func mustRun(sp [][]metric.Point, cfg core.Config) core.Result {
-	res, err := core.Run(sp, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
-		os.Exit(1)
+func (sw *sweeper) sweepT() error {
+	fmt.Fprintln(sw.out, "t,two_round_bytes,one_round_bytes,noship_bytes")
+	_, sp := sw.sites(sw.shrink(3000, 400), 4, 8)
+	tts := []int{10, 20, 40, 80, 160, 320}
+	if sw.quick {
+		tts = []int{10, 20, 40}
 	}
-	return res
+	for _, tt := range tts {
+		two, err := core.Run(sp, core.Config{K: 4, T: tt, Objective: core.Median})
+		if err != nil {
+			return err
+		}
+		one, err := core.Run(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.OneRound})
+		if err != nil {
+			return err
+		}
+		ns, err := core.Run(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.TwoRoundNoOutliers})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sw.out, "%d,%d,%d,%d\n", tt, two.Report.UpBytes, one.Report.UpBytes, ns.Report.UpBytes)
+	}
+	return nil
 }
 
-func sweepT(seed int64) {
-	fmt.Println("t,two_round_bytes,one_round_bytes,noship_bytes")
-	_, sp := sites(3000, 4, 8, seed)
-	for _, tt := range []int{10, 20, 40, 80, 160, 320} {
-		two := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median})
-		one := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.OneRound})
-		ns := mustRun(sp, core.Config{K: 4, T: tt, Objective: core.Median, Variant: core.TwoRoundNoOutliers})
-		fmt.Printf("%d,%d,%d,%d\n", tt, two.Report.UpBytes, one.Report.UpBytes, ns.Report.UpBytes)
+func (sw *sweeper) sweepS() error {
+	fmt.Fprintln(sw.out, "s,two_round_bytes,one_round_bytes")
+	ss := []int{2, 4, 8, 16, 32}
+	if sw.quick {
+		ss = []int{2, 4}
 	}
+	for _, s := range ss {
+		_, sp := sw.sites(sw.shrink(3200, 400), 4, s)
+		two, err := core.Run(sp, core.Config{K: 4, T: sw.shrink(100, 20), Objective: core.Median})
+		if err != nil {
+			return err
+		}
+		one, err := core.Run(sp, core.Config{K: 4, T: sw.shrink(100, 20), Objective: core.Median, Variant: core.OneRound})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sw.out, "%d,%d,%d\n", s, two.Report.UpBytes, one.Report.UpBytes)
+	}
+	return nil
 }
 
-func sweepS(seed int64) {
-	fmt.Println("s,two_round_bytes,one_round_bytes")
-	for _, s := range []int{2, 4, 8, 16, 32} {
-		_, sp := sites(3200, 4, s, seed)
-		two := mustRun(sp, core.Config{K: 4, T: 100, Objective: core.Median})
-		one := mustRun(sp, core.Config{K: 4, T: 100, Objective: core.Median, Variant: core.OneRound})
-		fmt.Printf("%d,%d,%d\n", s, two.Report.UpBytes, one.Report.UpBytes)
+func (sw *sweeper) sweepN() error {
+	fmt.Fprintln(sw.out, "n,two_round_bytes,site_wall_ms")
+	ns := []int{500, 1000, 2000, 4000, 8000}
+	if sw.quick {
+		ns = []int{200, 400}
 	}
+	for _, n := range ns {
+		_, sp := sw.sites(n, 4, 8)
+		two, err := core.Run(sp, core.Config{K: 4, T: sw.shrink(60, 15), Objective: core.Median})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sw.out, "%d,%d,%d\n", n, two.Report.UpBytes, two.Report.SiteWall.Milliseconds())
+	}
+	return nil
 }
 
-func sweepN(seed int64) {
-	fmt.Println("n,two_round_bytes,site_wall_ms")
-	for _, n := range []int{500, 1000, 2000, 4000, 8000} {
-		_, sp := sites(n, 4, 8, seed)
-		two := mustRun(sp, core.Config{K: 4, T: 60, Objective: core.Median})
-		fmt.Printf("%d,%d,%d\n", n, two.Report.UpBytes, two.Report.SiteWall.Milliseconds())
+func (sw *sweeper) sweepEps() error {
+	fmt.Fprintln(sw.out, "eps,median_cost,means_cost")
+	in, sp := sw.sites(sw.shrink(1500, 300), 4, 6)
+	tt := sw.shrink(75, 15)
+	epss := []float64{0.125, 0.25, 0.5, 1, 2, 4, 8}
+	if sw.quick {
+		epss = []float64{0.5, 1, 2}
 	}
-}
-
-func sweepEps(seed int64) {
-	fmt.Println("eps,median_cost,means_cost")
-	in, sp := sites(1500, 4, 6, seed)
-	for _, eps := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8} {
-		med := mustRun(sp, core.Config{K: 4, T: 75, Objective: core.Median, Eps: eps})
-		mea := mustRun(sp, core.Config{K: 4, T: 75, Objective: core.Means, Eps: eps})
+	for _, eps := range epss {
+		med, err := core.Run(sp, core.Config{K: 4, T: tt, Objective: core.Median, Eps: eps})
+		if err != nil {
+			return err
+		}
+		mea, err := core.Run(sp, core.Config{K: 4, T: tt, Objective: core.Means, Eps: eps})
+		if err != nil {
+			return err
+		}
 		cm := core.Evaluate(in.Pts, med.Centers, med.OutlierBudget, core.Median)
 		cq := core.Evaluate(in.Pts, mea.Centers, mea.OutlierBudget, core.Means)
-		fmt.Printf("%g,%g,%g\n", eps, cm, cq)
+		fmt.Fprintf(sw.out, "%g,%g,%g\n", eps, cm, cq)
 	}
+	return nil
 }
 
-func sweepM(seed int64) {
-	fmt.Println("m,alg3_bytes,naive_bytes")
-	for _, m := range []int{2, 4, 8, 16, 32} {
-		in := gen.UncertainMixture(gen.UncertainSpec{N: 400, K: 3, Support: m, OutlierFrac: 0.08, Seed: seed})
-		parts := gen.PartitionNodes(in, 4, gen.Uniform, seed+1)
+func (sw *sweeper) sweepM() error {
+	fmt.Fprintln(sw.out, "m,alg3_bytes,naive_bytes")
+	ms := []int{2, 4, 8, 16, 32}
+	if sw.quick {
+		ms = []int{2, 4}
+	}
+	for _, m := range ms {
+		in := gen.UncertainMixture(gen.UncertainSpec{
+			N: sw.shrink(400, 100), K: 3, Support: m, OutlierFrac: 0.08, Seed: sw.seed,
+		})
+		parts := gen.PartitionNodes(in, 4, gen.Uniform, sw.seed+1)
 		sn := gen.SiteNodes(in, parts)
-		smart, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: 40}, uncertain.Median)
+		tt := sw.shrink(40, 10)
+		smart, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: tt}, uncertain.Median)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
-			os.Exit(1)
+			return err
 		}
-		naive, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: 40, Variant: uncertain.OneRoundShipDists}, uncertain.Median)
+		naive, err := uncertain.Run(in.Ground, sn, uncertain.Config{K: 3, T: tt, Variant: uncertain.OneRoundShipDists}, uncertain.Median)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dpc-sweep:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("%d,%d,%d\n", m, smart.Report.UpBytes, naive.Report.UpBytes)
+		fmt.Fprintf(sw.out, "%d,%d,%d\n", m, smart.Report.UpBytes, naive.Report.UpBytes)
 	}
+	return nil
 }
 
-func sweepSubq(seed int64) {
-	fmt.Println("n,direct_s,level1_s,level2_s")
-	for _, n := range []int{1000, 2000, 4000, 8000} {
-		in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, OutlierFrac: 0.03, Seed: seed})
-		opts := kmedian.Options{MaxIters: 10, Seed: seed}
+func (sw *sweeper) sweepSubq() error {
+	fmt.Fprintln(sw.out, "n,direct_s,level1_s,level2_s")
+	ns := []int{1000, 2000, 4000, 8000}
+	if sw.quick {
+		ns = []int{300, 600}
+	}
+	for _, n := range ns {
+		in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, OutlierFrac: 0.03, Seed: sw.seed})
+		opts := kmedian.Options{MaxIters: 10, Seed: sw.seed}
 		var secs [3]float64
 		for lvl := 0; lvl <= 2; lvl++ {
 			sol := central.PartialMedian(in.Pts, central.Config{K: 3, T: n / 50, Levels: lvl, Opts: opts})
 			secs[lvl] = sol.Elapsed.Seconds()
 		}
-		fmt.Printf("%d,%.3f,%.3f,%.3f\n", n, secs[0], secs[1], secs[2])
+		fmt.Fprintf(sw.out, "%d,%.3f,%.3f,%.3f\n", n, secs[0], secs[1], secs[2])
 	}
+	return nil
 }

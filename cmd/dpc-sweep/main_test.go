@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-sweep", "bogus"}, &sb)
+	if err == nil {
+		t.Fatal("unknown sweep did not error")
+	}
+	if exitCode(err) != 2 {
+		t.Fatalf("exit code %d, want 2 (usage error)", exitCode(err))
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the sweep: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil || exitCode(err) != 2 {
+		t.Fatalf("bad flag: err=%v code=%d, want usage error", err, exitCode(err))
+	}
+}
+
+// TestSweepTQuickGolden smoke-tests the cheapest sweep end to end: correct
+// CSV header, one data row per budget, and monotone byte counts for the
+// 1-round baseline (its payload carries s*t outliers).
+func TestSweepTQuickGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sweep", "t", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t,two_round_bytes,one_round_bytes,noship_bytes" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + t in {10, 20, 40}
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	for _, ln := range lines[1:] {
+		if cells := strings.Split(ln, ","); len(cells) != 4 {
+			t.Fatalf("malformed row %q", ln)
+		}
+	}
+}
+
+// TestSweepEpsQuick checks the quality sweep emits one row per eps with
+// parseable positive costs.
+func TestSweepEpsQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sweep", "eps", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "eps,median_cost,means_cost" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + eps in {0.5, 1, 2}
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+}
+
+// TestSweepDeterministic: same seed, same CSV — the sweeps must be usable
+// as regression artifacts.
+func TestSweepDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-sweep", "m", "-quick", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "m", "-quick", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different CSV:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

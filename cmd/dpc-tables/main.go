@@ -8,11 +8,14 @@
 //	dpc-tables -exp E1,E4      # selected experiments
 //	dpc-tables -quick          # smaller instances (seconds, not minutes)
 //	dpc-tables -seed 7         # different workload seed
+//	dpc-tables -workers 4      # bound solver goroutines (0 = NumCPU)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,17 +24,37 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
-	quick := flag.Bool("quick", false, "run reduced-size instances")
-	seed := flag.Int64("seed", 1, "workload seed")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if _, printed := err.(parsedError); !printed {
+			fmt.Fprintln(os.Stderr, "dpc-tables:", err)
+		}
+		os.Exit(2)
+	}
+}
+
+// parsedError wraps an error the FlagSet already reported to stderr, so
+// main does not print it a second time.
+type parsedError struct{ error }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpc-tables", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+	quick := fs.Bool("quick", false, "run reduced-size instances")
+	seed := fs.Int64("seed", 1, "workload seed")
+	workers := fs.Int("workers", 0, "solver goroutines (0 = one per CPU; tables are identical for every value)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed
+		}
+		return parsedError{err}
+	}
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Brief)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Brief)
 		}
-		return
+		return nil
 	}
 
 	var selected []bench.Experiment
@@ -41,18 +64,18 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := bench.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "dpc-tables: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	opts := bench.Options{Seed: *seed, Quick: *quick}
+	opts := bench.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	for _, e := range selected {
 		t0 := time.Now()
 		table := e.Run(opts)
-		fmt.Println(table.String())
-		fmt.Printf("   (%s finished in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintln(stdout, table.String())
+		fmt.Fprintf(stdout, "   (%s finished in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
+	return nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListGolden pins the -list output: every registered experiment with
+// its brief, in ID order.
+func TestListGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("-list printed %d lines, want 12:\n%s", len(lines), sb.String())
+	}
+	for i, want := range []string{"E1 ", "E10", "E11", "E12", "E2 "} {
+		if !strings.HasPrefix(lines[i], want) {
+			t.Fatalf("line %d = %q, want prefix %q", i, lines[i], want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "E99"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown experiment: err=%v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("bad flag did not error")
+	}
+}
+
+// TestRunE11QuickSmoke runs the cheapest experiment end to end and checks
+// the rendered table reaches the writer.
+func TestRunE11QuickSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E11", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== E11", "paper claim", "DP optimum", "finished in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

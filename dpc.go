@@ -38,6 +38,16 @@
 // local CSV shards, and the run configuration ships in the connection
 // handshake.
 //
+// # Engine
+//
+// Local solves run on a multi-core engine with memoized distance oracles.
+// Config.Workers bounds the per-solve goroutines (0 = one per CPU) with a
+// hard invariant: results are bit-identical for Workers=1 and Workers=N on
+// every objective, variant and transport. Config.NoDistCache disables the
+// distance caches (a measurement knob — the caches are exact and never
+// change results), and Config.Reference runs the seed sequential
+// implementation that cmd/dpc-bench benchmarks the engine against.
+//
 // # Package map
 //
 //   - Run / Config / Result          — Algorithms 1 and 2 + variants

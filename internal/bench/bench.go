@@ -17,6 +17,16 @@ type Options struct {
 	// Quick shrinks instance sizes (used by the go-test benchmarks; the
 	// full sizes are for cmd/dpc-tables).
 	Quick bool
+	// Workers bounds solver goroutines (0 = one per CPU). Any value
+	// produces identical tables; it only moves wall-clock.
+	Workers int
+	// NoDistCache disables the memoized distance oracles (identical
+	// tables, different wall-clock).
+	NoDistCache bool
+	// Reference runs every solver through the seed sequential engine —
+	// the baseline half of cmd/dpc-bench's engine comparison. Implies
+	// Workers=1 and NoDistCache.
+	Reference bool
 }
 
 // Table is one experiment's output.

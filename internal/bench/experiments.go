@@ -22,15 +22,51 @@ func mkSites(n, k, s int, outFrac float64, mode gen.PartitionMode, seed int64) (
 	return in, gen.SitePoints(in, parts)
 }
 
+// coreCfg applies the harness engine knobs to a distributed run config, so
+// cmd/dpc-bench can run every experiment against the reference and the
+// fast engine. The knobs never change a table's contents, only wall-clock.
+func (o Options) coreCfg(cfg core.Config) core.Config {
+	cfg.Workers = o.Workers
+	cfg.NoDistCache = o.NoDistCache
+	cfg.Reference = o.Reference
+	return cfg
+}
+
+// solverOpts applies the engine knobs to direct solver options.
+func (o Options) solverOpts(opts kmedian.Options) kmedian.Options {
+	opts.Workers = o.Workers
+	opts.Reference = opts.Reference || o.Reference
+	return opts
+}
+
+// uncCfg applies the engine knobs to an uncertain run config.
+func (o Options) uncCfg(cfg uncertain.Config) uncertain.Config {
+	cfg.LocalOpts = o.solverOpts(cfg.LocalOpts)
+	cfg.NoDistCache = o.NoDistCache
+	return cfg
+}
+
+// cgCfg applies the engine knobs to an Algorithm 4 config.
+func (o Options) cgCfg(cfg uncertain.CenterGConfig) uncertain.CenterGConfig {
+	cfg.LocalOpts = o.solverOpts(cfg.LocalOpts)
+	cfg.NoDistCache = o.NoDistCache
+	return cfg
+}
+
+// kcOpt applies the engine knobs to the kcenter solvers.
+func (o Options) kcOpt() kcenter.Opt {
+	return kcenter.Opt{Workers: o.Workers, Reference: o.Reference}
+}
+
 // centralMedianCost is the centralized reference: the same engine on the
 // full data with the unicriterion budget t (the Copt(A,k,t) stand-in of
 // Lemma 3.5).
-func centralMedianCost(in gen.Instance, k, t int, squared bool, seed int64) float64 {
-	var costs metric.Costs = in.Points()
+func centralMedianCost(in gen.Instance, k, t int, squared bool, seed int64, o Options) float64 {
+	costs := metric.CachedSelfCosts(in.Points(), !o.Reference && !o.NoDistCache)
 	if squared {
-		costs = metric.Squared{C: in.Points()}
+		costs = metric.Squared{C: costs}
 	}
-	sol := kmedian.LocalSearch(costs, nil, k, float64(t), kmedian.Options{Seed: seed, Restarts: 3})
+	sol := kmedian.LocalSearch(costs, nil, k, float64(t), o.solverOpts(kmedian.Options{Seed: seed, Restarts: 3}))
 	return sol.Cost
 }
 
@@ -51,15 +87,15 @@ func E1MedianCommVsN(o Options) Table {
 	s, k, tt := 8, 4, 60
 	for _, n := range ns {
 		in, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed)
-		two, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median})
+		two, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median}))
 		if err != nil {
 			panic(err)
 		}
-		one, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median, Variant: core.OneRound})
+		one, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median, Variant: core.OneRound}))
 		if err != nil {
 			panic(err)
 		}
-		ref := centralMedianCost(in, k, tt, false, o.Seed+5)
+		ref := centralMedianCost(in, k, tt, false, o.Seed+5, o)
 		cost := core.Evaluate(in.Pts, two.Centers, two.OutlierBudget, core.Median)
 		sum := 0
 		for _, b := range two.SiteBudgets {
@@ -97,11 +133,11 @@ func E2MedianCommVsST(o Options) Table {
 	for _, s := range ss {
 		for _, tt := range tts {
 			_, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed+int64(s*1000+tt))
-			two, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median})
+			two, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median}))
 			if err != nil {
 				panic(err)
 			}
-			one, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median, Variant: core.OneRound})
+			one, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median, Variant: core.OneRound}))
 			if err != nil {
 				panic(err)
 			}
@@ -130,9 +166,9 @@ func E3EpsSweep(o Options) Table {
 	}
 	for _, obj := range []core.Objective{core.Median, core.Means} {
 		in, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed+int64(obj))
-		ref := centralMedianCost(in, k, tt, obj == core.Means, o.Seed+9)
+		ref := centralMedianCost(in, k, tt, obj == core.Means, o.Seed+9, o)
 		for _, eps := range []float64{0.25, 0.5, 1, 2, 4} {
-			res, err := core.Run(sites, core.Config{K: k, T: tt, Objective: obj, Eps: eps})
+			res, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: obj, Eps: eps}))
 			if err != nil {
 				panic(err)
 			}
@@ -163,15 +199,15 @@ func E4Center(o Options) Table {
 	}
 	for _, s := range ss {
 		in, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed+int64(s))
-		two, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Center})
+		two, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Center}))
 		if err != nil {
 			panic(err)
 		}
-		one, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Center, Variant: core.OneRound})
+		one, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Center, Variant: core.OneRound}))
 		if err != nil {
 			panic(err)
 		}
-		central := kcenter.Partial(in.Points(), nil, k, float64(tt))
+		central := kcenter.PartialOpt(in.Points(), nil, k, float64(tt), o.kcOpt())
 		radius := core.Evaluate(in.Pts, two.Centers, two.OutlierBudget, core.Center)
 		ratio := math.Inf(1)
 		if central.Radius > 0 {
@@ -206,11 +242,11 @@ func E5Uncertain(o Options) Table {
 		in := gen.UncertainMixture(gen.UncertainSpec{N: n, K: k, Support: m, OutlierFrac: 0.08, Seed: o.Seed + int64(m)})
 		parts := gen.PartitionNodes(in, s, gen.Uniform, o.Seed+1)
 		sites := gen.SiteNodes(in, parts)
-		smart, err := uncertain.Run(in.Ground, sites, uncertain.Config{K: k, T: tt}, uncertain.Median)
+		smart, err := uncertain.Run(in.Ground, sites, o.uncCfg(uncertain.Config{K: k, T: tt}), uncertain.Median)
 		if err != nil {
 			panic(err)
 		}
-		naive, err := uncertain.Run(in.Ground, sites, uncertain.Config{K: k, T: tt, Variant: uncertain.OneRoundShipDists}, uncertain.Median)
+		naive, err := uncertain.Run(in.Ground, sites, o.uncCfg(uncertain.Config{K: k, T: tt, Variant: uncertain.OneRoundShipDists}), uncertain.Median)
 		if err != nil {
 			panic(err)
 		}
@@ -245,7 +281,7 @@ func E6CenterG(o Options) Table {
 		})
 		parts := gen.PartitionNodes(in, s, gen.Uniform, o.Seed+2)
 		sites := gen.SiteNodes(in, parts)
-		res, err := uncertain.RunCenterG(in.Ground, sites, uncertain.CenterGConfig{K: k, T: tt})
+		res, err := uncertain.RunCenterG(in.Ground, sites, o.cgCfg(uncertain.CenterGConfig{K: k, T: tt}))
 		if err != nil {
 			panic(err)
 		}
@@ -276,11 +312,11 @@ func E7Subquadratic(o Options) Table {
 	for _, n := range ns {
 		in := gen.Mixture(gen.MixtureSpec{N: n, K: k, OutlierFrac: 0.03, Seed: o.Seed})
 		tt := n / 50
-		opts := kmedian.Options{MaxIters: 10, Seed: o.Seed}
+		opts := o.solverOpts(kmedian.Options{MaxIters: 10, Seed: o.Seed})
 		var secs [3]float64
 		var costs [3]float64
 		for lvl := 0; lvl <= 2; lvl++ {
-			sol := central.PartialMedian(in.Pts, central.Config{K: k, T: tt, Levels: lvl, Opts: opts})
+			sol := central.PartialMedian(in.Pts, central.Config{K: k, T: tt, Levels: lvl, Opts: opts, NoDistCache: o.NoDistCache})
 			secs[lvl] = sol.Elapsed.Seconds()
 			costs[lvl] = sol.Cost
 		}
@@ -317,7 +353,7 @@ func E8OneRoundFormula(o Options) Table {
 		for _, s := range []int{4, 12} {
 			tt := 80
 			_, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed+int64(obj)*31+int64(s))
-			res, err := core.Run(sites, core.Config{K: k, T: tt, Objective: obj, Variant: core.OneRound})
+			res, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: obj, Variant: core.OneRound}))
 			if err != nil {
 				panic(err)
 			}
@@ -349,12 +385,12 @@ func E9NoShip(o Options) Table {
 	}
 	for _, tt := range tts {
 		in, sites := mkSites(n, k, s, 0.15, gen.Uniform, o.Seed+int64(tt))
-		ref := centralMedianCost(in, k, tt, false, o.Seed+3)
-		noship, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median, Variant: core.TwoRoundNoOutliers})
+		ref := centralMedianCost(in, k, tt, false, o.Seed+3, o)
+		noship, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median, Variant: core.TwoRoundNoOutliers}))
 		if err != nil {
 			panic(err)
 		}
-		ship, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median})
+		ship, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median}))
 		if err != nil {
 			panic(err)
 		}
@@ -442,7 +478,7 @@ func E12SiteSpeedup(o Options) Table {
 	}
 	for _, s := range []int{2, 4, 8, 16} {
 		_, sites := mkSites(n, k, s, 0.05, gen.Uniform, o.Seed+int64(s))
-		res, err := core.Run(sites, core.Config{K: k, T: tt, Objective: core.Median})
+		res, err := core.Run(sites, o.coreCfg(core.Config{K: k, T: tt, Objective: core.Median}))
 		if err != nil {
 			panic(err)
 		}

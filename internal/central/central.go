@@ -42,6 +42,10 @@ type Config struct {
 	MinChunk int
 	// HullBase is the budget grid base. Default 2.
 	HullBase float64
+	// NoDistCache disables the memoized distance oracles (a measurement
+	// knob; the caches never change results). Opts.Reference also
+	// disables them.
+	NoDistCache bool
 }
 
 // engineOpts returns the per-solve options. Unlike the distributed package,
@@ -200,9 +204,9 @@ func solveLevel(pts []metric.Point, k, q, level int, cfg Config) (precluster, in
 
 	// Direct weighted solve on the induced instance, then re-aggregate
 	// against the original points.
-	costs := weightedCosts(upts, cfg.Objective)
 	opts := cfg.engineOpts()
 	opts.Seed += int64(level) * 31337
+	costs := weightedCosts(upts, cfg.Objective, cfg, opts)
 	sol := kmedian.Solve(costs, uw, k, float64(q), cfg.Engine, opts)
 	centers := make([]metric.Point, len(sol.Centers))
 	for i, f := range sol.Centers {
@@ -213,8 +217,8 @@ func solveLevel(pts []metric.Point, k, q, level int, cfg Config) (precluster, in
 
 // directSolve is the level-0 engine.
 func directSolve(pts []metric.Point, k, q int, cfg Config) precluster {
-	costs := weightedCosts(pts, cfg.Objective)
 	opts := cfg.engineOpts()
+	costs := weightedCosts(pts, cfg.Objective, cfg, opts)
 	sol := kmedian.Solve(costs, nil, k, float64(q), cfg.Engine, opts)
 	centers := make([]metric.Point, len(sol.Centers))
 	for i, f := range sol.Centers {
@@ -223,12 +227,15 @@ func directSolve(pts []metric.Point, k, q int, cfg Config) precluster {
 	return aggregate(pts, centers, q, cfg.Objective)
 }
 
-func weightedCosts(pts []metric.Point, obj core.Objective) metric.Costs {
-	base := metric.NewPoints(pts)
+// weightedCosts wraps points in the objective's cost oracle, memoized
+// behind the distance cache when the fast engine runs with caching on and
+// the instance is small enough for the cache to pay for itself.
+func weightedCosts(pts []metric.Point, obj core.Objective, cfg Config, opts kmedian.Options) metric.Costs {
+	c := metric.CachedSelfCosts(metric.NewPoints(pts), !opts.Reference && !cfg.NoDistCache)
 	if obj == core.Means {
-		return metric.Squared{C: base}
+		return metric.Squared{C: c}
 	}
-	return base
+	return c
 }
 
 // aggregate attaches every input point to its nearest center, designates

@@ -95,7 +95,12 @@ func TestSimulationReducesGrowthRate(t *testing.T) {
 		in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, Dim: 2, OutlierFrac: 0.03, Seed: 4})
 		// Leave SampleFacilities at the package default (-1): the direct
 		// engine must be genuinely quadratic for the claim to be testable.
-		opts := kmedian.Options{MaxIters: 10}
+		// Pin the reference engine: the claim under test is the asymptotic
+		// growth of the *algorithm*, and the fast engine's distance-cache
+		// size threshold (cached at n1, uncached at n2) would distort the
+		// measured ratios — especially under -race, which instruments the
+		// cache's atomics.
+		opts := kmedian.Options{MaxIters: 10, Reference: true}
 		sol := PartialMedian(in.Pts, Config{K: 3, T: n / 50, Levels: levels, Opts: opts})
 		return sol.Elapsed.Seconds()
 	}

@@ -18,7 +18,8 @@ type centerSite struct {
 	cfg     Config
 	site    int
 	pts     []metric.Point
-	space   *metric.Points
+	space   metric.Space // cached unless cfg.NoDistCache
+	kcOpt   kcenter.Opt
 	trav    kcenter.Traversal
 	fn      geom.ConvexFn
 	budget  int
@@ -26,9 +27,15 @@ type centerSite struct {
 }
 
 // newCenterSite builds site i's state; cfg must already have defaults
-// applied.
+// applied. The site metric is served through the memoized distance cache
+// (unless disabled), so the traversal, the prefix assignments and the
+// no-ship drop scan all pay for each pairwise distance once.
 func newCenterSite(cfg Config, site int, pts []metric.Point) *centerSite {
-	return &centerSite{cfg: cfg, site: site, pts: pts, space: metric.NewPoints(pts)}
+	var space metric.Space = metric.NewPoints(pts)
+	if !cfg.NoDistCache {
+		space = metric.CacheSpace(space)
+	}
+	return &centerSite{cfg: cfg, site: site, pts: pts, space: space, kcOpt: cfg.solverOpt()}
 }
 
 // start runs the Gonzalez traversal lazily on the first round, so the
@@ -41,7 +48,7 @@ func (st *centerSite) start() {
 		return
 	}
 	st.started = true
-	st.trav = kcenter.Gonzalez(st.space, st.cfg.K+st.cfg.T, 0)
+	st.trav = kcenter.GonzalezOpt(st.space, st.cfg.K+st.cfg.T, 0, st.kcOpt)
 }
 
 // handle implements transport.Handler for Algorithm 2's site side.
@@ -103,7 +110,7 @@ func (st *centerSite) payload() comm.Payload {
 	if m > len(st.trav.Order) {
 		m = len(st.trav.Order)
 	}
-	_, counts, _ := st.trav.AssignPrefix(st.space, m, nil)
+	_, counts, _ := st.trav.AssignPrefixOpt(st.space, m, nil, st.kcOpt)
 	pts := make([]metric.Point, m)
 	for c := 0; c < m; c++ {
 		pts[c] = st.pts[st.trav.Order[c]]
@@ -120,7 +127,7 @@ func (st *centerSite) noShipPayload(k int) comm.Payload {
 		k = len(st.trav.Order)
 	}
 	n := len(st.pts)
-	assign, _, _ := st.trav.AssignPrefix(st.space, k, nil)
+	assign, _, _ := st.trav.AssignPrefixOpt(st.space, k, nil, st.kcOpt)
 	dist := make([]float64, n)
 	order := make([]int, n)
 	for j := 0; j < n; j++ {
@@ -196,8 +203,10 @@ func runCenter(nw *comm.Network, cfg Config) (Result, error) {
 			pts = append(pts, msg.Pts...)
 			wts = append(wts, msg.W...)
 		}
+		// No distance cache here: PartialOpt's fast engine materializes
+		// its own distance columns once.
 		space := metric.NewPoints(pts)
-		sol := kcenter.Partial(space, wts, cfg.K, float64(cfg.T))
+		sol := kcenter.PartialOpt(space, wts, cfg.K, float64(cfg.T), cfg.solverOpt())
 		result.Centers = pointsAt(pts, sol.Centers)
 		result.CoordinatorClients = len(pts)
 		result.CoordinatorCost = sol.Radius

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"dpc/internal/comm"
+	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
@@ -116,6 +117,21 @@ type Config struct {
 	// LocalOpts tunes the site-side solver; per-site seeds are derived
 	// from LocalOpts.Seed + site index.
 	LocalOpts kmedian.Options
+	// Workers bounds the goroutines of every local solve (site-side JV,
+	// local search, farthest-point scans and the coordinator solve). 0 —
+	// the default — means one worker per CPU (runtime.NumCPU()). Results
+	// are bit-identical for every value: the engines only use
+	// order-independent parallel loops and fixed-tie-break reductions.
+	Workers int
+	// NoDistCache disables the memoized distance oracles that back the
+	// site and coordinator solves. It never changes results (the caches
+	// store exactly the computed distances); it exists so benchmarks can
+	// measure the cache's contribution.
+	NoDistCache bool
+	// Reference runs the seed sequential engine everywhere (implies
+	// Workers=1 and NoDistCache): the regression baseline that
+	// cmd/dpc-bench and the parity tests compare the fast engine against.
+	Reference bool
 	// Sequential disables parallel site execution (used by the
 	// centralized simulation of Section 3.1, where total work matters).
 	// Loopback transport only; TCP sites always run concurrently.
@@ -146,7 +162,20 @@ func (c Config) withDefaults() Config {
 	if c.HullBase == 0 {
 		c.HullBase = 2
 	}
+	if c.Reference {
+		c.Workers = 1
+		c.NoDistCache = true
+	}
+	if c.Workers != 0 {
+		c.LocalOpts.Workers = c.Workers
+	}
+	c.LocalOpts.Reference = c.LocalOpts.Reference || c.Reference
 	return c
+}
+
+// solverOpt translates the config's engine knobs for the kcenter solvers.
+func (c Config) solverOpt() kcenter.Opt {
+	return kcenter.Opt{Workers: c.Workers, Reference: c.Reference}
 }
 
 // Result is the outcome of a distributed run.
@@ -273,13 +302,16 @@ func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler
 	return newMedianSite(cfg, site, pts).handle, nil
 }
 
-// costsOver wraps points in the objective's cost oracle.
-func costsOver(pts []metric.Point, obj Objective) metric.Costs {
-	base := metric.NewPoints(pts)
+// costsOver wraps points in the objective's cost oracle, memoizing
+// pairwise distances (exactly — cached and uncached runs are
+// bit-identical) unless noCache is set or the instance is too large for
+// the cache to pay for itself.
+func costsOver(pts []metric.Point, obj Objective, noCache bool) metric.Costs {
+	c := metric.CachedSelfCosts(metric.NewPoints(pts), !noCache)
 	if obj == Means {
-		return metric.Squared{C: base}
+		return metric.Squared{C: c}
 	}
-	return base
+	return c
 }
 
 // Evaluate computes the true global partial cost of centers on the full

@@ -35,7 +35,7 @@ func newMedianSite(cfg Config, site int, pts []metric.Point) *medianSite {
 		cfg:   cfg,
 		site:  site,
 		pts:   pts,
-		costs: costsOver(pts, cfg.Objective),
+		costs: costsOver(pts, cfg.Objective, cfg.NoDistCache),
 		sols:  make(map[int]kmedian.Solution),
 		opts:  opts,
 	}
@@ -215,7 +215,7 @@ func runMedianMeans(nw *comm.Network, cfg Config) (Result, error) {
 				wts = append(wts, 1)
 			}
 		}
-		costs := costsOver(pts, cfg.Objective)
+		costs := costsOver(pts, cfg.Objective, cfg.NoDistCache)
 		copt := cfg.LocalOpts
 		copt.Seed += 7777777
 		relax := kmedian.RelaxOutliers

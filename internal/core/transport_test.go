@@ -157,6 +157,7 @@ func TestConfigWireRoundTrip(t *testing.T) {
 		LocalOpts: kmedian.Options{
 			Seed: -12345, MaxIters: 17, SampleFacilities: -1, Restarts: 2,
 		},
+		Workers: 3, NoDistCache: true,
 	}
 	out, err := DecodeConfig(EncodeConfig(in))
 	if err != nil {
@@ -173,6 +174,15 @@ func TestConfigWireRoundTrip(t *testing.T) {
 	}
 	if zero.Eps != 1 || zero.Rho != 2 || zero.HullBase != 2 {
 		t.Fatalf("defaults not applied: %+v", zero)
+	}
+	// Reference mode must survive the handshake (a measurement run's
+	// baseline semantics depend on the sites honoring it).
+	ref, err := DecodeConfig(EncodeConfig(Config{K: 1, Reference: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Reference || !ref.NoDistCache || ref.Workers != 1 || !ref.LocalOpts.Reference {
+		t.Fatalf("reference knobs lost in handshake: %+v", ref)
 	}
 	if _, err := DecodeConfig([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short record accepted")

@@ -15,8 +15,14 @@ import (
 // a TCP run reproduce the loopback run bit for bit. The format is a fixed
 // little-endian record; Sequential and Transport are coordinator-local and
 // not shipped.
+//
+// Version 2 ships the engine knobs too (Workers, NoDistCache, Reference):
+// they never change results, but a Reference or NoDistCache measurement
+// run must reach the sites or its recorded baseline would silently be the
+// fast engine. Workers crosses the wire as configured; the 0 default still
+// means "one worker per CPU" resolved on each site's own host.
 
-const configWireVersion = 1
+const configWireVersion = 2
 
 // configWireSize is the encoded size: version byte plus the fixed fields.
 const configWireSize = 1 + // version
@@ -26,7 +32,8 @@ const configWireSize = 1 + // version
 	1 + 1 + // RelaxCenters, LloydPolish
 	8 + 8 + 8 + // Rho, Delta, HullBase
 	1 + // Engine
-	8 + 8 + 8 + 8 // LocalOpts: Seed, MaxIters, SampleFacilities, Restarts
+	8 + 8 + 8 + 8 + // LocalOpts: Seed, MaxIters, SampleFacilities, Restarts
+	8 + 1 + 1 // Workers, NoDistCache, Reference
 
 // EncodeConfig serializes the protocol-relevant configuration (with
 // defaults applied) for the coordinator -> site handshake.
@@ -47,6 +54,8 @@ func EncodeConfig(cfg Config) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.MaxIters)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.SampleFacilities)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.Restarts)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.Workers)))
+	b = append(b, boolByte(cfg.NoDistCache), boolByte(cfg.Reference))
 	return b
 }
 
@@ -85,7 +94,14 @@ func DecodeConfig(b []byte) (Config, error) {
 	cfg.LocalOpts.MaxIters = int(int64(u64()))
 	cfg.LocalOpts.SampleFacilities = int(int64(u64()))
 	cfg.LocalOpts.Restarts = int(int64(u64()))
-	return cfg, nil
+	cfg.Workers = int(int64(u64()))
+	cfg.NoDistCache = u8() == 1
+	cfg.Reference = u8() == 1
+	// Re-apply defaults so derived fields (LocalOpts.Workers/Reference,
+	// which are not shipped separately) are consistent on the site side;
+	// withDefaults is idempotent, so this exactly mirrors the encoder's
+	// view of the config.
+	return cfg.withDefaults(), nil
 }
 
 func boolByte(v bool) byte {

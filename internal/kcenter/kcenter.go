@@ -4,6 +4,13 @@
 // witnesses l(i,q)), and a Charikar-et-al.-style greedy 3-approximation for
 // the (k,t)-center problem with outliers [4] (the coordinator's final step),
 // in a weighted variant so it can run on aggregated precluster centers.
+//
+// Every solver has two engines selected by Opt: the fast engine (default)
+// materializes distance columns once and spreads independent scans over
+// Opt.Workers goroutines, and the reference engine (Opt.Reference) is the
+// seed implementation kept as the regression baseline. The two are
+// bit-identical — all parallel reductions use fixed first-index
+// tie-breaking — and the harness (cmd/dpc-bench, parity tests) asserts it.
 package kcenter
 
 import (
@@ -11,7 +18,28 @@ import (
 	"sort"
 
 	"dpc/internal/metric"
+	"dpc/internal/par"
 )
+
+// Opt selects the engine of a solver call.
+type Opt struct {
+	// Workers bounds the goroutines of the fast engine; 0 means one per
+	// CPU. Results are bit-identical for every value.
+	Workers int
+	// Reference runs the seed sequential implementation (the regression
+	// baseline of cmd/dpc-bench).
+	Reference bool
+}
+
+// workers resolves the pool size: Reference mode always runs single-worker
+// (the helpers without a dedicated reference body are bit-identical at any
+// width, so one worker is the seed behavior).
+func (o Opt) workers() int {
+	if o.Reference {
+		return 1
+	}
+	return o.Workers
+}
 
 // Traversal is the result of a farthest-first traversal.
 type Traversal struct {
@@ -27,6 +55,65 @@ type Traversal struct {
 // Gonzalez runs farthest-first traversal on sp, selecting up to m points
 // starting from the point `first`. Runtime O(m * n).
 func Gonzalez(sp metric.Space, m, first int) Traversal {
+	return GonzalezOpt(sp, m, first, Opt{})
+}
+
+// GonzalezOpt is Gonzalez with an engine selection.
+func GonzalezOpt(sp metric.Space, m, first int, o Opt) Traversal {
+	if o.Reference {
+		return gonzalezReference(sp, m, first)
+	}
+	n := sp.N()
+	if m > n {
+		m = n
+	}
+	if m <= 0 || first < 0 || first >= n {
+		return Traversal{}
+	}
+	order := make([]int, 0, m)
+	radii := make([]float64, 0, m)
+	dmin := make([]float64, n)
+	for j := range dmin {
+		dmin[j] = math.Inf(1)
+	}
+	// Per-block farthest candidates, folded in block order with strict
+	// comparisons — exactly the sequential first-max scan.
+	nb := (n + par.BlockSize - 1) / par.BlockSize
+	blockFar := make([]float64, nb)
+	blockNext := make([]int, nb)
+	cur := first
+	curR := math.Inf(1)
+	for len(order) < m {
+		order = append(order, cur)
+		radii = append(radii, curR)
+		c := cur
+		par.ForBlocks(o.Workers, n, func(lo, hi int) {
+			far, next := -1.0, -1
+			for j := lo; j < hi; j++ {
+				if d := sp.Dist(j, c); d < dmin[j] {
+					dmin[j] = d
+				}
+				if dmin[j] > far {
+					far = dmin[j]
+					next = j
+				}
+			}
+			b := lo / par.BlockSize
+			blockFar[b], blockNext[b] = far, next
+		})
+		far, next := -1.0, -1
+		for b := 0; b < nb; b++ {
+			if blockFar[b] > far {
+				far, next = blockFar[b], blockNext[b]
+			}
+		}
+		cur, curR = next, far
+	}
+	return Traversal{Order: order, Radii: radii}
+}
+
+// gonzalezReference is the seed implementation (regression baseline).
+func gonzalezReference(sp metric.Space, m, first int) Traversal {
 	n := sp.N()
 	if m > n {
 		m = n
@@ -66,13 +153,22 @@ func Gonzalez(sp metric.Space, m, first int) Traversal {
 // position in Order, not point index), the weight attached to each center
 // (unit weights when w == nil), and the maximum assignment distance.
 func (tr Traversal) AssignPrefix(sp metric.Space, r int, w []float64) (assign []int, counts []float64, maxDist float64) {
+	return tr.AssignPrefixOpt(sp, r, w, Opt{})
+}
+
+// AssignPrefixOpt is AssignPrefix with an engine selection: the per-point
+// nearest-center scans run on o.Workers goroutines, while the weight
+// accumulation folds sequentially in point order so weighted counts sum in
+// exactly the reference order.
+func (tr Traversal) AssignPrefixOpt(sp metric.Space, r int, w []float64, o Opt) (assign []int, counts []float64, maxDist float64) {
 	if r > len(tr.Order) {
 		r = len(tr.Order)
 	}
 	n := sp.N()
 	assign = make([]int, n)
 	counts = make([]float64, r)
-	for j := 0; j < n; j++ {
+	dist := make([]float64, n)
+	par.For(o.workers(), n, func(j int) {
 		best, bd := -1, math.Inf(1)
 		for c := 0; c < r; c++ {
 			if d := sp.Dist(j, tr.Order[c]); d < bd {
@@ -81,15 +177,18 @@ func (tr Traversal) AssignPrefix(sp metric.Space, r int, w []float64) (assign []
 			}
 		}
 		assign[j] = best
+		dist[j] = bd
+	})
+	for j := 0; j < n; j++ {
 		wj := 1.0
 		if w != nil {
 			wj = w[j]
 		}
-		if best >= 0 {
-			counts[best] += wj
+		if assign[j] >= 0 {
+			counts[assign[j]] += wj
 		}
-		if bd > maxDist {
-			maxDist = bd
+		if dist[j] > maxDist {
+			maxDist = dist[j]
 		}
 	}
 	return assign, counts, maxDist
@@ -106,10 +205,16 @@ type Solution struct {
 // largest connection costs, and return the largest remaining cost.
 // w == nil means unit weights.
 func EvalMax(c metric.Costs, w []float64, centers []int, t float64) float64 {
+	return EvalMaxOpt(c, w, centers, t, Opt{})
+}
+
+// EvalMaxOpt is EvalMax with the per-client scans on o.Workers goroutines
+// (bit-identical for every worker count).
+func EvalMaxOpt(c metric.Costs, w []float64, centers []int, t float64, o Opt) float64 {
 	n := c.Clients()
 	type cd struct{ d, w float64 }
 	ds := make([]cd, n)
-	for j := 0; j < n; j++ {
+	par.For(o.workers(), n, func(j int) {
 		dmin := math.Inf(1)
 		for _, f := range centers {
 			if d := c.Cost(j, f); d < dmin {
@@ -121,7 +226,7 @@ func EvalMax(c metric.Costs, w []float64, centers []int, t float64) float64 {
 			wj = w[j]
 		}
 		ds[j] = cd{d: dmin, w: wj}
-	}
+	})
 	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
 	budget := t
 	for _, x := range ds {
@@ -143,6 +248,135 @@ func EvalMax(c metric.Costs, w []float64, centers []int, t float64) float64 {
 //
 // Runtime O(nc * nf * log(nc*nf) + feasibility * log(candidates)).
 func Partial(c metric.Costs, w []float64, k int, t float64) Solution {
+	return PartialOpt(c, w, k, t, Opt{})
+}
+
+// maxPartialMatrix bounds the dense distance matrix the fast engine
+// materializes, in cells. The transient peak is ~4x the matrix itself:
+// the cols columns plus the candidate-radii copy (8 bytes/cell each) plus
+// the radix sort's two uint64 buffers — about 512 MiB at this cap. Larger
+// instances fall back to the oracle-scanning reference engine.
+const maxPartialMatrix = 16 << 20
+
+// PartialOpt is Partial with an engine selection. The fast engine fills the
+// client/facility distance matrix once (a blocked parallel fill over
+// facilities — this is the cached distance oracle of the coordinator) and
+// runs every feasibility scan on the columns; greedy picks break ties
+// toward the lowest facility index exactly as the reference scan does.
+func PartialOpt(c metric.Costs, w []float64, k int, t float64, o Opt) Solution {
+	nc, nf := c.Clients(), c.Facilities()
+	if o.Reference || nc*nf > maxPartialMatrix {
+		return partialReference(c, w, k, t)
+	}
+	if nc == 0 || k <= 0 || nf == 0 {
+		return Solution{}
+	}
+	weight := func(j int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[j]
+	}
+	var totalW float64
+	for j := 0; j < nc; j++ {
+		totalW += weight(j)
+	}
+	if totalW <= t {
+		return Solution{Centers: []int{0}, Radius: 0}
+	}
+	// One distance column per facility, filled in parallel — every
+	// feasibility scan below is then a pure array walk.
+	cols := make([][]float64, nf)
+	par.For(o.Workers, nf, func(f int) {
+		col := make([]float64, nc)
+		for j := 0; j < nc; j++ {
+			col[j] = c.Cost(j, f)
+		}
+		cols[f] = col
+	})
+	// Candidate radii: every distinct client-facility distance, collected
+	// in the reference order (client-major). The radix sort produces the
+	// same ascending value sequence the reference comparison sort does, so
+	// the dedup walk and the binary search see identical candidates.
+	cand := make([]float64, 0, nc*nf)
+	for j := 0; j < nc; j++ {
+		for f := 0; f < nf; f++ {
+			cand = append(cand, cols[f][j])
+		}
+	}
+	par.SortFloats(cand)
+	cand = dedupFloats(cand)
+
+	gains := make([]float64, nf)
+	uncBuf := make([]int, nc)
+	feasible := func(r float64) ([]int, bool) {
+		// unc is the uncovered-client list, kept in ascending order so
+		// every weight sum visits clients exactly as the reference
+		// covered[]-flag scan does.
+		unc := uncBuf[:nc]
+		for j := range unc {
+			unc[j] = j
+		}
+		remaining := totalW
+		centers := make([]int, 0, k)
+		for it := 0; it < k && remaining > t+1e-12; it++ {
+			par.For(o.Workers, nf, func(f int) {
+				col := cols[f]
+				gain := 0.0
+				for _, j := range unc {
+					if col[j] <= r {
+						gain += weight(j)
+					}
+				}
+				gains[f] = gain
+			})
+			bestF, bestGain := -1, -1.0
+			for f := 0; f < nf; f++ {
+				if gains[f] > bestGain {
+					bestGain, bestF = gains[f], f
+				}
+			}
+			if bestF < 0 {
+				break
+			}
+			centers = append(centers, bestF)
+			col := cols[bestF]
+			kept := unc[:0]
+			for _, j := range unc {
+				if col[j] <= 3*r {
+					remaining -= weight(j)
+				} else {
+					kept = append(kept, j)
+				}
+			}
+			unc = kept
+		}
+		return centers, remaining <= t+1e-12
+	}
+
+	lo, hi := 0, len(cand)-1
+	bestCenters, ok := feasible(cand[hi])
+	if !ok {
+		// Even the largest candidate fails (can happen only with k <
+		// effective clusters); fall back to greedy top-k facilities.
+		return Solution{Centers: bestCenters, Radius: EvalMaxOpt(c, w, bestCenters, t, o)}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if centers, ok := feasible(cand[mid]); ok {
+			bestCenters = centers
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return Solution{Centers: bestCenters, Radius: EvalMaxOpt(c, w, bestCenters, t, o)}
+}
+
+// partialReference is the seed implementation of Partial (regression
+// baseline; also the fallback for instances whose distance matrix would
+// not fit maxPartialMatrix).
+func partialReference(c metric.Costs, w []float64, k int, t float64) Solution {
 	nc, nf := c.Clients(), c.Facilities()
 	if nc == 0 || k <= 0 || nf == 0 {
 		return Solution{}
@@ -207,7 +441,7 @@ func Partial(c metric.Costs, w []float64, k int, t float64) Solution {
 	if !ok {
 		// Even the largest candidate fails (can happen only with k <
 		// effective clusters); fall back to greedy top-k facilities.
-		return Solution{Centers: bestCenters, Radius: EvalMax(c, w, bestCenters, t)}
+		return Solution{Centers: bestCenters, Radius: EvalMaxOpt(c, w, bestCenters, t, Opt{Reference: true})}
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -218,7 +452,7 @@ func Partial(c metric.Costs, w []float64, k int, t float64) Solution {
 			lo = mid + 1
 		}
 	}
-	return Solution{Centers: bestCenters, Radius: EvalMax(c, w, bestCenters, t)}
+	return Solution{Centers: bestCenters, Radius: EvalMaxOpt(c, w, bestCenters, t, Opt{Reference: true})}
 }
 
 func dedupFloats(xs []float64) []float64 {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"dpc/internal/metric"
+	"dpc/internal/par"
 )
 
 // Solution is a (k,t)-median/means solution over a Costs oracle.
@@ -71,6 +72,14 @@ func TotalWeight(c metric.Costs, w []float64) float64 {
 // weighted clients, per Remark 1(ii) — the coordinator may exclude only
 // some copies of an aggregated point).
 func Eval(c metric.Costs, w []float64, centers []int, t float64) Solution {
+	return EvalP(c, w, centers, t, 1)
+}
+
+// EvalP is Eval with the per-client assignment loop spread over at most
+// `workers` goroutines. Each client's nearest-center scan is self-contained
+// and writes only its own slots, so the result is bit-identical to Eval for
+// every worker count.
+func EvalP(c metric.Costs, w []float64, centers []int, t float64, workers int) Solution {
 	n := c.Clients()
 	sol := Solution{
 		Centers:       append([]int(nil), centers...),
@@ -80,7 +89,7 @@ func Eval(c metric.Costs, w []float64, centers []int, t float64) Solution {
 	}
 	d := make([]float64, n)
 	order := make([]int, n)
-	for j := 0; j < n; j++ {
+	par.For(workers, n, func(j int) {
 		best, bd := -1, math.Inf(1)
 		for _, f := range centers {
 			if x := c.Cost(j, f); x < bd {
@@ -90,7 +99,7 @@ func Eval(c metric.Costs, w []float64, centers []int, t float64) Solution {
 		sol.Assign[j] = best
 		d[j] = bd
 		order[j] = j
-	}
+	})
 	if len(centers) == 0 {
 		// Degenerate: cost is defined only if everything fits in the budget.
 		if TotalWeight(c, w) <= t {
@@ -123,10 +132,12 @@ func Eval(c metric.Costs, w []float64, centers []int, t float64) Solution {
 	return sol
 }
 
-// EvalSum is Eval returning only the cost (avoids the slices).
+// EvalSum is Eval returning only the cost (avoids the slices). It is the
+// reference partial-cost evaluator: the fast engine's swap evaluation
+// (descend) must agree with it bit-for-bit, and the regression harness
+// (cmd/dpc-bench, TestEngineMatchesReference) holds it to that.
 func EvalSum(c metric.Costs, w []float64, centers []int, t float64) float64 {
 	n := c.Clients()
-	type cd struct{ d, w float64 }
 	ds := make([]cd, n)
 	for j := 0; j < n; j++ {
 		bd := math.Inf(1)
@@ -143,6 +154,16 @@ func EvalSum(c metric.Costs, w []float64, centers []int, t float64) float64 {
 		}
 		return math.Inf(1)
 	}
+	return partialCostPairs(ds, t)
+}
+
+// cd is a (connection cost, client weight) pair of the partial-cost walk.
+type cd struct{ d, w float64 }
+
+// partialCostPairs drops the t largest units of weight greedily and sums
+// the rest — the tail of EvalSum, shared with the fast swap evaluator so
+// weighted instances follow the exact same sort and summation order.
+func partialCostPairs(ds []cd, t float64) float64 {
 	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
 	budget := t
 	var cost float64
@@ -157,6 +178,30 @@ func EvalSum(c metric.Costs, w []float64, centers []int, t float64) float64 {
 			budget = 0
 		}
 		cost += keep * x.d
+	}
+	return cost
+}
+
+// partialCostUnit is partialCostPairs for unit weights, on a plain distance
+// slice (sorted in place). With every weight equal the descending walk adds
+// the same value sequence whatever order ties land in, so a plain float
+// sort is bit-identical to the reference pair sort — and several times
+// faster, which is why the fast swap evaluator uses it for w == nil.
+func partialCostUnit(d []float64, t float64) float64 {
+	sort.Float64s(d)
+	budget := t
+	var cost float64
+	for i := len(d) - 1; i >= 0; i-- {
+		if budget >= 1 {
+			budget--
+			continue
+		}
+		keep := 1.0
+		if budget > 0 {
+			keep -= budget
+			budget = 0
+		}
+		cost += keep * d[i]
 	}
 	return cost
 }

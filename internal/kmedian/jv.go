@@ -5,7 +5,38 @@ import (
 	"sort"
 
 	"dpc/internal/metric"
+	"dpc/internal/par"
 )
+
+// jvOrders is the lambda-independent edge structure of the dual ascent:
+// every facility's connection-cost column and its clients sorted by that
+// cost. JV's binary search probes dozens of facility prices on the same
+// instance, so the fast engine computes this once and shares it across
+// every probe (the columns and sorts are per-facility independent and
+// spread over the worker pool); the reference engine rebuilds it per probe,
+// as the seed implementation did.
+type jvOrders struct {
+	byCost [][]int
+	costs  [][]float64
+}
+
+// jvPrecompute builds the per-facility sorted client orders.
+func jvPrecompute(c metric.Costs, workers int) *jvOrders {
+	nc, nf := c.Clients(), c.Facilities()
+	ord := &jvOrders{byCost: make([][]int, nf), costs: make([][]float64, nf)}
+	par.For(workers, nf, func(f int) {
+		idx := make([]int, nc)
+		cf := make([]float64, nc)
+		for j := 0; j < nc; j++ {
+			idx[j] = j
+			cf[j] = c.Cost(j, f)
+		}
+		sort.Slice(idx, func(a, b int) bool { return cf[idx[a]] < cf[idx[b]] })
+		ord.byCost[f] = idx
+		ord.costs[f] = cf
+	})
+	return ord
+}
 
 // jvResult is the outcome of one primal-dual run at a fixed facility price.
 type jvResult struct {
@@ -29,7 +60,7 @@ type jvResult struct {
 // facilities are pruned to a maximal independent set of the conflict graph
 // (two facilities conflict when some client contributes positively to
 // both), greedily in opening order.
-func jvRun(c metric.Costs, w []float64, lambda, stopW float64) jvResult {
+func jvRun(c metric.Costs, w []float64, lambda, stopW float64, workers int, ord *jvOrders) jvResult {
 	nc, nf := c.Clients(), c.Facilities()
 	active := make([]bool, nc)
 	alpha := make([]float64, nc)
@@ -38,20 +69,10 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64) jvResult {
 		active[j] = true
 		activeW += weight(w, j)
 	}
-	// Per-facility client order by connection cost (computed once).
-	byCost := make([][]int, nf)
-	costs := make([][]float64, nf)
-	for f := 0; f < nf; f++ {
-		idx := make([]int, nc)
-		cf := make([]float64, nc)
-		for j := 0; j < nc; j++ {
-			idx[j] = j
-			cf[j] = c.Cost(j, f)
-		}
-		sort.Slice(idx, func(a, b int) bool { return cf[idx[a]] < cf[idx[b]] })
-		byCost[f] = idx
-		costs[f] = cf
+	if ord == nil {
+		ord = jvPrecompute(c, workers)
 	}
+	byCost, costs := ord.byCost, ord.costs
 	frozenContrib := make([]float64, nf) // locked surplus from frozen clients
 	isOpen := make([]bool, nf)
 	var openOrder []int
@@ -61,81 +82,90 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64) jvResult {
 		active[j] = false
 		alpha[j] = a
 		activeW -= weight(w, j)
-		for f := 0; f < nf; f++ {
+		par.For(workers, nf, func(f int) {
 			if s := a - costs[f][j]; s > 0 {
 				frozenContrib[f] += weight(w, j) * s
 			}
-		}
+		})
 	}
 
 	// nextFacilityEvent returns the earliest time >= theta at which an
-	// unopened facility becomes fully paid, or +Inf.
-	nextFacilityEvent := func() (float64, int) {
-		bestT, bestF := math.Inf(1), -1
-		for f := 0; f < nf; f++ {
-			if isOpen[f] {
-				continue
+	// unopened facility becomes fully paid, or +Inf. The per-facility
+	// breakpoint walks are independent; the reduction breaks ties toward
+	// the lowest facility index, like the sequential scan.
+	facilityTime := func(f int) float64 {
+		if isOpen[f] {
+			return math.Inf(1)
+		}
+		// Walk breakpoints of P_f(th) = frozenContrib + sum over active
+		// clients with c <= th of w*(th - c).
+		W, S := 0.0, 0.0
+		tf := math.Inf(1)
+		order := byCost[f]
+		for i := 0; i <= len(order); i++ {
+			segEnd := math.Inf(1)
+			if i < len(order) {
+				segEnd = costs[f][order[i]]
 			}
-			// Walk breakpoints of P_f(th) = frozenContrib + sum over active
-			// clients with c <= th of w*(th - c).
-			W, S := 0.0, 0.0
-			tf := math.Inf(1)
-			order := byCost[f]
-			for i := 0; i <= len(order); i++ {
-				segEnd := math.Inf(1)
-				if i < len(order) {
-					segEnd = costs[f][order[i]]
+			if W > 0 {
+				th := (lambda - frozenContrib[f] + S) / W
+				if th < theta {
+					th = theta
 				}
-				if W > 0 {
-					th := (lambda - frozenContrib[f] + S) / W
-					if th < theta {
-						th = theta
-					}
-					if th <= segEnd {
-						tf = th
-						break
-					}
-				} else if frozenContrib[f] >= lambda {
-					tf = theta
+				if th <= segEnd {
+					tf = th
 					break
 				}
-				if i < len(order) {
-					j := order[i]
-					if active[j] {
-						W += weight(w, j)
-						S += weight(w, j) * costs[f][j]
-					}
+			} else if frozenContrib[f] >= lambda {
+				tf = theta
+				break
+			}
+			if i < len(order) {
+				j := order[i]
+				if active[j] {
+					W += weight(w, j)
+					S += weight(w, j) * costs[f][j]
 				}
 			}
-			if tf < bestT {
-				bestT, bestF = tf, f
-			}
 		}
-		return bestT, bestF
+		return tf
+	}
+	nextFacilityEvent := func() (float64, int) {
+		f, tf := par.MinIndex(workers, nf, facilityTime)
+		if math.IsInf(tf, 1) {
+			return tf, -1
+		}
+		return tf, f
 	}
 
 	// nextClientEvent returns the earliest time >= theta at which an active
-	// client reaches a tight edge to an open facility, or +Inf.
-	nextClientEvent := func() (float64, int) {
-		bestT, bestJ := math.Inf(1), -1
-		for j := 0; j < nc; j++ {
-			if !active[j] {
+	// client reaches a tight edge to an open facility, or +Inf; ties break
+	// toward the lowest client index, like the sequential scan.
+	clientTime := func(j int) float64 {
+		if !active[j] {
+			return math.Inf(1)
+		}
+		bestT := math.Inf(1)
+		for f := 0; f < nf; f++ {
+			if !isOpen[f] {
 				continue
 			}
-			for f := 0; f < nf; f++ {
-				if !isOpen[f] {
-					continue
-				}
-				t := costs[f][j]
-				if t < theta {
-					t = theta
-				}
-				if t < bestT {
-					bestT, bestJ = t, j
-				}
+			t := costs[f][j]
+			if t < theta {
+				t = theta
+			}
+			if t < bestT {
+				bestT = t
 			}
 		}
-		return bestT, bestJ
+		return bestT
+	}
+	nextClientEvent := func() (float64, int) {
+		j, tc := par.MinIndex(workers, nc, clientTime)
+		if math.IsInf(tc, 1) {
+			return tc, -1
+		}
+		return tc, j
 	}
 
 	const eps = 1e-12
@@ -208,6 +238,11 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64) jvResult {
 // Returned solution has at most k centers; its Cost is evaluated with
 // outlier budget (1+eps)t (set eps = 0 for the unicriterion evaluation).
 func JV(c metric.Costs, w []float64, k int, t float64, eps float64, opt Options) Solution {
+	if opt.Reference {
+		// The reference baseline is sequential: without this, Workers=0
+		// would resolve to NumCPU inside the parallel loops.
+		opt.Workers = 1
+	}
 	nc, nf := c.Clients(), c.Facilities()
 	if nc == 0 || nf == 0 || k <= 0 {
 		return Eval(c, w, nil, t)
@@ -236,7 +271,11 @@ func JV(c metric.Costs, w []float64, k int, t float64, eps float64, opt Options)
 	lo, hi := 0.0, (TotalWeight(c, w)+1)*(maxCost+1)
 
 	var small, large *jvResult // small: <= k facilities; large: > k
-	run := func(lambda float64) jvResult { return jvRun(c, w, lambda, t) }
+	var ord *jvOrders
+	if !opt.Reference {
+		ord = jvPrecompute(c, opt.Workers)
+	}
+	run := func(lambda float64) jvResult { return jvRun(c, w, lambda, t, opt.Workers, ord) }
 
 	rLo := run(lo)
 	if rLo.numOpen <= k { // even free facilities give <= k: done

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dpc/internal/metric"
+	"dpc/internal/par"
 )
 
 // Options tunes the local-search engine.
@@ -26,6 +27,17 @@ type Options struct {
 	// budget solves, where the solution for the previous budget is an
 	// excellent starting point for the next.
 	Warm []int
+	// Workers bounds the goroutines of the parallel engine paths; 0 (the
+	// default) means one per CPU, and any value produces bit-identical
+	// results (the engine only uses order-independent parallel loops and
+	// fixed-tie-break reductions).
+	Workers int
+	// Reference switches every solver to the pre-engine sequential
+	// implementation (the seed of this repository). It exists for the
+	// regression harness: cmd/dpc-bench and the parity tests run
+	// Reference and fast engines side by side and require identical
+	// solutions; it is not meant for production runs.
+	Reference bool
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +167,12 @@ func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
 	return centers
 }
 
+// relTol is the relative improvement below which descent stops.
+const relTol = 1e-6
+
+// topE is the number of candidate facilities exactly evaluated per round.
+const topE = 12
+
 // descend runs single-swap descent from the given centers. Each round ranks
 // candidate facilities by their "add potential" on the current inlier set
 // (the saving from adding the facility without removing anything), then
@@ -162,11 +180,153 @@ func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
 // current center — crucially with the outlier set re-selected, so the
 // budget can migrate to newly-far points (e.g. off a point that used to be
 // a center).
+//
+// This is the fast engine: candidate distance columns are computed once per
+// round (instead of once per swap), the d1/d2 nearest/second-nearest
+// bookkeeping turns each of the k swaps per candidate into a merge instead
+// of a fresh k-way scan, and the independent work runs on opt.Workers
+// goroutines. Every decision (swap chosen, stop condition, RNG stream) is
+// bit-identical to descendReference — TestEngineMatchesReference and the
+// cmd/dpc-bench harness enforce it.
 func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options, rng *rand.Rand) Solution {
+	if opt.Reference {
+		return descendReference(c, w, centers, t, opt, rng)
+	}
+	nc, nf := c.Clients(), c.Facilities()
+	workers := opt.Workers
+	cur := EvalP(c, w, centers, t, workers)
+	k := len(cur.Centers)
+	// One reusable distance column per top candidate and one newd buffer
+	// per (candidate, position) evaluation slot.
+	cols := make([][]float64, topE)
+	for i := range cols {
+		cols[i] = make([]float64, nc)
+	}
+	bufs := make([][]float64, topE*k)
+	for i := range bufs {
+		bufs[i] = make([]float64, nc)
+	}
+	d1 := make([]float64, nc)  // distance to nearest current center
+	a1 := make([]int, nc)      // position of that center in cur.Centers
+	d2 := make([]float64, nc)  // distance to second-nearest current center
+	inW := make([]float64, nc) // inlier weight under the current solution
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		pos := make(map[int]int, k) // facility -> position in centers
+		for p, f := range cur.Centers {
+			pos[f] = p
+		}
+		par.For(workers, nc, func(j int) {
+			b1, b2 := math.Inf(1), math.Inf(1)
+			bp := -1
+			for p, f := range cur.Centers {
+				x := c.Cost(j, f)
+				if x < b1 {
+					b1, b2, bp = x, b1, p
+				} else if x < b2 {
+					b2 = x
+				}
+			}
+			d1[j], a1[j], d2[j] = b1, bp, b2
+			inW[j] = weight(w, j) - cur.DroppedWeight[j]
+		})
+		cands := facilityCandidates(nf, pos, opt, rng)
+		pots := make([]float64, len(cands))
+		par.For(workers, len(cands), func(ci int) {
+			f := cands[ci]
+			var pot float64
+			for j := 0; j < nc; j++ {
+				if inW[j] <= 0 {
+					continue
+				}
+				if s := d1[j] - c.Cost(j, f); s > 0 {
+					pot += inW[j] * s
+				}
+			}
+			pots[ci] = pot
+		})
+		type scored struct {
+			f   int
+			pot float64
+		}
+		top := make([]scored, 0, len(cands))
+		for ci, f := range cands {
+			if pots[ci] > 0 {
+				top = append(top, scored{f: f, pot: pots[ci]})
+			}
+		}
+		sort.Slice(top, func(a, b int) bool { return top[a].pot > top[b].pot })
+		if len(top) > topE {
+			top = top[:topE]
+		}
+		// Distance columns of the surviving candidates, once per round.
+		par.For(workers, nc, func(j int) {
+			for si := range top {
+				cols[si][j] = c.Cost(j, top[si].f)
+			}
+		})
+		// Exact evaluation of every (candidate, removed position) swap into
+		// per-slot cost cells; the fold below replays the sequential
+		// first-strict-win scan, so ties resolve exactly as in the
+		// reference engine.
+		costs := make([]float64, len(top)*k)
+		par.For(workers, len(top)*k, func(slot int) {
+			si, p := slot/k, slot%k
+			costs[slot] = swapCost(cols[si], d1, a1, d2, w, p, t, bufs[slot])
+		})
+		bestCost := cur.Cost
+		bestSwap := [2]int{-1, -1} // (center position, facility)
+		for si := range top {
+			for p := 0; p < k; p++ {
+				if cost := costs[si*k+p]; cost < bestCost {
+					bestCost = cost
+					bestSwap = [2]int{p, top[si].f}
+				}
+			}
+		}
+		if bestSwap[0] < 0 || bestCost >= cur.Cost*(1-relTol) {
+			break
+		}
+		trial := append([]int(nil), cur.Centers...)
+		trial[bestSwap[0]] = bestSwap[1]
+		cur = EvalP(c, w, trial, t, workers)
+	}
+	return cur
+}
+
+// swapCost evaluates the exact partial cost of swapping the center at
+// position p for the facility whose distance column is col: client j's new
+// connection cost is min(col[j], d2[j]) when its nearest center is the one
+// removed, min(col[j], d1[j]) otherwise. buf receives the per-client
+// distances (len nc, overwritten). The result is bit-identical to
+// EvalSum on the swapped center set.
+func swapCost(col, d1 []float64, a1 []int, d2, w []float64, p int, t float64, buf []float64) float64 {
+	nc := len(col)
+	for j := 0; j < nc; j++ {
+		dj := d1[j]
+		if a1[j] == p {
+			dj = d2[j]
+		}
+		if col[j] < dj {
+			dj = col[j]
+		}
+		buf[j] = dj
+	}
+	if w == nil {
+		return partialCostUnit(buf, t)
+	}
+	ds := make([]cd, nc)
+	for j := 0; j < nc; j++ {
+		ds[j] = cd{d: buf[j], w: w[j]}
+	}
+	return partialCostPairs(ds, t)
+}
+
+// descendReference is the seed implementation of descend, kept verbatim as
+// the regression baseline: Options.Reference routes here, and the harness
+// asserts the fast engine matches it bit-for-bit.
+func descendReference(c metric.Costs, w []float64, centers []int, t float64, opt Options, rng *rand.Rand) Solution {
 	nc, nf := c.Clients(), c.Facilities()
 	cur := Eval(c, w, centers, t)
-	const relTol = 1e-6
-	const topE = 12 // facilities exactly evaluated per round
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		k := len(cur.Centers)
 		pos := make(map[int]int, k) // facility -> position in centers

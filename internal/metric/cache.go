@@ -1,0 +1,179 @@
+package metric
+
+import (
+	"math"
+	"sync/atomic"
+
+	"dpc/internal/par"
+)
+
+// emptyCell is the "not yet computed" sentinel of the caches: a quiet NaN
+// with a payload no real distance computation produces. A metric oracle
+// returning exactly this NaN would be recomputed on every call, which is
+// harmless (NaN distances are a bug upstream anyway).
+const emptyCell = 0x7ff8_0000_dead_c0de
+
+// MaxCachePoints is the largest space the convenience constructors memoize:
+// the packed triangle costs ~n^2/2 * 8 bytes (16 MiB at the limit), sized
+// so the hot region stays cache-resident — measurements on cheap metrics
+// (low-dimensional L2) show a DRAM-resident triangle costs more per lookup
+// than recomputing the distance, so past the limit the wrappers pass the
+// oracle through unchanged.
+const MaxCachePoints = 2048
+
+// DistCache memoizes a symmetric distance oracle in a packed
+// upper-triangular array, so repeated Dist(i,j) calls cost one computation
+// and one load thereafter. Cells fill lazily; Prefill runs a blocked
+// parallel fill for workloads that will touch every pair anyway.
+//
+// The cache is exact: it stores the float64 the underlying oracle returned,
+// so cached and uncached runs are bit-identical. It is safe for concurrent
+// readers (including concurrent first readers of the same cell: both
+// compute the same value and the store is atomic); it implements both Space
+// and Costs, like Points.
+type DistCache struct {
+	S     Space
+	n     int
+	cells []uint64 // packed strict upper triangle, atomic access
+}
+
+// NewDistCache wraps s in a fresh, empty cache. The underlying oracle must
+// be symmetric with zero diagonal (the Space contract); the cache stores
+// only i < j and serves Dist(j,i) from the same cell.
+func NewDistCache(s Space) *DistCache {
+	n := s.N()
+	cells := make([]uint64, n*(n-1)/2)
+	for i := range cells {
+		cells[i] = emptyCell
+	}
+	return &DistCache{S: s, n: n, cells: cells}
+}
+
+// CacheSpace wraps s in a DistCache unless it is too large to memoize, in
+// which case s is returned unchanged.
+func CacheSpace(s Space) Space {
+	if s.N() > MaxCachePoints {
+		return s
+	}
+	return NewDistCache(s)
+}
+
+// CachedSelfCosts is the one place the engine's self-cost caching policy
+// lives: it returns p as a Costs oracle, memoized behind a DistCache when
+// enable is true and the instance is within MaxCachePoints. Callers wrap
+// Squared on top for squared objectives.
+func CachedSelfCosts(p *Points, enable bool) Costs {
+	if !enable || p.N() > MaxCachePoints {
+		return p
+	}
+	return NewDistCache(p)
+}
+
+// cell returns the packed index of pair (i, j), i < j.
+func (dc *DistCache) cell(i, j int) int {
+	// Rows before i hold sum_{r<i} (n-1-r) = i*(2n-i-1)/2 cells.
+	return i*(2*dc.n-i-1)/2 + (j - i - 1)
+}
+
+// N implements Space.
+func (dc *DistCache) N() int { return dc.n }
+
+// Dist implements Space, computing and memoizing on first touch.
+func (dc *DistCache) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	c := dc.cell(i, j)
+	if bits := atomic.LoadUint64(&dc.cells[c]); bits != emptyCell {
+		return math.Float64frombits(bits)
+	}
+	d := dc.S.Dist(i, j)
+	atomic.StoreUint64(&dc.cells[c], math.Float64bits(d))
+	return d
+}
+
+// Clients implements Costs.
+func (dc *DistCache) Clients() int { return dc.n }
+
+// Facilities implements Costs.
+func (dc *DistCache) Facilities() int { return dc.n }
+
+// Cost implements Costs (self facilities, like Points).
+func (dc *DistCache) Cost(c, f int) float64 { return dc.Dist(c, f) }
+
+// Prefill computes every pair with a blocked parallel fill over rows,
+// spread across at most `workers` goroutines. After Prefill every Dist call
+// is a pure load.
+func (dc *DistCache) Prefill(workers int) {
+	par.For(workers, dc.n, func(i int) {
+		base := dc.cell(i, i+1)
+		for j := i + 1; j < dc.n; j++ {
+			c := base + (j - i - 1)
+			if atomic.LoadUint64(&dc.cells[c]) == emptyCell {
+				atomic.StoreUint64(&dc.cells[c], math.Float64bits(dc.S.Dist(i, j)))
+			}
+		}
+	})
+}
+
+// Filled reports how many cells have been computed (testing/metrics).
+func (dc *DistCache) Filled() int {
+	n := 0
+	for i := range dc.cells {
+		if atomic.LoadUint64(&dc.cells[i]) != emptyCell {
+			n++
+		}
+	}
+	return n
+}
+
+// CostCache memoizes an arbitrary (possibly asymmetric) client/facility
+// cost oracle in a dense clients x facilities array — the rectangular
+// sibling of DistCache, for oracles like the compressed graph of Section 5
+// where clients and facilities differ and Cost(i,f) != Cost(f,i).
+// Concurrency and exactness guarantees are the same as DistCache's.
+type CostCache struct {
+	C      Costs
+	nc, nf int
+	cells  []uint64 // row-major clients x facilities, atomic access
+}
+
+// NewCostCache wraps c in a fresh, empty cache.
+func NewCostCache(c Costs) *CostCache {
+	nc, nf := c.Clients(), c.Facilities()
+	cells := make([]uint64, nc*nf)
+	for i := range cells {
+		cells[i] = emptyCell
+	}
+	return &CostCache{C: c, nc: nc, nf: nf, cells: cells}
+}
+
+// CacheCosts wraps c in a CostCache unless the matrix would be too large,
+// in which case c is returned unchanged.
+func CacheCosts(c Costs) Costs {
+	nc, nf := c.Clients(), c.Facilities()
+	if nc == 0 || nf == 0 || nc*nf > MaxCachePoints*MaxCachePoints/2 {
+		return c
+	}
+	return NewCostCache(c)
+}
+
+// Clients implements Costs.
+func (cc *CostCache) Clients() int { return cc.nc }
+
+// Facilities implements Costs.
+func (cc *CostCache) Facilities() int { return cc.nf }
+
+// Cost implements Costs, computing and memoizing on first touch.
+func (cc *CostCache) Cost(client, facility int) float64 {
+	idx := client*cc.nf + facility
+	if bits := atomic.LoadUint64(&cc.cells[idx]); bits != emptyCell {
+		return math.Float64frombits(bits)
+	}
+	d := cc.C.Cost(client, facility)
+	atomic.StoreUint64(&cc.cells[idx], math.Float64bits(d))
+	return d
+}

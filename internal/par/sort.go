@@ -1,0 +1,75 @@
+package par
+
+import (
+	"math"
+	"sort"
+)
+
+// radixMin is the slice length from which SortFloats switches to the radix
+// path: below it the per-pass bucket bookkeeping costs more than a
+// comparison sort of the whole slice.
+const radixMin = 1 << 14
+
+// SortFloats sorts xs ascending. For large slices of non-negative values
+// (the distance arrays of the solver engines) it runs an LSD radix sort on
+// the IEEE-754 bit patterns — non-negative float64s order exactly like
+// their uint64 bits — which is several times faster than comparison
+// sorting and produces the identical value sequence (a sort is a
+// permutation; equal keys are indistinguishable by value). Slices that are
+// small, or contain negative values or NaNs, take sort.Float64s.
+func SortFloats(xs []float64) {
+	if len(xs) < radixMin || !radixSortNonNeg(xs) {
+		sort.Float64s(xs)
+	}
+}
+
+// radixSortNonNeg radix-sorts xs ascending via four 16-bit passes over the
+// raw bit patterns. Returns false (leaving xs in its original order) if a
+// negative value or NaN is present, whose bit patterns do not order like
+// the values.
+func radixSortNonNeg(xs []float64) bool {
+	n := len(xs)
+	src := make([]uint64, n)
+	for i, x := range xs {
+		if x < 0 || math.IsNaN(x) {
+			return false
+		}
+		src[i] = math.Float64bits(x)
+	}
+	dst := make([]uint64, n)
+	var count [1 << 16]int
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(16 * pass)
+		for i := range count {
+			count[i] = 0
+		}
+		skip := true
+		first := src[0] >> shift & 0xffff
+		for _, v := range src {
+			d := v >> shift & 0xffff
+			count[d]++
+			if d != first {
+				skip = false
+			}
+		}
+		if skip { // all keys share this digit
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := v >> shift & 0xffff
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	for i, v := range src {
+		xs[i] = math.Float64frombits(v)
+	}
+	return true
+}

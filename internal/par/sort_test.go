@@ -1,0 +1,67 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortFloatsMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 10, radixMin - 1, radixMin, radixMin + 3, 3 * radixMin} {
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(5) {
+			case 0:
+				xs[i] = 0
+			case 1:
+				xs[i] = float64(rng.Intn(4)) // exact ties
+			default:
+				xs[i] = rng.ExpFloat64() * 1e3
+			}
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		SortFloats(xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: SortFloats[%d] = %v, want %v", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortFloatsNegativeFallback(t *testing.T) {
+	xs := make([]float64, radixMin+5)
+	for i := range xs {
+		xs[i] = float64(i%100) - 50 // negatives force the comparison path
+	}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	SortFloats(xs)
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("negative fallback diverged at %d", i)
+		}
+	}
+}
+
+func TestSortFloatsInfAndNaN(t *testing.T) {
+	xs := make([]float64, radixMin)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	xs[7] = math.Inf(1)
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	SortFloats(xs)
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("+Inf handling diverged at %d", i)
+		}
+	}
+	// NaN forces the stdlib fallback (bit patterns do not order values).
+	xs[3] = math.NaN()
+	SortFloats(xs) // must not panic; ordering of NaN matches sort.Float64s semantics
+}

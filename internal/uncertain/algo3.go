@@ -66,6 +66,10 @@ type Config struct {
 	LocalOpts  kmedian.Options
 	Candidates CandidateSet // where 1-medians are searched
 	Sequential bool
+	// NoDistCache disables the memoized cost/distance oracles (a
+	// measurement knob; the caches never change results).
+	// LocalOpts.Reference also disables them.
+	NoDistCache bool
 	// Transport selects the wire backend: empty or transport.KindLoopback
 	// keeps sites in-process; transport.KindTCP runs the identical
 	// protocol over real localhost sockets.
@@ -110,6 +114,8 @@ type uSite struct {
 	g       *Ground
 	nodes   []Node
 	col     *Collapsed
+	costs   metric.Costs // col behind the memoized cost cache (unless Reference)
+	space   metric.Space // col behind the memoized distance cache (CenterPP only)
 	trav    kcenter.Traversal
 	fn      geom.ConvexFn
 	sols    map[int]kmedian.Solution
@@ -139,10 +145,24 @@ func (st *uSite) start() {
 	}
 	st.started = true
 	st.col = Collapse(st.g, st.nodes, st.obj == Means, st.cfg.Candidates)
+	st.costs = st.col
+	cache := !st.opts.Reference && !st.cfg.NoDistCache
+	if cache {
+		st.costs = metric.CacheCosts(st.col)
+	}
 	st.sols = make(map[int]kmedian.Solution)
 	if st.obj == CenterPP {
-		st.trav = kcenter.Gonzalez(st.col, st.cfg.K+st.cfg.T, 0)
+		st.space = st.col
+		if cache {
+			st.space = metric.CacheSpace(st.space)
+		}
+		st.trav = kcenter.GonzalezOpt(st.space, st.cfg.K+st.cfg.T, 0, st.kcOpt())
 	}
+}
+
+// kcOpt translates the site's solver options for the kcenter engines.
+func (st *uSite) kcOpt() kcenter.Opt {
+	return kcenter.Opt{Workers: st.opts.Workers, Reference: st.opts.Reference}
 }
 
 // handle implements transport.Handler for the uncertain site side.
@@ -244,7 +264,7 @@ func (st *uSite) solve(k2, q int, engine kmedian.Engine) kmedian.Solution {
 	if sol, ok := st.sols[q]; ok {
 		return sol
 	}
-	sol := kmedian.Solve(st.col, nil, k2, float64(q), engine, st.opts)
+	sol := kmedian.Solve(st.costs, nil, k2, float64(q), engine, st.opts)
 	st.sols[q] = sol
 	return sol
 }
@@ -318,7 +338,7 @@ func (st *uSite) centerPayload() comm.Payload {
 	if m > len(st.trav.Order) {
 		m = len(st.trav.Order)
 	}
-	_, counts, _ := st.trav.AssignPrefix(st.col, m, nil)
+	_, counts, _ := st.trav.AssignPrefixOpt(st.space, m, nil, st.kcOpt())
 	var msg comm.CollapsedMsg
 	for c := 0; c < m; c++ {
 		j := st.trav.Order[c]
@@ -424,7 +444,11 @@ func runMedianMeans(g *Ground, nw *comm.Network, cfg Config, obj Objective) (Res
 		}
 		copt := cfg.LocalOpts
 		copt.Seed += 555557
-		sol := kmedian.Bicriteria(col, wts, cfg.K, float64(cfg.T), cfg.Eps, kmedian.RelaxOutliers, cfg.Engine, copt)
+		var costs metric.Costs = col
+		if !copt.Reference && !cfg.NoDistCache {
+			costs = metric.CacheCosts(col)
+		}
+		sol := kmedian.Bicriteria(costs, wts, cfg.K, float64(cfg.T), cfg.Eps, kmedian.RelaxOutliers, cfg.Engine, copt)
 		result.Centers = clonePoints(col.Y, sol.Centers)
 		result.CoordinatorClients = col.Len()
 	})
@@ -464,7 +488,8 @@ func runCenterPP(nw *comm.Network, cfg Config) (Result, error) {
 			col.Ell = append(col.Ell, msg.Ell...)
 			wts = append(wts, msg.W...)
 		}
-		sol := kcenter.Partial(col, wts, cfg.K, float64(cfg.T))
+		sol := kcenter.PartialOpt(col, wts, cfg.K, float64(cfg.T),
+			kcenter.Opt{Workers: cfg.LocalOpts.Workers, Reference: cfg.LocalOpts.Reference})
 		result.Centers = clonePoints(col.Y, sol.Centers)
 		result.CoordinatorClients = col.Len()
 	})

@@ -33,6 +33,10 @@ type CenterGConfig struct {
 	Engine        kmedian.Engine
 	LocalOpts     kmedian.Options
 	Sequential    bool
+	// NoDistCache disables the memoized rho_tau oracles (a measurement
+	// knob; the caches never change results). LocalOpts.Reference also
+	// disables them.
+	NoDistCache bool
 	// OneRound runs the Table 2 single-round variant: every site ships,
 	// for every tau in the grid, its full (2k, t, rho_6tau) preclustering
 	// (centers + outlier distributions + cost) — communication
@@ -102,27 +106,29 @@ func tauGrid(g *Ground, base float64) ([]float64, error) {
 
 // cgSite is the site half of Algorithm 4.
 type cgSite struct {
-	cfg    CenterGConfig
-	site   int
-	g      *Ground
-	grid   []float64
-	nodes  []Node
-	fac    []int                       // candidate facility indices into the ground set
-	sols   map[[2]int]kmedian.Solution // (tauIdx, q) -> solution
-	fns    []geom.ConvexFn             // one per tau
-	budget int
+	cfg     CenterGConfig
+	site    int
+	g       *Ground
+	grid    []float64
+	nodes   []Node
+	fac     []int                       // candidate facility indices into the ground set
+	sols    map[[2]int]kmedian.Solution // (tauIdx, q) -> solution
+	oracles map[int]metric.Costs        // tauIdx -> (cached) rho_tau oracle
+	fns     []geom.ConvexFn             // one per tau
+	budget  int
 }
 
 func newCGSite(g *Ground, nodes []Node, cfg CenterGConfig, grid []float64, site int) *cgSite {
 	opts := cfg.LocalOpts
 	opts.Seed += int64(site) * 1000033
 	st := &cgSite{
-		cfg:   cfg,
-		site:  site,
-		g:     g,
-		grid:  grid,
-		nodes: nodes,
-		sols:  make(map[[2]int]kmedian.Solution),
+		cfg:     cfg,
+		site:    site,
+		g:       g,
+		grid:    grid,
+		nodes:   nodes,
+		sols:    make(map[[2]int]kmedian.Solution),
+		oracles: make(map[int]metric.Costs),
 	}
 	st.cfg.LocalOpts = opts
 	st.fac = facilityCandidates(nodes, cfg.MaxFacilities)
@@ -134,10 +140,26 @@ func (st *cgSite) solve(tauIdx int, tau6 float64, k2, q int) kmedian.Solution {
 	if sol, ok := st.sols[key]; ok {
 		return sol
 	}
-	tc := &TruncCosts{G: st.g, Nodes: st.nodes, Fac: st.fac, Tau: tau6}
-	sol := kmedian.Solve(tc, nil, k2, float64(q), st.cfg.Engine, st.cfg.LocalOpts)
+	sol := kmedian.Solve(st.oracle(tauIdx, tau6), nil, k2, float64(q), st.cfg.Engine, st.cfg.LocalOpts)
 	st.sols[key] = sol
 	return sol
+}
+
+// oracle returns the rho_tau cost oracle for one truncation grid index,
+// memoized behind a cost cache (unless the reference engine is selected):
+// the truncated expected distances of Definition 5.7 are the most expensive
+// oracle in the repository (a support-sized sum per call), and the grid of
+// budget solves at a fixed tau re-reads the same entries many times.
+func (st *cgSite) oracle(tauIdx int, tau6 float64) metric.Costs {
+	if c, ok := st.oracles[tauIdx]; ok {
+		return c
+	}
+	var tc metric.Costs = &TruncCosts{G: st.g, Nodes: st.nodes, Fac: st.fac, Tau: tau6}
+	if !st.cfg.LocalOpts.Reference && !st.cfg.NoDistCache {
+		tc = metric.CacheCosts(tc)
+	}
+	st.oracles[tauIdx] = tc
+	return tc
 }
 
 // wirePrecluster serializes a local solution: the chosen centers as ground
@@ -501,7 +523,8 @@ func runCenterGOver(g *Ground, tr transport.Transport, cfg CenterGConfig, grid [
 				wts = append(wts, 1)
 			}
 		}
-		sol := kcenter.Partial(cc, wts, cfg.K, float64(cfg.T))
+		sol := kcenter.PartialOpt(cc, wts, cfg.K, float64(cfg.T),
+			kcenter.Opt{Workers: cfg.LocalOpts.Workers, Reference: cfg.LocalOpts.Reference})
 		result.Centers = make([]metric.Point, len(sol.Centers))
 		for i, f := range sol.Centers {
 			result.Centers[i] = cc.facPts[f].Clone()
