@@ -1,0 +1,150 @@
+// Command dpc-benchdiff is the CI bench-regression gate: it diffs a fresh
+// dpc-bench artifact against a checked-in baseline and fails on any drift
+// in the experiment tables — the objective values, communication bytes and
+// cost ratios that must be identical run over run because every engine in
+// this repository is deterministic at a fixed seed. Wall-clock fields
+// (baseline_ms, tuned_ms, speedup) legitimately vary by host; they are
+// reported for the record but never gated.
+//
+// Usage:
+//
+//	dpc-bench -preset quick -out BENCH_SMOKE.json
+//	dpc-benchdiff -baseline BENCH_QUICK.json -candidate BENCH_SMOKE.json
+//
+// Experiments whose tables embed timing columns (rows_compared=false in the
+// artifact, e.g. E7) are skipped for the same reason dpc-bench itself skips
+// their identity assertion.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// experiment mirrors the dpc-bench artifact entries this tool gates.
+type experiment struct {
+	ID           string     `json:"id"`
+	Title        string     `json:"title"`
+	BaselineMS   float64    `json:"baseline_ms"`
+	TunedMS      float64    `json:"tuned_ms"`
+	Speedup      float64    `json:"speedup"`
+	RowsCompared bool       `json:"rows_compared"`
+	Header       []string   `json:"header"`
+	Rows         [][]string `json:"rows"`
+}
+
+// artifact mirrors the dpc-bench JSON schema.
+type artifact struct {
+	Preset      string       `json:"preset"`
+	Seed        int64        `json:"seed"`
+	Experiments []experiment `json:"experiments"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpc-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dpc-benchdiff", flag.ContinueOnError)
+	basePath := fs.String("baseline", "BENCH_QUICK.json", "checked-in baseline artifact")
+	candPath := fs.String("candidate", "BENCH_SMOKE.json", "freshly produced artifact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(*candPath)
+	if err != nil {
+		return err
+	}
+	if base.Preset != cand.Preset {
+		return fmt.Errorf("preset mismatch: baseline %q vs candidate %q (tables are preset-sized; regenerate the baseline)", base.Preset, cand.Preset)
+	}
+	if base.Seed != cand.Seed {
+		return fmt.Errorf("seed mismatch: baseline %d vs candidate %d", base.Seed, cand.Seed)
+	}
+
+	candByID := make(map[string]experiment, len(cand.Experiments))
+	for _, e := range cand.Experiments {
+		candByID[e.ID] = e
+	}
+
+	var drifts []string
+	gated, skipped := 0, 0
+	for _, b := range base.Experiments {
+		c, ok := candByID[b.ID]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: missing from candidate", b.ID))
+			continue
+		}
+		fmt.Fprintf(stdout, "%-4s baseline %8.1fms -> tuned %8.1fms (%.2fx); candidate %8.1fms -> %8.1fms (%.2fx)\n",
+			b.ID, b.BaselineMS, b.TunedMS, b.Speedup, c.BaselineMS, c.TunedMS, c.Speedup)
+		if !b.RowsCompared {
+			skipped++
+			continue
+		}
+		gated++
+		drifts = append(drifts, diffTables(b, c)...)
+	}
+	if len(drifts) > 0 {
+		for _, d := range drifts {
+			fmt.Fprintln(stdout, "DRIFT:", d)
+		}
+		return fmt.Errorf("%d drift(s) across %d gated experiment(s) — objective values moved; if intentional, regenerate the baseline with dpc-bench", len(drifts), gated)
+	}
+	fmt.Fprintf(stdout, "OK: %d experiment table(s) identical to baseline (%d timing-only table(s) reported, not gated)\n", gated, skipped)
+	return nil
+}
+
+// diffTables compares one experiment's value table cell by cell.
+func diffTables(b, c experiment) []string {
+	var drifts []string
+	if len(b.Header) != len(c.Header) {
+		return []string{fmt.Sprintf("%s: header has %d columns, baseline %d (schema change; regenerate the baseline)", c.ID, len(c.Header), len(b.Header))}
+	}
+	for i := range b.Header {
+		if b.Header[i] != c.Header[i] {
+			return []string{fmt.Sprintf("%s: column %d is %q, baseline %q (schema change; regenerate the baseline)", c.ID, i, c.Header[i], b.Header[i])}
+		}
+	}
+	if len(b.Rows) != len(c.Rows) {
+		return []string{fmt.Sprintf("%s: %d rows, baseline %d", c.ID, len(c.Rows), len(b.Rows))}
+	}
+	for r := range b.Rows {
+		if len(b.Rows[r]) != len(c.Rows[r]) {
+			drifts = append(drifts, fmt.Sprintf("%s row %d: %d cells, baseline %d", c.ID, r, len(c.Rows[r]), len(b.Rows[r])))
+			continue
+		}
+		for col := range b.Rows[r] {
+			if b.Rows[r][col] != c.Rows[r][col] {
+				drifts = append(drifts, fmt.Sprintf("%s row %d %s: %q, baseline %q",
+					c.ID, r, b.Header[col], c.Rows[r][col], b.Rows[r][col]))
+			}
+		}
+	}
+	return drifts
+}
+
+func load(path string) (artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	defer f.Close()
+	var a artifact
+	if err := json.NewDecoder(f).Decode(&a); err != nil {
+		return artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(a.Experiments) == 0 {
+		return artifact{}, fmt.Errorf("%s: no experiments (not a dpc-bench artifact?)", path)
+	}
+	return a, nil
+}

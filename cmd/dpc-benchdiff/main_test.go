@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, a artifact) string {
+	t.Helper()
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func quickArtifact() artifact {
+	return artifact{
+		Preset: "quick",
+		Seed:   1,
+		Experiments: []experiment{
+			{
+				ID: "E1", RowsCompared: true,
+				BaselineMS: 100, TunedMS: 50, Speedup: 2,
+				Header: []string{"n", "cost"},
+				Rows:   [][]string{{"1000", "0.88"}, {"2000", "0.10"}},
+			},
+			{
+				ID: "E7", RowsCompared: false, // timing table: reported, not gated
+				Header: []string{"n", "ms"},
+				Rows:   [][]string{{"1000", "123.4"}},
+			},
+		},
+	}
+}
+
+func TestBenchdiffIdenticalPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", quickArtifact())
+	cand := quickArtifact()
+	// Wall-clock and timing-table cells may drift freely.
+	cand.Experiments[0].BaselineMS = 999
+	cand.Experiments[0].TunedMS = 1
+	cand.Experiments[0].Speedup = 999
+	cand.Experiments[1].Rows[0][1] = "777.7"
+	candPath := writeArtifact(t, dir, "cand.json", cand)
+
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-candidate", candPath}, &out); err != nil {
+		t.Fatalf("identical tables failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: 1 experiment table(s) identical") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffCatchesValueDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", quickArtifact())
+	cand := quickArtifact()
+	cand.Experiments[0].Rows[1][1] = "0.11" // objective value moved
+	candPath := writeArtifact(t, dir, "cand.json", cand)
+
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-candidate", candPath}, &out)
+	if err == nil {
+		t.Fatalf("value drift passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `DRIFT: E1 row 1 cost: "0.11", baseline "0.10"`) {
+		t.Fatalf("drift not localized:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffCatchesSchemaAndShapeChanges(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", quickArtifact())
+
+	missing := quickArtifact()
+	missing.Experiments = missing.Experiments[1:]
+	if err := run([]string{"-baseline", base, "-candidate", writeArtifact(t, dir, "m.json", missing)}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing experiment passed")
+	}
+
+	cols := quickArtifact()
+	cols.Experiments[0].Header = []string{"n", "s", "cost"}
+	if err := run([]string{"-baseline", base, "-candidate", writeArtifact(t, dir, "c.json", cols)}, &bytes.Buffer{}); err == nil {
+		t.Fatal("schema change passed")
+	}
+
+	rows := quickArtifact()
+	rows.Experiments[0].Rows = rows.Experiments[0].Rows[:1]
+	if err := run([]string{"-baseline", base, "-candidate", writeArtifact(t, dir, "r.json", rows)}, &bytes.Buffer{}); err == nil {
+		t.Fatal("row-count change passed")
+	}
+}
+
+func TestBenchdiffRejectsPresetMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", quickArtifact())
+	full := quickArtifact()
+	full.Preset = "full"
+	if err := run([]string{"-baseline", base, "-candidate", writeArtifact(t, dir, "f.json", full)}, &bytes.Buffer{}); err == nil {
+		t.Fatal("preset mismatch passed")
+	}
+	reseeded := quickArtifact()
+	reseeded.Seed = 2
+	if err := run([]string{"-baseline", base, "-candidate", writeArtifact(t, dir, "s.json", reseeded)}, &bytes.Buffer{}); err == nil {
+		t.Fatal("seed mismatch passed")
+	}
+}
+
+func TestBenchdiffRejectsNonArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if err := run([]string{"-baseline", empty, "-candidate", empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty artifact passed")
+	}
+	if err := run([]string{"-baseline", filepath.Join(dir, "nope.json"), "-candidate", empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file passed")
+	}
+}

@@ -1,0 +1,81 @@
+// Command dpc-server runs the long-running clustering service: a registry
+// of named datasets and an HTTP/JSON job API, so many (k, t, objective)
+// queries run against the same data with warm distance caches and live
+// site connections instead of one-shot CLI invocations.
+//
+// Usage:
+//
+//	dpc-server -listen 127.0.0.1:8080
+//	dpc-server -listen :8080 -max-jobs 4 -cache-mb 512
+//
+//	# fan distributed jobs out to live dpc-site daemons:
+//	dpc-server -listen :8080 -sites-listen 127.0.0.1:9009 -remote-sites 2 -remote-name shards
+//	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv -persist
+//	dpc-site -connect 127.0.0.1:9009 -site 1 -in part1.csv -persist
+//
+// API sketch (see the README's Serving section for full reference):
+//
+//	POST /v1/datasets                  register a dataset (JSON points, or text/csv body + ?name=)
+//	POST /v1/datasets/{name}/points    append points (table extend / stream ingest)
+//	GET  /v1/datasets[/{name}]         inspect datasets and cache stats
+//	POST /v1/jobs                      submit a clustering job (JSON JobSpec)
+//	GET  /v1/jobs/{id}                 job status + result
+//	GET  /v1/jobs/{id}/centers.csv     centers in dpc-cluster's CSV format
+//	GET  /healthz, /metrics            liveness and Prometheus metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"dpc/internal/serve"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		maxJobs     = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = one per CPU)")
+		queueDepth  = flag.Int("queue", 256, "max queued jobs before 503 backpressure")
+		cacheMB     = flag.Int64("cache-mb", 256, "shared distance-cache pool budget in MiB")
+		sitesListen = flag.String("sites-listen", "", "when set, accept persistent dpc-site daemons on this address")
+		remoteSites = flag.Int("remote-sites", 0, "number of dpc-site daemons to wait for on -sites-listen")
+		remoteName  = flag.String("remote-name", "remote", "dataset name for the connected dpc-site daemons")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrentJobs: *maxJobs,
+		QueueDepth:        *queueDepth,
+		MaxCacheBytes:     *cacheMB << 20,
+	})
+	defer srv.Close()
+
+	if *sitesListen != "" {
+		if *remoteSites <= 0 {
+			fatal(fmt.Errorf("-sites-listen requires -remote-sites > 0"))
+		}
+		fmt.Fprintf(os.Stderr, "dpc-server: waiting for %d dpc-site daemon(s) on %s\n", *remoteSites, *sitesListen)
+		_, addr, err := srv.RegisterRemote(*remoteName, *sitesListen, *remoteSites)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dpc-server: %d site(s) connected on %s as dataset %q\n", *remoteSites, addr, *remoteName)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dpc-server: serving HTTP on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpc-server:", err)
+	os.Exit(1)
+}

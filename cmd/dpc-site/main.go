@@ -10,6 +10,13 @@
 // Usage:
 //
 //	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv
+//	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv -persist
+//
+// With -persist the site serves a multi-job coordinator (dpc-server): the
+// connection stays up across jobs, each job ships its own run configuration
+// in a job frame, and the site keeps its dataset and memoized distance
+// cache warm from one job to the next — the whole point of running a
+// long-lived daemon instead of a per-run process.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"dpc/internal/core"
 	"dpc/internal/dataio"
+	"dpc/internal/metric"
 	"dpc/internal/transport"
 )
 
@@ -30,6 +38,7 @@ func main() {
 		site    = flag.Int("site", 0, "this site's id (0-based, unique per site)")
 		inPath  = flag.String("in", "-", "input CSV of this site's points ('-' = stdin)")
 		timeout = flag.Duration("timeout", 30*time.Second, "how long to retry dialing the coordinator")
+		persist = flag.Bool("persist", false, "serve many jobs over one connection (dpc-server mode)")
 		verbose = flag.Bool("v", false, "log rounds to stderr")
 	)
 	flag.Parse()
@@ -52,6 +61,17 @@ func main() {
 		fatal(err)
 	}
 	defer sc.Close()
+
+	if *persist {
+		if err := servePersistent(sc, *site, pts, *verbose); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "dpc-site %d: coordinator closed, exiting\n", *site)
+		}
+		return
+	}
+
 	cfg, err := core.DecodeConfig(sc.Hello())
 	if err != nil {
 		fatal(fmt.Errorf("bad config from coordinator: %w", err))
@@ -63,19 +83,57 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "dpc-site %d: connected, serving %s/%s (k=%d, t=%d)\n",
 			*site, cfg.Objective, cfg.Variant, cfg.K, cfg.T)
-		inner := handler
-		handler = func(round int, in []byte) ([]byte, error) {
-			out, err := inner(round, in)
-			fmt.Fprintf(os.Stderr, "dpc-site %d: round %d: %d bytes in, %d bytes out\n",
-				*site, round, len(in), len(out))
-			return out, err
-		}
+		handler = logRounds(*site, handler)
 	}
 	if err := sc.Serve(handler); err != nil {
 		fatal(err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "dpc-site %d: protocol complete\n", *site)
+	}
+}
+
+// servePersistent serves the multi-job loop: one shared distance cache over
+// the site's shard, one fresh protocol handler per job frame. The hello
+// blob must carry the multi-job marker so a site is never silently paired
+// with a single-run coordinator.
+func servePersistent(sc *transport.Site, site int, pts []metric.Point, verbose bool) error {
+	if string(sc.Hello()) != transport.JobsHello {
+		return fmt.Errorf("coordinator is not multi-job (welcome %q, want %q); drop -persist",
+			sc.Hello(), transport.JobsHello)
+	}
+	// One cache for the life of the daemon: every job's solves hit the same
+	// memoized cells. Past the memoization cap the handlers build their
+	// usual per-job policy (nil cache).
+	var cache *metric.DistCache
+	if len(pts) <= metric.MaxCachePoints {
+		cache = metric.NewDistCache(metric.NewPoints(pts))
+	}
+	return sc.ServeJobs(func(job int, blob []byte) (transport.Handler, error) {
+		cfg, err := core.DecodeConfig(blob)
+		if err != nil {
+			return nil, fmt.Errorf("bad config in job %d: %w", job, err)
+		}
+		h, err := core.NewSiteHandlerCached(cfg, site, pts, cache)
+		if err != nil {
+			return nil, err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "dpc-site %d: job %d: %s/%s (k=%d, t=%d)\n",
+				site, job, cfg.Objective, cfg.Variant, cfg.K, cfg.T)
+			h = logRounds(site, h)
+		}
+		return h, nil
+	})
+}
+
+// logRounds wraps a handler with per-round byte logging.
+func logRounds(site int, inner transport.Handler) transport.Handler {
+	return func(round int, in []byte) ([]byte, error) {
+		out, err := inner(round, in)
+		fmt.Fprintf(os.Stderr, "dpc-site %d: round %d: %d bytes in, %d bytes out\n",
+			site, round, len(in), len(out))
+		return out, err
 	}
 }
 

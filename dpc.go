@@ -64,6 +64,7 @@ import (
 	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
+	"dpc/internal/serve"
 	"dpc/internal/stream"
 	"dpc/internal/transport"
 	"dpc/internal/uncertain"
@@ -291,6 +292,32 @@ type StreamResult = stream.Result
 func NewStream(cfg StreamConfig) (*StreamSketch, error) {
 	return stream.New(cfg)
 }
+
+// --- Serving (cmd/dpc-server's job subsystem) ---
+//
+// The serving layer turns one-shot runs into a long-lived service: named
+// datasets stay registered, their memoized distance oracles stay warm
+// across jobs, and concurrent (k, t, objective) queries schedule over a
+// bounded pool. Embed it with NewServer + Server.Handler, or run the
+// dpc-server binary.
+
+// ServeConfig tunes the job server (concurrency, queue depth, cache
+// budget, job retention).
+type ServeConfig = serve.Config
+
+// Server is the embeddable long-running clustering service.
+type Server = serve.Server
+
+// JobSpec is one clustering job: a (k, t, objective) query against a
+// registered dataset, with per-job engine knobs (Workers, Engine, Seed)
+// mirroring Config's — zero values reproduce a one-shot Run bit for bit.
+type JobSpec = serve.JobSpec
+
+// JobResult is a finished job's centers, cost and measured footprint.
+type JobResult = serve.JobResult
+
+// NewServer creates a job server; mount its Handler on any http.Server.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // --- Centralized subquadratic solvers (Section 3.1) ---
 

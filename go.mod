@@ -1,3 +1,3 @@
 module dpc
 
-go 1.24
+go 1.23.0

@@ -29,10 +29,14 @@ type centerSite struct {
 // newCenterSite builds site i's state; cfg must already have defaults
 // applied. The site metric is served through the memoized distance cache
 // (unless disabled), so the traversal, the prefix assignments and the
-// no-ship drop scan all pay for each pairwise distance once.
-func newCenterSite(cfg Config, site int, pts []metric.Point) *centerSite {
+// no-ship drop scan all pay for each pairwise distance once. cache, when
+// non-nil, is an externally owned (job-server shared) cache over pts and
+// replaces the private one.
+func newCenterSite(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) *centerSite {
 	var space metric.Space = metric.NewPoints(pts)
-	if !cfg.NoDistCache {
+	if cache != nil {
+		space = cache
+	} else if !cfg.NoDistCache {
 		space = metric.CacheSpace(space)
 	}
 	return &centerSite{cfg: cfg, site: site, pts: pts, space: space, kcOpt: cfg.solverOpt()}

@@ -248,7 +248,7 @@ func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 	}
 	handlers := make([]transport.Handler, len(sites))
 	for i := range sites {
-		h, err := NewSiteHandler(cfg, i, sites[i])
+		h, err := NewSiteHandlerCached(cfg, i, sites[i], nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -286,6 +286,18 @@ func RunOver(tr transport.Transport, cfg Config) (Result, error) {
 // pts: a transport.Handler that consumes each round's downstream message
 // and produces the site's reply. It is the entry point for dpc-site.
 func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler, error) {
+	return NewSiteHandlerCached(cfg, site, pts, nil)
+}
+
+// NewSiteHandlerCached is NewSiteHandler with an externally owned distance
+// cache over pts. A long-running site (the job server's in-process shards,
+// or dpc-site -persist) builds one DistCache per shard and passes it to the
+// handler of every job that queries the same points, so the memoized
+// distances stay warm across jobs. The cache is exact, so results are
+// bit-identical to a fresh-cache run. cache may be nil (a private cache is
+// built per the usual policy); it must be built over exactly pts, and it is
+// ignored when cfg.NoDistCache or cfg.Reference asks for uncached solves.
+func NewSiteHandlerCached(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) (transport.Handler, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg); err != nil {
 		return nil, err
@@ -296,10 +308,17 @@ func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler
 	if site < 0 {
 		return nil, fmt.Errorf("core: negative site id %d", site)
 	}
-	if cfg.Objective == Center {
-		return newCenterSite(cfg, site, pts).handle, nil
+	if cache != nil {
+		if cfg.NoDistCache {
+			cache = nil
+		} else if cache.N() != len(pts) {
+			return nil, fmt.Errorf("core: site %d cache over %d points, shard has %d", site, cache.N(), len(pts))
+		}
 	}
-	return newMedianSite(cfg, site, pts).handle, nil
+	if cfg.Objective == Center {
+		return newCenterSite(cfg, site, pts, cache).handle, nil
+	}
+	return newMedianSite(cfg, site, pts, cache).handle, nil
 }
 
 // costsOver wraps points in the objective's cost oracle, memoizing
@@ -312,6 +331,17 @@ func costsOver(pts []metric.Point, obj Objective, noCache bool) metric.Costs {
 		return metric.Squared{C: c}
 	}
 	return c
+}
+
+// costsShared is costsOver served from an externally owned cache: the cache
+// stores unsquared distances (it wraps the raw point metric), so median,
+// means and center jobs over the same shard all share one cell array —
+// means solves square on top per lookup, exactly like costsOver's layering.
+func costsShared(cache *metric.DistCache, obj Objective) metric.Costs {
+	if obj == Means {
+		return metric.Squared{C: cache}
+	}
+	return cache
 }
 
 // Evaluate computes the true global partial cost of centers on the full

@@ -28,14 +28,20 @@ type medianSite struct {
 
 // newMedianSite builds site i's state; cfg must already have defaults
 // applied. Per-site seeds are derived from LocalOpts.Seed + site index.
-func newMedianSite(cfg Config, site int, pts []metric.Point) *medianSite {
+// cache, when non-nil, is an externally owned (job-server shared) distance
+// cache over pts.
+func newMedianSite(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) *medianSite {
 	opts := cfg.LocalOpts
 	opts.Seed += int64(site) * 1000003
+	costs := costsOver(pts, cfg.Objective, cfg.NoDistCache)
+	if cache != nil {
+		costs = costsShared(cache, cfg.Objective)
+	}
 	return &medianSite{
 		cfg:   cfg,
 		site:  site,
 		pts:   pts,
-		costs: costsOver(pts, cfg.Objective, cfg.NoDistCache),
+		costs: costs,
 		sols:  make(map[int]kmedian.Solution),
 		opts:  opts,
 	}

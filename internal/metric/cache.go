@@ -21,6 +21,21 @@ const emptyCell = 0x7ff8_0000_dead_c0de
 // oracle through unchanged.
 const MaxCachePoints = 2048
 
+// CacheStats counts cache traffic. Attach one to a DistCache or CostCache
+// (Stats field) to observe hit/miss behavior — the long-running server uses
+// this to prove that jobs against the same dataset share one warm cache.
+// Counting is optional precisely because the Dist hot path is a single
+// atomic load; a nil Stats keeps it that way.
+type CacheStats struct {
+	Hits   atomic.Int64 // lookups served from a filled cell
+	Misses atomic.Int64 // lookups (or prefill steps) that computed a distance
+}
+
+// Snapshot returns the current counter values.
+func (cs *CacheStats) Snapshot() (hits, misses int64) {
+	return cs.Hits.Load(), cs.Misses.Load()
+}
+
 // DistCache memoizes a symmetric distance oracle in a packed
 // upper-triangular array, so repeated Dist(i,j) calls cost one computation
 // and one load thereafter. Cells fill lazily; Prefill runs a blocked
@@ -32,7 +47,10 @@ const MaxCachePoints = 2048
 // compute the same value and the store is atomic); it implements both Space
 // and Costs, like Points.
 type DistCache struct {
-	S     Space
+	S Space
+	// Stats, when non-nil, receives hit/miss accounting. Set it before
+	// sharing the cache; the counters themselves are concurrency-safe.
+	Stats *CacheStats
 	n     int
 	cells []uint64 // packed strict upper triangle, atomic access
 }
@@ -88,7 +106,13 @@ func (dc *DistCache) Dist(i, j int) float64 {
 	}
 	c := dc.cell(i, j)
 	if bits := atomic.LoadUint64(&dc.cells[c]); bits != emptyCell {
+		if dc.Stats != nil {
+			dc.Stats.Hits.Add(1)
+		}
 		return math.Float64frombits(bits)
+	}
+	if dc.Stats != nil {
+		dc.Stats.Misses.Add(1)
 	}
 	d := dc.S.Dist(i, j)
 	atomic.StoreUint64(&dc.cells[c], math.Float64bits(d))
@@ -113,11 +137,18 @@ func (dc *DistCache) Prefill(workers int) {
 		for j := i + 1; j < dc.n; j++ {
 			c := base + (j - i - 1)
 			if atomic.LoadUint64(&dc.cells[c]) == emptyCell {
+				if dc.Stats != nil {
+					dc.Stats.Misses.Add(1)
+				}
 				atomic.StoreUint64(&dc.cells[c], math.Float64bits(dc.S.Dist(i, j)))
 			}
 		}
 	})
 }
+
+// Bytes returns the memory footprint of the cell array — the sizing input
+// of CachePool's eviction budget.
+func (dc *DistCache) Bytes() int64 { return int64(len(dc.cells)) * 8 }
 
 // Filled reports how many cells have been computed (testing/metrics).
 func (dc *DistCache) Filled() int {
@@ -136,7 +167,9 @@ func (dc *DistCache) Filled() int {
 // where clients and facilities differ and Cost(i,f) != Cost(f,i).
 // Concurrency and exactness guarantees are the same as DistCache's.
 type CostCache struct {
-	C      Costs
+	C Costs
+	// Stats, when non-nil, receives hit/miss accounting (see CacheStats).
+	Stats  *CacheStats
 	nc, nf int
 	cells  []uint64 // row-major clients x facilities, atomic access
 }
@@ -171,7 +204,13 @@ func (cc *CostCache) Facilities() int { return cc.nf }
 func (cc *CostCache) Cost(client, facility int) float64 {
 	idx := client*cc.nf + facility
 	if bits := atomic.LoadUint64(&cc.cells[idx]); bits != emptyCell {
+		if cc.Stats != nil {
+			cc.Stats.Hits.Add(1)
+		}
 		return math.Float64frombits(bits)
+	}
+	if cc.Stats != nil {
+		cc.Stats.Misses.Add(1)
 	}
 	d := cc.C.Cost(client, facility)
 	atomic.StoreUint64(&cc.cells[idx], math.Float64bits(d))

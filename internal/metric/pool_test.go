@@ -1,0 +1,169 @@
+package metric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// poolPoints builds a small deterministic point set.
+func poolPoints(n, seed int) *Points {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{float64(i * (seed + 1)), float64(i % 7)}
+	}
+	return NewPoints(pts)
+}
+
+func TestCachePoolSharesOneCachePerKey(t *testing.T) {
+	p := NewCachePool(1 << 20)
+	builds := 0
+	build := func() *DistCache {
+		builds++
+		return NewDistCache(poolPoints(32, 1))
+	}
+	a := p.Get("k1", build)
+	b := p.Get("k1", build)
+	if a != b {
+		t.Fatalf("Get returned distinct caches for one key")
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	st := p.Stats()
+	if st.Entries != 1 || st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 entry, 1 build, 1 hit", st)
+	}
+	if st.Bytes != a.Bytes() {
+		t.Fatalf("pool accounts %d bytes, cache holds %d", st.Bytes, a.Bytes())
+	}
+}
+
+func TestCachePoolConcurrentGetBuildsOnce(t *testing.T) {
+	p := NewCachePool(1 << 20)
+	var mu sync.Mutex
+	builds := 0
+	var wg sync.WaitGroup
+	caches := make([]*DistCache, 16)
+	for i := range caches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			caches[i] = p.Get("shared", func() *DistCache {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				return NewDistCache(poolPoints(64, 2))
+			})
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("concurrent Gets built %d caches, want 1", builds)
+	}
+	for i, c := range caches {
+		if c != caches[0] {
+			t.Fatalf("goroutine %d got a different cache", i)
+		}
+	}
+}
+
+func TestCachePoolEvictsLRU(t *testing.T) {
+	one := NewDistCache(poolPoints(32, 0))
+	per := one.Bytes()
+	p := NewCachePool(3 * per) // room for exactly three caches
+	for i := 0; i < 4; i++ {
+		p.Get(fmt.Sprintf("k%d", i), func() *DistCache { return NewDistCache(poolPoints(32, i)) })
+	}
+	st := p.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 3 entries after 1 eviction", st)
+	}
+	// k0 was least recently used and must be gone: a fresh Get rebuilds.
+	rebuilt := false
+	p.Get("k0", func() *DistCache { rebuilt = true; return NewDistCache(poolPoints(32, 0)) })
+	if !rebuilt {
+		t.Fatalf("k0 survived eviction")
+	}
+	// k3 is still pooled.
+	p.Get("k3", func() *DistCache { t.Fatalf("k3 was evicted"); return nil })
+}
+
+func TestCachePoolOversizeCacheNotPooled(t *testing.T) {
+	small := NewDistCache(poolPoints(8, 0))
+	p := NewCachePool(small.Bytes()) // tiny budget
+	big := p.Get("big", func() *DistCache { return NewDistCache(poolPoints(64, 0)) })
+	if big == nil {
+		t.Fatalf("oversize Get returned nil")
+	}
+	if st := p.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize cache stayed pooled: %+v", st)
+	}
+}
+
+func TestCachePoolInvalidate(t *testing.T) {
+	p := NewCachePool(1 << 20)
+	p.Get("k", func() *DistCache { return NewDistCache(poolPoints(16, 0)) })
+	p.Invalidate("k")
+	if st := p.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("invalidate left %+v", st)
+	}
+	rebuilt := false
+	p.Get("k", func() *DistCache { rebuilt = true; return NewDistCache(poolPoints(16, 0)) })
+	if !rebuilt {
+		t.Fatalf("invalidate did not drop the entry")
+	}
+}
+
+func TestCacheStatsCountHitsAndMisses(t *testing.T) {
+	dc := NewDistCache(poolPoints(10, 0))
+	dc.Stats = &CacheStats{}
+	dc.Dist(1, 2) // miss
+	dc.Dist(1, 2) // hit
+	dc.Dist(2, 1) // hit (same cell)
+	dc.Dist(3, 4) // miss
+	hits, misses := dc.Stats.Snapshot()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	// Diagonal lookups never touch cells or counters.
+	dc.Dist(5, 5)
+	if h, m := dc.Stats.Snapshot(); h != 2 || m != 2 {
+		t.Fatalf("diagonal counted: hits=%d misses=%d", h, m)
+	}
+	// Values are exactly the oracle's, stats or not.
+	want := poolPoints(10, 0).Dist(1, 2)
+	if got := dc.Dist(1, 2); got != want {
+		t.Fatalf("cached Dist = %v, want %v", got, want)
+	}
+}
+
+func TestCostCacheStats(t *testing.T) {
+	cc := NewCostCache(poolPoints(6, 1))
+	cc.Stats = &CacheStats{}
+	cc.Cost(0, 3)
+	cc.Cost(0, 3)
+	cc.Cost(3, 0) // distinct cell in the rectangular cache
+	hits, misses := cc.Stats.Snapshot()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestDistCachePrefillCountsMisses(t *testing.T) {
+	dc := NewDistCache(poolPoints(12, 0))
+	dc.Stats = &CacheStats{}
+	dc.Dist(0, 1) // one lazy miss
+	dc.Prefill(2)
+	hits, misses := dc.Stats.Snapshot()
+	wantCells := int64(12 * 11 / 2)
+	if misses != wantCells {
+		t.Fatalf("misses=%d, want %d (every cell computed once)", misses, wantCells)
+	}
+	if hits != 0 {
+		t.Fatalf("hits=%d, want 0", hits)
+	}
+	if dc.Filled() != int(wantCells) {
+		t.Fatalf("filled=%d, want %d", dc.Filled(), wantCells)
+	}
+}

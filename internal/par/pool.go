@@ -1,0 +1,76 @@
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool is a bounded task executor: a fixed set of worker goroutines
+// draining a FIFO queue. It schedules whole jobs (as opposed to For and
+// friends, which spread one job's index range across goroutines) — the
+// long-running server submits every clustering job through one Pool so at
+// most `workers` jobs solve concurrently while the rest wait queued.
+//
+// Submit is non-blocking: when the queue is full it returns ErrPoolFull,
+// which the server surfaces as backpressure (HTTP 503) instead of letting
+// unbounded work pile up.
+type Pool struct {
+	tasks  chan func()
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrPoolFull is returned by Submit when the queue is at capacity.
+var ErrPoolFull = errors.New("par: pool queue full")
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// NewPool starts a pool of `workers` goroutines (<= 0 means one per CPU)
+// with a queue of `queue` waiting tasks (<= 0 means 64).
+func NewPool(workers, queue int) *Pool {
+	workers = Resolve(workers)
+	if queue <= 0 {
+		queue = 64
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn for execution by the next free worker. It never
+// blocks: a full queue returns ErrPoolFull, a closed pool ErrPoolClosed.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Close stops accepting tasks and waits for queued and running tasks to
+// finish. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(3, 128)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		err := p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, workers)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // the worker is busy; the queue (capacity 1) is empty
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("queue should hold one waiter: %v", err)
+	}
+	// Queue full now: the pool pushes back instead of buffering unboundedly.
+	if err := p.Submit(func() {}); err != ErrPoolFull {
+		t.Fatalf("submit on full queue = %v, want ErrPoolFull", err)
+	}
+	close(release)
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("submit after close = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2, 8)
+	p.Close()
+	p.Close()
+}

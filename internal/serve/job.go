@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"dpc/internal/core"
+	"dpc/internal/dataio"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/transport"
+)
+
+// JobSpec is the JSON body of POST /v1/jobs: one (k, t, objective) query
+// against a registered dataset. Zero values select the same defaults
+// dpc-cluster uses, so a job with only {dataset, k, t, seed} set reproduces
+// a one-shot CLI run bit for bit.
+type JobSpec struct {
+	Dataset   string `json:"dataset"`
+	K         int    `json:"k"`
+	T         int    `json:"t"`
+	Objective string `json:"objective,omitempty"` // median (default) | means | center
+	Variant   string `json:"variant,omitempty"`   // 2round (default) | 1round | noship
+	// Sites is the loopback shard count for table datasets (default 8,
+	// matching dpc-cluster; capped at MaxJobSites). Ignored for stream
+	// (no sharding) and remote (the connected daemons are the sharding)
+	// datasets.
+	Sites int     `json:"sites,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	// Workers bounds the solver goroutines of this job (0 = one per CPU);
+	// any value returns bit-identical results — the engine invariant.
+	Workers int    `json:"workers,omitempty"`
+	Engine  string `json:"engine,omitempty"` // auto (default) | localsearch | jv
+	// NoCache disables shared and private distance caches for this job (a
+	// measurement knob; results never change).
+	NoCache     bool `json:"no_cache,omitempty"`
+	LloydPolish bool `json:"lloyd_polish,omitempty"`
+}
+
+// MaxJobSites caps JobSpec.Sites: each simulated site costs a goroutine
+// and per-shard state, so an unbounded request could allocate the server
+// to death. Real deployments in the paper's regime run tens of sites.
+const MaxJobSites = 4096
+
+// Job statuses.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Job is one submitted job and its lifecycle. Fields are guarded by the
+// owning Server's job lock; handlers read snapshots via view().
+type Job struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	Status    string     `json:"status"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// JobResult is a finished job's payload.
+type JobResult struct {
+	Centers [][]float64 `json:"centers"`
+	// OutlierBudget is how many (weighted) points the solution may ignore.
+	OutlierBudget float64 `json:"outlier_budget"`
+	// Cost is the solution's objective value; CostKind says against what:
+	// "global" (the full table, the measuring stick of core.Evaluate),
+	// "summary" (the stream sketch's weighted summary), or "coordinator"
+	// (the coordinator's induced instance — remote data never reaches the
+	// server, so the true global cost is evaluated site-side if at all).
+	Cost     float64 `json:"cost"`
+	CostKind string  `json:"cost_kind"`
+	// Communication footprint (distributed jobs only).
+	Rounds      int    `json:"rounds,omitempty"`
+	UpBytes     int64  `json:"up_bytes,omitempty"`
+	DownBytes   int64  `json:"down_bytes,omitempty"`
+	SiteBudgets []int  `json:"site_budgets,omitempty"`
+	Transport   string `json:"transport,omitempty"`
+	// Dataset cache traffic after this job (aggregate over the dataset's
+	// shard caches — reuse shows up as hits growing while misses stay put).
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
+// parseObjective maps the API objective string to core's enum.
+func parseObjective(s string) (core.Objective, error) {
+	switch s {
+	case "", "median":
+		return core.Median, nil
+	case "means":
+		return core.Means, nil
+	case "center":
+		return core.Center, nil
+	}
+	return 0, fmt.Errorf("serve: unknown objective %q (want median, means or center)", s)
+}
+
+// parseVariant maps the API variant string to core's enum.
+func parseVariant(s string) (core.Variant, error) {
+	switch s {
+	case "", "2round":
+		return core.TwoRound, nil
+	case "1round":
+		return core.OneRound, nil
+	case "noship":
+		return core.TwoRoundNoOutliers, nil
+	}
+	return 0, fmt.Errorf("serve: unknown variant %q (want 2round, 1round or noship)", s)
+}
+
+// parseEngine maps the API engine string to the kmedian enum.
+func parseEngine(s string) (kmedian.Engine, error) {
+	switch s {
+	case "", "auto":
+		return kmedian.EngineAuto, nil
+	case "localsearch":
+		return kmedian.EngineLocalSearch, nil
+	case "jv":
+		return kmedian.EngineJV, nil
+	}
+	return 0, fmt.Errorf("serve: unknown engine %q (want auto, localsearch or jv)", s)
+}
+
+// coreConfig translates a JobSpec into the distributed run configuration —
+// exactly the mapping cmd/dpc-cluster performs, so server jobs and CLI runs
+// agree bit for bit.
+func (s JobSpec) coreConfig() (core.Config, error) {
+	obj, err := parseObjective(s.Objective)
+	if err != nil {
+		return core.Config{}, err
+	}
+	vr, err := parseVariant(s.Variant)
+	if err != nil {
+		return core.Config{}, err
+	}
+	eng, err := parseEngine(s.Engine)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		K: s.K, T: s.T, Objective: obj, Variant: vr, Eps: s.Eps,
+		LloydPolish: s.LloydPolish,
+		Engine:      eng,
+		LocalOpts:   kmedian.Options{Seed: s.Seed},
+		Workers:     s.Workers,
+		NoDistCache: s.NoCache,
+	}, nil
+}
+
+// streamOpts is the solver option set stream datasets use; seed-threaded so
+// sketch compressions are deterministic per dataset.
+func streamOpts(seed int64) kmedian.Options {
+	return kmedian.Options{Seed: seed}
+}
+
+// run executes spec against the registry and returns the result. It is
+// called on a pool worker; everything it touches is either job-local or
+// concurrency-safe (shared caches, dataset snapshots).
+func (r *Registry) run(spec JobSpec) (*JobResult, error) {
+	d, err := r.Get(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var res *JobResult
+	switch d.kind {
+	case KindTable:
+		res, err = r.runTable(d, spec)
+	case KindStream:
+		res, err = r.runStream(d, spec)
+	case KindRemote:
+		res, err = r.runRemote(d, spec)
+	default:
+		err = fmt.Errorf("serve: dataset %q has unknown kind %q", d.name, d.kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CacheHits, res.CacheMisses = d.stats.Snapshot()
+	res.DurationMS = float64(time.Since(t0).Microseconds()) / 1000
+	return res, nil
+}
+
+// shardCaches returns the shared distance cache for every shard of a table
+// dataset at a given version and site count, building missing ones through
+// the pool. Shards beyond metric.MaxCachePoints get nil (the handler falls
+// back to the same uncached policy a one-shot run uses).
+func (r *Registry) shardCaches(d *Dataset, version int, shards [][]metric.Point) []*metric.DistCache {
+	caches := make([]*metric.DistCache, len(shards))
+	for i, shard := range shards {
+		if len(shard) > metric.MaxCachePoints {
+			continue
+		}
+		shard := shard
+		key := fmt.Sprintf("%s@v%d/s%d/%d", d.name, version, len(shards), i)
+		caches[i] = r.pool.Get(key, func() *metric.DistCache {
+			dc := metric.NewDistCache(metric.NewPoints(shard))
+			dc.Stats = &d.stats
+			return dc
+		})
+	}
+	return caches
+}
+
+// runTable executes the full distributed protocol over in-process loopback
+// shards — the same SplitRoundRobin sharding and core configuration as
+// dpc-cluster, plus shared shard caches drawn from the pool.
+func (r *Registry) runTable(d *Dataset, spec JobSpec) (*JobResult, error) {
+	cfg, err := spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	pts, version := d.snapshotTable()
+	// The same range check core.Run applies: a budget covering the whole
+	// dataset would "succeed" with zero centers.
+	if spec.T >= len(pts) {
+		return nil, fmt.Errorf("serve: t = %d out of range [0, %d) for dataset %q", spec.T, len(pts), d.name)
+	}
+	sites := spec.Sites
+	if sites <= 0 {
+		sites = 8
+	}
+	shards := dataio.SplitRoundRobin(pts, sites)
+	var caches []*metric.DistCache
+	if !spec.NoCache {
+		caches = r.shardCaches(d, version, shards)
+	} else {
+		caches = make([]*metric.DistCache, len(shards))
+	}
+	handlers := make([]transport.Handler, len(shards))
+	for i := range shards {
+		h, err := core.NewSiteHandlerCached(cfg, i, shards[i], caches[i])
+		if err != nil {
+			return nil, err
+		}
+		handlers[i] = h
+	}
+	tr := transport.NewLoopback(handlers, true)
+	defer tr.Close()
+	res, err := core.RunOver(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	obj, _ := parseObjective(spec.Objective)
+	return &JobResult{
+		Centers:       pointsToRows(res.Centers),
+		OutlierBudget: res.OutlierBudget,
+		Cost:          core.Evaluate(pts, res.Centers, res.OutlierBudget, obj),
+		CostKind:      "global",
+		Rounds:        res.Report.Rounds,
+		UpBytes:       res.Report.UpBytes,
+		DownBytes:     res.Report.DownBytes,
+		SiteBudgets:   res.SiteBudgets,
+		Transport:     string(transport.KindLoopback),
+	}, nil
+}
+
+// runStream answers a (k, t) query on the dataset's sketch summary. The
+// sketch's objective is fixed at registration (its compressions already
+// folded the stream under that objective), so a query for the other one is
+// an error, not a silent wrong answer; per-job engine knobs (Engine, Seed,
+// Workers) are likewise registration-time properties of the sketch.
+//
+// Query only reads sketch state, so it takes the read lock: concurrent
+// queries, Info() and /metrics proceed; only appends (the single writer)
+// serialize against it.
+func (r *Registry) runStream(d *Dataset, spec JobSpec) (*JobResult, error) {
+	switch spec.Objective {
+	case "", "median":
+		if d.streamMeans {
+			return nil, fmt.Errorf("serve: dataset %q sketches the means objective; this job asks for median", d.name)
+		}
+	case "means":
+		if !d.streamMeans {
+			return nil, fmt.Errorf("serve: dataset %q sketches the median objective; register with \"means\":true to answer means queries", d.name)
+		}
+	default:
+		return nil, fmt.Errorf("serve: stream datasets answer median/means queries, not %q", spec.Objective)
+	}
+	d.mu.RLock()
+	sres := d.sketch.Query(spec.K, spec.T)
+	d.mu.RUnlock()
+	return &JobResult{
+		Centers:       pointsToRows(sres.Centers),
+		OutlierBudget: float64(spec.T),
+		Cost:          sres.SummaryCost,
+		CostKind:      "summary",
+	}, nil
+}
+
+// runRemote fans the protocol out to the dataset's persistent dpc-site
+// connections: a job frame re-arms every site with this job's config, then
+// the standard coordinator drive runs over the live sockets. Jobs against
+// one remote dataset serialize (the transport round contract); jobs against
+// different datasets still run concurrently.
+func (r *Registry) runRemote(d *Dataset, spec JobSpec) (*JobResult, error) {
+	cfg, err := spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	d.jobMu.Lock()
+	defer d.jobMu.Unlock()
+	if err := d.remote.StartJob(core.EncodeConfig(cfg)); err != nil {
+		return nil, err
+	}
+	res, err := core.RunOver(d.remote, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Centers:       pointsToRows(res.Centers),
+		OutlierBudget: res.OutlierBudget,
+		Cost:          res.CoordinatorCost,
+		CostKind:      "coordinator",
+		Rounds:        res.Report.Rounds,
+		UpBytes:       res.Report.UpBytes,
+		DownBytes:     res.Report.DownBytes,
+		SiteBudgets:   res.SiteBudgets,
+		Transport:     string(transport.KindTCP),
+	}, nil
+}
+
+// pointsToRows converts points to JSON-friendly rows.
+func pointsToRows(pts []metric.Point) [][]float64 {
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = append([]float64(nil), p...)
+	}
+	return rows
+}

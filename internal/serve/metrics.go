@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// counters are the server's monotonic job counters.
+type counters struct {
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsRejected  atomic.Int64
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (hand-rolled — the repository takes no dependencies). Gauges are
+// computed from live state; counters are monotonic over the process life.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var queued, running int
+	s.mu.Lock()
+	for _, id := range s.order {
+		switch s.jobs[id].Status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		}
+	}
+	retained := len(s.order)
+	s.mu.Unlock()
+
+	pool := s.reg.Pool().Stats()
+	datasets := s.reg.List()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP dpc_uptime_seconds Seconds since the server started.\n")
+	p("# TYPE dpc_uptime_seconds gauge\n")
+	p("dpc_uptime_seconds %g\n", s.uptime())
+
+	p("# HELP dpc_jobs_total Jobs by terminal disposition.\n")
+	p("# TYPE dpc_jobs_total counter\n")
+	p("dpc_jobs_total{status=\"submitted\"} %d\n", s.counters.jobsSubmitted.Load())
+	p("dpc_jobs_total{status=\"done\"} %d\n", s.counters.jobsDone.Load())
+	p("dpc_jobs_total{status=\"failed\"} %d\n", s.counters.jobsFailed.Load())
+	p("dpc_jobs_total{status=\"rejected\"} %d\n", s.counters.jobsRejected.Load())
+
+	p("# HELP dpc_jobs_queued Jobs waiting for a scheduler slot.\n")
+	p("# TYPE dpc_jobs_queued gauge\n")
+	p("dpc_jobs_queued %d\n", queued)
+	p("# HELP dpc_jobs_running Jobs currently solving.\n")
+	p("# TYPE dpc_jobs_running gauge\n")
+	p("dpc_jobs_running %d\n", running)
+	p("# HELP dpc_jobs_retained Jobs retained for GET /v1/jobs.\n")
+	p("# TYPE dpc_jobs_retained gauge\n")
+	p("dpc_jobs_retained %d\n", retained)
+
+	p("# HELP dpc_datasets Registered datasets.\n")
+	p("# TYPE dpc_datasets gauge\n")
+	p("dpc_datasets %d\n", len(datasets))
+
+	p("# HELP dpc_cache_pool_bytes Cell bytes held by the shared distance-cache pool.\n")
+	p("# TYPE dpc_cache_pool_bytes gauge\n")
+	p("dpc_cache_pool_bytes %d\n", pool.Bytes)
+	p("# HELP dpc_cache_pool_entries Caches held by the pool.\n")
+	p("# TYPE dpc_cache_pool_entries gauge\n")
+	p("dpc_cache_pool_entries %d\n", pool.Entries)
+	p("# HELP dpc_cache_pool_events_total Pool traffic: get hits, fresh builds, LRU evictions.\n")
+	p("# TYPE dpc_cache_pool_events_total counter\n")
+	p("dpc_cache_pool_events_total{event=\"hit\"} %d\n", pool.Hits)
+	p("dpc_cache_pool_events_total{event=\"build\"} %d\n", pool.Builds)
+	p("dpc_cache_pool_events_total{event=\"evict\"} %d\n", pool.Evictions)
+
+	p("# HELP dpc_dataset_cache_lookups_total Distance-cache traffic per dataset.\n")
+	p("# TYPE dpc_dataset_cache_lookups_total counter\n")
+	for _, d := range datasets {
+		p("dpc_dataset_cache_lookups_total{dataset=%q,kind=\"hit\"} %d\n", d.Name, d.CacheHits)
+		p("dpc_dataset_cache_lookups_total{dataset=%q,kind=\"miss\"} %d\n", d.Name, d.CacheMisses)
+	}
+}

@@ -1,0 +1,391 @@
+// Package serve implements the long-running clustering service behind
+// cmd/dpc-server: a registry of named datasets, an HTTP/JSON job API, and a
+// bounded scheduler that runs many (k, t, objective) queries against the
+// same site-held data — the "repeated service over distributed data"
+// reading of Guha–Li–Zhang, where the expensive state (datasets, memoized
+// distance oracles, site connections) stays warm across queries instead of
+// being rebuilt per CLI invocation.
+//
+// Three dataset kinds cover the paper's deployment modes:
+//
+//   - table: points held in server memory, jobs run the full distributed
+//     protocol over in-process loopback shards; every job that queries the
+//     same (dataset, sharding) reuses one shared metric.DistCache per
+//     shard, drawn from an LRU-bounded metric.CachePool.
+//   - stream: an internal/stream sketch absorbs incremental ingest in
+//     O(chunk + k + t) memory; jobs answer (k, t) queries on the summary.
+//   - remote: the data lives in dpc-site daemons holding persistent TCP
+//     connections; jobs fan the coordinator protocol out over the existing
+//     transport, and the sites keep their own caches warm across jobs.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dpc/internal/metric"
+	"dpc/internal/stream"
+	"dpc/internal/transport"
+)
+
+// ErrDatasetExists marks duplicate-name registrations (HTTP 409, where
+// plain validation failures are 400).
+var ErrDatasetExists = errors.New("dataset already exists")
+
+// DatasetKind names a dataset's storage/execution mode.
+type DatasetKind string
+
+// Dataset kinds.
+const (
+	// KindTable holds points in server memory; jobs run the distributed
+	// protocol over loopback shards with pooled shared distance caches.
+	KindTable DatasetKind = "table"
+	// KindStream holds an internal/stream sketch; points append
+	// incrementally and jobs query the summary.
+	KindStream DatasetKind = "stream"
+	// KindRemote holds persistent connections to dpc-site daemons; jobs
+	// run the protocol over TCP against data the server never sees.
+	KindRemote DatasetKind = "remote"
+)
+
+// Dataset is one named dataset in the registry.
+type Dataset struct {
+	mu   sync.RWMutex
+	name string
+	kind DatasetKind
+
+	// table state; version is registry-global and bumps on every append,
+	// so cache-pool keys of stale shardings — including those of a deleted
+	// and re-registered dataset under the same name — can never collide
+	// with live ones, and go cold via LRU.
+	pts     []metric.Point
+	version int
+	// dim pins the point dimension (table and stream) from registration /
+	// first append on, so a mismatched append fails cleanly instead of
+	// panicking inside a distance computation later.
+	dim int
+
+	// stream state. streamMeans records the registration-time objective:
+	// the sketch's summary is built for exactly one of median/means, so
+	// queries for the other are rejected rather than silently answered
+	// with the wrong costs.
+	sketch      *stream.Sketch
+	streamMeans bool
+
+	// remote state. jobMu serializes protocol runs: one Coordinator serves
+	// one run at a time (connection persistence, not multiplexing).
+	remote      *transport.Coordinator
+	remoteSites int
+	jobMu       sync.Mutex
+
+	// stats aggregates hit/miss traffic over every shard cache of this
+	// dataset — the observable the e2e test asserts cache reuse with.
+	stats metric.CacheStats
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Kind returns the dataset kind.
+func (d *Dataset) Kind() DatasetKind { return d.kind }
+
+// CacheStats snapshots the dataset's aggregate distance-cache traffic.
+func (d *Dataset) CacheStats() (hits, misses int64) {
+	return d.stats.Snapshot()
+}
+
+// CloseRemote shuts a remote dataset's site connections (sending every
+// site the protocol close, ending its ServeJobs loop). No-op for local
+// datasets. Jobs in flight finish first: the close takes the job lock.
+func (d *Dataset) CloseRemote() error {
+	if d.kind != KindRemote || d.remote == nil {
+		return nil
+	}
+	d.jobMu.Lock()
+	defer d.jobMu.Unlock()
+	return d.remote.Close()
+}
+
+// snapshotTable returns the current points and version. The returned slice
+// is a stable prefix view: appends never mutate already-registered points,
+// so a running job keeps a consistent dataset while ingest continues.
+func (d *Dataset) snapshotTable() ([]metric.Point, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pts[:len(d.pts):len(d.pts)], d.version
+}
+
+// DatasetInfo is the JSON summary of a dataset.
+type DatasetInfo struct {
+	Name    string      `json:"name"`
+	Kind    DatasetKind `json:"kind"`
+	Points  int         `json:"points"`
+	Dim     int         `json:"dim,omitempty"`
+	Version int         `json:"version"`
+	// Stream-only: points consumed and summary size after compression.
+	Ingested     int `json:"ingested,omitempty"`
+	SummarySize  int `json:"summary_size,omitempty"`
+	Compressions int `json:"compressions,omitempty"`
+	// Remote-only: connected site daemons.
+	Sites int `json:"sites,omitempty"`
+	// Aggregate distance-cache traffic across this dataset's shard caches.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// Info snapshots a dataset summary.
+func (d *Dataset) Info() DatasetInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	info := DatasetInfo{Name: d.name, Kind: d.kind, Version: d.version}
+	info.CacheHits, info.CacheMisses = d.stats.Snapshot()
+	switch d.kind {
+	case KindTable:
+		info.Points = len(d.pts)
+		if len(d.pts) > 0 {
+			info.Dim = d.pts[0].Dim()
+		}
+	case KindStream:
+		info.Ingested = d.sketch.N()
+		info.SummarySize = d.sketch.Size()
+		info.Compressions = d.sketch.Compressions()
+		info.Points = d.sketch.N()
+		info.Dim = d.dim
+	case KindRemote:
+		info.Sites = d.remoteSites
+	}
+	return info
+}
+
+// Registry holds the named datasets and the shared cache pool.
+type Registry struct {
+	mu       sync.RWMutex
+	ds       map[string]*Dataset
+	pool     *metric.CachePool
+	versions int // monotonic dataset-version source (guarded by mu)
+}
+
+// nextVersion hands out a registry-unique dataset version.
+func (r *Registry) nextVersion() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions++
+	return r.versions
+}
+
+// NewRegistry creates an empty registry whose cache pool is bounded by
+// maxCacheBytes (<= 0 means the pool default).
+func NewRegistry(maxCacheBytes int64) *Registry {
+	return &Registry{
+		ds:   make(map[string]*Dataset),
+		pool: metric.NewCachePool(maxCacheBytes),
+	}
+}
+
+// Pool returns the shared cache pool (metrics/testing).
+func (r *Registry) Pool() *metric.CachePool { return r.pool }
+
+// Get returns the named dataset.
+func (r *Registry) Get(name string) (*Dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.ds[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no dataset %q", name)
+	}
+	return d, nil
+}
+
+// List returns summaries of every dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.ds))
+	for n := range r.ds {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	infos := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		if d, err := r.Get(n); err == nil {
+			infos = append(infos, d.Info())
+		}
+	}
+	return infos
+}
+
+// Delete removes the named dataset and reclaims its pooled shard caches
+// right away (jobs still holding one keep using it safely). Remote
+// datasets are not deletable over the API (their connections belong to the
+// server process).
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	d, ok := r.ds[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: no dataset %q", name)
+	}
+	if d.kind == KindRemote {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: dataset %q is remote and cannot be deleted over the API", name)
+	}
+	delete(r.ds, name)
+	r.mu.Unlock()
+	r.pool.InvalidatePrefix(name + "@v")
+	return nil
+}
+
+// register inserts d, rejecting duplicate names.
+func (r *Registry) register(d *Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ds[d.name]; ok {
+		return fmt.Errorf("serve: dataset %q: %w", d.name, ErrDatasetExists)
+	}
+	r.ds[d.name] = d
+	return nil
+}
+
+// RegisterTable registers a table dataset holding pts.
+func (r *Registry) RegisterTable(name string, pts []metric.Point) (*Dataset, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("serve: dataset %q has no points", name)
+	}
+	if err := validatePoints(pts, pts[0].Dim()); err != nil {
+		return nil, err
+	}
+	d := &Dataset{name: name, kind: KindTable, pts: pts, version: r.nextVersion(), dim: pts[0].Dim()}
+	if err := r.register(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RegisterStream registers a stream dataset: a sketch for k centers and t
+// outliers with the given chunk size (0 = stream default), means switching
+// connection costs to squared distances.
+func (r *Registry) RegisterStream(name string, k, t, chunk int, means bool, seed int64) (*Dataset, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	sk, err := stream.New(stream.Config{K: k, T: t, Chunk: chunk, Means: means,
+		Opts: streamOpts(seed)})
+	if err != nil {
+		return nil, fmt.Errorf("serve: dataset %q: %w", name, err)
+	}
+	d := &Dataset{name: name, kind: KindStream, sketch: sk, streamMeans: means, version: r.nextVersion()}
+	if err := r.register(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RegisterRemote registers a remote dataset served by sites connected on
+// coord. The server (not the HTTP API) owns the connections; the registry
+// serializes jobs over them.
+func (r *Registry) RegisterRemote(name string, coord *transport.Coordinator) (*Dataset, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if coord == nil || coord.Sites() == 0 {
+		return nil, fmt.Errorf("serve: remote dataset %q has no sites", name)
+	}
+	d := &Dataset{name: name, kind: KindRemote, remote: coord, remoteSites: coord.Sites(), version: r.nextVersion()}
+	if err := r.register(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Append adds points to a table (extending it and bumping the version, so
+// future jobs see the grown dataset and stale shard caches age out) or
+// feeds them to a stream sketch. Remote datasets ingest at the sites, not
+// through the server.
+func (r *Registry) Append(name string, pts []metric.Point) (DatasetInfo, error) {
+	d, err := r.Get(name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if len(pts) == 0 {
+		return DatasetInfo{}, fmt.Errorf("serve: append to %q: no points", name)
+	}
+	if err := r.appendLocked(d, pts); err != nil {
+		return DatasetInfo{}, err
+	}
+	return d.Info(), nil
+}
+
+// appendLocked performs the append under the dataset lock (deferred, so a
+// panicking solver path can never wedge the mutex).
+func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.kind {
+	case KindTable:
+		if err := validatePoints(pts, d.dim); err != nil {
+			return fmt.Errorf("serve: append to %q: %w", d.name, err)
+		}
+		// Copy-on-append: running jobs hold snapshots of the old backing
+		// array; never grow it in place beyond their view.
+		grown := make([]metric.Point, 0, len(d.pts)+len(pts))
+		grown = append(grown, d.pts...)
+		grown = append(grown, pts...)
+		d.pts = grown
+		d.version = r.nextVersion()
+	case KindStream:
+		// The sketch distance code assumes one dimension; pin it on first
+		// append and reject mismatches here, where they fail cleanly.
+		if d.dim == 0 {
+			if len(pts[0]) == 0 {
+				return fmt.Errorf("serve: append to %q: point 0 is empty", d.name)
+			}
+			d.dim = pts[0].Dim()
+		}
+		if err := validatePoints(pts, d.dim); err != nil {
+			return fmt.Errorf("serve: append to %q: %w", d.name, err)
+		}
+		for _, p := range pts {
+			d.sketch.Add(p)
+		}
+	default:
+		return fmt.Errorf("serve: dataset %q is %s; append its data at the sites", d.name, d.kind)
+	}
+	return nil
+}
+
+// validateName rejects empty or path-hostile dataset names.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty dataset name")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("serve: dataset name longer than 128 bytes")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("serve: dataset name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return nil
+}
+
+// validatePoints checks dimension consistency against dim.
+func validatePoints(pts []metric.Point, dim int) error {
+	for i, p := range pts {
+		if len(p) == 0 {
+			return fmt.Errorf("serve: point %d is empty", i)
+		}
+		if p.Dim() != dim {
+			return fmt.Errorf("serve: point %d has dim %d, want %d", i, p.Dim(), dim)
+		}
+	}
+	return nil
+}

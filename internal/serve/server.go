@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dpc/internal/dataio"
+	"dpc/internal/metric"
+	"dpc/internal/par"
+	"dpc/internal/transport"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConcurrentJobs bounds how many jobs solve at once (the rest wait
+	// queued, FIFO). 0 means one per CPU.
+	MaxConcurrentJobs int
+	// QueueDepth bounds the waiting queue; a full queue rejects new jobs
+	// with HTTP 503 (backpressure). 0 means 256.
+	QueueDepth int
+	// MaxCacheBytes bounds the shared distance-cache pool (LRU eviction).
+	// 0 means 256 MiB.
+	MaxCacheBytes int64
+	// MaxBodyBytes bounds one HTTP request body. 0 means 64 MiB.
+	MaxBodyBytes int64
+	// MaxJobs bounds how many finished jobs are retained for GET (oldest
+	// finished jobs are pruned first). 0 means 4096.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server is the long-running clustering service: dataset registry, job
+// store, bounded scheduler and HTTP API. Create with New, mount Handler on
+// any http server, Close to drain.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	pool  *par.Pool
+	mux   *http.ServeMux
+	start time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing and pruning
+	seq   int
+
+	counters counters
+}
+
+// New creates a Server ready to accept requests.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.MaxCacheBytes),
+		pool:  par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Registry exposes the dataset registry (cmd/dpc-server registers remote
+// datasets through it; tests inspect cache stats).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the scheduler after draining queued and running jobs.
+func (s *Server) Close() { s.pool.Close() }
+
+// routes wires the API surface.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/points", s.handleAppendPoints)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/centers.csv", s.handleJobCentersCSV)
+}
+
+// apiError is the JSON error envelope.
+func apiError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// createDatasetRequest is the JSON body of POST /v1/datasets. A text/csv
+// body registers a table dataset instead, with the name taken from the
+// ?name= query parameter.
+type createDatasetRequest struct {
+	Name   string      `json:"name"`
+	Kind   DatasetKind `json:"kind,omitempty"` // table (default) | stream
+	Points [][]float64 `json:"points,omitempty"`
+	// Stream-only sketch shape.
+	K     int   `json:"k,omitempty"`
+	T     int   `json:"t,omitempty"`
+	Chunk int   `json:"chunk,omitempty"`
+	Means bool  `json:"means,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+}
+
+func rowsToPoints(rows [][]float64) []metric.Point {
+	pts := make([]metric.Point, len(rows))
+	for i, row := range rows {
+		pts[i] = metric.Point(row)
+	}
+	return pts
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+
+	// CSV fast path: dataset lifecycle straight from a file upload.
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		name := r.URL.Query().Get("name")
+		pts, err := dataio.ReadPointsCSV(body)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, err)
+			return
+		}
+		d, err := s.reg.RegisterTable(name, pts)
+		if err != nil {
+			apiError(w, registerStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, d.Info())
+		return
+	}
+
+	var req createDatasetRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad dataset body: %w", err))
+		return
+	}
+	var (
+		d   *Dataset
+		err error
+	)
+	switch req.Kind {
+	case "", KindTable:
+		d, err = s.reg.RegisterTable(req.Name, rowsToPoints(req.Points))
+	case KindStream:
+		d, err = s.reg.RegisterStream(req.Name, req.K, req.T, req.Chunk, req.Means, req.Seed)
+		if err == nil && len(req.Points) > 0 {
+			if _, err = s.reg.Append(req.Name, rowsToPoints(req.Points)); err != nil {
+				// Roll the registration back: a failed inline seed must not
+				// leave an empty dataset squatting on the name.
+				s.reg.Delete(req.Name)
+			}
+		}
+	case KindRemote:
+		err = errors.New("serve: remote datasets are registered by the server process (see dpc-server -sites-listen), not over the API")
+	default:
+		err = fmt.Errorf("serve: unknown dataset kind %q", req.Kind)
+	}
+	if err != nil {
+		apiError(w, registerStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d.Info())
+}
+
+// registerStatus maps registration errors to status codes: duplicate names
+// are conflicts, everything else is a bad request.
+func registerStatus(err error) int {
+	if errors.Is(err, ErrDatasetExists) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		apiError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d.Info())
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+		apiError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// appendPointsRequest is the JSON body of POST /v1/datasets/{name}/points;
+// a text/csv body appends parsed CSV rows instead.
+type appendPointsRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	name := r.PathValue("name")
+
+	var pts []metric.Point
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		parsed, err := dataio.ReadPointsCSV(body)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, err)
+			return
+		}
+		pts = parsed
+	} else {
+		var req appendPointsRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad points body: %w", err))
+			return
+		}
+		pts = rowsToPoints(req.Points)
+	}
+	info, err := s.reg.Append(name, pts)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Submit enqueues a job (the library entry point behind POST /v1/jobs).
+// It validates the spec up front — bad specs and unknown datasets fail
+// synchronously, a full queue returns par.ErrPoolFull — and returns the
+// queued job's view.
+func (s *Server) Submit(spec JobSpec) (Job, error) {
+	if _, err := spec.coreConfig(); err != nil {
+		return Job{}, err
+	}
+	if spec.K <= 0 {
+		return Job{}, fmt.Errorf("serve: job k = %d, must be positive", spec.K)
+	}
+	if spec.T < 0 {
+		return Job{}, fmt.Errorf("serve: job t = %d, must be non-negative", spec.T)
+	}
+	if spec.Sites < 0 || spec.Sites > MaxJobSites {
+		return Job{}, fmt.Errorf("serve: job sites = %d, must be in [0, %d]", spec.Sites, MaxJobSites)
+	}
+	if _, err := s.reg.Get(spec.Dataset); err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Spec:      spec,
+		Status:    StatusQueued,
+		Submitted: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	err := s.pool.Submit(func() { s.execute(job) })
+	if err != nil {
+		s.mu.Lock()
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		now := time.Now()
+		job.Finished = &now
+		view := *job
+		s.mu.Unlock()
+		s.counters.jobsRejected.Add(1)
+		return view, err
+	}
+	s.counters.jobsSubmitted.Add(1)
+	s.mu.Lock()
+	view := *job
+	s.mu.Unlock()
+	return view, nil
+}
+
+// execute runs one job on a pool worker and records the outcome. A panic
+// anywhere in the solve fails that one job; a server absorbing arbitrary
+// client-submitted work must never let one query kill the process.
+func (s *Server) execute(job *Job) {
+	s.mu.Lock()
+	now := time.Now()
+	job.Status = StatusRunning
+	job.Started = &now
+	s.mu.Unlock()
+
+	res, err := func() (res *JobResult, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				res, err = nil, fmt.Errorf("serve: job panicked: %v", p)
+			}
+		}()
+		return s.reg.run(job.Spec)
+	}()
+
+	s.mu.Lock()
+	end := time.Now()
+	job.Finished = &end
+	if err != nil {
+		job.Status = StatusFailed
+		job.Error = err.Error()
+	} else {
+		job.Status = StatusDone
+		job.Result = res
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.counters.jobsFailed.Add(1)
+	} else {
+		s.counters.jobsDone.Add(1)
+	}
+}
+
+// pruneLocked drops the oldest finished jobs above the retention cap.
+func (s *Server) pruneLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j.Status == StatusDone || j.Status == StatusFailed {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything retained is still queued or running
+		}
+	}
+}
+
+// GetJob returns a snapshot of the job by id.
+func (s *Server) GetJob(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("serve: no job %q", id)
+	}
+	return *j, nil
+}
+
+// ListJobs returns snapshots of retained jobs in submission order.
+func (s *Server) ListJobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	var spec JobSpec
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job body: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, par.ErrPoolFull):
+		apiError(w, http.StatusServiceUnavailable, errors.New("serve: job queue full, retry later"))
+	case errors.Is(err, par.ErrPoolClosed):
+		apiError(w, http.StatusServiceUnavailable, errors.New("serve: server shutting down"))
+	case err != nil:
+		apiError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, job)
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.ListJobs()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.GetJob(r.PathValue("id"))
+	if err != nil {
+		apiError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobCentersCSV serves a finished job's centers in exactly the CSV
+// format dpc-cluster writes, so `diff` against a CLI run is byte-exact.
+func (s *Server) handleJobCentersCSV(w http.ResponseWriter, r *http.Request) {
+	job, err := s.GetJob(r.PathValue("id"))
+	if err != nil {
+		apiError(w, http.StatusNotFound, err)
+		return
+	}
+	if job.Status != StatusDone {
+		apiError(w, http.StatusConflict, fmt.Errorf("serve: job %s is %s", job.ID, job.Status))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	dataio.WritePointsCSV(w, rowsToPoints(job.Result.Centers))
+}
+
+// RegisterRemote accepts `sites` persistent dpc-site connections on a TCP
+// listener bound to addr and registers them as a remote dataset. It blocks
+// until every site has joined (dpc-site retries dialing, so start order
+// does not matter). The welcome blob is the persistent-mode marker; a
+// non-persistent dpc-site pointed here fails its config decode loudly
+// instead of hanging.
+func (s *Server) RegisterRemote(name, addr string, sites int) (*Dataset, string, error) {
+	l, err := transport.Listen(addr, sites)
+	if err != nil {
+		return nil, "", err
+	}
+	defer l.Close()
+	d, err := s.RegisterRemoteListener(name, l, sites)
+	if err != nil {
+		return nil, "", err
+	}
+	return d, l.Addr().String(), nil
+}
+
+// RegisterRemoteListener is RegisterRemote over an already-bound listener
+// (tests bind to an ephemeral port first so the sites know where to dial
+// before the accept loop starts). The caller owns closing l.
+func (s *Server) RegisterRemoteListener(name string, l *transport.Listener, sites int) (*Dataset, error) {
+	coord, err := l.Accept(sites, []byte(transport.JobsHello))
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.reg.RegisterRemote(name, coord)
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// uptime reports seconds since start (metrics).
+func (s *Server) uptime() float64 { return time.Since(s.start).Seconds() }

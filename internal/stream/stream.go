@@ -155,13 +155,44 @@ type Result struct {
 // Finish solves (k,t) on the remaining summary and returns the centers.
 // The sketch remains usable (more points may be added afterwards).
 func (s *Sketch) Finish() Result {
+	return s.Query(s.cfg.K, s.cfg.T)
+}
+
+// Query solves (k', t') on the current summary without consuming it — the
+// incremental-service entry point: one sketch absorbs a continuous ingest
+// while answering many (k, t) queries against the same summary, each a
+// solve over the O(chunk + k + t) weighted points rather than the full
+// stream. k' and t' need not match the configured K and T (the summary's
+// 2K centers + T carried outliers preserve cost for any k' <= K, t' <= T by
+// Theorem 2.1; larger queries still answer, with weaker guarantees). The
+// sketch is unchanged afterwards and more points may be added.
+func (s *Sketch) Query(k, t int) Result {
+	if k <= 0 {
+		k = s.cfg.K
+	}
+	if t < 0 {
+		t = s.cfg.T
+	}
 	costs := s.costs()
 	opts := s.cfg.Opts
 	opts.Seed += 104729
-	sol := kmedian.Solve(costs, s.w, s.cfg.K, float64(s.cfg.T), s.cfg.Engine, opts)
+	sol := kmedian.Solve(costs, s.w, k, float64(t), s.cfg.Engine, opts)
 	centers := make([]metric.Point, len(sol.Centers))
 	for i, f := range sol.Centers {
 		centers[i] = s.pts[f].Clone()
 	}
 	return Result{Centers: centers, SummaryCost: sol.Cost, Compressions: s.compressions}
+}
+
+// Summary returns a copy of the current weighted summary (points and
+// weights), so a caller can evaluate query results against the sketch's
+// view of the stream without reaching into its buffers.
+func (s *Sketch) Summary() ([]metric.Point, []float64) {
+	pts := make([]metric.Point, len(s.pts))
+	for i, p := range s.pts {
+		pts[i] = p.Clone()
+	}
+	w := make([]float64, len(s.w))
+	copy(w, s.w)
+	return pts, w
 }

@@ -139,3 +139,87 @@ func TestSketchDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryMatchesFinishAndPreservesSketch(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 2000, K: 3, OutlierFrac: 0.03, Seed: 5})
+	s, err := New(Config{K: 3, T: 60, Chunk: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range in.Pts {
+		s.Add(p)
+	}
+	sizeBefore, compBefore := s.Size(), s.Compressions()
+
+	fin := s.Finish()
+	q := s.Query(3, 60)
+	if len(fin.Centers) != len(q.Centers) {
+		t.Fatalf("Finish returned %d centers, Query %d", len(fin.Centers), len(q.Centers))
+	}
+	for i := range fin.Centers {
+		if !fin.Centers[i].Equal(q.Centers[i]) {
+			t.Fatalf("center %d differs between Finish and Query(K, T)", i)
+		}
+	}
+	if fin.SummaryCost != q.SummaryCost {
+		t.Fatalf("SummaryCost differs: %v vs %v", fin.SummaryCost, q.SummaryCost)
+	}
+	if s.Size() != sizeBefore || s.Compressions() != compBefore {
+		t.Fatalf("query mutated the sketch: size %d->%d, compressions %d->%d",
+			sizeBefore, s.Size(), compBefore, s.Compressions())
+	}
+}
+
+func TestQueryDifferentShapes(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 1500, K: 4, OutlierFrac: 0.02, Seed: 9})
+	s, err := New(Config{K: 4, T: 50, Chunk: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range in.Pts {
+		s.Add(p)
+	}
+	// One ingest pass answers many query shapes; smaller k must cost more
+	// (fewer centers, same summary), and results stay deterministic.
+	c4 := s.Query(4, 50)
+	c2 := s.Query(2, 50)
+	if len(c4.Centers) != 4 || len(c2.Centers) != 2 {
+		t.Fatalf("got %d and %d centers, want 4 and 2", len(c4.Centers), len(c2.Centers))
+	}
+	if c2.SummaryCost < c4.SummaryCost {
+		t.Fatalf("k=2 cost %v beats k=4 cost %v", c2.SummaryCost, c4.SummaryCost)
+	}
+	again := s.Query(2, 50)
+	if again.SummaryCost != c2.SummaryCost {
+		t.Fatalf("repeated query drifted: %v vs %v", again.SummaryCost, c2.SummaryCost)
+	}
+	// Zero/negative arguments fall back to the configured shape.
+	def := s.Query(0, -1)
+	if len(def.Centers) != len(c4.Centers) {
+		t.Fatalf("Query(0,-1) returned %d centers, want %d", len(def.Centers), len(c4.Centers))
+	}
+}
+
+func TestSummaryIsACopy(t *testing.T) {
+	s, err := New(Config{K: 2, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gen.Mixture(gen.MixtureSpec{N: 100, K: 2, Seed: 3})
+	for _, p := range in.Pts {
+		s.Add(p)
+	}
+	pts, w := s.Summary()
+	if len(pts) != s.Size() || len(w) != s.Size() {
+		t.Fatalf("summary has %d/%d entries, sketch holds %d", len(pts), len(w), s.Size())
+	}
+	before := s.Query(2, 4)
+	for i := range pts {
+		pts[i][0] = 1e12 // scribble on the copy
+		w[i] = 0
+	}
+	after := s.Query(2, 4)
+	if before.SummaryCost != after.SummaryCost {
+		t.Fatalf("mutating Summary() output changed the sketch: %v vs %v", before.SummaryCost, after.SummaryCost)
+	}
+}

@@ -38,6 +38,10 @@ const (
 	kindData    = 3 // one round's downstream or upstream message
 	kindClose   = 4 // coordinator -> site: protocol over, exit Serve
 	kindError   = 5 // site -> coordinator: handler failed, payload is the message
+	kindJob     = 6 // coordinator -> site: a new protocol run starts; payload
+	// is the job blob (dpc-server ships the encoded run config), rounds
+	// restart at 0. Consumed by ServeJobs; plain Serve predates multi-job
+	// connections and rejects it.
 )
 
 // header is the decoded fixed-size frame prefix.

@@ -261,6 +261,32 @@ func (c *Coordinator) Gather(round int) (RoundResult, error) {
 	return res, nil
 }
 
+// StartJob begins a new protocol run over the same connected sites: every
+// site receives a job frame carrying blob (dpc-server ships the encoded
+// run configuration), after which rounds restart at 0 and the Coordinator
+// can be handed to a fresh protocol run (e.g. core.RunOver). Sites must be
+// serving with ServeJobs; the per-run round state is reset here so a
+// previous run's half-finished round cannot leak into the next job.
+//
+// One Coordinator still serves one protocol run at a time — StartJob gives
+// connection persistence across sequential jobs (the site processes keep
+// their datasets and distance caches warm), not concurrent multiplexing.
+func (c *Coordinator) StartJob(blob []byte) error {
+	for i := range c.conns {
+		if c.conns[i] == nil {
+			return fmt.Errorf("transport: site %d is closed", i)
+		}
+		if err := writeFrame(c.wr[i], header{kind: kindJob}, blob); err != nil {
+			return fmt.Errorf("transport: start job on site %d: %w", i, err)
+		}
+		if err := c.wr[i].Flush(); err != nil {
+			return fmt.Errorf("transport: start job on site %d: %w", i, err)
+		}
+		c.sent[i] = false
+	}
+	return nil
+}
+
 // Close implements Transport: every connected site receives a close frame
 // (ending its Serve loop) and the sockets are shut.
 func (c *Coordinator) Close() error {
@@ -363,31 +389,89 @@ func (s *Site) Serve(h Handler) error {
 		case kindClose:
 			return nil
 		case kindData:
-			round := int(fh.round)
-			t0 := time.Now()
-			out, err := h(round, payload)
-			work := time.Since(t0)
-			if err != nil {
-				writeFrame(s.wr, header{kind: kindError, round: fh.round, site: uint32(s.id)}, []byte(err.Error()))
-				s.wr.Flush()
-				return fmt.Errorf("transport: site %d round %d: %w", s.id, round, err)
-			}
-			reply := header{
-				kind:  kindData,
-				round: fh.round,
-				site:  uint32(s.id),
-				work:  uint64(work),
-			}
-			if err := writeFrame(s.wr, reply, out); err != nil {
-				return fmt.Errorf("transport: site %d reply: %w", s.id, err)
-			}
-			if err := s.wr.Flush(); err != nil {
-				return fmt.Errorf("transport: site %d reply: %w", s.id, err)
+			if err := s.serveData(fh, payload, h); err != nil {
+				return err
 			}
 		default:
 			return fmt.Errorf("transport: site %d: unexpected frame kind %d", s.id, fh.kind)
 		}
 	}
+}
+
+// ServeJobs runs the site's multi-job loop for a persistent connection
+// (dpc-site -persist serving a dpc-server): each job frame rebuilds the
+// handler via factory (the payload is the coordinator's job blob — the
+// encoded run configuration), then data frames are served by the current
+// handler until the next job frame or the final close. Site-held state the
+// factory closes over (the dataset, its distance cache) survives every job
+// boundary; job numbers count from 0.
+//
+// ServeJobs returns nil on close, or the first transport/factory/handler
+// error (factory and handler errors are also reported to the coordinator as
+// error frames).
+func (s *Site) ServeJobs(factory func(job int, blob []byte) (Handler, error)) error {
+	var h Handler
+	job := 0
+	for {
+		fh, payload, err := readFrame(s.rd)
+		if err != nil {
+			return fmt.Errorf("transport: site %d: %w", s.id, err)
+		}
+		switch fh.kind {
+		case kindClose:
+			return nil
+		case kindJob:
+			nh, err := factory(job, payload)
+			if err != nil {
+				// The coordinator sees the error frame in its next Gather.
+				writeFrame(s.wr, header{kind: kindError, site: uint32(s.id)}, []byte(err.Error()))
+				s.wr.Flush()
+				return fmt.Errorf("transport: site %d job %d: %w", s.id, job, err)
+			}
+			h = nh
+			job++
+		case kindData:
+			if h == nil {
+				err := fmt.Errorf("transport: site %d: data frame before any job frame", s.id)
+				writeFrame(s.wr, header{kind: kindError, site: uint32(s.id)}, []byte(err.Error()))
+				s.wr.Flush()
+				return err
+			}
+			if err := s.serveData(fh, payload, h); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("transport: site %d: unexpected frame kind %d", s.id, fh.kind)
+		}
+	}
+}
+
+// serveData answers one data frame with handler h: the reply payload plus
+// the measured compute duration in the frame header. Handler errors are
+// reported to the coordinator as error frames and returned.
+func (s *Site) serveData(fh header, payload []byte, h Handler) error {
+	round := int(fh.round)
+	t0 := time.Now()
+	out, err := h(round, payload)
+	work := time.Since(t0)
+	if err != nil {
+		writeFrame(s.wr, header{kind: kindError, round: fh.round, site: uint32(s.id)}, []byte(err.Error()))
+		s.wr.Flush()
+		return fmt.Errorf("transport: site %d round %d: %w", s.id, round, err)
+	}
+	reply := header{
+		kind:  kindData,
+		round: fh.round,
+		site:  uint32(s.id),
+		work:  uint64(work),
+	}
+	if err := writeFrame(s.wr, reply, out); err != nil {
+		return fmt.Errorf("transport: site %d reply: %w", s.id, err)
+	}
+	if err := s.wr.Flush(); err != nil {
+		return fmt.Errorf("transport: site %d reply: %w", s.id, err)
+	}
+	return nil
 }
 
 // Close shuts the site's socket.

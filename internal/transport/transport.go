@@ -82,6 +82,13 @@ func ParseKind(s string) (Kind, error) {
 	return "", fmt.Errorf("transport: unknown backend %q (want loopback or tcp)", s)
 }
 
+// JobsHello is the welcome-blob marker of a multi-job (persistent)
+// coordinator such as dpc-server: it tells a dialing site that run
+// configurations arrive per job frame (ServeJobs), not in the handshake.
+// A site expecting a single-run handshake config will fail its decode on
+// this marker immediately instead of hanging on a misconfigured pairing.
+const JobsHello = "dpc-jobs/1"
+
 // NewLocal materializes a backend selection for in-process site handlers:
 // loopback directly, or TCP with one localhost site server per handler.
 // parallel applies to loopback only (TCP sites are always concurrent).

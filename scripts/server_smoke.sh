@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Server smoke: boots a real dpc-server process, drives the dataset/job API
+# over HTTP with curl, and asserts that (a) job results are byte-identical
+# to direct one-shot dpc-cluster runs on the same data and parameters, and
+# (b) the second job against the dataset is served from the shared distance
+# cache (miss count frozen, hit count growing). CI runs this as the
+# server-smoke job; it also runs locally: ./scripts/server_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-cluster ./cmd/dpc-datagen
+
+ADDR=127.0.0.1:18080
+BASE="http://$ADDR"
+K=4 T=30 SITES=8 SEED=1 N=800
+
+echo "== generate dataset ($N points)"
+"$workdir/bin/dpc-datagen" -n $N -k $K -seed 7 -out "$workdir/points.csv"
+
+echo "== start dpc-server on $ADDR"
+"$workdir/bin/dpc-server" -listen "$ADDR" &
+server_pid=$!
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never became healthy"; exit 1; }
+  sleep 0.1
+done
+echo "   healthy"
+
+echo "== register dataset over HTTP (CSV upload)"
+curl -sf -X POST --data-binary @"$workdir/points.csv" -H 'Content-Type: text/csv' \
+  "$BASE/v1/datasets?name=smoke" >/dev/null
+
+# submit_job <objective> -> job id on stdout
+submit_job() {
+  curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"smoke\",\"k\":$K,\"t\":$T,\"objective\":\"$1\",\"sites\":$SITES,\"seed\":$SEED}" \
+    "$BASE/v1/jobs" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(job-[0-9]*\)"/\1/'
+}
+
+# wait_job <id>
+wait_job() {
+  for i in $(seq 1 100); do
+    status=$(curl -sf "$BASE/v1/jobs/$1")
+    echo "$status" | grep -q '"status": "done"' && return 0
+    echo "$status" | grep -q '"status": "failed"' && { echo "job $1 failed: $status"; exit 1; }
+    sleep 0.2
+  done
+  echo "job $1 never finished"; exit 1
+}
+
+# check_objective <objective>: job centers must equal a direct CLI run.
+check_objective() {
+  local obj=$1
+  echo "== $obj job over HTTP vs one-shot dpc-cluster"
+  local id
+  id=$(submit_job "$obj")
+  [ -n "$id" ] || { echo "no job id returned"; exit 1; }
+  wait_job "$id"
+  curl -sf "$BASE/v1/jobs/$id/centers.csv" -o "$workdir/server_$obj.csv"
+  "$workdir/bin/dpc-cluster" -k $K -t $T -objective "$obj" -sites $SITES -seed $SEED \
+    -in "$workdir/points.csv" -out "$workdir/cli_$obj.csv"
+  diff "$workdir/server_$obj.csv" "$workdir/cli_$obj.csv" \
+    || { echo "MISMATCH: $obj centers differ between server job and dpc-cluster"; exit 1; }
+  echo "   identical centers"
+}
+
+check_objective median
+check_objective center
+
+echo "== cache reuse across jobs"
+misses_before=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_misses": *[0-9]*' | grep -o '[0-9]*$')
+hits_before=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_hits": *[0-9]*' | grep -o '[0-9]*$')
+id=$(submit_job median)
+wait_job "$id"
+misses_after=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_misses": *[0-9]*' | grep -o '[0-9]*$')
+hits_after=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_hits": *[0-9]*' | grep -o '[0-9]*$')
+[ "$misses_after" = "$misses_before" ] \
+  || { echo "MISMATCH: repeated job recomputed distances ($misses_before -> $misses_after misses)"; exit 1; }
+[ "$hits_after" -gt "$hits_before" ] \
+  || { echo "MISMATCH: repeated job produced no cache hits ($hits_before -> $hits_after)"; exit 1; }
+echo "   misses frozen at $misses_after, hits $hits_before -> $hits_after"
+
+echo "== metrics endpoint"
+curl -sf "$BASE/metrics" | grep -q 'dpc_jobs_total{status="done"} 3' \
+  || { echo "MISMATCH: metrics do not report 3 done jobs"; exit 1; }
+curl -sf "$BASE/metrics" | grep -q 'dpc_cache_pool_entries' || { echo "metrics missing pool gauges"; exit 1; }
+
+echo "server smoke: OK"
