@@ -1,0 +1,223 @@
+// Package client is the unified, context-aware entry point to distributed
+// partial clustering: one Request describing what to solve — any objective
+// of the paper, point or uncertain — executed by a Client, with where it
+// runs reduced to a deployment choice:
+//
+//   - Local: in-process, sharding the request's in-memory data over
+//     simulated sites (the exact star network of the paper).
+//   - Cluster: a coordinator driving persistent dpc-site daemons over TCP;
+//     the data lives at the sites.
+//   - Remote: a typed HTTP client for a dpc-server, with retry/backoff on
+//     503 backpressure and job polling.
+//
+// All three return the same Response (centers, cost, outlier budget,
+// measured communication), and all three honor context cancellation: a
+// cancelled context aborts the solve at its next protocol round and Do
+// returns an error satisfying errors.Is(err, context.Canceled).
+//
+// The same Request — same seed, same shard count — returns byte-identical
+// centers on every backend; the round-trip tests in this package assert it.
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"dpc/internal/comm"
+	"dpc/internal/jobwire"
+	"dpc/internal/metric"
+	"dpc/internal/serve"
+	"dpc/internal/uncertain"
+)
+
+// Point is a point in d-dimensional Euclidean space.
+type Point = metric.Point
+
+// Node is an uncertain input node: a discrete distribution over the ground
+// set.
+type Node = uncertain.Node
+
+// Ground is the finite metric ground set shared by uncertain nodes.
+type Ground = uncertain.Ground
+
+// Report is the measured communication/time footprint of a distributed run.
+type Report = comm.Report
+
+// Objective names accepted by Request.Objective. The u-* values are the
+// Section 5 uncertain objectives.
+const (
+	Median            = "median"
+	Means             = "means"
+	Center            = "center"
+	UncertainMedian   = "u-median"
+	UncertainMeans    = "u-means"
+	UncertainCenterPP = "u-centerpp"
+	UncertainCenterG  = "u-centerg"
+)
+
+// Request is one clustering question, independent of where it is answered.
+// JSON field names are the /v1 job API's names, and the CLI flags of
+// cmd/dpc-cluster are generated from them (see BindFlags) — one vocabulary
+// across library, wire and command line. Zero values select the defaults a
+// one-shot dpc-cluster run uses, so minimal requests reproduce CLI runs
+// bit for bit.
+type Request struct {
+	// Objective is median (default), means or center for point data, or
+	// u-median, u-means, u-centerpp, u-centerg for uncertain data.
+	Objective string `json:"objective,omitempty" usage:"objective: median | means | center | u-median | u-means | u-centerpp | u-centerg"`
+	// Variant selects the protocol: 2round (default), 1round, or noship
+	// (point median/means only). For u-centerg, 1round selects the Table 2
+	// single-round variant.
+	Variant string `json:"variant,omitempty" usage:"protocol variant: 2round | 1round | noship"`
+	K       int    `json:"k" usage:"number of centers"`
+	T       int    `json:"t" usage:"outlier budget (points that may be ignored)"`
+	// Sites is the shard count when the backend shards in-memory data
+	// (Local, Remote table/uncertain jobs). Default 8. Ignored by Cluster,
+	// where the connected daemons are the sharding.
+	Sites int     `json:"sites,omitempty" usage:"number of simulated sites (default 8)"`
+	Eps   float64 `json:"eps,omitempty" usage:"coordinator bicriteria slack (default 1)"`
+	Seed  int64   `json:"seed,omitempty" usage:"engine seed (site i derives seed + i*const)"`
+	// Workers bounds per-solve goroutines (0 = one per CPU); results are
+	// bit-identical for every value.
+	Workers int    `json:"workers,omitempty" usage:"solver goroutines per solve (0 = one per CPU)"`
+	Engine  string `json:"engine,omitempty" usage:"k-median engine: auto | localsearch | jv"`
+	// NoCache disables the memoized distance oracles (a measurement knob;
+	// results never change).
+	NoCache     bool `json:"no_cache,omitempty" usage:"disable memoized distance caches (measurement knob)"`
+	LloydPolish bool `json:"lloyd_polish,omitempty" usage:"Lloyd-polish the final centers (means only)"`
+	// Transport selects the Local backend's wire: loopback (default) or
+	// tcp (real localhost sockets). Other backends ignore it.
+	Transport string `json:"transport,omitempty" usage:"local wire backend: loopback | tcp"`
+	// Central switches the Local backend to the Section 3.1 centralized
+	// solver (median/means only); Levels is its simulation depth.
+	Central bool `json:"central,omitempty" usage:"solve centrally (Section 3.1) instead of the distributed protocol (median/means)"`
+	Levels  int  `json:"levels,omitempty" usage:"centralized simulation depth (with -central)"`
+
+	// Dataset names a server-side dataset for the Remote backend. When
+	// empty, Remote registers the request's in-memory data as an ephemeral
+	// dataset for the duration of the call.
+	Dataset string `json:"dataset,omitempty" usage:"named dpc-server dataset (remote backend)"`
+
+	// In-memory data sources (Local shards them; Remote uploads them when
+	// Dataset is empty; Cluster uses site-held data instead, consulting
+	// only Ground/Nodes for coordinator-side knowledge and evaluation).
+	Points []Point `json:"-" usage:"-"`
+	Ground *Ground `json:"-" usage:"-"`
+	Nodes  []Node  `json:"-" usage:"-"`
+}
+
+// spec translates the request into the job API's wire spec — the single
+// mapping (serve's) every backend shares, so Local, Cluster and Remote
+// cannot drift apart.
+func (r Request) spec() serve.JobSpec {
+	return serve.JobSpec{
+		Dataset:     r.Dataset,
+		K:           r.K,
+		T:           r.T,
+		Objective:   r.Objective,
+		Variant:     r.Variant,
+		Sites:       r.Sites,
+		Eps:         r.Eps,
+		Seed:        r.Seed,
+		Workers:     r.Workers,
+		Engine:      r.Engine,
+		NoCache:     r.NoCache,
+		LloydPolish: r.LloydPolish,
+	}
+}
+
+// kind returns the protocol family of the request's objective.
+func (r Request) kind() (jobwire.Kind, error) {
+	return serve.ObjectiveKind(r.Objective)
+}
+
+// Validate checks the request's enums and shape (backends also run it
+// inside Do).
+func (r Request) Validate() error {
+	return r.spec().Validate()
+}
+
+// Response is the unified outcome of a Request on any backend.
+type Response struct {
+	// Centers are the chosen centers (ground-space points for uncertain
+	// objectives).
+	Centers []Point `json:"centers"`
+	// Cost is the solution's objective value; CostKind says against what:
+	// "global" (the full dataset), "estimate" (u-centerg's seeded Monte
+	// Carlo), "coordinator" (the coordinator's induced instance — a
+	// Cluster run without coordinator-side data), or "" (not evaluated).
+	Cost     float64 `json:"cost"`
+	CostKind string  `json:"cost_kind,omitempty"`
+	// OutlierBudget is the number of (weighted) points the solution is
+	// entitled to ignore.
+	OutlierBudget float64 `json:"outlier_budget"`
+	// SiteBudgets are the allocated per-site budgets t_i (nil for 1-round
+	// variants and non-distributed solves).
+	SiteBudgets []int `json:"site_budgets,omitempty"`
+	// Measured communication of the distributed run (zero for central and
+	// stream answers; Remote reports the server-measured values).
+	Rounds    int   `json:"rounds,omitempty"`
+	UpBytes   int64 `json:"up_bytes,omitempty"`
+	DownBytes int64 `json:"down_bytes,omitempty"`
+	// Tau is u-centerg's chosen truncation threshold (a lower-bound
+	// witness; zero otherwise).
+	Tau float64 `json:"tau,omitempty"`
+	// Backend records which backend produced the response ("local",
+	// "cluster", "remote"); JobID is the server job for remote runs.
+	Backend string `json:"backend,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+}
+
+// Client executes Requests. Implementations: Local (in-process), Cluster
+// (TCP site daemons), Remote (dpc-server HTTP API).
+type Client interface {
+	// Do answers one request. Cancelling ctx aborts the solve at its next
+	// protocol round; Do then returns an error satisfying
+	// errors.Is(err, ctx.Err()).
+	Do(ctx context.Context, req Request) (*Response, error)
+	// Close releases backend resources (site connections, ephemeral
+	// datasets' HTTP client state). The zero-cost backends no-op.
+	Close() error
+}
+
+// evalObjective computes the true global cost of centers for any objective
+// when the caller holds the data; used by Local always and by Cluster when
+// the request carries coordinator-side data.
+func evalObjective(req Request, centers []Point, budget float64) (float64, string, error) {
+	kind, err := req.kind()
+	if err != nil {
+		return 0, "", err
+	}
+	switch kind {
+	case jobwire.KindPoint:
+		if len(req.Points) == 0 {
+			return 0, "", nil
+		}
+		spec := req.spec()
+		cfg, err := spec.CoreConfig()
+		if err != nil {
+			return 0, "", err
+		}
+		return evalPoints(req.Points, centers, budget, cfg.Objective), "global", nil
+	case jobwire.KindUncertain:
+		if req.Ground == nil || len(req.Nodes) == 0 {
+			return 0, "", nil
+		}
+		switch req.Objective {
+		case UncertainMeans:
+			return uncertain.EvalMeans(req.Ground, req.Nodes, centers, budget), "global", nil
+		case UncertainCenterPP:
+			return uncertain.EvalCenterPP(req.Ground, req.Nodes, centers, budget), "global", nil
+		default:
+			return uncertain.EvalMedian(req.Ground, req.Nodes, centers, budget), "global", nil
+		}
+	case jobwire.KindCenterG:
+		if req.Ground == nil || len(req.Nodes) == 0 {
+			return 0, "", nil
+		}
+		// serve.CenterGCostSamples keeps the Monte-Carlo sample count in
+		// lockstep with the server, so remote and local costs agree.
+		return uncertain.EvalCenterG(req.Ground, req.Nodes, centers, budget, serve.CenterGCostSamples, req.Seed), "estimate", nil
+	}
+	return 0, "", fmt.Errorf("client: unhandled objective kind")
+}

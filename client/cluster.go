@@ -1,0 +1,202 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dpc/internal/core"
+	"dpc/internal/jobwire"
+	"dpc/internal/transport"
+	"dpc/internal/uncertain"
+)
+
+// Cluster answers requests by driving persistent dpc-site daemons over
+// TCP: the coordinator side of the protocol runs in this process, the data
+// lives at the sites (their shards and distance caches stay warm across
+// requests — connection persistence, exactly dpc-server's remote
+// datasets). Point requests need nothing but the connected sites; the
+// uncertain objectives additionally need req.Ground (the paper's shared
+// ground metric) on the coordinator side.
+//
+// One Cluster serves one request at a time (the transport round contract);
+// concurrent Do calls serialize. A request cancelled mid-protocol leaves
+// the site connections desynchronized, so the backend marks itself broken
+// and every later Do fails loudly — reconnect the sites to recover.
+type Cluster struct {
+	mu     sync.Mutex
+	coord  *transport.Coordinator
+	broken bool
+}
+
+// ClusterListener is a bound-but-not-yet-connected Cluster backend: the
+// address is known (so site daemons can be pointed at it) before Accept
+// blocks for them.
+type ClusterListener struct {
+	l     *transport.Listener
+	sites int
+}
+
+// ListenCluster binds addr (e.g. "127.0.0.1:9009", or ":0" for an
+// ephemeral port) for `sites` dpc-site daemons running with -persist.
+func ListenCluster(addr string, sites int) (*ClusterListener, error) {
+	l, err := transport.Listen(addr, sites)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterListener{l: l, sites: sites}, nil
+}
+
+// Addr returns the bound address sites should dial.
+func (cl *ClusterListener) Addr() string { return cl.l.Addr().String() }
+
+// Accept blocks until every site has joined (sites retry dialing, so start
+// order does not matter), then returns the connected backend. The listener
+// is closed either way.
+func (cl *ClusterListener) Accept() (*Cluster, error) {
+	defer cl.l.Close()
+	coord, err := cl.l.Accept(cl.sites, []byte(transport.JobsHello))
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{coord: coord}, nil
+}
+
+// Close implements Client: every site receives the protocol close (ending
+// its ServeJobs loop) and the sockets shut.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.coord.Close()
+}
+
+// Sites returns the number of connected site daemons.
+func (c *Cluster) Sites() int { return c.coord.Sites() }
+
+// Do implements Client: a job frame re-arms every site with this request's
+// configuration, then the standard coordinator drive runs over the live
+// sockets.
+func (c *Cluster) Do(ctx context.Context, req Request) (*Response, error) {
+	if req.Central {
+		return nil, fmt.Errorf("client: Central (the Section 3.1 solver) runs on the Local backend only")
+	}
+	spec := req.spec()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := req.kind()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, fmt.Errorf("client: cluster backend is closed or was cancelled mid-protocol; reconnect the sites")
+	}
+
+	var resp *Response
+	switch kind {
+	case jobwire.KindPoint:
+		cfg, err := spec.CoreConfig()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.startJob(jobwire.Job{Kind: jobwire.KindPoint, Core: cfg}); err != nil {
+			return nil, err
+		}
+		res, err := core.RunOverCtx(ctx, c.coord, cfg)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		resp = &Response{
+			Centers:       res.Centers,
+			Cost:          res.CoordinatorCost,
+			CostKind:      "coordinator",
+			OutlierBudget: res.OutlierBudget,
+			SiteBudgets:   res.SiteBudgets,
+			Rounds:        res.Report.Rounds,
+			UpBytes:       res.Report.UpBytes,
+			DownBytes:     res.Report.DownBytes,
+		}
+	case jobwire.KindUncertain:
+		if req.Ground == nil {
+			return nil, fmt.Errorf("client: cluster %s request needs Ground (the shared ground metric)", req.Objective)
+		}
+		cfg, obj, err := spec.UncertainConfig()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.startJob(jobwire.Job{Kind: jobwire.KindUncertain, Obj: obj, Unc: cfg}); err != nil {
+			return nil, err
+		}
+		res, err := uncertain.RunOverCtx(ctx, req.Ground, c.coord, cfg, obj)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		resp = &Response{
+			Centers:       res.Centers,
+			OutlierBudget: res.OutlierBudget,
+			SiteBudgets:   res.SiteBudgets,
+			Rounds:        res.Report.Rounds,
+			UpBytes:       res.Report.UpBytes,
+			DownBytes:     res.Report.DownBytes,
+		}
+	case jobwire.KindCenterG:
+		if req.Ground == nil {
+			return nil, fmt.Errorf("client: cluster %s request needs Ground (the shared ground metric)", req.Objective)
+		}
+		cfg, err := spec.CenterGConfig()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.startJob(jobwire.Job{Kind: jobwire.KindCenterG, CenterG: cfg}); err != nil {
+			return nil, err
+		}
+		res, err := uncertain.RunCenterGOverCtx(ctx, req.Ground, c.coord, cfg)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		resp = &Response{
+			Centers:       res.Centers,
+			OutlierBudget: res.OutlierBudget,
+			SiteBudgets:   res.SiteBudgets,
+			Rounds:        res.Report.Rounds,
+			UpBytes:       res.Report.UpBytes,
+			DownBytes:     res.Report.DownBytes,
+			Tau:           res.Tau,
+		}
+	default:
+		return nil, fmt.Errorf("client: unhandled objective kind %v", kind)
+	}
+
+	// When the request carries coordinator-side data, report the true
+	// global cost (byte-identical to what Local computes); otherwise the
+	// coordinator cost (point) or no cost (uncertain) stands.
+	if cost, costKind, err := evalObjective(req, resp.Centers, resp.OutlierBudget); err == nil && costKind != "" {
+		resp.Cost, resp.CostKind = cost, costKind
+	}
+	resp.Backend = "cluster"
+	return resp, nil
+}
+
+// startJob ships the job frame that re-arms every site for this request.
+func (c *Cluster) startJob(j jobwire.Job) error {
+	blob, err := jobwire.Encode(j)
+	if err != nil {
+		return err
+	}
+	return c.coord.StartJob(blob)
+}
+
+// fail handles a protocol error: a context cancellation leaves the
+// connections desynchronized mid-round, so the backend closes them and
+// refuses further requests.
+func (c *Cluster) fail(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		c.broken = true
+		c.coord.Close()
+	}
+	return err
+}

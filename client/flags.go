@@ -1,0 +1,17 @@
+package client
+
+import (
+	"flag"
+
+	"dpc/internal/flagbind"
+)
+
+// BindFlags registers one command-line flag per Request field, named after
+// the field's JSON name with underscores turned into dashes (lloyd_polish
+// becomes -lloyd-polish) and defaulting to the field's current value. The
+// CLI surface of cmd/dpc-cluster is generated through this, so flag names
+// and /v1 API field names are the same vocabulary by construction. Data
+// fields (Points, Ground, Nodes) are not flags — they arrive as files.
+func BindFlags(fs *flag.FlagSet, req *Request) {
+	flagbind.Bind(fs, req)
+}

@@ -1,103 +1,90 @@
 // Command dpc-cluster runs distributed partial clustering on a CSV dataset:
-// points in, centers (and optionally a per-point assignment) out. It is the
-// "downstream user" entry point: bring your own data, pick k and how many
-// points you are willing to write off, and get centers plus the measured
-// communication footprint of the simulated deployment.
+// points (or uncertain nodes) in, centers out. It is the "downstream user"
+// entry point: bring your own data, pick k and how many points you are
+// willing to write off, and get centers plus the measured communication
+// footprint of the deployment.
+//
+// It is a thin shell over the unified client API: every clustering flag is
+// generated from dpc/client.Request's JSON field names (see
+// client.BindFlags), and -server switches the identical request from the
+// in-process Local backend to a running dpc-server without changing
+// anything else — one request, any backend.
 //
 // Usage:
 //
 //	dpc-cluster -k 5 -t 100 -in points.csv -out centers.csv
 //	dpc-cluster -k 3 -t 10 -objective center -sites 16 -assign labels.csv < points.csv
 //	dpc-cluster -k 4 -t 50 -variant noship -report
-//	dpc-cluster -k 5 -t 100 -transport tcp -report < points.csv   # real localhost sockets
+//	dpc-cluster -k 5 -t 100 -transport tcp -report < points.csv      # real localhost sockets
+//	dpc-cluster -k 3 -t 8 -uncertain -objective u-median < nodes.csv # Section 5
+//	dpc-cluster -k 4 -t 20 -server http://127.0.0.1:8080 < points.csv
 //
-// -transport=tcp runs the identical protocol over real localhost TCP
-// sockets (one in-process site server per site); for sites in separate
-// processes see dpc-coordinator and dpc-site.
+// For sites in separate processes see dpc-coordinator and dpc-site; for a
+// long-running service see dpc-server.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"dpc/internal/comm"
-	"dpc/internal/core"
+	"dpc/client"
 	"dpc/internal/dataio"
-	"dpc/internal/kmedian"
-	"dpc/internal/metric"
-	"dpc/internal/transport"
-	"dpc/internal/uncertain"
 )
 
 func main() {
+	// Flag defaults mirror the historical dpc-cluster defaults; the flag
+	// set itself is generated from the Request fields.
+	req := client.Request{
+		Objective: client.Median, Variant: "2round", K: 3,
+		Sites: 8, Eps: 1, Seed: 1, Engine: "auto", Transport: "loopback",
+	}
+	client.BindFlags(flag.CommandLine, &req)
 	var (
-		k         = flag.Int("k", 3, "number of centers")
-		t         = flag.Int("t", 0, "outlier budget (points that may be ignored)")
-		objective = flag.String("objective", "median", "median | means | center")
-		variant   = flag.String("variant", "2round", "2round | 1round | noship")
-		sites     = flag.Int("sites", 8, "number of simulated sites")
-		eps       = flag.Float64("eps", 1, "coordinator bicriteria slack")
-		seed      = flag.Int64("seed", 1, "engine seed")
-		inPath    = flag.String("in", "-", "input CSV of points ('-' = stdin)")
+		inPath    = flag.String("in", "-", "input CSV ('-' = stdin): points, or nodes with -uncertain")
 		outPath   = flag.String("out", "-", "output CSV of centers ('-' = stdout)")
-		assignOut = flag.String("assign", "", "optional output CSV of per-point assignments")
+		assignOut = flag.String("assign", "", "optional output CSV of per-point assignments (point objectives)")
 		report    = flag.Bool("report", false, "print the communication report to stderr")
-		polish    = flag.Bool("lloyd", false, "Lloyd-polish the final centers (means only)")
 		uncFlag   = flag.Bool("uncertain", false, "input rows are uncertain nodes: node_id,prob,coords...")
-		transp    = flag.String("transport", "loopback", "wire backend: loopback (in-process) | tcp (real localhost sockets)")
+		server    = flag.String("server", "", "run against this dpc-server base URL instead of in-process")
 	)
 	flag.Parse()
 
-	tkind, err := transport.ParseKind(*transp)
-	if err != nil {
-		fatal(err)
-	}
+	// Ctrl-C / SIGTERM cancel the solve mid-run instead of killing the
+	// process between writes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	in, err := openIn(*inPath)
 	if err != nil {
 		fatal(err)
 	}
 	if *uncFlag {
-		runUncertainCLI(in, *k, *t, *objective, *sites, *eps, *seed, *outPath, *report, tkind)
-		return
+		req.Objective, err = uncertainObjective(req.Objective)
+		if err != nil {
+			fatal(err)
+		}
+		req.Ground, req.Nodes, err = dataio.ReadNodesCSV(in)
+	} else {
+		req.Points, err = dataio.ReadPointsCSV(in)
 	}
-	pts, err := dataio.ReadPointsCSV(in)
 	in.Close()
 	if err != nil {
 		fatal(err)
 	}
 
-	var obj core.Objective
-	switch *objective {
-	case "median":
-		obj = core.Median
-	case "means":
-		obj = core.Means
-	case "center":
-		obj = core.Center
-	default:
-		fatal(fmt.Errorf("unknown objective %q", *objective))
+	var backend client.Client = client.NewLocal()
+	if *server != "" {
+		backend = client.NewRemote(*server, client.RemoteOptions{})
 	}
-	var vr core.Variant
-	switch *variant {
-	case "2round":
-		vr = core.TwoRound
-	case "1round":
-		vr = core.OneRound
-	case "noship":
-		vr = core.TwoRoundNoOutliers
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
-	}
+	defer backend.Close()
 
-	siteData := dataio.SplitRoundRobin(pts, *sites)
-	res, err := core.Run(siteData, core.Config{
-		K: *k, T: *t, Objective: obj, Variant: vr, Eps: *eps,
-		LloydPolish: *polish,
-		LocalOpts:   kmedian.Options{Seed: *seed},
-		Transport:   tkind,
-	})
+	res, err := backend.Do(ctx, req)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,12 +98,12 @@ func main() {
 	}
 	out.Close()
 
-	if *assignOut != "" {
+	if *assignOut != "" && !*uncFlag {
 		f, err := os.Create(*assignOut)
 		if err != nil {
 			fatal(err)
 		}
-		a := dataio.Assign(pts, res.Centers, res.OutlierBudget, obj == core.Means)
+		a := dataio.Assign(req.Points, res.Centers, res.OutlierBudget, req.Objective == client.Means)
 		if err := dataio.WriteAssignmentCSV(f, a); err != nil {
 			fatal(err)
 		}
@@ -124,85 +111,47 @@ func main() {
 	}
 
 	if *report {
-		cost := core.Evaluate(pts, res.Centers, res.OutlierBudget, obj)
-		fmt.Fprintf(os.Stderr, "points: %d  sites: %d  centers: %d  ignorable: %.0f\n",
-			len(pts), len(siteData), len(res.Centers), res.OutlierBudget)
-		fmt.Fprintf(os.Stderr, "objective (%s): %.6g\n", obj, cost)
+		fmt.Fprintf(os.Stderr, "backend: %s  centers: %d  ignorable: %.0f\n",
+			res.Backend, len(res.Centers), res.OutlierBudget)
+		if res.CostKind != "" {
+			fmt.Fprintf(os.Stderr, "objective (%s, %s): %.6g\n", objectiveLabel(req.Objective), res.CostKind, res.Cost)
+		}
 		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
-			res.Report.Rounds, res.Report.UpBytes, res.Report.DownBytes)
-		fmt.Fprintf(os.Stderr, "site budgets t_i: %v\n", res.SiteBudgets)
+			res.Rounds, res.UpBytes, res.DownBytes)
+		if res.SiteBudgets != nil {
+			fmt.Fprintf(os.Stderr, "site budgets t_i: %v\n", res.SiteBudgets)
+		}
 	}
 }
 
-// runUncertainCLI handles -uncertain mode: nodes in, centers out.
-func runUncertainCLI(in io.ReadCloser, k, t int, objective string, sites int, eps float64, seed int64, outPath string, report bool, tkind transport.Kind) {
-	g, nodes, err := dataio.ReadNodesCSV(in)
-	in.Close()
-	if err != nil {
-		fatal(err)
+// uncertainObjective maps the legacy -uncertain objective spellings
+// (median, means, centerpp, centerg) to the unified u-* names; already
+// unified names pass through. Point-only names ("center") are rejected
+// here — passed through they would validate as point objectives and fail
+// later with a misleading "needs Points" error.
+func uncertainObjective(obj string) (string, error) {
+	if strings.HasPrefix(obj, "u-") {
+		return obj, nil
 	}
-	siteNodes := dataio.SplitNodesRoundRobin(nodes, sites)
-	cfg := uncertain.Config{K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}, Transport: tkind}
-	var (
-		centers []metric.Point
-		rep     comm.Report
-		cost    float64
-		label   string
-	)
-	switch objective {
-	case "median", "means", "centerpp":
-		var obj uncertain.Objective
-		switch objective {
-		case "means":
-			obj = uncertain.Means
-		case "centerpp":
-			obj = uncertain.CenterPP
-		default:
-			obj = uncertain.Median
-		}
-		res, err := uncertain.Run(g, siteNodes, cfg, obj)
-		if err != nil {
-			fatal(err)
-		}
-		centers, rep = res.Centers, res.Report
-		switch obj {
-		case uncertain.Means:
-			cost = uncertain.EvalMeans(g, nodes, centers, res.OutlierBudget)
-		case uncertain.CenterPP:
-			cost = uncertain.EvalCenterPP(g, nodes, centers, res.OutlierBudget)
-		default:
-			cost = uncertain.EvalMedian(g, nodes, centers, res.OutlierBudget)
-		}
-		label = objective
+	switch obj {
+	case "", "median":
+		return client.UncertainMedian, nil
+	case "means":
+		return client.UncertainMeans, nil
+	case "centerpp":
+		return client.UncertainCenterPP, nil
 	case "centerg":
-		res, err := uncertain.RunCenterG(g, siteNodes, uncertain.CenterGConfig{
-			K: k, T: t, Eps: eps, LocalOpts: kmedian.Options{Seed: seed}, Transport: tkind,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		centers, rep = res.Centers, res.Report
-		cost = uncertain.EvalCenterG(g, nodes, centers, res.OutlierBudget, 200, seed)
-		label = "centerg (Monte-Carlo estimate)"
-	default:
-		fatal(fmt.Errorf("uncertain mode supports median|means|centerpp|centerg, got %q", objective))
+		return client.UncertainCenterG, nil
 	}
+	return "", fmt.Errorf("uncertain mode supports median|means|centerpp|centerg (or the u-* names), got %q", obj)
+}
 
-	out, err := openOut(outPath)
-	if err != nil {
-		fatal(err)
+// objectiveLabel normalizes the report label.
+func objectiveLabel(obj string) string {
+	if obj == "" {
+		return client.Median
 	}
-	if err := dataio.WritePointsCSV(out, centers); err != nil {
-		fatal(err)
-	}
-	out.Close()
-	if report {
-		fmt.Fprintf(os.Stderr, "nodes: %d  ground points: %d  sites: %d  centers: %d\n",
-			len(nodes), g.N(), len(siteNodes), len(centers))
-		fmt.Fprintf(os.Stderr, "objective (%s): %.6g\n", label, cost)
-		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
-			rep.Rounds, rep.UpBytes, rep.DownBytes)
-	}
+	return obj
 }
 
 func openIn(path string) (io.ReadCloser, error) {

@@ -1,7 +1,8 @@
 // Command dpc-server runs the long-running clustering service: a registry
 // of named datasets and an HTTP/JSON job API, so many (k, t, objective)
-// queries run against the same data with warm distance caches and live
-// site connections instead of one-shot CLI invocations.
+// queries — point and uncertain — run against the same data with warm
+// distance caches and live site connections instead of one-shot CLI
+// invocations.
 //
 // Usage:
 //
@@ -15,64 +16,106 @@
 //
 // API sketch (see the README's Serving section for full reference):
 //
-//	POST /v1/datasets                  register a dataset (JSON points, or text/csv body + ?name=)
+//	POST /v1/datasets                  register a dataset (JSON points/nodes, or text/csv body + ?name= [&kind=uncertain])
 //	POST /v1/datasets/{name}/points    append points (table extend / stream ingest)
 //	GET  /v1/datasets[/{name}]         inspect datasets and cache stats
 //	POST /v1/jobs                      submit a clustering job (JSON JobSpec)
 //	GET  /v1/jobs/{id}                 job status + result
+//	POST /v1/jobs/{id}/cancel          cancel a queued or running job
 //	GET  /v1/jobs/{id}/centers.csv     centers in dpc-cluster's CSV format
 //	GET  /healthz, /metrics            liveness and Prometheus metrics
+//
+// SIGTERM/SIGINT drain gracefully: submissions stop, queued jobs fail with
+// an explicit reason, and running jobs get -drain-timeout to finish before
+// their contexts are cancelled.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"dpc/internal/flagbind"
 	"dpc/internal/serve"
 )
 
+// options is the server's flag surface; like cmd/dpc-cluster, the flags
+// are generated from the tagged fields instead of hand-declared, so names
+// cannot drift from the documented configuration vocabulary.
+type options struct {
+	Listen       string `json:"listen" usage:"HTTP listen address"`
+	MaxJobs      int    `json:"max_jobs" usage:"max concurrently running jobs (0 = one per CPU)"`
+	Queue        int    `json:"queue" usage:"max queued jobs before 503 backpressure"`
+	CacheMB      int64  `json:"cache_mb" usage:"shared distance-cache pool budget in MiB"`
+	SitesListen  string `json:"sites_listen" usage:"when set, accept persistent dpc-site daemons on this address"`
+	RemoteSites  int    `json:"remote_sites" usage:"number of dpc-site daemons to wait for on -sites-listen"`
+	RemoteName   string `json:"remote_name" usage:"dataset name for the connected dpc-site daemons"`
+	DrainTimeout string `json:"drain_timeout" usage:"how long running jobs may finish after SIGTERM before cancellation"`
+}
+
 func main() {
-	var (
-		listen      = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		maxJobs     = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = one per CPU)")
-		queueDepth  = flag.Int("queue", 256, "max queued jobs before 503 backpressure")
-		cacheMB     = flag.Int64("cache-mb", 256, "shared distance-cache pool budget in MiB")
-		sitesListen = flag.String("sites-listen", "", "when set, accept persistent dpc-site daemons on this address")
-		remoteSites = flag.Int("remote-sites", 0, "number of dpc-site daemons to wait for on -sites-listen")
-		remoteName  = flag.String("remote-name", "remote", "dataset name for the connected dpc-site daemons")
-	)
+	opt := options{
+		Listen: "127.0.0.1:8080", Queue: 256, CacheMB: 256,
+		RemoteName: "remote", DrainTimeout: "30s",
+	}
+	flagbind.Bind(flag.CommandLine, &opt)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		MaxConcurrentJobs: *maxJobs,
-		QueueDepth:        *queueDepth,
-		MaxCacheBytes:     *cacheMB << 20,
-	})
-	defer srv.Close()
+	drain, err := time.ParseDuration(opt.DrainTimeout)
+	if err != nil {
+		fatal(fmt.Errorf("bad -drain-timeout: %w", err))
+	}
 
-	if *sitesListen != "" {
-		if *remoteSites <= 0 {
+	srv := serve.New(serve.Config{
+		MaxConcurrentJobs: opt.MaxJobs,
+		QueueDepth:        opt.Queue,
+		MaxCacheBytes:     opt.CacheMB << 20,
+	})
+
+	if opt.SitesListen != "" {
+		if opt.RemoteSites <= 0 {
 			fatal(fmt.Errorf("-sites-listen requires -remote-sites > 0"))
 		}
-		fmt.Fprintf(os.Stderr, "dpc-server: waiting for %d dpc-site daemon(s) on %s\n", *remoteSites, *sitesListen)
-		_, addr, err := srv.RegisterRemote(*remoteName, *sitesListen, *remoteSites)
+		fmt.Fprintf(os.Stderr, "dpc-server: waiting for %d dpc-site daemon(s) on %s\n", opt.RemoteSites, opt.SitesListen)
+		_, addr, err := srv.RegisterRemote(opt.RemoteName, opt.SitesListen, opt.RemoteSites)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dpc-server: %d site(s) connected on %s as dataset %q\n", *remoteSites, addr, *remoteName)
+		fmt.Fprintf(os.Stderr, "dpc-server: %d site(s) connected on %s as dataset %q\n", opt.RemoteSites, addr, opt.RemoteName)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", opt.Listen)
 	if err != nil {
 		fatal(err)
 	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "dpc-server: serving HTTP on %s\n", ln.Addr())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
 		fatal(err)
+	case <-sigCtx.Done():
 	}
+
+	fmt.Fprintf(os.Stderr, "dpc-server: shutting down (draining up to %s)\n", drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	hs.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dpc-server: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dpc-server: drained cleanly")
 }
 
 func fatal(err error) {

@@ -1,8 +1,7 @@
 // Command dpc-site is the site daemon of a real distributed deployment:
-// it loads its local shard of the dataset from CSV, dials the
-// dpc-coordinator, receives the run configuration in the transport
-// handshake, and serves Algorithm 1/2's site rounds until the coordinator
-// closes the protocol.
+// it loads its local shard of the dataset from CSV, dials the coordinator
+// (dpc-coordinator, dpc-server, or a client.Cluster backend), and serves
+// the site rounds until the coordinator closes the protocol.
 //
 // The site never sees any other site's data; everything it sends crosses
 // the framed TCP wire protocol and is byte-accounted by the coordinator.
@@ -11,12 +10,21 @@
 //
 //	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv
 //	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv -persist
+//	dpc-site -connect 127.0.0.1:9009 -site 0 -sites 4 -uncertain -in nodes.csv -persist
 //
-// With -persist the site serves a multi-job coordinator (dpc-server): the
-// connection stays up across jobs, each job ships its own run configuration
-// in a job frame, and the site keeps its dataset and memoized distance
-// cache warm from one job to the next — the whole point of running a
-// long-lived daemon instead of a per-run process.
+// With -persist the site serves a multi-job coordinator: the connection
+// stays up across jobs, each job frame ships its own run configuration and
+// protocol kind (point or uncertain — see internal/jobwire), and the site
+// keeps its dataset and memoized distance cache warm from one job to the
+// next — the whole point of running a long-lived daemon instead of a
+// per-run process.
+//
+// With -uncertain the input CSV holds the full uncertain dataset in
+// dpc-cluster's node format (node_id,prob,coords...); the site derives the
+// shared ground set from it and serves its -site'th round-robin shard of
+// the nodes out of -sites total, so every daemon of the fleet can be
+// started from one file. Uncertain mode requires -persist (the single-run
+// dpc-coordinator handshake only carries point configurations).
 package main
 
 import (
@@ -28,32 +36,59 @@ import (
 
 	"dpc/internal/core"
 	"dpc/internal/dataio"
-	"dpc/internal/metric"
+	"dpc/internal/jobwire"
 	"dpc/internal/transport"
 )
 
 func main() {
 	var (
-		connect = flag.String("connect", "127.0.0.1:9009", "coordinator address")
-		site    = flag.Int("site", 0, "this site's id (0-based, unique per site)")
-		inPath  = flag.String("in", "-", "input CSV of this site's points ('-' = stdin)")
-		timeout = flag.Duration("timeout", 30*time.Second, "how long to retry dialing the coordinator")
-		persist = flag.Bool("persist", false, "serve many jobs over one connection (dpc-server mode)")
-		verbose = flag.Bool("v", false, "log rounds to stderr")
+		connect   = flag.String("connect", "127.0.0.1:9009", "coordinator address")
+		site      = flag.Int("site", 0, "this site's id (0-based, unique per site)")
+		inPath    = flag.String("in", "-", "input CSV ('-' = stdin): this site's points, or the full node set with -uncertain")
+		timeout   = flag.Duration("timeout", 30*time.Second, "how long to retry dialing the coordinator")
+		persist   = flag.Bool("persist", false, "serve many jobs over one connection (dpc-server / client.Cluster mode)")
+		uncFlag   = flag.Bool("uncertain", false, "input rows are uncertain nodes: node_id,prob,coords... (requires -persist)")
+		siteCount = flag.Int("sites", 0, "total site count, for sharding the -uncertain node set (required with -uncertain)")
+		verbose   = flag.Bool("v", false, "log rounds to stderr")
 	)
 	flag.Parse()
 
+	data := jobwire.SiteData{Site: *site}
 	in, err := openIn(*inPath)
 	if err != nil {
 		fatal(err)
 	}
-	pts, err := dataio.ReadPointsCSV(in)
-	in.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "dpc-site %d: loaded %d points, dialing %s\n", *site, len(pts), *connect)
+	if *uncFlag {
+		if !*persist {
+			fatal(fmt.Errorf("-uncertain requires -persist (job frames carry the protocol kind)"))
+		}
+		if *siteCount <= 0 {
+			fatal(fmt.Errorf("-uncertain requires -sites (the fleet size the node set shards over)"))
+		}
+		g, nodes, err := dataio.ReadNodesCSV(in)
+		in.Close()
+		if err != nil {
+			fatal(err)
+		}
+		shards := dataio.SplitNodesRoundRobin(nodes, *siteCount)
+		if *site >= len(shards) {
+			fatal(fmt.Errorf("site %d has no nodes (%d nodes over %d sites)", *site, len(nodes), *siteCount))
+		}
+		data.G, data.Nodes = g, shards[*site]
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "dpc-site %d: loaded %d/%d nodes (ground %d points), dialing %s\n",
+				*site, len(data.Nodes), len(nodes), g.N(), *connect)
+		}
+	} else {
+		pts, err := dataio.ReadPointsCSV(in)
+		in.Close()
+		if err != nil {
+			fatal(err)
+		}
+		data.Pts = pts
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "dpc-site %d: loaded %d points, dialing %s\n", *site, len(pts), *connect)
+		}
 	}
 
 	sc, err := transport.Dial(*connect, *site, *timeout)
@@ -63,7 +98,7 @@ func main() {
 	defer sc.Close()
 
 	if *persist {
-		if err := servePersistent(sc, *site, pts, *verbose); err != nil {
+		if err := servePersistent(sc, data, *verbose); err != nil {
 			fatal(err)
 		}
 		if *verbose {
@@ -76,7 +111,7 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("bad config from coordinator: %w", err))
 	}
-	handler, err := core.NewSiteHandler(cfg, *site, pts)
+	handler, err := core.NewSiteHandler(cfg, *site, data.Pts)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,38 +128,34 @@ func main() {
 	}
 }
 
-// servePersistent serves the multi-job loop: one shared distance cache over
-// the site's shard, one fresh protocol handler per job frame. The hello
-// blob must carry the multi-job marker so a site is never silently paired
-// with a single-run coordinator.
-func servePersistent(sc *transport.Site, site int, pts []metric.Point, verbose bool) error {
-	if string(sc.Hello()) != transport.JobsHello {
-		return fmt.Errorf("coordinator is not multi-job (welcome %q, want %q); drop -persist",
-			sc.Hello(), transport.JobsHello)
+// servePersistent serves the multi-job loop (jobwire.ServeJobs: hello
+// marker check, one long-lived distance cache over the point shard, one
+// fresh protocol handler per job frame), optionally decorating each job's
+// handler with -v logging.
+func servePersistent(sc *transport.Site, data jobwire.SiteData, verbose bool) error {
+	var wrap func(job int, blob []byte, h transport.Handler) transport.Handler
+	if verbose {
+		wrap = func(job int, blob []byte, h transport.Handler) transport.Handler {
+			if j, err := jobwire.Decode(blob); err == nil {
+				fmt.Fprintf(os.Stderr, "dpc-site %d: job %d: %s\n", data.Site, job, describeJob(j))
+			}
+			return logRounds(data.Site, h)
+		}
 	}
-	// One cache for the life of the daemon: every job's solves hit the same
-	// memoized cells. Past the memoization cap the handlers build their
-	// usual per-job policy (nil cache).
-	var cache *metric.DistCache
-	if len(pts) <= metric.MaxCachePoints {
-		cache = metric.NewDistCache(metric.NewPoints(pts))
+	return jobwire.ServeJobs(sc, data, wrap)
+}
+
+// describeJob renders a one-line job summary for -v logging.
+func describeJob(j jobwire.Job) string {
+	switch j.Kind {
+	case jobwire.KindPoint:
+		return fmt.Sprintf("%s/%s (k=%d, t=%d)", j.Core.Objective, j.Core.Variant, j.Core.K, j.Core.T)
+	case jobwire.KindUncertain:
+		return fmt.Sprintf("%v (k=%d, t=%d)", j.Obj, j.Unc.K, j.Unc.T)
+	case jobwire.KindCenterG:
+		return fmt.Sprintf("u-centerg (k=%d, t=%d)", j.CenterG.K, j.CenterG.T)
 	}
-	return sc.ServeJobs(func(job int, blob []byte) (transport.Handler, error) {
-		cfg, err := core.DecodeConfig(blob)
-		if err != nil {
-			return nil, fmt.Errorf("bad config in job %d: %w", job, err)
-		}
-		h, err := core.NewSiteHandlerCached(cfg, site, pts, cache)
-		if err != nil {
-			return nil, err
-		}
-		if verbose {
-			fmt.Fprintf(os.Stderr, "dpc-site %d: job %d: %s/%s (k=%d, t=%d)\n",
-				site, job, cfg.Objective, cfg.Variant, cfg.K, cfg.T)
-			h = logRounds(site, h)
-		}
-		return h, nil
-	})
+	return j.Kind.String()
 }
 
 // logRounds wraps a handler with per-round byte logging.

@@ -1,0 +1,144 @@
+// Command dpc-smoke drives a running dpc-server end to end through the
+// typed client (dpc/client) and asserts the service answers exactly like
+// in-process solves of the same data:
+//
+//  1. a point dataset registers over HTTP; median and center jobs return
+//     centers byte-identical to the Local backend on the same points;
+//  2. a repeated job is served from the warm server-side distance cache
+//     (miss count frozen, hit count growing);
+//  3. an uncertain dataset registers and a u-median job answers Algorithm 3
+//     as a service workload, again byte-identical to Local;
+//  4. /metrics exposes the job counters.
+//
+// It replaces the curl choreography that scripts/server_smoke.sh used to
+// hand-roll; the script now builds the binaries, boots a real dpc-server
+// process, runs this command against it, and keeps exactly one curl call
+// to pin the raw wire format.
+//
+// Usage:
+//
+//	dpc-smoke -server http://127.0.0.1:18080 [-n 800] [-seed 7]
+//
+// Exits 0 on success, 1 with a diagnostic on the first mismatch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"dpc/client"
+	"dpc/internal/gen"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:18080", "dpc-server base URL")
+		n      = flag.Int("n", 800, "points in the generated smoke dataset")
+		un     = flag.Int("un", 80, "nodes in the generated uncertain dataset")
+		seed   = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	remote := client.NewRemote(*server, client.RemoteOptions{})
+	local := client.NewLocal()
+
+	in := gen.Mixture(gen.MixtureSpec{N: *n, K: 4, OutlierFrac: 0.05, Seed: *seed})
+	uin := gen.UncertainMixture(gen.UncertainSpec{N: *un, K: 3, Support: 3, OutlierFrac: 0.05, Seed: *seed})
+
+	step("register point dataset")
+	must(remote.RegisterDataset(ctx, "smoke", in.Pts))
+
+	for _, objective := range []string{client.Median, client.Center} {
+		step(fmt.Sprintf("%s job over HTTP vs in-process Local", objective))
+		req := client.Request{Objective: objective, K: 4, T: 30, Sites: 8, Seed: 1,
+			Dataset: "smoke", Points: in.Pts}
+		rr := mustDo(remote, ctx, req)
+		rl := mustDo(local, ctx, req)
+		sameCenters(objective, rr.Centers, rl.Centers)
+		if rr.Cost != rl.Cost {
+			fail("%s: remote cost %g, local %g", objective, rr.Cost, rl.Cost)
+		}
+		fmt.Fprintf(os.Stderr, "   identical centers (%d), cost %.6g\n", len(rr.Centers), rr.Cost)
+	}
+
+	step("cache reuse across jobs")
+	before, err := remote.Dataset(ctx, "smoke")
+	must(err)
+	mustDo(remote, ctx, client.Request{Objective: client.Median, K: 4, T: 30, Sites: 8, Seed: 1, Dataset: "smoke"})
+	after, err := remote.Dataset(ctx, "smoke")
+	must(err)
+	if after.CacheMisses != before.CacheMisses {
+		fail("repeated job recomputed distances (%d -> %d misses)", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits <= before.CacheHits {
+		fail("repeated job produced no cache hits (%d -> %d)", before.CacheHits, after.CacheHits)
+	}
+	fmt.Fprintf(os.Stderr, "   misses frozen at %d, hits %d -> %d\n", after.CacheMisses, before.CacheHits, after.CacheHits)
+
+	step("uncertain dataset + u-median job (Algorithm 3 as a service workload)")
+	must(remote.RegisterUncertainDataset(ctx, "smoke-unc", uin.Ground, uin.Nodes))
+	ureq := client.Request{Objective: client.UncertainMedian, K: 3, T: 6, Sites: 4, Seed: 1,
+		Dataset: "smoke-unc", Ground: uin.Ground, Nodes: uin.Nodes}
+	ur := mustDo(remote, ctx, ureq)
+	ul := mustDo(local, ctx, ureq)
+	sameCenters("u-median", ur.Centers, ul.Centers)
+	if ur.CostKind != "global" || ur.Cost != ul.Cost {
+		fail("u-median cost (%s %g) differs from local (%s %g)", ur.CostKind, ur.Cost, ul.CostKind, ul.Cost)
+	}
+	fmt.Fprintf(os.Stderr, "   identical centers (%d), cost %.6g\n", len(ur.Centers), ur.Cost)
+
+	step("metrics endpoint")
+	resp, err := http.Get(*server + "/metrics")
+	must(err)
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	must(err)
+	// 4 server-side jobs ran: median, center, the cache-reuse median, and
+	// the uncertain job.
+	for _, want := range []string{`dpc_jobs_total{status="done"} 4`, "dpc_cache_pool_entries"} {
+		if !strings.Contains(string(raw), want) {
+			fail("metrics missing %q", want)
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "dpc-smoke: OK")
+}
+
+func step(msg string) { fmt.Fprintf(os.Stderr, "== %s\n", msg) }
+
+func must(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func mustDo(c client.Client, ctx context.Context, req client.Request) *client.Response {
+	res, err := c.Do(ctx, req)
+	must(err)
+	return res
+}
+
+func sameCenters(label string, got, want []client.Point) {
+	if len(got) != len(want) {
+		fail("%s: %d centers, local found %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			fail("%s: center %d = %v, local found %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dpc-smoke: MISMATCH: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,59 +5,76 @@
 // ignored — plus their extensions to uncertain (distribution-valued) data
 // and the subquadratic centralized solvers obtained by self-simulation.
 //
-// # Quick start
+// # The Client API
 //
-//	sites := [][]dpc.Point{ ... } // one slice per site
-//	res, err := dpc.Run(sites, dpc.Config{K: 5, T: 50, Objective: dpc.Median})
-//	cost := dpc.Evaluate(dpc.FlattenSites(sites), res.Centers, res.OutlierBudget, dpc.Median)
-//	fmt.Println(res.Report.TotalBytes(), cost)
+// One Request describes any clustering question the paper answers — point
+// objectives (median, means, center) and the Section 5 uncertain
+// objectives (u-median, u-means, u-centerpp, u-centerg) — and a Client
+// answers it. Where it runs is a deployment choice, not an API choice:
 //
-// The distributed run realizes the paper's star network exactly: every
-// message is serialized, byte-counted and decoded on the other side;
-// res.Report carries the measured communication and computation footprint
-// (the quantities bounded in Tables 1 and 2 of the paper).
+//	req := dpc.Request{Objective: "median", K: 5, T: 50, Seed: 1, Points: pts}
 //
-// # Transports
+//	local, _ := dpc.NewLocalClient().Do(ctx, req)            // in-process sites
+//	remote, _ := dpc.NewRemoteClient(url, dpc.RemoteOptions{}).Do(ctx, req) // dpc-server
+//	cluster, _ := clu.Do(ctx, req)                           // live dpc-site daemons
 //
-// The protocol runs over a pluggable transport. The default loopback
-// backend keeps the s sites in-process (one goroutine each), which is the
-// exact simulated star network. Setting Config.Transport to TransportTCP
-// runs the identical protocol over real localhost sockets with a framed
-// wire format:
+// All three backends return the same Response (centers, cost, outlier
+// budget, measured communication) and — same seed, same shard count —
+// byte-identical centers. Every Do takes a context.Context: cancelling it
+// aborts the solve at its next protocol round, on every backend, with
+// errors.Is(err, context.Canceled). See the dpc/client package for the
+// backend constructors' details; examples/client runs one request against
+// all three.
 //
-//	res, err := dpc.Run(sites, dpc.Config{K: 5, T: 50, Transport: dpc.TransportTCP})
+// The paper's model underneath is exact: every message is serialized,
+// byte-counted and decoded on the other side; Response carries the
+// measured communication footprint (the quantities bounded in Tables 1
+// and 2 of the paper).
 //
-// Byte accounting counts payload bytes only — fixed frame headers are
-// transport overhead — so a TCP run reports exactly the communication a
-// loopback run does, and the per-site solves are seeded deterministically,
-// so both backends return the same centers.
+// # Transports and daemons
 //
-// For sites in genuinely separate processes (or machines), the
-// cmd/dpc-coordinator and cmd/dpc-site daemons run Algorithms 1 and 2 end
-// to end over TCP: the coordinator listens, s sites dial in with their
-// local CSV shards, and the run configuration ships in the connection
-// handshake.
+// Distributed runs move bytes over a pluggable transport: the default
+// loopback backend keeps the s sites in-process (the exact simulated star
+// network), Request.Transport = "tcp" runs the identical protocol over
+// real localhost sockets, and the cmd/dpc-coordinator + cmd/dpc-site
+// daemons (or a Cluster client over dpc-site -persist fleets) run it
+// across genuinely separate processes. Byte accounting counts payload
+// bytes only — frame headers are transport overhead — so every backend
+// reports identical communication.
 //
 // # Engine
 //
 // Local solves run on a multi-core engine with memoized distance oracles.
-// Config.Workers bounds the per-solve goroutines (0 = one per CPU) with a
-// hard invariant: results are bit-identical for Workers=1 and Workers=N on
-// every objective, variant and transport. Config.NoDistCache disables the
-// distance caches (a measurement knob — the caches are exact and never
-// change results), and Config.Reference runs the seed sequential
-// implementation that cmd/dpc-bench benchmarks the engine against.
+// Request.Workers (Config.Workers on the legacy surface) bounds the
+// per-solve goroutines (0 = one per CPU) with a hard invariant: results
+// are bit-identical for Workers=1 and Workers=N on every objective,
+// variant and transport. NoCache disables the distance caches (a
+// measurement knob — the caches are exact and never change results), and
+// Config.Reference runs the seed sequential implementation that
+// cmd/dpc-bench benchmarks the engine against.
+//
+// # Legacy one-shot surface
+//
+// The pre-Client entrypoints — Run, RunUncertain, RunCenterG, Centralized
+// and the NewServer job subsystem — remain fully supported thin wrappers
+// over the same internals; existing code and benchmarks reproduce their
+// results bit for bit. New code should prefer the Client API: it is the
+// only surface with context cancellation and backend portability.
 //
 // # Package map
 //
-//   - Run / Config / Result          — Algorithms 1 and 2 + variants
+//   - Request / Response / Client    — the unified context-aware API
+//   - NewLocalClient / NewRemoteClient / ListenCluster — its backends
+//   - Run / Config / Result          — Algorithms 1 and 2 + variants (legacy)
 //   - TransportLoopback/TransportTCP — wire backends for distributed runs
 //   - RunUncertain, RunCenterG       — Section 5 (compressed graph, Alg. 3/4)
 //   - Centralized                    — Section 3.1 (subquadratic simulation)
+//   - NewServer / ServeConfig        — the embeddable job server
 //   - Mixture, UncertainMixture, ... — planted workload generators
 package dpc
 
 import (
+	"dpc/client"
 	"dpc/internal/central"
 	"dpc/internal/core"
 	"dpc/internal/gen"
@@ -69,6 +86,44 @@ import (
 	"dpc/internal/transport"
 	"dpc/internal/uncertain"
 )
+
+// --- Unified client API (package dpc/client re-exported) ---
+
+// Request is one clustering question, independent of where it is answered:
+// objective (point or uncertain), K, T, data source and engine knobs.
+type Request = client.Request
+
+// Response is the unified outcome of a Request on any backend.
+type Response = client.Response
+
+// Client executes Requests; backends: local (in-process), cluster (TCP
+// site daemons), remote (dpc-server HTTP API).
+type Client = client.Client
+
+// RemoteOptions tunes the remote backend (retries, backoff, polling).
+type RemoteOptions = client.RemoteOptions
+
+// ClusterListener is a bound-but-not-yet-connected cluster backend.
+type ClusterListener = client.ClusterListener
+
+// NewLocalClient returns the in-process backend: the request's data is
+// sharded over simulated sites and the full protocol runs loopback (or
+// over localhost TCP with Request.Transport = "tcp").
+func NewLocalClient() Client { return client.NewLocal() }
+
+// NewRemoteClient returns the dpc-server backend: jobs submit over the
+// /v1 HTTP API with retry/backoff on 503 backpressure and poll to
+// completion.
+func NewRemoteClient(baseURL string, opt RemoteOptions) Client {
+	return client.NewRemote(baseURL, opt)
+}
+
+// ListenCluster binds addr for `sites` dpc-site -persist daemons; Accept
+// on the returned listener yields the cluster backend once all have
+// joined.
+func ListenCluster(addr string, sites int) (*ClusterListener, error) {
+	return client.ListenCluster(addr, sites)
+}
 
 // Point is a point in d-dimensional Euclidean space.
 type Point = metric.Point
@@ -138,6 +193,10 @@ const (
 type EngineOptions = kmedian.Options
 
 // Run executes distributed partial clustering over the per-site datasets.
+//
+// Legacy one-shot surface: prefer Client (NewLocalClient) for new code —
+// it adds context cancellation and backend portability over the same
+// internals, bit for bit.
 func Run(sites [][]Point, cfg Config) (Result, error) {
 	return core.Run(sites, cfg)
 }
@@ -196,6 +255,9 @@ type UncertainResult = uncertain.Result
 
 // RunUncertain executes Algorithm 3 (compressed-graph clustering) for the
 // uncertain median/means/center-pp objectives.
+//
+// Legacy one-shot surface: prefer Client with Objective "u-median",
+// "u-means" or "u-centerpp".
 func RunUncertain(g *Ground, sites [][]Node, cfg UncertainConfig, obj UncertainObjective) (UncertainResult, error) {
 	return uncertain.Run(g, sites, cfg, obj)
 }
@@ -208,6 +270,8 @@ type CenterGResult = uncertain.CenterGResult
 
 // RunCenterG executes Algorithm 4 for the uncertain (k,t)-center-g
 // objective (Eq. 3): parametric search over truncated distances.
+//
+// Legacy one-shot surface: prefer Client with Objective "u-centerg".
 func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
 	return uncertain.RunCenterG(g, sites, cfg)
 }
@@ -330,6 +394,8 @@ type CentralSolution = central.Solution
 
 // Centralized solves (k,t)-median/means centrally, optionally simulating
 // the distributed algorithm to break the quadratic barrier (Theorem 3.10).
+//
+// Legacy one-shot surface: prefer Client with Request.Central set.
 func Centralized(pts []Point, cfg CentralConfig) CentralSolution {
 	return central.PartialMedian(pts, cfg)
 }

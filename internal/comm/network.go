@@ -15,6 +15,7 @@
 package comm
 
 import (
+	"context"
 	"encoding"
 	"fmt"
 	"sync"
@@ -49,7 +50,8 @@ func mustEncode(p Payload) []byte {
 // Network accounts one protocol run over a transport. Not safe for
 // concurrent use by multiple algorithm runs.
 type Network struct {
-	tr transport.Transport
+	tr  transport.Transport
+	ctx context.Context // run lifetime; cancellation aborts rounds promptly
 
 	mu       sync.Mutex
 	up       []int64 // payload bytes sites -> coordinator, per round
@@ -60,9 +62,21 @@ type Network struct {
 	coord    time.Duration
 }
 
-// NewOver wraps a connected transport in an accounting layer.
+// NewOver wraps a connected transport in an accounting layer with no
+// cancellation (context.Background()).
 func NewOver(tr transport.Transport) *Network {
-	return &Network{tr: tr}
+	return NewOverCtx(context.Background(), tr)
+}
+
+// NewOverCtx wraps a connected transport in an accounting layer whose
+// rounds abort with ctx.Err() as soon as ctx is cancelled or its deadline
+// passes — the hook that makes every protocol driver in the repository
+// cancellable without threading a context through each round call.
+func NewOverCtx(ctx context.Context, tr transport.Transport) *Network {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Network{tr: tr, ctx: ctx}
 }
 
 // Sites returns the number of sites.
@@ -79,6 +93,9 @@ func (nw *Network) ensureRound(r int) {
 // Broadcast sends p to every site as the downstream message of the
 // upcoming round, accounting len(encoding) bytes per site.
 func (nw *Network) Broadcast(p Payload) error {
+	if err := nw.ctx.Err(); err != nil {
+		return err
+	}
 	b := mustEncode(p)
 	nw.mu.Lock()
 	round := nw.rounds
@@ -92,6 +109,9 @@ func (nw *Network) Broadcast(p Payload) error {
 func (nw *Network) Send(site int, p Payload) error {
 	if site < 0 || site >= nw.tr.Sites() {
 		panic(fmt.Sprintf("comm: no such site %d", site))
+	}
+	if err := nw.ctx.Err(); err != nil {
+		return err
 	}
 	b := mustEncode(p)
 	nw.mu.Lock()
@@ -110,7 +130,7 @@ func (nw *Network) SiteRound() ([][]byte, error) {
 	nw.mu.Lock()
 	round := nw.rounds
 	nw.mu.Unlock()
-	res, err := nw.tr.Gather(round)
+	res, err := nw.tr.Gather(nw.ctx, round)
 	if err != nil {
 		return nil, err
 	}

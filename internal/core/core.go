@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -229,6 +230,13 @@ func validate(cfg Config) error {
 // site datasets and returns the chosen centers plus the measured footprint.
 // Sites run in-process over the backend cfg.Transport selects.
 func Run(sites [][]metric.Point, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), sites, cfg)
+}
+
+// RunCtx is Run under a context: cancelling ctx (or passing one with a
+// deadline) aborts the protocol between site computations and returns
+// ctx.Err() promptly, without waiting for in-flight site solves.
+func RunCtx(ctx context.Context, sites [][]metric.Point, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if len(sites) == 0 {
 		return Result{}, fmt.Errorf("core: no sites")
@@ -259,7 +267,7 @@ func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer tr.Close()
-	return RunOver(tr, cfg)
+	return RunOverCtx(ctx, tr, cfg)
 }
 
 // RunOver executes the coordinator side of the protocol over an
@@ -268,6 +276,12 @@ func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 // dpc-coordinator daemon ships the config in the transport handshake to
 // guarantee this). The transport is left open; the caller closes it.
 func RunOver(tr transport.Transport, cfg Config) (Result, error) {
+	return RunOverCtx(context.Background(), tr, cfg)
+}
+
+// RunOverCtx is RunOver under a context: cancellation aborts the round
+// loop promptly with ctx.Err().
+func RunOverCtx(ctx context.Context, tr transport.Transport, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg); err != nil {
 		return Result{}, err
@@ -275,7 +289,7 @@ func RunOver(tr transport.Transport, cfg Config) (Result, error) {
 	if tr.Sites() == 0 {
 		return Result{}, fmt.Errorf("core: no sites")
 	}
-	nw := comm.NewOver(tr)
+	nw := comm.NewOverCtx(ctx, tr)
 	if cfg.Objective == Center {
 		return runCenter(nw, cfg)
 	}

@@ -1,0 +1,61 @@
+// Package flagbind generates command-line flags from struct fields, so a
+// binary's flag surface is derived from the same tagged struct that defines
+// its API wire format — CLI names and API field names cannot drift apart.
+//
+// A field is bound when it has both a `json` tag (the flag takes the JSON
+// name, with underscores turned into dashes: "lloyd_polish" becomes
+// -lloyd-polish) and a `usage` tag (the help text). Fields with no json
+// name, a "-" json name, or a "-" usage tag are skipped; so are field types
+// the flag package cannot hold (slices, structs, pointers — data payloads
+// travel in files or request bodies, not flags).
+package flagbind
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// Bind registers one flag per eligible exported field of *v (a pointer to
+// struct), with the field's current value as the default. It panics on a
+// non-struct-pointer v — a programming error, not runtime input.
+func Bind(fs *flag.FlagSet, v any) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("flagbind: Bind wants a struct pointer, got %T", v))
+	}
+	rv = rv.Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		usage := f.Tag.Get("usage")
+		if name == "" || name == "-" || usage == "" || usage == "-" {
+			continue
+		}
+		flagName := strings.ReplaceAll(name, "_", "-")
+		p := rv.Field(i).Addr().Interface()
+		switch p := p.(type) {
+		case *int:
+			fs.IntVar(p, flagName, *p, usage)
+		case *int64:
+			fs.Int64Var(p, flagName, *p, usage)
+		case *float64:
+			fs.Float64Var(p, flagName, *p, usage)
+		case *string:
+			fs.StringVar(p, flagName, *p, usage)
+		case *bool:
+			fs.BoolVar(p, flagName, *p, usage)
+		default:
+			// A tagged field this switch cannot hold would silently vanish
+			// from the CLI — the exact drift this package exists to
+			// prevent. Fail loudly at startup instead.
+			panic(fmt.Sprintf("flagbind: field %s (%s) has both json and usage tags but an unsupported type %T",
+				f.Name, flagName, p))
+		}
+	}
+}

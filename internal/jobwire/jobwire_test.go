@@ -1,0 +1,74 @@
+package jobwire
+
+import (
+	"reflect"
+	"testing"
+
+	"dpc/internal/core"
+	"dpc/internal/kmedian"
+	"dpc/internal/uncertain"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Job{
+		{Kind: KindPoint, Core: core.Config{K: 5, T: 40, Objective: core.Center,
+			LocalOpts: kmedian.Options{Seed: 9}, Workers: 3}},
+		{Kind: KindUncertain, Obj: uncertain.CenterPP,
+			Unc: uncertain.Config{K: 2, T: 7, Eps: 0.5, LocalOpts: kmedian.Options{Seed: -4}}},
+		{Kind: KindCenterG, CenterG: uncertain.CenterGConfig{K: 3, T: 11, TauBase: 4, OneRound: true}},
+	}
+	for _, in := range cases {
+		b, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: %v", in.Kind, err)
+		}
+		out, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", in.Kind, err)
+		}
+		if out.Kind != in.Kind {
+			t.Fatalf("kind %v round-tripped to %v", in.Kind, out.Kind)
+		}
+		switch in.Kind {
+		case KindPoint:
+			// The point payload reuses the handshake encoding, which
+			// re-applies defaults; compare against that canonical form.
+			want, err := core.DecodeConfig(core.EncodeConfig(in.Core))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out.Core, want) {
+				t.Fatalf("core config %+v, want %+v", out.Core, want)
+			}
+		case KindUncertain:
+			if out.Obj != in.Obj || !reflect.DeepEqual(out.Unc, in.Unc) {
+				t.Fatalf("uncertain job %+v/%+v, want %+v/%+v", out.Obj, out.Unc, in.Obj, in.Unc)
+			}
+		case KindCenterG:
+			if !reflect.DeepEqual(out.CenterG, in.CenterG) {
+				t.Fatalf("center-g config %+v, want %+v", out.CenterG, in.CenterG)
+			}
+		}
+	}
+}
+
+// TestLegacyFrameDecodesAsPoint: a raw core.EncodeConfig blob (the PR 3
+// job-frame format) still decodes, as a point job.
+func TestLegacyFrameDecodesAsPoint(t *testing.T) {
+	cfg := core.Config{K: 4, T: 9, LocalOpts: kmedian.Options{Seed: 2}}
+	j, err := Decode(core.EncodeConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != KindPoint || j.Core.K != 4 || j.Core.T != 9 {
+		t.Fatalf("legacy frame decoded to %+v", j)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {magic}, {magic, 99, 1, 2}, {magic, byte(KindUncertain), '{'}, {7, 7, 7}} {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("decoded garbage %v", b)
+		}
+	}
+}

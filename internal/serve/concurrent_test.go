@@ -19,7 +19,7 @@ func waitServerJob(t *testing.T, s *Server, id string) Job {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if j.Status == StatusDone || j.Status == StatusFailed {
+		if j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusCanceled {
 			return j
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dpc/internal/core"
 	"dpc/internal/dataio"
+	"dpc/internal/jobwire"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
+	"dpc/internal/uncertain"
 )
 
 // JobSpec is the JSON body of POST /v1/jobs: one (k, t, objective) query
@@ -16,11 +19,14 @@ import (
 // dpc-cluster uses, so a job with only {dataset, k, t, seed} set reproduces
 // a one-shot CLI run bit for bit.
 type JobSpec struct {
-	Dataset   string `json:"dataset"`
-	K         int    `json:"k"`
-	T         int    `json:"t"`
-	Objective string `json:"objective,omitempty"` // median (default) | means | center
-	Variant   string `json:"variant,omitempty"`   // 2round (default) | 1round | noship
+	Dataset string `json:"dataset"`
+	K       int    `json:"k"`
+	T       int    `json:"t"`
+	// Objective is median (default), means or center for point datasets,
+	// or one of the Section 5 uncertain objectives — u-median, u-means,
+	// u-centerpp, u-centerg — for uncertain datasets.
+	Objective string `json:"objective,omitempty"`
+	Variant   string `json:"variant,omitempty"` // 2round (default) | 1round | noship
 	// Sites is the loopback shard count for table datasets (default 8,
 	// matching dpc-cluster; capped at MaxJobSites). Ignored for stream
 	// (no sharding) and remote (the connected daemons are the sharding)
@@ -45,10 +51,11 @@ const MaxJobSites = 4096
 
 // Job statuses.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
 )
 
 // Job is one submitted job and its lifecycle. Fields are guarded by the
@@ -62,6 +69,10 @@ type Job struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+
+	// cancel aborts the running solve (set while the job executes; guarded
+	// by the server's job lock; unexported, so never serialized).
+	cancel context.CancelFunc
 }
 
 // JobResult is a finished job's payload.
@@ -82,11 +93,30 @@ type JobResult struct {
 	DownBytes   int64  `json:"down_bytes,omitempty"`
 	SiteBudgets []int  `json:"site_budgets,omitempty"`
 	Transport   string `json:"transport,omitempty"`
+	// Tau is u-centerg's chosen truncation threshold (a lower-bound
+	// witness; zero for every other objective).
+	Tau float64 `json:"tau,omitempty"`
 	// Dataset cache traffic after this job (aggregate over the dataset's
 	// shard caches — reuse shows up as hits growing while misses stay put).
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	DurationMS  float64 `json:"duration_ms"`
+}
+
+// ObjectiveKind maps an API objective string to the protocol family it
+// runs: point (Algorithm 1/2), uncertain (Algorithm 3) or center-g
+// (Algorithm 4). It is the single source of truth shared by the HTTP
+// layer, the client package and the CLI flag surface.
+func ObjectiveKind(objective string) (jobwire.Kind, error) {
+	switch objective {
+	case "", "median", "means", "center":
+		return jobwire.KindPoint, nil
+	case "u-median", "u-means", "u-centerpp":
+		return jobwire.KindUncertain, nil
+	case "u-centerg":
+		return jobwire.KindCenterG, nil
+	}
+	return 0, fmt.Errorf("serve: unknown objective %q (want median, means, center, u-median, u-means, u-centerpp or u-centerg)", objective)
 }
 
 // parseObjective maps the API objective string to core's enum.
@@ -100,6 +130,30 @@ func parseObjective(s string) (core.Objective, error) {
 		return core.Center, nil
 	}
 	return 0, fmt.Errorf("serve: unknown objective %q (want median, means or center)", s)
+}
+
+// parseUncertainObjective maps the API u-* objective to uncertain's enum.
+func parseUncertainObjective(s string) (uncertain.Objective, error) {
+	switch s {
+	case "u-median":
+		return uncertain.Median, nil
+	case "u-means":
+		return uncertain.Means, nil
+	case "u-centerpp":
+		return uncertain.CenterPP, nil
+	}
+	return 0, fmt.Errorf("serve: unknown uncertain objective %q (want u-median, u-means or u-centerpp)", s)
+}
+
+// parseUncertainVariant maps the API variant string to uncertain's enum.
+func parseUncertainVariant(s string) (uncertain.Variant, error) {
+	switch s {
+	case "", "2round":
+		return uncertain.TwoRound, nil
+	case "1round":
+		return uncertain.OneRoundShipDists, nil
+	}
+	return 0, fmt.Errorf("serve: unknown uncertain variant %q (want 2round or 1round)", s)
 }
 
 // parseVariant maps the API variant string to core's enum.
@@ -128,10 +182,10 @@ func parseEngine(s string) (kmedian.Engine, error) {
 	return 0, fmt.Errorf("serve: unknown engine %q (want auto, localsearch or jv)", s)
 }
 
-// coreConfig translates a JobSpec into the distributed run configuration —
-// exactly the mapping cmd/dpc-cluster performs, so server jobs and CLI runs
-// agree bit for bit.
-func (s JobSpec) coreConfig() (core.Config, error) {
+// CoreConfig translates a point-objective JobSpec into the distributed run
+// configuration — exactly the mapping cmd/dpc-cluster performs, so server
+// jobs, client backends and CLI runs agree bit for bit.
+func (s JobSpec) CoreConfig() (core.Config, error) {
 	obj, err := parseObjective(s.Objective)
 	if err != nil {
 		return core.Config{}, err
@@ -154,6 +208,82 @@ func (s JobSpec) coreConfig() (core.Config, error) {
 	}, nil
 }
 
+// UncertainConfig translates a u-median/u-means/u-centerpp JobSpec into
+// Algorithm 3's configuration and objective.
+func (s JobSpec) UncertainConfig() (uncertain.Config, uncertain.Objective, error) {
+	obj, err := parseUncertainObjective(s.Objective)
+	if err != nil {
+		return uncertain.Config{}, 0, err
+	}
+	vr, err := parseUncertainVariant(s.Variant)
+	if err != nil {
+		return uncertain.Config{}, 0, err
+	}
+	eng, err := parseEngine(s.Engine)
+	if err != nil {
+		return uncertain.Config{}, 0, err
+	}
+	return uncertain.Config{
+		K: s.K, T: s.T, Variant: vr, Eps: s.Eps,
+		Engine:      eng,
+		LocalOpts:   kmedian.Options{Seed: s.Seed, Workers: s.Workers},
+		NoDistCache: s.NoCache,
+	}, obj, nil
+}
+
+// CenterGConfig translates a u-centerg JobSpec into Algorithm 4's
+// configuration.
+func (s JobSpec) CenterGConfig() (uncertain.CenterGConfig, error) {
+	if s.Objective != "u-centerg" {
+		return uncertain.CenterGConfig{}, fmt.Errorf("serve: objective %q is not u-centerg", s.Objective)
+	}
+	vr, err := parseUncertainVariant(s.Variant)
+	if err != nil {
+		return uncertain.CenterGConfig{}, err
+	}
+	eng, err := parseEngine(s.Engine)
+	if err != nil {
+		return uncertain.CenterGConfig{}, err
+	}
+	return uncertain.CenterGConfig{
+		K: s.K, T: s.T, Eps: s.Eps,
+		OneRound:    vr == uncertain.OneRoundShipDists,
+		Engine:      eng,
+		LocalOpts:   kmedian.Options{Seed: s.Seed, Workers: s.Workers},
+		NoDistCache: s.NoCache,
+	}, nil
+}
+
+// Validate checks the spec's enums and shape without touching a registry —
+// the synchronous half of Submit, shared with the client package.
+func (s JobSpec) Validate() error {
+	kind, err := ObjectiveKind(s.Objective)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case jobwire.KindPoint:
+		_, err = s.CoreConfig()
+	case jobwire.KindUncertain:
+		_, _, err = s.UncertainConfig()
+	case jobwire.KindCenterG:
+		_, err = s.CenterGConfig()
+	}
+	if err != nil {
+		return err
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("serve: job k = %d, must be positive", s.K)
+	}
+	if s.T < 0 {
+		return fmt.Errorf("serve: job t = %d, must be non-negative", s.T)
+	}
+	if s.Sites < 0 || s.Sites > MaxJobSites {
+		return fmt.Errorf("serve: job sites = %d, must be in [0, %d]", s.Sites, MaxJobSites)
+	}
+	return nil
+}
+
 // streamOpts is the solver option set stream datasets use; seed-threaded so
 // sketch compressions are deterministic per dataset.
 func streamOpts(seed int64) kmedian.Options {
@@ -162,21 +292,32 @@ func streamOpts(seed int64) kmedian.Options {
 
 // run executes spec against the registry and returns the result. It is
 // called on a pool worker; everything it touches is either job-local or
-// concurrency-safe (shared caches, dataset snapshots).
-func (r *Registry) run(spec JobSpec) (*JobResult, error) {
+// concurrency-safe (shared caches, dataset snapshots). Cancelling ctx
+// aborts the solve between site rounds with ctx.Err().
+func (r *Registry) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	d, err := r.Get(spec.Dataset)
 	if err != nil {
 		return nil, err
+	}
+	kind, err := ObjectiveKind(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if (kind != jobwire.KindPoint) != (d.kind == KindUncertain) {
+		return nil, fmt.Errorf("serve: objective %q does not apply to %s dataset %q",
+			spec.Objective, d.kind, d.name)
 	}
 	t0 := time.Now()
 	var res *JobResult
 	switch d.kind {
 	case KindTable:
-		res, err = r.runTable(d, spec)
+		res, err = r.runTable(ctx, d, spec)
 	case KindStream:
-		res, err = r.runStream(d, spec)
+		res, err = r.runStream(ctx, d, spec)
 	case KindRemote:
-		res, err = r.runRemote(d, spec)
+		res, err = r.runRemote(ctx, d, spec)
+	case KindUncertain:
+		res, err = r.runUncertain(ctx, d, spec)
 	default:
 		err = fmt.Errorf("serve: dataset %q has unknown kind %q", d.name, d.kind)
 	}
@@ -212,8 +353,8 @@ func (r *Registry) shardCaches(d *Dataset, version int, shards [][]metric.Point)
 // runTable executes the full distributed protocol over in-process loopback
 // shards — the same SplitRoundRobin sharding and core configuration as
 // dpc-cluster, plus shared shard caches drawn from the pool.
-func (r *Registry) runTable(d *Dataset, spec JobSpec) (*JobResult, error) {
-	cfg, err := spec.coreConfig()
+func (r *Registry) runTable(ctx context.Context, d *Dataset, spec JobSpec) (*JobResult, error) {
+	cfg, err := spec.CoreConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +385,7 @@ func (r *Registry) runTable(d *Dataset, spec JobSpec) (*JobResult, error) {
 	}
 	tr := transport.NewLoopback(handlers, true)
 	defer tr.Close()
-	res, err := core.RunOver(tr, cfg)
+	res, err := core.RunOverCtx(ctx, tr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -270,8 +411,13 @@ func (r *Registry) runTable(d *Dataset, spec JobSpec) (*JobResult, error) {
 //
 // Query only reads sketch state, so it takes the read lock: concurrent
 // queries, Info() and /metrics proceed; only appends (the single writer)
-// serialize against it.
-func (r *Registry) runStream(d *Dataset, spec JobSpec) (*JobResult, error) {
+// serialize against it. The query itself is one indivisible summary-sized
+// solve, so cancellation is honored at its boundary (a canceled job never
+// starts the solve) rather than inside it.
+func (r *Registry) runStream(ctx context.Context, d *Dataset, spec JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch spec.Objective {
 	case "", "median":
 		if d.streamMeans {
@@ -300,18 +446,29 @@ func (r *Registry) runStream(d *Dataset, spec JobSpec) (*JobResult, error) {
 // the standard coordinator drive runs over the live sockets. Jobs against
 // one remote dataset serialize (the transport round contract); jobs against
 // different datasets still run concurrently.
-func (r *Registry) runRemote(d *Dataset, spec JobSpec) (*JobResult, error) {
-	cfg, err := spec.coreConfig()
+func (r *Registry) runRemote(ctx context.Context, d *Dataset, spec JobSpec) (*JobResult, error) {
+	cfg, err := spec.CoreConfig()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := jobwire.Encode(jobwire.Job{Kind: jobwire.KindPoint, Core: cfg})
 	if err != nil {
 		return nil, err
 	}
 	d.jobMu.Lock()
 	defer d.jobMu.Unlock()
-	if err := d.remote.StartJob(core.EncodeConfig(cfg)); err != nil {
+	if err := d.remote.StartJob(blob); err != nil {
 		return nil, err
 	}
-	res, err := core.RunOver(d.remote, cfg)
+	res, err := core.RunOverCtx(ctx, d.remote, cfg)
 	if err != nil {
+		// A cancellation mid-protocol leaves the persistent connections
+		// desynchronized (site replies for this run are still in flight).
+		// Close them so later jobs fail loudly instead of decoding another
+		// job's frames.
+		if ctx.Err() != nil {
+			d.remote.Close()
+		}
 		return nil, err
 	}
 	return &JobResult{
@@ -326,6 +483,80 @@ func (r *Registry) runRemote(d *Dataset, spec JobSpec) (*JobResult, error) {
 		Transport:     string(transport.KindTCP),
 	}, nil
 }
+
+// runUncertain executes the Section 5 protocols over loopback shards of an
+// uncertain dataset's nodes: Algorithm 3 for u-median/u-means/u-centerpp,
+// Algorithm 4 for u-centerg. The cost reported is the true global objective
+// over all registered nodes (the server holds the ground set, so unlike
+// remote datasets there is no reason to settle for the coordinator's
+// induced cost); u-centerg costs are seeded Monte Carlo estimates.
+func (r *Registry) runUncertain(ctx context.Context, d *Dataset, spec JobSpec) (*JobResult, error) {
+	sites := spec.Sites
+	if sites <= 0 {
+		sites = 8
+	}
+	if spec.T >= len(d.nodes) {
+		return nil, fmt.Errorf("serve: t = %d out of range [0, %d) for dataset %q", spec.T, len(d.nodes), d.name)
+	}
+	shards := dataio.SplitNodesRoundRobin(d.nodes, sites)
+
+	if spec.Objective == "u-centerg" {
+		cfg, err := spec.CenterGConfig()
+		if err != nil {
+			return nil, err
+		}
+		res, err := uncertain.RunCenterGCtx(ctx, d.ground, shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{
+			Centers:       pointsToRows(res.Centers),
+			OutlierBudget: res.OutlierBudget,
+			Cost:          uncertain.EvalCenterG(d.ground, d.nodes, res.Centers, res.OutlierBudget, CenterGCostSamples, spec.Seed),
+			CostKind:      "estimate",
+			Rounds:        res.Report.Rounds,
+			UpBytes:       res.Report.UpBytes,
+			DownBytes:     res.Report.DownBytes,
+			SiteBudgets:   res.SiteBudgets,
+			Transport:     string(transport.KindLoopback),
+			Tau:           res.Tau,
+		}, nil
+	}
+
+	cfg, obj, err := spec.UncertainConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := uncertain.RunCtx(ctx, d.ground, shards, cfg, obj)
+	if err != nil {
+		return nil, err
+	}
+	var cost float64
+	switch obj {
+	case uncertain.Means:
+		cost = uncertain.EvalMeans(d.ground, d.nodes, res.Centers, res.OutlierBudget)
+	case uncertain.CenterPP:
+		cost = uncertain.EvalCenterPP(d.ground, d.nodes, res.Centers, res.OutlierBudget)
+	default:
+		cost = uncertain.EvalMedian(d.ground, d.nodes, res.Centers, res.OutlierBudget)
+	}
+	return &JobResult{
+		Centers:       pointsToRows(res.Centers),
+		OutlierBudget: res.OutlierBudget,
+		Cost:          cost,
+		CostKind:      "global",
+		Rounds:        res.Report.Rounds,
+		UpBytes:       res.Report.UpBytes,
+		DownBytes:     res.Report.DownBytes,
+		SiteBudgets:   res.SiteBudgets,
+		Transport:     string(transport.KindLoopback),
+	}, nil
+}
+
+// CenterGCostSamples is the Monte-Carlo sample count behind u-centerg job
+// costs. Exported so the client package evaluates with the identical
+// sample count — remote and local u-centerg costs must agree exactly.
+const CenterGCostSamples = 200
 
 // pointsToRows converts points to JSON-friendly rows.
 func pointsToRows(pts []metric.Point) [][]float64 {

@@ -11,6 +11,7 @@ type counters struct {
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
 	jobsRejected  atomic.Int64
 }
 
@@ -46,6 +47,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dpc_jobs_total{status=\"submitted\"} %d\n", s.counters.jobsSubmitted.Load())
 	p("dpc_jobs_total{status=\"done\"} %d\n", s.counters.jobsDone.Load())
 	p("dpc_jobs_total{status=\"failed\"} %d\n", s.counters.jobsFailed.Load())
+	p("dpc_jobs_total{status=\"canceled\"} %d\n", s.counters.jobsCanceled.Load())
 	p("dpc_jobs_total{status=\"rejected\"} %d\n", s.counters.jobsRejected.Load())
 
 	p("# HELP dpc_jobs_queued Jobs waiting for a scheduler slot.\n")

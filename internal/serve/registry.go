@@ -28,11 +28,16 @@ import (
 	"dpc/internal/metric"
 	"dpc/internal/stream"
 	"dpc/internal/transport"
+	"dpc/internal/uncertain"
 )
 
 // ErrDatasetExists marks duplicate-name registrations (HTTP 409, where
 // plain validation failures are 400).
 var ErrDatasetExists = errors.New("dataset already exists")
+
+// ErrDatasetNotFound marks lookups of unregistered dataset names; the HTTP
+// layer maps it to 404 with the stable code "dataset_not_found".
+var ErrDatasetNotFound = errors.New("no such dataset")
 
 // DatasetKind names a dataset's storage/execution mode.
 type DatasetKind string
@@ -48,6 +53,10 @@ const (
 	// KindRemote holds persistent connections to dpc-site daemons; jobs
 	// run the protocol over TCP against data the server never sees.
 	KindRemote DatasetKind = "remote"
+	// KindUncertain holds Section 5 uncertain data — a shared ground set
+	// and distribution-valued nodes; jobs run Algorithm 3/4 over loopback
+	// node shards.
+	KindUncertain DatasetKind = "uncertain"
 )
 
 // Dataset is one named dataset in the registry.
@@ -66,6 +75,13 @@ type Dataset struct {
 	// first append on, so a mismatched append fails cleanly instead of
 	// panicking inside a distance computation later.
 	dim int
+
+	// uncertain state: the shared ground set and the registered nodes.
+	// Both are immutable after registration (uncertain datasets do not
+	// support append — the collapse caches at the sites key on node
+	// identity), so jobs read them without taking the dataset lock.
+	ground *uncertain.Ground
+	nodes  []uncertain.Node
 
 	// stream state. streamMeans records the registration-time objective:
 	// the sketch's summary is built for exactly one of median/means, so
@@ -130,6 +146,9 @@ type DatasetInfo struct {
 	Compressions int `json:"compressions,omitempty"`
 	// Remote-only: connected site daemons.
 	Sites int `json:"sites,omitempty"`
+	// Uncertain-only: registered nodes and ground-set size.
+	Nodes        int `json:"nodes,omitempty"`
+	GroundPoints int `json:"ground_points,omitempty"`
 	// Aggregate distance-cache traffic across this dataset's shard caches.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -155,6 +174,12 @@ func (d *Dataset) Info() DatasetInfo {
 		info.Dim = d.dim
 	case KindRemote:
 		info.Sites = d.remoteSites
+	case KindUncertain:
+		// Points stays zero: nodes are not points, and the ground-set
+		// size is reported unambiguously as GroundPoints.
+		info.Nodes = len(d.nodes)
+		info.GroundPoints = d.ground.N()
+		info.Dim = d.dim
 	}
 	return info
 }
@@ -193,7 +218,7 @@ func (r *Registry) Get(name string) (*Dataset, error) {
 	defer r.mu.RUnlock()
 	d, ok := r.ds[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: no dataset %q", name)
+		return nil, fmt.Errorf("serve: dataset %q: %w", name, ErrDatasetNotFound)
 	}
 	return d, nil
 }
@@ -225,7 +250,7 @@ func (r *Registry) Delete(name string) error {
 	d, ok := r.ds[name]
 	if !ok {
 		r.mu.Unlock()
-		return fmt.Errorf("serve: no dataset %q", name)
+		return fmt.Errorf("serve: dataset %q: %w", name, ErrDatasetNotFound)
 	}
 	if d.kind == KindRemote {
 		r.mu.Unlock()
@@ -279,6 +304,36 @@ func (r *Registry) RegisterStream(name string, k, t, chunk int, means bool, seed
 		return nil, fmt.Errorf("serve: dataset %q: %w", name, err)
 	}
 	d := &Dataset{name: name, kind: KindStream, sketch: sk, streamMeans: means, version: r.nextVersion()}
+	if err := r.register(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RegisterUncertain registers an uncertain dataset: a shared ground set g
+// and the distribution-valued nodes over it. Jobs with the u-* objectives
+// run Algorithm 3/4 over loopback shards of the nodes.
+func (r *Registry) RegisterUncertain(name string, g *uncertain.Ground, nodes []uncertain.Node) (*Dataset, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("serve: uncertain dataset %q has an empty ground set", name)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("serve: uncertain dataset %q has no nodes", name)
+	}
+	dim := g.Pts[0].Dim()
+	if err := validatePoints(g.Pts, dim); err != nil {
+		return nil, fmt.Errorf("serve: uncertain dataset %q: %w", name, err)
+	}
+	for j := range nodes {
+		if err := nodes[j].Validate(g); err != nil {
+			return nil, fmt.Errorf("serve: uncertain dataset %q: node %d: %w", name, j, err)
+		}
+	}
+	d := &Dataset{name: name, kind: KindUncertain, ground: g, nodes: nodes,
+		version: r.nextVersion(), dim: dim}
 	if err := r.register(d); err != nil {
 		return nil, err
 	}
@@ -352,6 +407,8 @@ func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
 		for _, p := range pts {
 			d.sketch.Add(p)
 		}
+	case KindUncertain:
+		return fmt.Errorf("serve: dataset %q is uncertain; nodes are fixed at registration (register a new dataset to change them)", d.name)
 	default:
 		return fmt.Errorf("serve: dataset %q is %s; append its data at the sites", d.name, d.kind)
 	}

@@ -9,6 +9,7 @@ import (
 	"dpc/internal/core"
 	"dpc/internal/dataio"
 	"dpc/internal/gen"
+	"dpc/internal/jobwire"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
@@ -37,13 +38,9 @@ func startPersistentSites(t *testing.T, addr string, shards [][]metric.Point) fu
 				return
 			}
 			cache := metric.NewDistCache(metric.NewPoints(shards[i]))
-			errs[i] = sc.ServeJobs(func(job int, blob []byte) (transport.Handler, error) {
-				cfg, err := core.DecodeConfig(blob)
-				if err != nil {
-					return nil, err
-				}
-				return core.NewSiteHandlerCached(cfg, i, shards[i], cache)
-			})
+			errs[i] = sc.ServeJobs(jobwire.Factory(jobwire.SiteData{
+				Site: i, Pts: shards[i], Cache: cache,
+			}))
 		}(i)
 	}
 	return func() []error { wg.Wait(); return errs }

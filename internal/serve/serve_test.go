@@ -85,7 +85,7 @@ func waitJob(t *testing.T, a *api, id string) Job {
 	for time.Now().Before(deadline) {
 		var j Job
 		a.do("GET", "/v1/jobs/"+id, nil, http.StatusOK, &j)
-		if j.Status == StatusDone || j.Status == StatusFailed {
+		if j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusCanceled {
 			return j
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -182,8 +182,8 @@ func TestJobValidationHTTP(t *testing.T) {
 	a, _ := newAPI(t, Config{})
 	a.do("POST", "/v1/datasets", createDatasetRequest{Name: "d", Points: testPoints(100, 2, 2)},
 		http.StatusCreated, nil)
-	// Unknown dataset and bad enums fail synchronously.
-	a.do("POST", "/v1/jobs", JobSpec{Dataset: "nope", K: 2}, http.StatusBadRequest, nil)
+	// Unknown dataset (404 + stable code) and bad enums fail synchronously.
+	a.do("POST", "/v1/jobs", JobSpec{Dataset: "nope", K: 2}, http.StatusNotFound, nil)
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Objective: "mode"}, http.StatusBadRequest, nil)
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Variant: "3round"}, http.StatusBadRequest, nil)
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Engine: "warp"}, http.StatusBadRequest, nil)

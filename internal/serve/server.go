@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"dpc/internal/metric"
 	"dpc/internal/par"
 	"dpc/internal/transport"
+	"dpc/internal/uncertain"
 )
 
 // Config tunes a Server.
@@ -48,7 +51,7 @@ func (c Config) withDefaults() Config {
 
 // Server is the long-running clustering service: dataset registry, job
 // store, bounded scheduler and HTTP API. Create with New, mount Handler on
-// any http server, Close to drain.
+// any http server, Shutdown (or Close) to drain.
 type Server struct {
 	cfg   Config
 	reg   *Registry
@@ -56,10 +59,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // submission order, for listing and pruning
-	seq   int
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and pruning
+	seq      int
+	draining bool
 
 	counters counters
 }
@@ -86,8 +90,113 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the scheduler after draining queued and running jobs.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the server with no deadline: new submissions are rejected,
+// still-queued jobs are failed with a reason, and running jobs finish
+// naturally. Use Shutdown to bound the drain with a deadline.
+func (s *Server) Close() { s.Shutdown(context.Background()) }
+
+// shutdownGrace bounds how long Shutdown waits for cancelled solves to
+// notice their dead contexts after the drain deadline has already fired.
+const shutdownGrace = 5 * time.Second
+
+// Shutdown drains the server: it stops accepting submissions, marks every
+// still-queued job failed with an explicit reason (instead of abandoning
+// it or silently running it during shutdown), and waits for the running
+// jobs. When ctx expires before they finish, their contexts are cancelled
+// — each solve aborts at its next protocol round with ctx.Err() — and
+// Shutdown returns ctx.Err() once they wind down (bounded by a short
+// grace: a solve stuck in a non-preemptible section is abandoned to the
+// process exit rather than blocking the shutdown indefinitely).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	if !alreadyDraining {
+		now := time.Now()
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j.Status == StatusQueued {
+				j.Status = StatusFailed
+				j.Error = "serve: server shutting down before the job started"
+				fin := now
+				j.Finished = &fin
+				s.counters.jobsFailed.Add(1)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// The queued pool tasks for the jobs failed above drain instantly
+	// (execute refuses jobs that are no longer queued), so pool.Close
+	// blocks only on genuinely running solves.
+	drained := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	var swept []string
+	s.mu.Lock()
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.Status == StatusRunning && j.cancel != nil {
+			j.cancel()
+			swept = append(swept, id)
+		}
+	}
+	s.mu.Unlock()
+	// Cancelled solves abort at their next protocol round; a solve inside
+	// a non-preemptible section (one coordinator-side solve, a stream
+	// query) can overstay. Give the cancellations a bounded grace instead
+	// of holding the shutdown hostage — the caller asked to be out by the
+	// deadline, and the worker goroutines die with the process anyway.
+	select {
+	case <-drained:
+	case <-time.After(shutdownGrace):
+		return ctx.Err()
+	}
+	// The deadline fired, but the drain may still have completed cleanly
+	// (the last job finished right at the deadline, or the cancel sweep
+	// found nothing running). Report an incomplete drain only when the
+	// sweep actually cut a job short.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range swept {
+		if j, ok := s.jobs[id]; ok && j.Status == StatusCanceled {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// CancelJob cancels one job: a queued job fails immediately without
+// running, a running job's context is cancelled so its solve aborts at the
+// next protocol round. Finished jobs are left untouched (no error — cancel
+// is idempotent against races with completion).
+func (s *Server) CancelJob(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("serve: no job %q", id)
+	}
+	switch j.Status {
+	case StatusQueued:
+		j.Status = StatusCanceled
+		j.Error = "serve: canceled before the job started"
+		now := time.Now()
+		j.Finished = &now
+		s.counters.jobsCanceled.Add(1)
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return *j, nil
+}
 
 // routes wires the API surface.
 func (s *Server) routes() {
@@ -101,14 +210,48 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/centers.csv", s.handleJobCentersCSV)
 }
 
-// apiError is the JSON error envelope.
-func apiError(w http.ResponseWriter, code int, err error) {
+// Stable machine-readable error codes of the /v1 API. Clients switch on
+// the code, never on the human-readable message (which may change freely).
+const (
+	CodeBadRequest      = "bad_request"
+	CodeDatasetNotFound = "dataset_not_found"
+	CodeDatasetExists   = "dataset_exists"
+	CodeJobNotFound     = "job_not_found"
+	CodeJobNotReady     = "job_not_ready"
+	CodeQueueFull       = "queue_full"
+	CodeShuttingDown    = "shutting_down"
+)
+
+// APIErrorBody is the JSON error envelope of every non-2xx response:
+// a stable machine-readable code plus a human-readable message.
+type APIErrorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// apiError writes the JSON error envelope.
+func apiError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(APIErrorBody{Code: code, Error: err.Error()})
+}
+
+// registerError maps registration/lookup errors to (status, code):
+// duplicate names are conflicts, unknown names are 404s, everything else
+// is a bad request.
+func registerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDatasetExists):
+		apiError(w, http.StatusConflict, CodeDatasetExists, err)
+	case errors.Is(err, ErrDatasetNotFound):
+		apiError(w, http.StatusNotFound, CodeDatasetNotFound, err)
+	default:
+		apiError(w, http.StatusBadRequest, CodeBadRequest, err)
+	}
 }
 
 // writeJSON writes v with status code.
@@ -128,18 +271,93 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // createDatasetRequest is the JSON body of POST /v1/datasets. A text/csv
-// body registers a table dataset instead, with the name taken from the
-// ?name= query parameter.
+// body registers a table dataset instead (or, with ?kind=uncertain, an
+// uncertain dataset in dataio.ReadNodesCSV's row format), with the name
+// taken from the ?name= query parameter.
 type createDatasetRequest struct {
 	Name   string      `json:"name"`
-	Kind   DatasetKind `json:"kind,omitempty"` // table (default) | stream
+	Kind   DatasetKind `json:"kind,omitempty"` // table (default) | stream | uncertain
 	Points [][]float64 `json:"points,omitempty"`
+	// Uncertain-only: the distribution-valued nodes. Without Ground, each
+	// node carries its own support Points and the ground set is their
+	// concatenation, exactly as dataio.ReadNodesCSV builds it. With
+	// Ground, nodes reference it by Support index instead — the exact
+	// ground set is preserved (shared support points stay shared), which
+	// is what the typed client sends so remote solves are byte-identical
+	// to local ones on any instance.
+	Ground [][]float64 `json:"ground,omitempty"`
+	Nodes  []NodeWire  `json:"nodes,omitempty"`
 	// Stream-only sketch shape.
 	K     int   `json:"k,omitempty"`
 	T     int   `json:"t,omitempty"`
 	Chunk int   `json:"chunk,omitempty"`
 	Means bool  `json:"means,omitempty"`
 	Seed  int64 `json:"seed,omitempty"`
+}
+
+// NodeWire is one uncertain node on the JSON API: probabilities paired
+// with either inline support Points (coordinates; the ground set becomes
+// their concatenation) or Support indices into the request's shared
+// Ground. Probabilities are normalized server-side like the CSV reader's,
+// except that already-normalized distributions pass through bit-identical.
+type NodeWire struct {
+	Points  [][]float64 `json:"points,omitempty"`
+	Support []int       `json:"support,omitempty"`
+	Probs   []float64   `json:"probs"`
+}
+
+// buildUncertain assembles a ground set and nodes from wire nodes. With
+// an explicit ground, nodes must reference it by Support index and the
+// set is preserved exactly; without one, each node's inline Points are
+// appended in order (the CSV reader's semantics).
+func buildUncertain(ground [][]float64, wire []NodeWire) (*uncertain.Ground, []uncertain.Node, error) {
+	g := &uncertain.Ground{Pts: rowsToPoints(ground)}
+	explicit := len(ground) > 0
+	nodes := make([]uncertain.Node, 0, len(wire))
+	for j, wn := range wire {
+		var nd uncertain.Node
+		switch {
+		case explicit:
+			if len(wn.Points) > 0 {
+				return nil, nil, fmt.Errorf("serve: node %d carries inline points, but the request has an explicit ground set (use support indices)", j)
+			}
+			if len(wn.Support) == 0 || len(wn.Support) != len(wn.Probs) {
+				return nil, nil, fmt.Errorf("serve: node %d has %d support indices and %d probabilities", j, len(wn.Support), len(wn.Probs))
+			}
+			nd.Support = append([]int(nil), wn.Support...)
+			nd.Prob = append([]float64(nil), wn.Probs...)
+		default:
+			if len(wn.Support) > 0 {
+				return nil, nil, fmt.Errorf("serve: node %d uses support indices, but the request has no ground set", j)
+			}
+			if len(wn.Points) == 0 || len(wn.Points) != len(wn.Probs) {
+				return nil, nil, fmt.Errorf("serve: node %d has %d support points and %d probabilities", j, len(wn.Points), len(wn.Probs))
+			}
+			for _, row := range wn.Points {
+				nd.Support = append(nd.Support, len(g.Pts))
+				g.Pts = append(g.Pts, metric.Point(row))
+			}
+			nd.Prob = append([]float64(nil), wn.Probs...)
+		}
+		var tot float64
+		for _, p := range nd.Prob {
+			if p <= 0 {
+				return nil, nil, fmt.Errorf("serve: node %d: probability %g out of range", j, p)
+			}
+			tot += p
+		}
+		// Normalize like the CSV reader — but only when actually needed:
+		// probabilities that already sum to 1 pass through bit-identical,
+		// so a client uploading normalized nodes gets byte-identical
+		// results to solving them locally.
+		if math.Abs(tot-1) > 1e-9 {
+			for i := range nd.Prob {
+				nd.Prob[i] /= tot
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	return g, nodes, nil
 }
 
 func rowsToPoints(rows [][]float64) []metric.Point {
@@ -155,16 +373,30 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	defer body.Close()
 
 	// CSV fast path: dataset lifecycle straight from a file upload.
+	// ?kind=uncertain parses the node CSV format instead.
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
 		name := r.URL.Query().Get("name")
-		pts, err := dataio.ReadPointsCSV(body)
-		if err != nil {
-			apiError(w, http.StatusBadRequest, err)
-			return
+		var (
+			d   *Dataset
+			err error
+		)
+		switch kind := r.URL.Query().Get("kind"); kind {
+		case "", string(KindTable):
+			var pts []metric.Point
+			if pts, err = dataio.ReadPointsCSV(body); err == nil {
+				d, err = s.reg.RegisterTable(name, pts)
+			}
+		case string(KindUncertain):
+			var g *uncertain.Ground
+			var nodes []uncertain.Node
+			if g, nodes, err = dataio.ReadNodesCSV(body); err == nil {
+				d, err = s.reg.RegisterUncertain(name, g, nodes)
+			}
+		default:
+			err = fmt.Errorf("serve: CSV upload supports kind table or uncertain, not %q", kind)
 		}
-		d, err := s.reg.RegisterTable(name, pts)
 		if err != nil {
-			apiError(w, registerStatus(err), err)
+			registerError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, d.Info())
@@ -173,7 +405,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 
 	var req createDatasetRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad dataset body: %w", err))
+		apiError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("serve: bad dataset body: %w", err))
 		return
 	}
 	var (
@@ -192,25 +424,22 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 				s.reg.Delete(req.Name)
 			}
 		}
+	case KindUncertain:
+		var g *uncertain.Ground
+		var nodes []uncertain.Node
+		if g, nodes, err = buildUncertain(req.Ground, req.Nodes); err == nil {
+			d, err = s.reg.RegisterUncertain(req.Name, g, nodes)
+		}
 	case KindRemote:
 		err = errors.New("serve: remote datasets are registered by the server process (see dpc-server -sites-listen), not over the API")
 	default:
 		err = fmt.Errorf("serve: unknown dataset kind %q", req.Kind)
 	}
 	if err != nil {
-		apiError(w, registerStatus(err), err)
+		registerError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, d.Info())
-}
-
-// registerStatus maps registration errors to status codes: duplicate names
-// are conflicts, everything else is a bad request.
-func registerStatus(err error) int {
-	if errors.Is(err, ErrDatasetExists) {
-		return http.StatusConflict
-	}
-	return http.StatusBadRequest
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -220,7 +449,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	d, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		apiError(w, http.StatusNotFound, err)
+		apiError(w, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, d.Info())
@@ -228,7 +457,7 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.Delete(r.PathValue("name")); err != nil {
-		apiError(w, http.StatusNotFound, err)
+		registerError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -249,21 +478,21 @@ func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
 		parsed, err := dataio.ReadPointsCSV(body)
 		if err != nil {
-			apiError(w, http.StatusBadRequest, err)
+			apiError(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
 		pts = parsed
 	} else {
 		var req appendPointsRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad points body: %w", err))
+			apiError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("serve: bad points body: %w", err))
 			return
 		}
 		pts = rowsToPoints(req.Points)
 	}
 	info, err := s.reg.Append(name, pts)
 	if err != nil {
-		apiError(w, http.StatusBadRequest, err)
+		registerError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -274,23 +503,18 @@ func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
 // synchronously, a full queue returns par.ErrPoolFull — and returns the
 // queued job's view.
 func (s *Server) Submit(spec JobSpec) (Job, error) {
-	if _, err := spec.coreConfig(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return Job{}, err
-	}
-	if spec.K <= 0 {
-		return Job{}, fmt.Errorf("serve: job k = %d, must be positive", spec.K)
-	}
-	if spec.T < 0 {
-		return Job{}, fmt.Errorf("serve: job t = %d, must be non-negative", spec.T)
-	}
-	if spec.Sites < 0 || spec.Sites > MaxJobSites {
-		return Job{}, fmt.Errorf("serve: job sites = %d, must be in [0, %d]", spec.Sites, MaxJobSites)
 	}
 	if _, err := s.reg.Get(spec.Dataset); err != nil {
 		return Job{}, err
 	}
 
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, par.ErrPoolClosed
+	}
 	s.seq++
 	job := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq),
@@ -306,13 +530,18 @@ func (s *Server) Submit(spec JobSpec) (Job, error) {
 	err := s.pool.Submit(func() { s.execute(job) })
 	if err != nil {
 		s.mu.Lock()
-		job.Status = StatusFailed
-		job.Error = err.Error()
-		now := time.Now()
-		job.Finished = &now
+		// A Shutdown racing this submission may have failed the queued job
+		// already; keep that disposition (and its counter) instead of
+		// double-counting it as rejected.
+		if job.Status == StatusQueued {
+			job.Status = StatusFailed
+			job.Error = err.Error()
+			now := time.Now()
+			job.Finished = &now
+			s.counters.jobsRejected.Add(1)
+		}
 		view := *job
 		s.mu.Unlock()
-		s.counters.jobsRejected.Add(1)
 		return view, err
 	}
 	s.counters.jobsSubmitted.Add(1)
@@ -324,12 +553,23 @@ func (s *Server) Submit(spec JobSpec) (Job, error) {
 
 // execute runs one job on a pool worker and records the outcome. A panic
 // anywhere in the solve fails that one job; a server absorbing arbitrary
-// client-submitted work must never let one query kill the process.
+// client-submitted work must never let one query kill the process. Each
+// job runs under its own cancellable context so CancelJob and Shutdown can
+// abort it between protocol rounds.
 func (s *Server) execute(job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	s.mu.Lock()
+	if job.Status != StatusQueued {
+		// Failed by a drain or cancelled while still queued; nothing to run.
+		s.mu.Unlock()
+		return
+	}
 	now := time.Now()
 	job.Status = StatusRunning
 	job.Started = &now
+	job.cancel = cancel
 	s.mu.Unlock()
 
 	res, err := func() (res *JobResult, err error) {
@@ -338,23 +578,32 @@ func (s *Server) execute(job *Job) {
 				res, err = nil, fmt.Errorf("serve: job panicked: %v", p)
 			}
 		}()
-		return s.reg.run(job.Spec)
+		return s.reg.run(ctx, job.Spec)
 	}()
 
 	s.mu.Lock()
 	end := time.Now()
 	job.Finished = &end
-	if err != nil {
+	job.cancel = nil
+	canceled := err != nil && ctx.Err() != nil
+	switch {
+	case canceled:
+		job.Status = StatusCanceled
+		job.Error = fmt.Sprintf("serve: job canceled: %v", err)
+	case err != nil:
 		job.Status = StatusFailed
 		job.Error = err.Error()
-	} else {
+	default:
 		job.Status = StatusDone
 		job.Result = res
 	}
 	s.mu.Unlock()
-	if err != nil {
+	switch {
+	case canceled:
+		s.counters.jobsCanceled.Add(1)
+	case err != nil:
 		s.counters.jobsFailed.Add(1)
-	} else {
+	default:
 		s.counters.jobsDone.Add(1)
 	}
 }
@@ -365,7 +614,7 @@ func (s *Server) pruneLocked() {
 		pruned := false
 		for i, id := range s.order {
 			j := s.jobs[id]
-			if j.Status == StatusDone || j.Status == StatusFailed {
+			if j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusCanceled {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				pruned = true
@@ -405,17 +654,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	defer body.Close()
 	var spec JobSpec
 	if err := json.NewDecoder(body).Decode(&spec); err != nil {
-		apiError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job body: %w", err))
+		apiError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("serve: bad job body: %w", err))
 		return
 	}
 	job, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, par.ErrPoolFull):
-		apiError(w, http.StatusServiceUnavailable, errors.New("serve: job queue full, retry later"))
+		apiError(w, http.StatusServiceUnavailable, CodeQueueFull, errors.New("serve: job queue full, retry later"))
 	case errors.Is(err, par.ErrPoolClosed):
-		apiError(w, http.StatusServiceUnavailable, errors.New("serve: server shutting down"))
+		apiError(w, http.StatusServiceUnavailable, CodeShuttingDown, errors.New("serve: server shutting down"))
+	case errors.Is(err, ErrDatasetNotFound):
+		apiError(w, http.StatusNotFound, CodeDatasetNotFound, err)
 	case err != nil:
-		apiError(w, http.StatusBadRequest, err)
+		apiError(w, http.StatusBadRequest, CodeBadRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, job)
 	}
@@ -428,7 +679,18 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, err := s.GetJob(r.PathValue("id"))
 	if err != nil {
-		apiError(w, http.StatusNotFound, err)
+		apiError(w, http.StatusNotFound, CodeJobNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleCancelJob cancels a queued or running job; finished jobs are
+// returned unchanged (cancel is idempotent).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.CancelJob(r.PathValue("id"))
+	if err != nil {
+		apiError(w, http.StatusNotFound, CodeJobNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -439,11 +701,11 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCentersCSV(w http.ResponseWriter, r *http.Request) {
 	job, err := s.GetJob(r.PathValue("id"))
 	if err != nil {
-		apiError(w, http.StatusNotFound, err)
+		apiError(w, http.StatusNotFound, CodeJobNotFound, err)
 		return
 	}
 	if job.Status != StatusDone {
-		apiError(w, http.StatusConflict, fmt.Errorf("serve: job %s is %s", job.ID, job.Status))
+		apiError(w, http.StatusConflict, CodeJobNotReady, fmt.Errorf("serve: job %s is %s", job.ID, job.Status))
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -68,7 +69,7 @@ func TestServeJobsRunsManyJobsOverOneConnection(t *testing.T) {
 			if err := coord.Broadcast(round, []byte(fmt.Sprintf("down-%d-%d", j, round))); err != nil {
 				t.Fatalf("broadcast: %v", err)
 			}
-			res, err := coord.Gather(round)
+			res, err := coord.Gather(context.Background(), round)
 			if err != nil {
 				t.Fatalf("gather job %d round %d: %v", j, round, err)
 			}
@@ -117,7 +118,7 @@ func TestServeJobsStatePersistsAcrossJobs(t *testing.T) {
 		if err := coord.StartJob(nil); err != nil {
 			t.Fatalf("StartJob: %v", err)
 		}
-		res, err := coord.Gather(0)
+		res, err := coord.Gather(context.Background(), 0)
 		if err != nil {
 			t.Fatalf("gather: %v", err)
 		}
@@ -139,7 +140,7 @@ func TestServeJobsFactoryErrorReachesCoordinator(t *testing.T) {
 	if err := coord.StartJob([]byte("x")); err != nil {
 		t.Fatalf("StartJob: %v", err)
 	}
-	if _, err := coord.Gather(0); err == nil {
+	if _, err := coord.Gather(context.Background(), 0); err == nil {
 		t.Fatalf("gather succeeded after factory error")
 	}
 	coord.Close()
@@ -196,7 +197,7 @@ func TestServeJobsDataBeforeJobFails(t *testing.T) {
 	if err := coord.Broadcast(0, []byte("early")); err != nil {
 		t.Fatalf("broadcast: %v", err)
 	}
-	if _, err := coord.Gather(0); err == nil {
+	if _, err := coord.Gather(context.Background(), 0); err == nil {
 		t.Fatalf("gather succeeded with no job armed")
 	}
 	coord.Close()

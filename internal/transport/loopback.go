@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -66,10 +67,21 @@ func (l *Loopback) Send(round, site int, b []byte) error {
 }
 
 // Gather implements Transport: every handler runs on its queued downstream
-// message (nil when none was sent) and the replies are collected.
-func (l *Loopback) Gather(round int) (RoundResult, error) {
+// message (nil when none was sent) and the replies are collected. When ctx
+// is cancelled mid-round, Gather returns ctx.Err() right away: the site
+// goroutines finish their current compute in the background (handlers are
+// not preemptible) but their results are discarded and the transport is
+// marked closed so no further round can observe the torn state.
+func (l *Loopback) Gather(ctx context.Context, round int) (RoundResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if l.closed {
 		return RoundResult{}, fmt.Errorf("transport: loopback is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		l.closed = true
+		return RoundResult{}, err
 	}
 	s := len(l.handlers)
 	res := RoundResult{
@@ -77,12 +89,16 @@ func (l *Loopback) Gather(round int) (RoundResult, error) {
 		Work:     make([]time.Duration, s),
 	}
 	errs := make([]error, s)
+	pending := l.pending
 	runSite := func(i int) {
 		t0 := time.Now()
-		res.Payloads[i], errs[i] = l.handlers[i](round, l.pending[i])
+		res.Payloads[i], errs[i] = l.handlers[i](round, pending[i])
 		res.Work[i] = time.Since(t0)
 	}
+	l.pending = make([][]byte, s)
+	l.queued = make([]bool, s)
 	if l.parallel {
+		done := make(chan struct{})
 		var wg sync.WaitGroup
 		for i := 0; i < s; i++ {
 			wg.Add(1)
@@ -91,15 +107,24 @@ func (l *Loopback) Gather(round int) (RoundResult, error) {
 				runSite(i)
 			}(i)
 		}
-		wg.Wait()
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			l.closed = true
+			return RoundResult{}, ctx.Err()
+		}
 	} else {
 		for i := 0; i < s; i++ {
+			if err := ctx.Err(); err != nil {
+				l.closed = true
+				return RoundResult{}, err
+			}
 			runSite(i)
 		}
-	}
-	for i := range l.pending {
-		l.pending[i] = nil
-		l.queued[i] = false
 	}
 	for i, err := range errs {
 		if err != nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -211,8 +212,17 @@ func (c *Coordinator) Send(round, site int, b []byte) error {
 
 // Gather implements Transport: sites that received no downstream message
 // this round get an empty one, then one reply frame is read per site (in
-// parallel — replies arrive in arbitrary relative order).
-func (c *Coordinator) Gather(round int) (RoundResult, error) {
+// parallel — replies arrive in arbitrary relative order). Cancelling ctx
+// aborts the blocking reads by expiring the sockets' read deadlines; Gather
+// then returns ctx.Err() and the connections are no longer usable for
+// further rounds (Close still delivers the close frame best-effort).
+func (c *Coordinator) Gather(ctx context.Context, round int) (RoundResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
 	s := len(c.conns)
 	for i := 0; i < s; i++ {
 		if !c.sent[i] {
@@ -226,6 +236,45 @@ func (c *Coordinator) Gather(round int) (RoundResult, error) {
 		Payloads: make([][]byte, s),
 		Work:     make([]time.Duration, s),
 	}
+	// A previous round's cancellation watchdog may have expired the read
+	// deadlines after its Gather already returned (the cancel raced the
+	// round finishing); clear them so this round starts clean.
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.SetReadDeadline(time.Time{})
+		}
+	}
+	// The watchdog turns a ctx cancellation into immediate read-deadline
+	// expiry on every site socket, unblocking the reader goroutines. When
+	// both the cancellation and the round's completion are ready it
+	// prefers completion, so a cancel that lands just after a successful
+	// round leaves the sockets untouched; Gather joins the watchdog before
+	// returning, so no deadline write can outlive the round and poison a
+	// later one (the entry-time reset above is belt on top).
+	watchdogDone := make(chan struct{})
+	watchdogExited := make(chan struct{})
+	defer func() {
+		close(watchdogDone)
+		<-watchdogExited
+	}()
+	go func() {
+		defer close(watchdogExited)
+		select {
+		case <-ctx.Done():
+			select {
+			case <-watchdogDone:
+				return // round already over; don't poison the sockets
+			default:
+			}
+			now := time.Now()
+			for _, conn := range c.conns {
+				if conn != nil {
+					conn.SetReadDeadline(now)
+				}
+			}
+		case <-watchdogDone:
+		}
+	}()
 	errs := make([]error, s)
 	var wg sync.WaitGroup
 	for i := 0; i < s; i++ {
@@ -253,6 +302,9 @@ func (c *Coordinator) Gather(round int) (RoundResult, error) {
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return RoundResult{}, err

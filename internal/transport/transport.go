@@ -26,6 +26,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -53,8 +54,11 @@ type Transport interface {
 	Broadcast(round int, b []byte) error
 	// Send sends b to a single site as its downstream message of round.
 	Send(round, site int, b []byte) error
-	// Gather closes the round and collects every site's reply.
-	Gather(round int) (RoundResult, error)
+	// Gather closes the round and collects every site's reply. A cancelled
+	// or expired ctx aborts the wait promptly with ctx.Err() — the protocol
+	// run is then dead (site replies may still be in flight) and the
+	// transport must not be reused for further rounds.
+	Gather(ctx context.Context, round int) (RoundResult, error)
 	// Close ends the protocol and releases resources. For TCP it tells
 	// every site to exit its serve loop.
 	Close() error

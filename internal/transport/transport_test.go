@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -87,7 +88,7 @@ func TestConformance(t *testing.T) {
 			}
 
 			// Round 0: no downstream message at all.
-			res, err := tr.Gather(0)
+			res, err := tr.Gather(context.Background(), 0)
 			if err != nil {
 				t.Fatalf("round 0: %v", err)
 			}
@@ -108,7 +109,7 @@ func TestConformance(t *testing.T) {
 			if err := tr.Broadcast(1, []byte("pivot")); err != nil {
 				t.Fatal(err)
 			}
-			res, err = tr.Gather(1)
+			res, err = tr.Gather(context.Background(), 1)
 			if err != nil {
 				t.Fatalf("round 1: %v", err)
 			}
@@ -123,7 +124,7 @@ func TestConformance(t *testing.T) {
 			if err := tr.Send(2, 1, []byte("only you")); err != nil {
 				t.Fatal(err)
 			}
-			res, err = tr.Gather(2)
+			res, err = tr.Gather(context.Background(), 2)
 			if err != nil {
 				t.Fatalf("round 2: %v", err)
 			}
@@ -154,7 +155,7 @@ func TestConformanceDoubleSend(t *testing.T) {
 				t.Fatal("broadcast over pending send accepted")
 			}
 			// The round must still complete for the untouched sites.
-			if _, err := tr.Gather(0); err != nil {
+			if _, err := tr.Gather(context.Background(), 0); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -172,7 +173,7 @@ func TestConformanceHandlerError(t *testing.T) {
 			}
 			tr := b.make(t, handlers)
 			defer tr.Close()
-			_, err := tr.Gather(0)
+			_, err := tr.Gather(context.Background(), 0)
 			if err == nil {
 				t.Fatal("handler error swallowed")
 			}
@@ -195,7 +196,7 @@ func TestConformanceWork(t *testing.T) {
 			}
 			tr := b.make(t, handlers)
 			defer tr.Close()
-			res, err := tr.Gather(0)
+			res, err := tr.Gather(context.Background(), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -289,7 +290,7 @@ func TestListenerAccept(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tr.Gather(0)
+	res, err := tr.Gather(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestListenerRejectsRogues(t *testing.T) {
 	if acceptErr != nil {
 		t.Fatalf("accept: %v", acceptErr)
 	}
-	res, err := tr.Gather(0)
+	res, err := tr.Gather(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"fmt"
 
 	"dpc/internal/alloc"
@@ -353,6 +354,12 @@ func (st *uSite) centerPayload() comm.Payload {
 // protocol (Algorithm 3 wrapped around Algorithm 1 or 2) with sites
 // in-process over the backend cfg.Transport selects.
 func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
+	return RunCtx(context.Background(), g, sites, cfg, obj)
+}
+
+// RunCtx is Run under a context: cancellation aborts the protocol between
+// site computations and returns ctx.Err() promptly.
+func RunCtx(ctx context.Context, g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
 	cfg = cfg.withDefaults()
 	if len(sites) == 0 {
 		return Result{}, fmt.Errorf("uncertain: no sites")
@@ -380,7 +387,7 @@ func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
 		return Result{}, err
 	}
 	defer tr.Close()
-	return RunOver(g, tr, cfg, obj)
+	return RunOverCtx(ctx, g, tr, cfg, obj)
 }
 
 // NewSiteHandler builds the site half of the uncertain protocol for site i
@@ -401,11 +408,17 @@ func NewSiteHandler(g *Ground, nodes []Node, cfg Config, obj Objective, site int
 // with the identical config, objective and ground set g — in the paper's
 // model the ground metric is shared knowledge).
 func RunOver(g *Ground, tr transport.Transport, cfg Config, obj Objective) (Result, error) {
+	return RunOverCtx(context.Background(), g, tr, cfg, obj)
+}
+
+// RunOverCtx is RunOver under a context: cancellation aborts the round
+// loop promptly with ctx.Err().
+func RunOverCtx(ctx context.Context, g *Ground, tr transport.Transport, cfg Config, obj Objective) (Result, error) {
 	cfg = cfg.withDefaults()
 	if tr.Sites() == 0 {
 		return Result{}, fmt.Errorf("uncertain: no sites")
 	}
-	nw := comm.NewOver(tr)
+	nw := comm.NewOverCtx(ctx, tr)
 	if obj == CenterPP {
 		return runCenterPP(nw, cfg)
 	}

@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -296,6 +297,12 @@ func newCenterGSiteHandler(g *Ground, nodes []Node, cfg CenterGConfig, grid []fl
 // Theorem 5.14). Sites run in-process over the backend cfg.Transport
 // selects.
 func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
+	return RunCenterGCtx(context.Background(), g, sites, cfg)
+}
+
+// RunCenterGCtx is RunCenterG under a context: cancellation aborts the
+// protocol between site computations and returns ctx.Err() promptly.
+func RunCenterGCtx(ctx context.Context, g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
 	cfg = cfg.withDefaults()
 	s := len(sites)
 	if s == 0 {
@@ -330,28 +337,34 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 		return CenterGResult{}, err
 	}
 	defer tr.Close()
-	return runCenterGOver(g, tr, cfg, grid)
+	return runCenterGOver(ctx, g, tr, cfg, grid)
 }
 
 // RunCenterGOver executes the coordinator side of Algorithm 4 over an
 // already-connected transport.
 func RunCenterGOver(g *Ground, tr transport.Transport, cfg CenterGConfig) (CenterGResult, error) {
+	return RunCenterGOverCtx(context.Background(), g, tr, cfg)
+}
+
+// RunCenterGOverCtx is RunCenterGOver under a context: cancellation aborts
+// the round loop promptly with ctx.Err().
+func RunCenterGOverCtx(ctx context.Context, g *Ground, tr transport.Transport, cfg CenterGConfig) (CenterGResult, error) {
 	cfg = cfg.withDefaults()
 	grid, err := tauGrid(g, cfg.TauBase)
 	if err != nil {
 		return CenterGResult{}, err
 	}
-	return runCenterGOver(g, tr, cfg, grid)
+	return runCenterGOver(ctx, g, tr, cfg, grid)
 }
 
 // runCenterGOver is RunCenterGOver with the tau grid already computed
 // (cfg must have defaults applied).
-func runCenterGOver(g *Ground, tr transport.Transport, cfg CenterGConfig, grid []float64) (CenterGResult, error) {
+func runCenterGOver(ctx context.Context, g *Ground, tr transport.Transport, cfg CenterGConfig, grid []float64) (CenterGResult, error) {
 	s := tr.Sites()
 	if s == 0 {
 		return CenterGResult{}, fmt.Errorf("uncertain: no sites")
 	}
-	nw := comm.NewOver(tr)
+	nw := comm.NewOverCtx(ctx, tr)
 
 	tauIdx := len(grid) - 1
 	// centerParts/outParts hold, per site, the tau-hat preclustering as it

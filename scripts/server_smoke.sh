@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Server smoke: boots a real dpc-server process, drives the dataset/job API
-# over HTTP with curl, and asserts that (a) job results are byte-identical
-# to direct one-shot dpc-cluster runs on the same data and parameters, and
-# (b) the second job against the dataset is served from the shared distance
-# cache (miss count frozen, hit count growing). CI runs this as the
-# server-smoke job; it also runs locally: ./scripts/server_smoke.sh
+# Server smoke: boots a real dpc-server process and drives it with the
+# typed Go client (cmd/dpc-smoke, built on dpc/client): point jobs and an
+# uncertain job must be byte-identical to in-process Local runs on the same
+# data, a repeated job must be served from the warm shared distance cache,
+# and /metrics must report the job counters. One curl call remains to pin
+# the raw wire format (JSON envelope, stable machine-readable error codes)
+# independently of the Go client. Finally, SIGTERM must drain the server
+# cleanly. CI runs this as the server-smoke job; it also runs locally:
+# ./scripts/server_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,14 +20,10 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-cluster ./cmd/dpc-datagen
+go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-smoke
 
 ADDR=127.0.0.1:18080
 BASE="http://$ADDR"
-K=4 T=30 SITES=8 SEED=1 N=800
-
-echo "== generate dataset ($N points)"
-"$workdir/bin/dpc-datagen" -n $N -k $K -seed 7 -out "$workdir/points.csv"
 
 echo "== start dpc-server on $ADDR"
 "$workdir/bin/dpc-server" -listen "$ADDR" &
@@ -37,63 +36,29 @@ for i in $(seq 1 50); do
 done
 echo "   healthy"
 
-echo "== register dataset over HTTP (CSV upload)"
-curl -sf -X POST --data-binary @"$workdir/points.csv" -H 'Content-Type: text/csv' \
-  "$BASE/v1/datasets?name=smoke" >/dev/null
+echo "== raw wire format pin (the one curl call)"
+# An unknown dataset must return HTTP 404 with the stable machine-readable
+# error code — the contract the typed client switches on.
+body=$(curl -s -o - -w '\n%{http_code}' "$BASE/v1/datasets/definitely-missing")
+code=$(echo "$body" | tail -1)
+[ "$code" = "404" ] || { echo "MISMATCH: expected 404, got $code"; exit 1; }
+echo "$body" | head -1 | grep -q '"code": *"dataset_not_found"' \
+  || { echo "MISMATCH: error envelope lacks code dataset_not_found: $body"; exit 1; }
+echo "   404 + dataset_not_found envelope intact"
 
-# submit_job <objective> -> job id on stdout
-submit_job() {
-  curl -sf -X POST -H 'Content-Type: application/json' \
-    -d "{\"dataset\":\"smoke\",\"k\":$K,\"t\":$T,\"objective\":\"$1\",\"sites\":$SITES,\"seed\":$SEED}" \
-    "$BASE/v1/jobs" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(job-[0-9]*\)"/\1/'
-}
+echo "== typed client smoke (point + uncertain jobs, cache reuse, metrics)"
+"$workdir/bin/dpc-smoke" -server "$BASE"
 
-# wait_job <id>
-wait_job() {
-  for i in $(seq 1 100); do
-    status=$(curl -sf "$BASE/v1/jobs/$1")
-    echo "$status" | grep -q '"status": "done"' && return 0
-    echo "$status" | grep -q '"status": "failed"' && { echo "job $1 failed: $status"; exit 1; }
-    sleep 0.2
-  done
-  echo "job $1 never finished"; exit 1
-}
-
-# check_objective <objective>: job centers must equal a direct CLI run.
-check_objective() {
-  local obj=$1
-  echo "== $obj job over HTTP vs one-shot dpc-cluster"
-  local id
-  id=$(submit_job "$obj")
-  [ -n "$id" ] || { echo "no job id returned"; exit 1; }
-  wait_job "$id"
-  curl -sf "$BASE/v1/jobs/$id/centers.csv" -o "$workdir/server_$obj.csv"
-  "$workdir/bin/dpc-cluster" -k $K -t $T -objective "$obj" -sites $SITES -seed $SEED \
-    -in "$workdir/points.csv" -out "$workdir/cli_$obj.csv"
-  diff "$workdir/server_$obj.csv" "$workdir/cli_$obj.csv" \
-    || { echo "MISMATCH: $obj centers differ between server job and dpc-cluster"; exit 1; }
-  echo "   identical centers"
-}
-
-check_objective median
-check_objective center
-
-echo "== cache reuse across jobs"
-misses_before=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_misses": *[0-9]*' | grep -o '[0-9]*$')
-hits_before=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_hits": *[0-9]*' | grep -o '[0-9]*$')
-id=$(submit_job median)
-wait_job "$id"
-misses_after=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_misses": *[0-9]*' | grep -o '[0-9]*$')
-hits_after=$(curl -sf "$BASE/v1/datasets/smoke" | grep -o '"cache_hits": *[0-9]*' | grep -o '[0-9]*$')
-[ "$misses_after" = "$misses_before" ] \
-  || { echo "MISMATCH: repeated job recomputed distances ($misses_before -> $misses_after misses)"; exit 1; }
-[ "$hits_after" -gt "$hits_before" ] \
-  || { echo "MISMATCH: repeated job produced no cache hits ($hits_before -> $hits_after)"; exit 1; }
-echo "   misses frozen at $misses_after, hits $hits_before -> $hits_after"
-
-echo "== metrics endpoint"
-curl -sf "$BASE/metrics" | grep -q 'dpc_jobs_total{status="done"} 3' \
-  || { echo "MISMATCH: metrics do not report 3 done jobs"; exit 1; }
-curl -sf "$BASE/metrics" | grep -q 'dpc_cache_pool_entries' || { echo "metrics missing pool gauges"; exit 1; }
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$server_pid"
+for i in $(seq 1 50); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  [ "$i" = 50 ] && { echo "server did not exit after SIGTERM"; exit 1; }
+  sleep 0.1
+done
+wait "$server_pid" 2>/dev/null || rc=$?
+[ "${rc:-0}" = "0" ] || { echo "MISMATCH: drain exited with $rc"; exit 1; }
+server_pid=""
+echo "   drained cleanly"
 
 echo "server smoke: OK"
