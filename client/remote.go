@@ -165,6 +165,31 @@ func (r *Remote) RegisterDataset(ctx context.Context, name string, pts []Point) 
 	return r.do(ctx, "POST", "/v1/datasets", body, nil)
 }
 
+// RegisterDatasetWarm is RegisterDataset with the server's background
+// cache warmup explicitly requested (warm=true) or suppressed
+// (warm=false), overriding the server's -warm default either way. With
+// warmup on, the server prefills the dataset's shard distance caches on
+// spare scheduler capacity after registration, so the first job pays
+// loads instead of the O(n^2/s) metric.
+func (r *Remote) RegisterDatasetWarm(ctx context.Context, name string, pts []Point, warm bool) error {
+	body := struct {
+		Name   string      `json:"name"`
+		Points [][]float64 `json:"points"`
+	}{Name: name, Points: pointRows(pts)}
+	return r.do(ctx, "POST", fmt.Sprintf("/v1/datasets?warm=%t", warm), body, nil)
+}
+
+// AppendPoints appends points to a table dataset (or feeds a stream
+// sketch), returning the dataset's post-append summary.
+func (r *Remote) AppendPoints(ctx context.Context, name string, pts []Point) (serve.DatasetInfo, error) {
+	body := struct {
+		Points [][]float64 `json:"points"`
+	}{Points: pointRows(pts)}
+	var info serve.DatasetInfo
+	err := r.do(ctx, "POST", "/v1/datasets/"+name+"/points", body, &info)
+	return info, err
+}
+
 // RegisterUncertainDataset registers a named uncertain dataset. The
 // ground set ships explicitly and nodes reference it by support index, so
 // the server reconstructs the exact instance — shared support points stay

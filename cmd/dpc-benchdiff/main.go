@@ -54,8 +54,13 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dpc-benchdiff", flag.ContinueOnError)
 	basePath := fs.String("baseline", "BENCH_QUICK.json", "checked-in baseline artifact")
 	candPath := fs.String("candidate", "BENCH_SMOKE.json", "freshly produced artifact")
+	servePath := fs.String("serve", "", "gate a dpc-loadgen BENCH_SERVE artifact instead of diffing bench tables")
+	minSpeedup := fs.Float64("min-speedup", 1.2, "with -serve: minimum sharded/single-lock storage throughput ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *servePath != "" {
+		return gateServe(*servePath, *minSpeedup, stdout)
 	}
 	base, err := load(*basePath)
 	if err != nil {
@@ -101,6 +106,68 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d drift(s) across %d gated experiment(s) — objective values moved; if intentional, regenerate the baseline with dpc-bench", len(drifts), gated)
 	}
 	fmt.Fprintf(stdout, "OK: %d experiment table(s) identical to baseline (%d timing-only table(s) reported, not gated)\n", gated, skipped)
+	return nil
+}
+
+// serveArtifact mirrors cmd/dpc-loadgen's BENCH_SERVE.json. Timing fields
+// are machine-dependent, so unlike the bench tables they are never diffed
+// against a baseline; the gate checks the relations that must hold on any
+// host: the sharded registry out-throughputs the single-lock baseline, the
+// shared caches actually get hit, and a warmed first job beats a cold one.
+type serveArtifact struct {
+	Preset  string `json:"preset"`
+	Storage struct {
+		SingleLockOpsPS float64 `json:"single_lock_ops_per_s"`
+		ShardedOpsPS    float64 `json:"sharded_ops_per_s"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"storage"`
+	HTTP *struct {
+		RegisterOpsPS  float64 `json:"register_ops_per_s"`
+		AppendOpsPS    float64 `json:"append_ops_per_s"`
+		JobP50MS       float64 `json:"job_p50_ms"`
+		JobP99MS       float64 `json:"job_p99_ms"`
+		CacheHitRatio  float64 `json:"cache_hit_ratio"`
+		ColdFirstJobMS float64 `json:"cold_first_job_ms"`
+		WarmJobMS      float64 `json:"warm_job_ms"`
+		WarmedFirstMS  float64 `json:"warmed_first_job_ms"`
+	} `json:"http"`
+}
+
+// gateServe enforces the load-benchmark invariants.
+func gateServe(path string, minSpeedup float64, stdout io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var a serveArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(stdout, "serve[%s]: storage %.0f -> %.0f ops/s (%.2fx)\n",
+		a.Preset, a.Storage.SingleLockOpsPS, a.Storage.ShardedOpsPS, a.Storage.Speedup)
+	var fails []string
+	if a.Storage.Speedup < minSpeedup {
+		fails = append(fails, fmt.Sprintf("sharded registry speedup %.2fx below the %.2fx floor", a.Storage.Speedup, minSpeedup))
+	}
+	if a.HTTP != nil {
+		fmt.Fprintf(stdout, "serve[%s]: register %.0f ops/s, append %.0f ops/s, job p50/p99 %.2f/%.2f ms\n",
+			a.Preset, a.HTTP.RegisterOpsPS, a.HTTP.AppendOpsPS, a.HTTP.JobP50MS, a.HTTP.JobP99MS)
+		fmt.Fprintf(stdout, "serve[%s]: hit ratio %.3f; first job cold %.2fms, warm %.2fms, warmed-first %.2fms\n",
+			a.Preset, a.HTTP.CacheHitRatio, a.HTTP.ColdFirstJobMS, a.HTTP.WarmJobMS, a.HTTP.WarmedFirstMS)
+		if a.HTTP.CacheHitRatio <= 0.5 {
+			fails = append(fails, fmt.Sprintf("cache hit ratio %.3f; repeated jobs are not sharing warm caches", a.HTTP.CacheHitRatio))
+		}
+		if a.HTTP.WarmedFirstMS >= a.HTTP.ColdFirstJobMS {
+			fails = append(fails, fmt.Sprintf("warmed first job (%.2fms) not below cold (%.2fms); warmup/restore is not paying", a.HTTP.WarmedFirstMS, a.HTTP.ColdFirstJobMS))
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d serve gate(s) failed", len(fails))
+	}
+	fmt.Fprintln(stdout, "OK: serve load benchmark within gates")
 	return nil
 }
 

@@ -1,0 +1,459 @@
+// Command dpc-loadgen proves the serving hot path scales: it benchmarks
+// the sharded dataset registry against the preserved single-lock baseline
+// under concurrent register/append/snapshot/delete traffic, then drives a
+// real dpc-server over HTTP with concurrent registrations, appends and
+// clustering jobs, measuring throughput, job latency percentiles, cache
+// hit ratios and the warm-vs-cold first-job gap. Results land in
+// BENCH_SERVE.json; CI runs the quick preset against a live server and
+// dpc-benchdiff -serve gates the invariants (sharding speedup, warm < cold,
+// nonzero cache reuse).
+//
+// Usage:
+//
+//	dpc-loadgen -preset quick -out BENCH_SERVE.json              # storage bench + self-hosted HTTP bench
+//	dpc-loadgen -preset quick -server http://127.0.0.1:8080 ...  # drive an externally started dpc-server
+//	dpc-loadgen -storage-only -out BENCH_SERVE.json              # registry comparison only
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpc/client"
+	"dpc/internal/gen"
+	"dpc/internal/metric"
+	"dpc/internal/serve"
+)
+
+// Report is the BENCH_SERVE.json schema.
+type Report struct {
+	Preset     string        `json:"preset"`
+	Goroutines int           `json:"goroutines"`
+	Storage    StorageReport `json:"storage"`
+	HTTP       *HTTPReport   `json:"http,omitempty"`
+}
+
+// StorageReport compares the segmented registry against the single-lock
+// baseline on the identical in-process workload.
+type StorageReport struct {
+	Ops              int     `json:"ops"`
+	SingleLockOpsPS  float64 `json:"single_lock_ops_per_s"`
+	ShardedOpsPS     float64 `json:"sharded_ops_per_s"`
+	Speedup          float64 `json:"speedup"`
+	SingleLockOpsPS1 float64 `json:"single_lock_ops_per_s_1g"`
+	ShardedOpsPS1    float64 `json:"sharded_ops_per_s_1g"`
+}
+
+// HTTPReport measures a live dpc-server under concurrent API traffic.
+type HTTPReport struct {
+	RegisterOpsPS  float64 `json:"register_ops_per_s"`
+	AppendOpsPS    float64 `json:"append_ops_per_s"`
+	Jobs           int     `json:"jobs"`
+	JobP50MS       float64 `json:"job_p50_ms"`
+	JobP99MS       float64 `json:"job_p99_ms"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	ColdFirstJobMS float64 `json:"cold_first_job_ms"`
+	WarmJobMS      float64 `json:"warm_job_ms"`
+	WarmedFirstMS  float64 `json:"warmed_first_job_ms"`
+}
+
+type preset struct {
+	storageOps   int // target op count per storage run
+	registerSets int // HTTP: datasets registered concurrently
+	registerPts  int // points per registered dataset
+	appendOps    int // HTTP: append calls
+	appendPts    int // points per append
+	jobs         int // HTTP: measured jobs
+	jobPts       int // points in the job dataset
+	warmPts      int // points in the warm-vs-cold dataset
+}
+
+var presets = map[string]preset{
+	"quick": {storageOps: 24000, registerSets: 48, registerPts: 120,
+		appendOps: 192, appendPts: 40, jobs: 16, jobPts: 360, warmPts: 4096},
+	"full": {storageOps: 120000, registerSets: 128, registerPts: 240,
+		appendOps: 768, appendPts: 60, jobs: 48, jobPts: 600, warmPts: 4096},
+}
+
+// warmDim is the dimension of the warm-vs-cold datasets: high enough that
+// distance evaluations dominate the first solve, which is the workload
+// cache warmth (background warmup, spill/restore) exists for.
+const warmDim = 64
+
+func main() {
+	var (
+		presetName  = flag.String("preset", "quick", "workload preset: quick or full")
+		out         = flag.String("out", "BENCH_SERVE.json", "output JSON path")
+		server      = flag.String("server", "", "base URL of a running dpc-server (empty = self-host one)")
+		goroutines  = flag.Int("goroutines", 8, "concurrent workers for every benchmark phase")
+		storageOnly = flag.Bool("storage-only", false, "run only the in-process registry comparison")
+	)
+	flag.Parse()
+	p, ok := presets[*presetName]
+	if !ok {
+		fatal(fmt.Errorf("unknown preset %q (want quick or full)", *presetName))
+	}
+
+	rep := Report{Preset: *presetName, Goroutines: *goroutines}
+	fmt.Fprintf(os.Stderr, "dpc-loadgen: storage benchmark (%d ops, %d goroutines)\n", p.storageOps, *goroutines)
+	rep.Storage = storageBench(p, *goroutines)
+	fmt.Fprintf(os.Stderr, "  single-lock %.0f ops/s, sharded %.0f ops/s -> %.2fx at %d goroutines\n",
+		rep.Storage.SingleLockOpsPS, rep.Storage.ShardedOpsPS, rep.Storage.Speedup, *goroutines)
+
+	if !*storageOnly {
+		base := *server
+		var stop func()
+		if base == "" {
+			var err error
+			base, stop, err = selfHost()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dpc-loadgen: self-hosted dpc-server on %s\n", base)
+		}
+		h, err := httpBench(base, p, *goroutines)
+		if stop != nil {
+			stop()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		rep.HTTP = h
+		fmt.Fprintf(os.Stderr, "  register %.0f ops/s, append %.0f ops/s, job p50 %.2fms p99 %.2fms, hit ratio %.3f\n",
+			h.RegisterOpsPS, h.AppendOpsPS, h.JobP50MS, h.JobP99MS, h.CacheHitRatio)
+		fmt.Fprintf(os.Stderr, "  first job: cold %.2fms, warm rerun %.2fms, warmed-first %.2fms\n",
+			h.ColdFirstJobMS, h.WarmJobMS, h.WarmedFirstMS)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dpc-loadgen: wrote %s\n", *out)
+}
+
+// storagePoints builds a deterministic batch without touching the gen
+// package's mixture machinery (registry ops should dominate, not point
+// synthesis).
+func storagePoints(n int, seed uint64) []metric.Point {
+	pts := make([]metric.Point, n)
+	x := seed | 1
+	for i := range pts {
+		x = x*6364136223846793005 + 1442695040888963407
+		pts[i] = metric.Point{float64(x % 4093), float64((x >> 21) % 4093)}
+	}
+	return pts
+}
+
+// runStorage drives the shared workload against one TableStore with G
+// goroutines: each owns its dataset names and loops register -> appends
+// (with periodic snapshot reads) -> delete, the registry's serving mix.
+// Returns ops/second.
+func runStorage(store serve.TableStore, g, totalOps int) float64 {
+	opsPer := totalOps / g
+	var done atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load-%02d", w)
+			ops := 0
+			cycle := 0
+			for ops < opsPer {
+				dn := fmt.Sprintf("%s-%d", name, cycle%4)
+				if err := store.StoreRegister(dn, storagePoints(64, uint64(w*1000+cycle))); err == nil {
+					ops++
+				}
+				for a := 0; a < 24 && ops < opsPer; a++ {
+					if err := store.StoreAppend(dn, storagePoints(32, uint64(w*100000+cycle*100+a))); err == nil {
+						ops++
+					}
+					if a%6 == 5 {
+						if _, err := store.StoreSnapshot(dn); err == nil {
+							ops++
+						}
+					}
+				}
+				if err := store.StoreDelete(dn); err == nil {
+					ops++
+				}
+				cycle++
+			}
+			done.Add(int64(ops))
+		}(w)
+	}
+	wg.Wait()
+	return float64(done.Load()) / time.Since(start).Seconds()
+}
+
+// storageBench runs the workload against both registry implementations at
+// 1 and G goroutines. Fresh stores per run; the sharded registry uses its
+// default segment count (what serve.New deploys).
+func storageBench(p preset, g int) StorageReport {
+	rep := StorageReport{Ops: p.storageOps}
+	// Interleave implementations to spread thermal/GC drift fairly, and
+	// run a small warmup first so neither side pays JIT-like first-touch
+	// costs (map growth, allocator warmup).
+	runStorage(serve.NewSingleLockRegistry(), g, p.storageOps/8)
+	runStorage(serve.NewRegistry(0), g, p.storageOps/8)
+
+	rep.SingleLockOpsPS1 = runStorage(serve.NewSingleLockRegistry(), 1, p.storageOps)
+	rep.ShardedOpsPS1 = runStorage(serve.NewRegistry(0), 1, p.storageOps)
+	rep.SingleLockOpsPS = runStorage(serve.NewSingleLockRegistry(), g, p.storageOps)
+	rep.ShardedOpsPS = runStorage(serve.NewRegistry(0), g, p.storageOps)
+	if rep.SingleLockOpsPS > 0 {
+		rep.Speedup = rep.ShardedOpsPS / rep.SingleLockOpsPS
+	}
+	return rep
+}
+
+// selfHost boots a real dpc-server (full HTTP stack over a TCP listener,
+// not an in-process handler call) for runs without -server.
+func selfHost() (string, func(), error) {
+	srv := serve.New(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// mixture builds the job datasets (clustered data, so solves do real
+// work).
+func mixture(n int, seed int64) []client.Point {
+	return mixtureDim(n, 2, seed)
+}
+
+// mixtureDim is mixture with an explicit dimension. The warm-vs-cold
+// phase uses a high dimension so distance evaluations dominate the solve
+// — the regime cache warmth exists for; in 2-D a distance costs less than
+// its cache lookup and the warm/cold gap disappears by design (see
+// metric.MaxCachePoints's sizing note).
+func mixtureDim(n, dim int, seed int64) []client.Point {
+	in := gen.Mixture(gen.MixtureSpec{N: n, K: 3, Dim: dim, OutlierFrac: 0.05, Seed: seed})
+	out := make([]client.Point, len(in.Pts))
+	for i, p := range in.Pts {
+		out[i] = client.Point(p)
+	}
+	return out
+}
+
+// fanOut runs n calls of fn across g goroutines, returning ops/second and
+// the first error.
+func fanOut(g, n int, fn func(i int) error) (float64, error) {
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	next := atomic.Int64{}
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(n) / elapsed, nil
+}
+
+// percentile returns the pth percentile (0..100) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// distCells returns the total distance-cache cells of a table of n points
+// round-robin split over the default job sharding — the fill target the
+// warmup poll waits for.
+func distCells(n int) int64 {
+	per := n / serve.DefaultJobSites
+	rem := n % serve.DefaultJobSites
+	var cells int64
+	for i := 0; i < serve.DefaultJobSites; i++ {
+		m := per
+		if i < rem {
+			m++
+		}
+		cells += int64(m*(m-1)) / 2
+	}
+	return cells
+}
+
+func httpBench(base string, p preset, g int) (*HTTPReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	rc := client.NewRemote(base, client.RemoteOptions{PollInterval: 2 * time.Millisecond})
+	defer rc.Close()
+	rep := &HTTPReport{Jobs: p.jobs}
+
+	// Concurrent registrations.
+	var err error
+	rep.RegisterOpsPS, err = fanOut(g, p.registerSets, func(i int) error {
+		return rc.RegisterDataset(ctx, fmt.Sprintf("lg-reg-%03d", i), mixture(p.registerPts, int64(i+1)))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("register phase: %w", err)
+	}
+
+	// Concurrent appends across the registered datasets.
+	rep.AppendOpsPS, err = fanOut(g, p.appendOps, func(i int) error {
+		name := fmt.Sprintf("lg-reg-%03d", i%p.registerSets)
+		_, err := rc.AppendPoints(ctx, name, mixture(p.appendPts, int64(1000+i)))
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("append phase: %w", err)
+	}
+
+	// Job latency percentiles over one shared dataset (server-side solve
+	// durations, so poll cadence does not pollute the numbers).
+	if err := rc.RegisterDataset(ctx, "lg-jobs", mixture(p.jobPts, 42)); err != nil {
+		return nil, err
+	}
+	spec := serve.JobSpec{Dataset: "lg-jobs", K: 3, T: 12, Objective: "median", Seed: 11}
+	durs := make([]float64, p.jobs)
+	_, err = fanOut(g, p.jobs, func(i int) error {
+		s := spec
+		s.Seed = int64(11 + i%4) // a few distinct solves, mostly shared cache
+		job, err := rc.Submit(ctx, s)
+		if err != nil {
+			return err
+		}
+		done, err := rc.Wait(ctx, job.ID)
+		if err != nil {
+			return err
+		}
+		if done.Status != serve.StatusDone {
+			return fmt.Errorf("job %s: %s (%s)", done.ID, done.Status, done.Error)
+		}
+		durs[i] = done.Result.DurationMS
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("job phase: %w", err)
+	}
+	sort.Float64s(durs)
+	rep.JobP50MS = percentile(durs, 50)
+	rep.JobP99MS = percentile(durs, 99)
+	info, err := rc.Dataset(ctx, "lg-jobs")
+	if err != nil {
+		return nil, err
+	}
+	if tot := info.CacheHits + info.CacheMisses; tot > 0 {
+		rep.CacheHitRatio = float64(info.CacheHits) / float64(tot)
+	}
+
+	// Cold first job vs warm rerun on a fresh dataset. High dimension:
+	// this is the regime where the metric dominates and warmth pays. The
+	// explicit warm=false keeps the measurement cold even against a server
+	// started with -warm.
+	if err := rc.RegisterDatasetWarm(ctx, "lg-cold", mixtureDim(p.warmPts, warmDim, 77), false); err != nil {
+		return nil, err
+	}
+	coldSpec := serve.JobSpec{Dataset: "lg-cold", K: 3, T: 15, Objective: "median", Seed: 5}
+	cold, err := oneJob(ctx, rc, coldSpec)
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdFirstJobMS = cold
+	warm, err := oneJob(ctx, rc, coldSpec)
+	if err != nil {
+		return nil, err
+	}
+	rep.WarmJobMS = warm
+
+	// Warmed first job: register with background warmup, wait until the
+	// shard caches report the full fill (misses reach the cell target),
+	// then measure the very first job.
+	if err := rc.RegisterDatasetWarm(ctx, "lg-warmed", mixtureDim(p.warmPts, warmDim, 78), true); err != nil {
+		return nil, err
+	}
+	target := distCells(p.warmPts)
+	for deadline := time.Now().Add(2 * time.Minute); ; {
+		info, err := rc.Dataset(ctx, "lg-warmed")
+		if err != nil {
+			return nil, err
+		}
+		if info.CacheMisses >= target {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("warmup never completed (%d / %d cells)", info.CacheMisses, target)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	warmedSpec := serve.JobSpec{Dataset: "lg-warmed", K: 3, T: 15, Objective: "median", Seed: 5}
+	warmed, err := oneJob(ctx, rc, warmedSpec)
+	if err != nil {
+		return nil, err
+	}
+	rep.WarmedFirstMS = warmed
+	return rep, nil
+}
+
+// oneJob runs a single job and returns the server-side solve duration.
+func oneJob(ctx context.Context, rc *client.Remote, spec serve.JobSpec) (float64, error) {
+	job, err := rc.Submit(ctx, spec)
+	if err != nil {
+		return 0, err
+	}
+	done, err := rc.Wait(ctx, job.ID)
+	if err != nil {
+		return 0, err
+	}
+	if done.Status != serve.StatusDone {
+		return 0, fmt.Errorf("job %s: %s (%s)", done.ID, done.Status, done.Error)
+	}
+	return done.Result.DurationMS, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpc-loadgen:", err)
+	os.Exit(1)
+}

@@ -38,6 +38,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,14 +51,45 @@ import (
 // are generated from the tagged fields instead of hand-declared, so names
 // cannot drift from the documented configuration vocabulary.
 type options struct {
-	Listen       string `json:"listen" usage:"HTTP listen address"`
-	MaxJobs      int    `json:"max_jobs" usage:"max concurrently running jobs (0 = one per CPU)"`
-	Queue        int    `json:"queue" usage:"max queued jobs before 503 backpressure"`
-	CacheMB      int64  `json:"cache_mb" usage:"shared distance-cache pool budget in MiB"`
-	SitesListen  string `json:"sites_listen" usage:"when set, accept persistent dpc-site daemons on this address"`
-	RemoteSites  int    `json:"remote_sites" usage:"number of dpc-site daemons to wait for on -sites-listen"`
-	RemoteName   string `json:"remote_name" usage:"dataset name for the connected dpc-site daemons"`
-	DrainTimeout string `json:"drain_timeout" usage:"how long running jobs may finish after SIGTERM before cancellation"`
+	Listen         string `json:"listen" usage:"HTTP listen address"`
+	MaxJobs        int    `json:"max_jobs" usage:"max concurrently running jobs (0 = one per CPU)"`
+	Queue          int    `json:"queue" usage:"max queued jobs before 503 backpressure"`
+	CacheMB        int64  `json:"cache_mb" usage:"shared distance-cache pool budget in MiB"`
+	RegistryShards int    `json:"registry_shards" usage:"dataset-registry hash segments (0 = default; 1 = single-lock namespace)"`
+	CacheDir       string `json:"cache_dir" usage:"when set, spill warm distance triangles here on shutdown and restore them on start"`
+	Warm           bool   `json:"warm" usage:"prefill every table dataset's shard caches in the background after registration"`
+	SitesListen    string `json:"sites_listen" usage:"when set, accept persistent dpc-site daemons on this address (comma-separated for several site groups)"`
+	RemoteSites    string `json:"remote_sites" usage:"dpc-site daemons to wait for per -sites-listen address (comma-separated to match)"`
+	RemoteName     string `json:"remote_name" usage:"dataset name for the connected dpc-site daemons"`
+	DrainTimeout   string `json:"drain_timeout" usage:"how long running jobs may finish after SIGTERM before cancellation"`
+}
+
+// parseSiteGroups pairs the comma-separated -sites-listen addresses with
+// their -remote-sites counts: one count per address, or one count applied
+// to every address.
+func parseSiteGroups(listens, counts string) ([]string, []int, error) {
+	addrs := strings.Split(listens, ",")
+	parts := strings.Split(counts, ",")
+	if len(parts) != len(addrs) && len(parts) != 1 {
+		return nil, nil, fmt.Errorf("-remote-sites has %d entries for %d -sites-listen addresses", len(parts), len(addrs))
+	}
+	ns := make([]int, len(addrs))
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return nil, nil, fmt.Errorf("bad -sites-listen: entry %d is empty", i)
+		}
+		p := parts[0]
+		if len(parts) > 1 {
+			p = parts[i]
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, nil, fmt.Errorf("bad -remote-sites entry %q (want a positive count)", p)
+		}
+		ns[i] = n
+	}
+	return addrs, ns, nil
 }
 
 func main() {
@@ -72,22 +105,43 @@ func main() {
 		fatal(fmt.Errorf("bad -drain-timeout: %w", err))
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.NewChecked(serve.Config{
 		MaxConcurrentJobs: opt.MaxJobs,
 		QueueDepth:        opt.Queue,
 		MaxCacheBytes:     opt.CacheMB << 20,
+		RegistryShards:    opt.RegistryShards,
+		CacheDir:          opt.CacheDir,
+		WarmOnRegister:    opt.Warm,
 	})
+	if err != nil {
+		// A corrupt spill file starts the server cold, never down.
+		fmt.Fprintf(os.Stderr, "dpc-server: cache restore failed (starting cold): %v\n", err)
+	}
 
 	if opt.SitesListen != "" {
-		if opt.RemoteSites <= 0 {
-			fatal(fmt.Errorf("-sites-listen requires -remote-sites > 0"))
+		if opt.RemoteSites == "" {
+			fatal(fmt.Errorf("-sites-listen requires -remote-sites"))
 		}
-		fmt.Fprintf(os.Stderr, "dpc-server: waiting for %d dpc-site daemon(s) on %s\n", opt.RemoteSites, opt.SitesListen)
-		_, addr, err := srv.RegisterRemote(opt.RemoteName, opt.SitesListen, opt.RemoteSites)
+		addrs, counts, err := parseSiteGroups(opt.SitesListen, opt.RemoteSites)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dpc-server: %d site(s) connected on %s as dataset %q\n", opt.RemoteSites, addr, opt.RemoteName)
+		for g, addr := range addrs {
+			fmt.Fprintf(os.Stderr, "dpc-server: waiting for %d dpc-site daemon(s) on %s\n", counts[g], addr)
+			if g == 0 {
+				_, bound, err := srv.RegisterRemote(opt.RemoteName, addr, counts[g])
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "dpc-server: %d site(s) connected on %s as dataset %q\n", counts[g], bound, opt.RemoteName)
+				continue
+			}
+			bound, err := srv.AddRemoteGroup(opt.RemoteName, addr, counts[g])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dpc-server: %d more site(s) connected on %s joined dataset %q (group %d)\n", counts[g], bound, opt.RemoteName, g+1)
+		}
 	}
 
 	ln, err := net.Listen("tcp", opt.Listen)

@@ -238,6 +238,10 @@ func Run(sites [][]metric.Point, cfg Config) (Result, error) {
 // ctx.Err() promptly, without waiting for in-flight site solves.
 func RunCtx(ctx context.Context, sites [][]metric.Point, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	// Preemption reaches inside the solvers, not just between rounds: the
+	// site handlers built below inherit ctx through LocalOpts, so a
+	// cancellation also stops local-search descent and JV probes mid-solve.
+	cfg.LocalOpts.Ctx = ctx
 	if len(sites) == 0 {
 		return Result{}, fmt.Errorf("core: no sites")
 	}
@@ -283,6 +287,9 @@ func RunOver(tr transport.Transport, cfg Config) (Result, error) {
 // loop promptly with ctx.Err().
 func RunOverCtx(ctx context.Context, tr transport.Transport, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	// The coordinator-side solve is preemptible too; remote site handlers
+	// live elsewhere and inherit their own ctx from whoever built them.
+	cfg.LocalOpts.Ctx = ctx
 	if err := validate(cfg); err != nil {
 		return Result{}, err
 	}

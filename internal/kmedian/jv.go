@@ -20,11 +20,17 @@ type jvOrders struct {
 	costs  [][]float64
 }
 
-// jvPrecompute builds the per-facility sorted client orders.
-func jvPrecompute(c metric.Costs, workers int) *jvOrders {
+// jvPrecompute builds the per-facility sorted client orders. A cancelled
+// opt.Ctx skips the remaining facility columns (leaving them nil); jvRun
+// never touches those rows because its event loop breaks on the same
+// cancelled context before any event fires.
+func jvPrecompute(c metric.Costs, opt Options) *jvOrders {
 	nc, nf := c.Clients(), c.Facilities()
 	ord := &jvOrders{byCost: make([][]int, nf), costs: make([][]float64, nf)}
-	par.For(workers, nf, func(f int) {
+	par.For(opt.Workers, nf, func(f int) {
+		if opt.canceled() {
+			return
+		}
 		idx := make([]int, nc)
 		cf := make([]float64, nc)
 		for j := 0; j < nc; j++ {
@@ -60,7 +66,8 @@ type jvResult struct {
 // facilities are pruned to a maximal independent set of the conflict graph
 // (two facilities conflict when some client contributes positively to
 // both), greedily in opening order.
-func jvRun(c metric.Costs, w []float64, lambda, stopW float64, workers int, ord *jvOrders) jvResult {
+func jvRun(c metric.Costs, w []float64, lambda, stopW float64, opt Options, ord *jvOrders) jvResult {
+	workers := opt.Workers
 	nc, nf := c.Clients(), c.Facilities()
 	active := make([]bool, nc)
 	alpha := make([]float64, nc)
@@ -70,7 +77,7 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64, workers int, ord 
 		activeW += weight(w, j)
 	}
 	if ord == nil {
-		ord = jvPrecompute(c, workers)
+		ord = jvPrecompute(c, opt)
 	}
 	byCost, costs := ord.byCost, ord.costs
 	frozenContrib := make([]float64, nf) // locked surplus from frozen clients
@@ -83,6 +90,9 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64, workers int, ord 
 		alpha[j] = a
 		activeW -= weight(w, j)
 		par.For(workers, nf, func(f int) {
+			if costs[f] == nil {
+				return // column skipped by a cancelled precompute
+			}
 			if s := a - costs[f][j]; s > 0 {
 				frozenContrib[f] += weight(w, j) * s
 			}
@@ -170,6 +180,9 @@ func jvRun(c metric.Costs, w []float64, lambda, stopW float64, workers int, ord 
 
 	const eps = 1e-12
 	for activeW > stopW+eps {
+		if opt.canceled() {
+			break // preempted mid-ascent: prune what opened so far and exit
+		}
 		tf, f := nextFacilityEvent()
 		tc, j := nextClientEvent()
 		if math.IsInf(tf, 1) && math.IsInf(tc, 1) {
@@ -262,6 +275,9 @@ func JV(c metric.Costs, w []float64, k int, t float64, eps float64, opt Options)
 	// lambda = 0 opens ~one facility per client; very large lambda opens one.
 	var maxCost float64
 	for j := 0; j < nc; j++ {
+		if opt.canceled() {
+			break // preempted: any finite bracket works for a doomed search
+		}
 		for f := 0; f < nf; f++ {
 			if x := c.Cost(j, f); x > maxCost {
 				maxCost = x
@@ -273,9 +289,9 @@ func JV(c metric.Costs, w []float64, k int, t float64, eps float64, opt Options)
 	var small, large *jvResult // small: <= k facilities; large: > k
 	var ord *jvOrders
 	if !opt.Reference {
-		ord = jvPrecompute(c, opt.Workers)
+		ord = jvPrecompute(c, opt)
 	}
-	run := func(lambda float64) jvResult { return jvRun(c, w, lambda, t, opt.Workers, ord) }
+	run := func(lambda float64) jvResult { return jvRun(c, w, lambda, t, opt, ord) }
 
 	rLo := run(lo)
 	if rLo.numOpen <= k { // even free facilities give <= k: done
@@ -285,6 +301,9 @@ func JV(c metric.Costs, w []float64, k int, t float64, eps float64, opt Options)
 	rHi := run(hi)
 	small = &rHi
 	for iter := 0; iter < 60 && hi-lo > 1e-9*(1+hi); iter++ {
+		if opt.canceled() {
+			break // preempted: round with the brackets probed so far
+		}
 		mid := (lo + hi) / 2
 		r := run(mid)
 		if r.numOpen == k {

@@ -1,6 +1,7 @@
 package kmedian
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -13,6 +14,17 @@ import (
 type Options struct {
 	// Seed drives all randomness (D^2 seeding, facility sampling).
 	Seed int64
+	// Ctx, when non-nil, preempts the solver: local-search descent stops at
+	// the next swap round and JV's Lagrangian search at the next probe once
+	// the context is cancelled, returning the best solution found so far.
+	// Callers that propagate the cancellation (the protocol round loops do)
+	// discard that partial answer with ctx.Err(); the point of the early
+	// return is that a cancelled job stops burning CPU mid-solve instead of
+	// finishing a doomed computation. A nil or never-cancelled Ctx changes
+	// nothing — the checks never influence a live solve's decisions. The
+	// field never crosses the wire: job frames carry configurations, and a
+	// context is process-local by nature.
+	Ctx context.Context `json:"-"`
 	// MaxIters caps the number of swap rounds (default 40).
 	MaxIters int
 	// SampleFacilities bounds the number of candidate facilities examined
@@ -38,6 +50,12 @@ type Options struct {
 	// Reference and fast engines side by side and require identical
 	// solutions; it is not meant for production runs.
 	Reference bool
+}
+
+// canceled reports whether the solve's context has been cancelled — the
+// preemption probe of every solver loop. Nil contexts never cancel.
+func (o Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o Options) withDefaults() Options {
@@ -72,12 +90,20 @@ func LocalSearch(c metric.Costs, w []float64, k int, t float64, opt Options) Sol
 	if TotalWeight(c, w) <= t {
 		return Eval(c, w, nil, t)
 	}
+	if opt.canceled() {
+		// Preempted before the first seeding: don't start O(k * nc * nf)
+		// work for an answer the caller will discard with ctx.Err().
+		return Eval(c, w, nil, t)
+	}
 	if k > nf {
 		k = nf
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	best := Solution{Cost: math.Inf(1)}
 	for restart := 0; restart < opt.Restarts; restart++ {
+		if restart > 0 && opt.canceled() {
+			break // keep the best finished restart; the caller sees ctx.Err()
+		}
 		var centers []int
 		if restart == 0 && len(opt.Warm) > 0 {
 			centers = warmCenters(opt.Warm, k, nf)
@@ -211,6 +237,9 @@ func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options,
 	d2 := make([]float64, nc)  // distance to second-nearest current center
 	inW := make([]float64, nc) // inlier weight under the current solution
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if opt.canceled() {
+			break // preempted mid-descent: stop burning rounds
+		}
 		pos := make(map[int]int, k) // facility -> position in centers
 		for p, f := range cur.Centers {
 			pos[f] = p
@@ -328,6 +357,9 @@ func descendReference(c metric.Costs, w []float64, centers []int, t float64, opt
 	nc, nf := c.Clients(), c.Facilities()
 	cur := Eval(c, w, centers, t)
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if opt.canceled() {
+			break // same preemption point as the fast engine's descent
+		}
 		k := len(cur.Centers)
 		pos := make(map[int]int, k) // facility -> position in centers
 		for p, f := range cur.Centers {

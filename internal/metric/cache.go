@@ -1,6 +1,8 @@
 package metric
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -132,8 +134,28 @@ func (dc *DistCache) Cost(c, f int) float64 { return dc.Dist(c, f) }
 // spread across at most `workers` goroutines. After Prefill every Dist call
 // is a pure load.
 func (dc *DistCache) Prefill(workers int) {
+	dc.PrefillCtx(context.Background(), workers, nil, nil)
+}
+
+// PrefillCtx is Prefill with cooperative abort and progress accounting —
+// the background-warmup entry point of the long-running server. The fill
+// stops early (leaving a partially warm cache, which is always safe) when
+// ctx is cancelled or when keep, checked once per row, reports false (the
+// server passes a "still pooled?" probe so a warmup racing an LRU eviction
+// stops burning CPU on an orphaned cache). progress, when non-nil, is
+// incremented by the number of cells filled, row by row, so an observer can
+// watch the warmup advance. Returns the number of cells this call computed.
+func (dc *DistCache) PrefillCtx(ctx context.Context, workers int, keep func() bool, progress *atomic.Int64) int {
+	var filled atomic.Int64
 	par.For(workers, dc.n, func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		if keep != nil && !keep() {
+			return
+		}
 		base := dc.cell(i, i+1)
+		row := int64(0)
 		for j := i + 1; j < dc.n; j++ {
 			c := base + (j - i - 1)
 			if atomic.LoadUint64(&dc.cells[c]) == emptyCell {
@@ -141,9 +163,15 @@ func (dc *DistCache) Prefill(workers int) {
 					dc.Stats.Misses.Add(1)
 				}
 				atomic.StoreUint64(&dc.cells[c], math.Float64bits(dc.S.Dist(i, j)))
+				row++
 			}
 		}
+		filled.Add(row)
+		if progress != nil {
+			progress.Add(row)
+		}
 	})
+	return int(filled.Load())
 }
 
 // Bytes returns the memory footprint of the cell array — the sizing input
@@ -159,6 +187,40 @@ func (dc *DistCache) Filled() int {
 		}
 	}
 	return n
+}
+
+// SnapshotCells copies the current cell array with atomic loads — the
+// spill path's consistent view of a cache that concurrent jobs may still
+// be filling. Bit patterns are preserved exactly (empty cells included),
+// so a restore is bit-identical to the snapshot moment.
+func (dc *DistCache) SnapshotCells() []uint64 {
+	out := make([]uint64, len(dc.cells))
+	for i := range dc.cells {
+		out[i] = atomic.LoadUint64(&dc.cells[i])
+	}
+	return out
+}
+
+// AdoptCells merges a spilled cell array into this cache: every cell that
+// is empty here and filled in cells is stored verbatim, so restored
+// lookups return the exact float64 the original oracle computed. Cells
+// already filled locally win (they are equally exact and may be newer).
+// Returns the number of cells adopted; a geometry mismatch adopts nothing.
+func (dc *DistCache) AdoptCells(cells []uint64) (int, error) {
+	if len(cells) != len(dc.cells) {
+		return 0, fmt.Errorf("metric: adopting %d cells into a %d-cell cache", len(cells), len(dc.cells))
+	}
+	adopted := 0
+	for i, bits := range cells {
+		if bits == emptyCell {
+			continue
+		}
+		if atomic.LoadUint64(&dc.cells[i]) == emptyCell {
+			atomic.StoreUint64(&dc.cells[i], bits)
+			adopted++
+		}
+	}
+	return adopted, nil
 }
 
 // CostCache memoizes an arbitrary (possibly asymmetric) client/facility
@@ -215,4 +277,47 @@ func (cc *CostCache) Cost(client, facility int) float64 {
 	d := cc.C.Cost(client, facility)
 	atomic.StoreUint64(&cc.cells[idx], math.Float64bits(d))
 	return d
+}
+
+// Filled reports how many cells have been computed (testing/metrics).
+func (cc *CostCache) Filled() int {
+	n := 0
+	for i := range cc.cells {
+		if atomic.LoadUint64(&cc.cells[i]) != emptyCell {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the memory footprint of the cell array.
+func (cc *CostCache) Bytes() int64 { return int64(len(cc.cells)) * 8 }
+
+// SnapshotCells copies the current cell array with atomic loads (see
+// DistCache.SnapshotCells).
+func (cc *CostCache) SnapshotCells() []uint64 {
+	out := make([]uint64, len(cc.cells))
+	for i := range cc.cells {
+		out[i] = atomic.LoadUint64(&cc.cells[i])
+	}
+	return out
+}
+
+// AdoptCells merges a spilled cell array into this cache (see
+// DistCache.AdoptCells).
+func (cc *CostCache) AdoptCells(cells []uint64) (int, error) {
+	if len(cells) != len(cc.cells) {
+		return 0, fmt.Errorf("metric: adopting %d cells into a %d-cell cache", len(cells), len(cc.cells))
+	}
+	adopted := 0
+	for i, bits := range cells {
+		if bits == emptyCell {
+			continue
+		}
+		if atomic.LoadUint64(&cc.cells[i]) == emptyCell {
+			atomic.StoreUint64(&cc.cells[i], bits)
+			adopted++
+		}
+	}
+	return adopted, nil
 }

@@ -95,12 +95,18 @@ func (p *CachePool) Get(key string, build func() *DistCache) *DistCache {
 
 // evictLocked drops least-recently-used entries until the budget holds,
 // never evicting keep (the entry just inserted) or entries whose build is
-// still in flight (they carry no accounted bytes to reclaim yet).
+// still in flight (they carry no accounted bytes to reclaim yet — and
+// their dc pointer may still be nil, so touching them here would race the
+// builder; the accounted flag is the guard, checked before dc is ever
+// read). Eviction only drops the pool's reference: a background Prefill
+// still filling an evicted cache keeps running safely on its own pointer
+// and simply stops being shared with future jobs (warmups probe Has to cut
+// that work short).
 func (p *CachePool) evictLocked(keep *poolEntry) {
 	for p.bytes > p.maxBytes {
 		var victim *poolEntry
 		for el := p.lru.Back(); el != nil; el = el.Prev() {
-			if e := el.Value.(*poolEntry); e != keep && e.accounted {
+			if e := el.Value.(*poolEntry); e != keep && e.accounted && e.dc != nil {
 				victim = e
 				break
 			}
@@ -113,6 +119,17 @@ func (p *CachePool) evictLocked(keep *poolEntry) {
 		p.bytes -= victim.bytes
 		p.evictions++
 	}
+}
+
+// Has reports whether key is currently pooled (including entries whose
+// build is still in flight). Background warmups probe it between fill rows
+// so a prefill racing an LRU eviction or dataset delete stops burning CPU
+// on a cache no future job will ever see.
+func (p *CachePool) Has(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[key]
+	return ok
 }
 
 // Invalidate drops the entry stored under key, if any. Jobs still holding
@@ -146,6 +163,30 @@ func (p *CachePool) invalidateLocked(key string) {
 		// Otherwise the build is still in flight; the builder will find the
 		// entry gone and skip accounting.
 	}
+}
+
+// PoolEntry is one pooled cache in an Entries snapshot.
+type PoolEntry struct {
+	Key string
+	DC  *DistCache
+}
+
+// Entries snapshots the pooled caches whose builds have completed — the
+// spill path walks this at shutdown. In-flight builds are skipped (their
+// dc field is published by the ready channel, not the pool lock, and they
+// hold no warm cells worth persisting anyway).
+func (p *CachePool) Entries() []PoolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PoolEntry, 0, len(p.entries))
+	for key, e := range p.entries {
+		select {
+		case <-e.ready:
+			out = append(out, PoolEntry{Key: key, DC: e.dc})
+		default:
+		}
+	}
+	return out
 }
 
 // PoolStats is a point-in-time snapshot of pool behavior.

@@ -1,0 +1,268 @@
+package metric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Warm-triangle spill: a versioned on-disk format for the filled cells of
+// DistCache / CostCache, so a long-running server can persist its memoized
+// distance oracles on shutdown and restore them on the next start instead
+// of re-paying the O(n^2) metric cost. The format stores raw cell bit
+// patterns (empty-cell sentinels included), so a restored cache serves the
+// exact float64s the original oracle computed — restore is bit-identical,
+// which the round-trip tests assert.
+//
+// Entries are keyed by a content hash of the underlying data, not by
+// dataset name or registry version: names and versions do not survive a
+// restart (the registry's version counter restarts at zero), but identical
+// shard contents hash identically, so a re-registered dataset finds its
+// warm triangles no matter what it is called this time.
+//
+// Layout (all integers little-endian):
+//
+//	magic    [8]byte  "DPCSPILL"
+//	version  uint32   format version (currently 1)
+//	count    uint32   number of entries
+//	entries:
+//	  kind   uint8    1 = dist (packed triangle), 2 = cost (dense matrix)
+//	  hash   uint64   content hash of the cached data (HashPoints)
+//	  age    uint32   server lives carried without re-adoption (expiry)
+//	  n      uint32   points (dist) — zero for cost entries
+//	  nc,nf  uint32   clients x facilities (cost) — zero for dist entries
+//	  cells  uint32   cell count, then that many raw uint64 cell words
+//	check    uint64   FNV-1a over every byte after the magic
+var spillMagic = [8]byte{'D', 'P', 'C', 'S', 'P', 'I', 'L', 'L'}
+
+// SpillVersion is the current format version; readers reject others.
+const SpillVersion = 1
+
+// Spill entry kinds.
+const (
+	// SpillDist marks a DistCache entry (packed strict upper triangle).
+	SpillDist = 1
+	// SpillCost marks a CostCache entry (dense clients x facilities).
+	SpillCost = 2
+)
+
+// maxSpillEntries and maxSpillCells bound what a reader will allocate:
+// spill files are written by the server itself, but a corrupt or hostile
+// file must fail cleanly instead of allocating the process to death. The
+// per-entry cell cap comfortably covers MaxCachePoints-sized caches.
+const (
+	maxSpillEntries = 1 << 16
+	maxSpillCells   = 8 << 20 // 64 MiB of cell words per entry
+)
+
+// SpillEntry is one persisted cache: its kind, the content hash of the
+// data it memoizes, how many writer lives it has been carried through
+// without use (the writer's expiry input), its geometry, and the raw
+// cell words.
+type SpillEntry struct {
+	Kind  uint8
+	Hash  uint64
+	Age   uint32
+	N     int // dist: point count (cells = n*(n-1)/2)
+	NC    int // cost: clients
+	NF    int // cost: facilities
+	Cells []uint64
+}
+
+// cellsWant returns the cell count the entry's geometry implies, or an
+// error for an inconsistent entry.
+func (e SpillEntry) cellsWant() (int, error) {
+	switch e.Kind {
+	case SpillDist:
+		if e.N < 0 || e.N > math.MaxInt32 {
+			return 0, fmt.Errorf("metric: spill dist entry with n = %d", e.N)
+		}
+		return e.N * (e.N - 1) / 2, nil
+	case SpillCost:
+		if e.NC < 0 || e.NF < 0 {
+			return 0, fmt.Errorf("metric: spill cost entry with %dx%d cells", e.NC, e.NF)
+		}
+		return e.NC * e.NF, nil
+	}
+	return 0, fmt.Errorf("metric: unknown spill entry kind %d", e.Kind)
+}
+
+// HashPoints returns a content hash of a point set: FNV-1a over the
+// dimension and raw float64 bits of every coordinate, in order. Two shards
+// hash equal iff they hold bit-identical points in the same order — the
+// exactness a restored distance triangle requires.
+func HashPoints(pts []Point) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(pts)))
+	h.Write(buf[:])
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// SpillDistCache snapshots dc as a spill entry under the given content
+// hash.
+func SpillDistCache(dc *DistCache, hash uint64) SpillEntry {
+	return SpillEntry{Kind: SpillDist, Hash: hash, N: dc.n, Cells: dc.SnapshotCells()}
+}
+
+// SpillCostCache snapshots cc as a spill entry under the given content
+// hash.
+func SpillCostCache(cc *CostCache, hash uint64) SpillEntry {
+	return SpillEntry{Kind: SpillCost, Hash: hash, NC: cc.nc, NF: cc.nf, Cells: cc.SnapshotCells()}
+}
+
+// checksumWriter accumulates the FNV-1a running check while writing.
+type checksumWriter struct {
+	w   io.Writer
+	sum interface {
+		io.Writer
+		Sum64() uint64
+	}
+}
+
+func (cw *checksumWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.sum.Write(p[:n])
+	return n, err
+}
+
+// WriteSpill writes entries in the versioned spill format.
+func WriteSpill(w io.Writer, entries []SpillEntry) error {
+	if len(entries) > maxSpillEntries {
+		return fmt.Errorf("metric: %d spill entries exceed the format cap %d", len(entries), maxSpillEntries)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(spillMagic[:]); err != nil {
+		return err
+	}
+	cw := &checksumWriter{w: bw, sum: fnv.New64a()}
+	put32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if err := put32(SpillVersion); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(entries))); err != nil {
+		return err
+	}
+	for i, e := range entries {
+		want, err := e.cellsWant()
+		if err != nil {
+			return err
+		}
+		if len(e.Cells) != want {
+			return fmt.Errorf("metric: spill entry %d has %d cells, geometry implies %d", i, len(e.Cells), want)
+		}
+		if want > maxSpillCells {
+			return fmt.Errorf("metric: spill entry %d has %d cells, format cap is %d", i, want, maxSpillCells)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, e.Kind); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, e.Hash); err != nil {
+			return err
+		}
+		for _, v := range []uint32{e.Age, uint32(e.N), uint32(e.NC), uint32(e.NF), uint32(len(e.Cells))} {
+			if err := put32(v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(cw, binary.LittleEndian, e.Cells); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.sum.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// checksumReader accumulates the FNV-1a running check while reading.
+type checksumReader struct {
+	r   io.Reader
+	sum interface {
+		io.Writer
+		Sum64() uint64
+	}
+}
+
+func (cr *checksumReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.sum.Write(p[:n])
+	return n, err
+}
+
+// ReadSpill parses a spill file, validating the magic, version, geometry
+// consistency and trailing checksum. Corrupt or truncated files fail with
+// an error; they never yield partial entries.
+func ReadSpill(r io.Reader) ([]SpillEntry, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("metric: spill magic: %w", err)
+	}
+	if magic != spillMagic {
+		return nil, fmt.Errorf("metric: not a spill file (magic %q)", magic[:])
+	}
+	cr := &checksumReader{r: br, sum: fnv.New64a()}
+	var version, count uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != SpillVersion {
+		return nil, fmt.Errorf("metric: spill format version %d, this build reads %d", version, SpillVersion)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > maxSpillEntries {
+		return nil, fmt.Errorf("metric: spill declares %d entries, cap is %d", count, maxSpillEntries)
+	}
+	entries := make([]SpillEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var e SpillEntry
+		if err := binary.Read(cr, binary.LittleEndian, &e.Kind); err != nil {
+			return nil, fmt.Errorf("metric: spill entry %d: %w", i, err)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &e.Hash); err != nil {
+			return nil, fmt.Errorf("metric: spill entry %d: %w", i, err)
+		}
+		var n, nc, nf, cells uint32
+		for _, p := range []*uint32{&e.Age, &n, &nc, &nf, &cells} {
+			if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+				return nil, fmt.Errorf("metric: spill entry %d: %w", i, err)
+			}
+		}
+		e.N, e.NC, e.NF = int(n), int(nc), int(nf)
+		want, err := e.cellsWant()
+		if err != nil {
+			return nil, err
+		}
+		if int(cells) != want || want > maxSpillCells {
+			return nil, fmt.Errorf("metric: spill entry %d declares %d cells, geometry implies %d (cap %d)", i, cells, want, maxSpillCells)
+		}
+		e.Cells = make([]uint64, want)
+		if err := binary.Read(cr, binary.LittleEndian, e.Cells); err != nil {
+			return nil, fmt.Errorf("metric: spill entry %d cells: %w", i, err)
+		}
+		entries = append(entries, e)
+	}
+	sum := cr.sum.Sum64()
+	var check uint64
+	if err := binary.Read(br, binary.LittleEndian, &check); err != nil {
+		return nil, fmt.Errorf("metric: spill checksum: %w", err)
+	}
+	if check != sum {
+		return nil, fmt.Errorf("metric: spill checksum mismatch (file %x, computed %x)", check, sum)
+	}
+	return entries, nil
+}

@@ -1,0 +1,178 @@
+package metric
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func spillTestPoints(n, dim int, seed uint64) []Point {
+	pts := make([]Point, n)
+	x := seed
+	for i := range pts {
+		p := make(Point, dim)
+		for d := range p {
+			x = x*6364136223846793005 + 1442695040888963407
+			p[d] = float64(x%1000) / 7
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestSpillRoundTripBitIdentical fills part of a DistCache and a CostCache,
+// spills both, restores into fresh caches, and asserts every cell — filled
+// and empty alike — carries the identical bit pattern, so restored lookups
+// return the exact float64 the original oracle computed.
+func TestSpillRoundTripBitIdentical(t *testing.T) {
+	pts := spillTestPoints(60, 3, 7)
+	src := NewDistCache(NewPoints(pts))
+	// Touch an irregular subset so empty sentinels survive alongside data.
+	for i := 0; i < 60; i += 3 {
+		for j := i + 1; j < 60; j += 5 {
+			src.Dist(i, j)
+		}
+	}
+	cc := NewCostCache(NewPoints(pts))
+	for i := 0; i < 30; i++ {
+		cc.Cost(i, (i*7)%60)
+	}
+
+	hash := HashPoints(pts)
+	entries := []SpillEntry{SpillDistCache(src, hash), SpillCostCache(cc, hash)}
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, entries); err != nil {
+		t.Fatalf("WriteSpill: %v", err)
+	}
+	got, err := ReadSpill(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSpill: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries, wrote 2", len(got))
+	}
+	for e, entry := range got {
+		if entry.Hash != hash {
+			t.Fatalf("entry %d hash %x, want %x", e, entry.Hash, hash)
+		}
+		want := entries[e].Cells
+		if len(entry.Cells) != len(want) {
+			t.Fatalf("entry %d has %d cells, wrote %d", e, len(entry.Cells), len(want))
+		}
+		for i := range want {
+			if entry.Cells[i] != want[i] {
+				t.Fatalf("entry %d cell %d: %x != %x", e, i, entry.Cells[i], want[i])
+			}
+		}
+	}
+
+	// Adopt into fresh caches and check bit-identical serving.
+	dst := NewDistCache(NewPoints(pts))
+	adopted, err := dst.AdoptCells(got[0].Cells)
+	if err != nil {
+		t.Fatalf("AdoptCells: %v", err)
+	}
+	if adopted != src.Filled() {
+		t.Fatalf("adopted %d cells, source had %d filled", adopted, src.Filled())
+	}
+	var stats CacheStats
+	dst.Stats = &stats
+	for i := 0; i < 60; i += 3 {
+		for j := i + 1; j < 60; j += 5 {
+			a, b := src.Dist(i, j), dst.Dist(i, j)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("restored Dist(%d,%d) = %v, original %v", i, j, b, a)
+			}
+		}
+	}
+	if hits, misses := stats.Snapshot(); misses != 0 || hits == 0 {
+		t.Fatalf("restored cache served %d hits / %d misses; want all hits", hits, misses)
+	}
+
+	cdst := NewCostCache(NewPoints(pts))
+	if _, err := cdst.AdoptCells(got[1].Cells); err != nil {
+		t.Fatalf("cost AdoptCells: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		a, b := cc.Cost(i, (i*7)%60), cdst.Cost(i, (i*7)%60)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("restored Cost(%d,%d) = %v, original %v", i, (i*7)%60, b, a)
+		}
+	}
+}
+
+// TestSpillRejectsCorruption flips bytes at every offset class and asserts
+// the reader fails instead of yielding silent garbage.
+func TestSpillRejectsCorruption(t *testing.T) {
+	pts := spillTestPoints(12, 2, 3)
+	dc := NewDistCache(NewPoints(pts))
+	dc.Prefill(2)
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, []SpillEntry{SpillDistCache(dc, HashPoints(pts))}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, off := range []int{0, 9, 13, 20, len(raw) / 2, len(raw) - 3} {
+		cp := append([]byte(nil), raw...)
+		cp[off] ^= 0x5a
+		if _, err := ReadSpill(bytes.NewReader(cp)); err == nil {
+			t.Fatalf("corruption at offset %d read back without error", off)
+		}
+	}
+	if _, err := ReadSpill(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated spill read back without error")
+	}
+	if got, err := ReadSpill(bytes.NewReader(raw)); err != nil || len(got) != 1 {
+		t.Fatalf("pristine file failed to read: %v", err)
+	}
+}
+
+// TestHashPointsDiscriminates pins the content-hash contract: identical
+// points hash identically; any coordinate, order or shape change does not.
+func TestHashPointsDiscriminates(t *testing.T) {
+	a := spillTestPoints(20, 3, 11)
+	b := spillTestPoints(20, 3, 11)
+	if HashPoints(a) != HashPoints(b) {
+		t.Fatal("identical point sets hash differently")
+	}
+	b[7][1] += 1e-12
+	if HashPoints(a) == HashPoints(b) {
+		t.Fatal("coordinate perturbation did not change the hash")
+	}
+	c := append([]Point(nil), a...)
+	c[0], c[1] = c[1], c[0]
+	if HashPoints(a) == HashPoints(c) {
+		t.Fatal("reordering did not change the hash")
+	}
+	if HashPoints(a) == HashPoints(a[:19]) {
+		t.Fatal("truncation did not change the hash")
+	}
+}
+
+// TestPrefillCtxAbortsAndReports checks the warmup contract: a cancelled
+// context or a false keep-probe stops the fill early, and the progress
+// counter tracks exactly the cells computed.
+func TestPrefillCtxAbortsAndReports(t *testing.T) {
+	pts := spillTestPoints(64, 2, 5)
+	dc := NewDistCache(NewPoints(pts))
+	var progress atomic.Int64
+	filled := dc.PrefillCtx(context.Background(), 4, nil, &progress)
+	if want := 64 * 63 / 2; filled != want || int(progress.Load()) != want {
+		t.Fatalf("full prefill filled %d cells, progress %d, want %d", filled, progress.Load(), want)
+	}
+
+	dc2 := NewDistCache(NewPoints(pts))
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := dc2.PrefillCtx(canceled, 1, nil, nil); n != 0 {
+		t.Fatalf("cancelled prefill computed %d cells", n)
+	}
+	if n := dc2.PrefillCtx(context.Background(), 1, func() bool { return false }, nil); n != 0 {
+		t.Fatalf("keep=false prefill computed %d cells", n)
+	}
+	if dc2.Filled() != 0 {
+		t.Fatalf("aborted prefills left %d filled cells", dc2.Filled())
+	}
+}

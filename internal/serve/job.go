@@ -49,6 +49,11 @@ type JobSpec struct {
 // to death. Real deployments in the paper's regime run tens of sites.
 const MaxJobSites = 4096
 
+// DefaultJobSites is the loopback shard count when JobSpec.Sites is zero —
+// the same default dpc-cluster uses, and the sharding background warmup
+// prefills.
+const DefaultJobSites = 8
+
 // Job statuses.
 const (
 	StatusQueued   = "queued"
@@ -329,10 +334,19 @@ func (r *Registry) run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	return res, nil
 }
 
+// shardKey is the cache-pool key of one shard of a table dataset at a
+// version and site count — the sharing granularity of warm triangles.
+func shardKey(name string, version, shards, i int) string {
+	return fmt.Sprintf("%s@v%d/s%d/%d", name, version, shards, i)
+}
+
 // shardCaches returns the shared distance cache for every shard of a table
 // dataset at a given version and site count, building missing ones through
 // the pool. Shards beyond metric.MaxCachePoints get nil (the handler falls
-// back to the same uncached policy a one-shot run uses).
+// back to the same uncached policy a one-shot run uses). Freshly built
+// caches adopt any spilled warm triangle whose content hash matches the
+// shard, so the first job after a restart starts from the previous
+// process's filled cells.
 func (r *Registry) shardCaches(d *Dataset, version int, shards [][]metric.Point) []*metric.DistCache {
 	caches := make([]*metric.DistCache, len(shards))
 	for i, shard := range shards {
@@ -340,10 +354,11 @@ func (r *Registry) shardCaches(d *Dataset, version int, shards [][]metric.Point)
 			continue
 		}
 		shard := shard
-		key := fmt.Sprintf("%s@v%d/s%d/%d", d.name, version, len(shards), i)
+		key := shardKey(d.name, version, len(shards), i)
 		caches[i] = r.pool.Get(key, func() *metric.DistCache {
 			dc := metric.NewDistCache(metric.NewPoints(shard))
 			dc.Stats = &d.stats
+			r.adoptSpilled(key, shard, dc)
 			return dc
 		})
 	}
@@ -358,15 +373,20 @@ func (r *Registry) runTable(ctx context.Context, d *Dataset, spec JobSpec) (*Job
 	if err != nil {
 		return nil, err
 	}
-	pts, version := d.snapshotTable()
+	// The loopback site handlers below solve outside RunOverCtx's reach;
+	// hand them the job context directly so CancelJob and Shutdown preempt
+	// their solver inner loops, not just the round boundaries.
+	cfg.LocalOpts.Ctx = ctx
+	view, version := d.snapshotTable()
 	// The same range check core.Run applies: a budget covering the whole
 	// dataset would "succeed" with zero centers.
-	if spec.T >= len(pts) {
-		return nil, fmt.Errorf("serve: t = %d out of range [0, %d) for dataset %q", spec.T, len(pts), d.name)
+	if spec.T >= view.Len() {
+		return nil, fmt.Errorf("serve: t = %d out of range [0, %d) for dataset %q", spec.T, view.Len(), d.name)
 	}
+	pts := view.Flatten()
 	sites := spec.Sites
 	if sites <= 0 {
-		sites = 8
+		sites = DefaultJobSites
 	}
 	shards := dataio.SplitRoundRobin(pts, sites)
 	var caches []*metric.DistCache
@@ -493,7 +513,7 @@ func (r *Registry) runRemote(ctx context.Context, d *Dataset, spec JobSpec) (*Jo
 func (r *Registry) runUncertain(ctx context.Context, d *Dataset, spec JobSpec) (*JobResult, error) {
 	sites := spec.Sites
 	if sites <= 0 {
-		sites = 8
+		sites = DefaultJobSites
 	}
 	if spec.T >= len(d.nodes) {
 		return nil, fmt.Errorf("serve: t = %d out of range [0, %d) for dataset %q", spec.T, len(d.nodes), d.name)

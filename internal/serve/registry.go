@@ -6,7 +6,7 @@
 // distance oracles, site connections) stays warm across queries instead of
 // being rebuilt per CLI invocation.
 //
-// Three dataset kinds cover the paper's deployment modes:
+// Four dataset kinds cover the paper's deployment modes:
 //
 //   - table: points held in server memory, jobs run the full distributed
 //     protocol over in-process loopback shards; every job that queries the
@@ -15,15 +15,29 @@
 //   - stream: an internal/stream sketch absorbs incremental ingest in
 //     O(chunk + k + t) memory; jobs answer (k, t) queries on the summary.
 //   - remote: the data lives in dpc-site daemons holding persistent TCP
-//     connections; jobs fan the coordinator protocol out over the existing
-//     transport, and the sites keep their own caches warm across jobs.
+//     connections — possibly several independent site groups serving one
+//     dataset at once; jobs fan the coordinator protocol out over the
+//     existing transport, and the sites keep their own caches warm.
+//   - uncertain: Section 5 distribution-valued nodes over a shared ground
+//     set; jobs run Algorithm 3/4 over loopback node shards.
+//
+// The registry itself is sharded: dataset names hash onto fixed segments,
+// each owning its slice of the namespace behind its own lock, so
+// concurrent register/append/lookup/delete traffic scales with cores
+// instead of serializing on one registry-wide mutex (cmd/dpc-loadgen
+// measures the difference against the preserved single-lock baseline).
+// Table points live in append-friendly chunks: every append adds sealed
+// chunks instead of copying the table, and snapshots are O(1) header
+// copies that stay consistent while ingest continues.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dpc/internal/metric"
 	"dpc/internal/stream"
@@ -59,17 +73,52 @@ const (
 	KindUncertain DatasetKind = "uncertain"
 )
 
+// RemoteTransport is the transport surface a remote dataset drives per
+// job: the protocol rounds plus the per-job re-arm frame. Satisfied by a
+// single *transport.Coordinator group and by *transport.Multi when the
+// dataset spans several site groups.
+type RemoteTransport interface {
+	transport.Transport
+	StartJob(blob []byte) error
+}
+
+// TableView is a consistent point-in-time view of a table dataset: the
+// sealed storage chunks as of one version. Taking a view is copy-free
+// (chunk headers only, O(1) — the chunk list is append-only and chunks
+// are immutable once registered), and the view stays stable while appends
+// continue underneath it.
+type TableView struct {
+	chunks [][]metric.Point
+	n      int
+}
+
+// Len returns the number of points in the view.
+func (v TableView) Len() int { return v.n }
+
+// Flatten materializes the view as one flat point slice (header copies;
+// the coordinates themselves are shared with the registry). Jobs flatten
+// once to shard and evaluate; callers must not mutate the points.
+func (v TableView) Flatten() []metric.Point {
+	out := make([]metric.Point, 0, v.n)
+	for _, c := range v.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
 // Dataset is one named dataset in the registry.
 type Dataset struct {
 	mu   sync.RWMutex
 	name string
 	kind DatasetKind
 
-	// table state; version is registry-global and bumps on every append,
-	// so cache-pool keys of stale shardings — including those of a deleted
-	// and re-registered dataset under the same name — can never collide
-	// with live ones, and go cold via LRU.
-	pts     []metric.Point
+	// table state: append-only sealed chunks plus the running point count;
+	// version is registry-global and bumps on every append, so cache-pool
+	// keys of stale shardings — including those of a deleted and
+	// re-registered dataset under the same name — can never collide with
+	// live ones, and go cold via LRU.
+	chunks  [][]metric.Point
+	n       int
 	version int
 	// dim pins the point dimension (table and stream) from registration /
 	// first append on, so a mismatched append fails cleanly instead of
@@ -90,11 +139,14 @@ type Dataset struct {
 	sketch      *stream.Sketch
 	streamMeans bool
 
-	// remote state. jobMu serializes protocol runs: one Coordinator serves
-	// one run at a time (connection persistence, not multiplexing).
-	remote      *transport.Coordinator
-	remoteSites int
-	jobMu       sync.Mutex
+	// remote state. jobMu serializes protocol runs and group membership
+	// changes: one transport serves one run at a time (connection
+	// persistence, not multiplexing). remoteGroups keeps the individual
+	// coordinator groups so more can join via AddRemoteGroup.
+	remote       RemoteTransport
+	remoteGroups []*transport.Coordinator
+	remoteSites  int
+	jobMu        sync.Mutex
 
 	// stats aggregates hit/miss traffic over every shard cache of this
 	// dataset — the observable the e2e test asserts cache reuse with.
@@ -124,13 +176,14 @@ func (d *Dataset) CloseRemote() error {
 	return d.remote.Close()
 }
 
-// snapshotTable returns the current points and version. The returned slice
-// is a stable prefix view: appends never mutate already-registered points,
-// so a running job keeps a consistent dataset while ingest continues.
-func (d *Dataset) snapshotTable() ([]metric.Point, int) {
+// snapshotTable returns a stable view of the current points and the
+// version it represents. Appends add chunks past the view's horizon and
+// never mutate sealed chunks, so a running job keeps a consistent dataset
+// while ingest continues — without copying a single point.
+func (d *Dataset) snapshotTable() (TableView, int) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.pts[:len(d.pts):len(d.pts)], d.version
+	return TableView{chunks: d.chunks[:len(d.chunks):len(d.chunks)], n: d.n}, d.version
 }
 
 // DatasetInfo is the JSON summary of a dataset.
@@ -144,8 +197,9 @@ type DatasetInfo struct {
 	Ingested     int `json:"ingested,omitempty"`
 	SummarySize  int `json:"summary_size,omitempty"`
 	Compressions int `json:"compressions,omitempty"`
-	// Remote-only: connected site daemons.
-	Sites int `json:"sites,omitempty"`
+	// Remote-only: connected site daemons and independent site groups.
+	Sites  int `json:"sites,omitempty"`
+	Groups int `json:"groups,omitempty"`
 	// Uncertain-only: registered nodes and ground-set size.
 	Nodes        int `json:"nodes,omitempty"`
 	GroundPoints int `json:"ground_points,omitempty"`
@@ -162,10 +216,8 @@ func (d *Dataset) Info() DatasetInfo {
 	info.CacheHits, info.CacheMisses = d.stats.Snapshot()
 	switch d.kind {
 	case KindTable:
-		info.Points = len(d.pts)
-		if len(d.pts) > 0 {
-			info.Dim = d.pts[0].Dim()
-		}
+		info.Points = d.n
+		info.Dim = d.dim
 	case KindStream:
 		info.Ingested = d.sketch.N()
 		info.SummarySize = d.sketch.Size()
@@ -174,6 +226,7 @@ func (d *Dataset) Info() DatasetInfo {
 		info.Dim = d.dim
 	case KindRemote:
 		info.Sites = d.remoteSites
+		info.Groups = len(d.remoteGroups)
 	case KindUncertain:
 		// Points stays zero: nodes are not points, and the ground-set
 		// size is reported unambiguously as GroundPoints.
@@ -184,39 +237,108 @@ func (d *Dataset) Info() DatasetInfo {
 	return info
 }
 
-// Registry holds the named datasets and the shared cache pool.
+// segment is one goroutine-contended slice of the registry namespace: the
+// datasets whose names hash here, behind this segment's own lock.
+type segment struct {
+	mu sync.RWMutex
+	ds map[string]*Dataset
+}
+
+// DefaultRegistrySegments is the segment count NewRegistry uses. Sixteen
+// segments keep cross-core cache-line traffic low at the concurrency the
+// scheduler actually produces; the loadgen storage benchmark measures the
+// return of more.
+const DefaultRegistrySegments = 16
+
+// Registry holds the named datasets across hash segments, plus the shared
+// cache pool and the spill/restore state for warm triangles.
 type Registry struct {
-	mu       sync.RWMutex
-	ds       map[string]*Dataset
+	segs     []*segment
 	pool     *metric.CachePool
-	versions int // monotonic dataset-version source (guarded by mu)
+	versions atomic.Int64 // monotonic dataset-version source
+
+	// spill state: triangles loaded from disk waiting for a matching shard
+	// (keyed by content hash), the key→hash record of caches built this
+	// process life (what SaveSpill walks), and the restored-cell counter
+	// /metrics exposes. All of it is inert until spillOn — a registry
+	// without a cache directory neither hashes shards nor records keys.
+	spillMu  sync.Mutex
+	spillOn  bool
+	spilled  map[spillKey]spilledCells
+	hashes   map[string]uint64 // pool key -> content hash of its shard
+	restored atomic.Int64
+}
+
+// spillKey identifies a spilled triangle by content, not by name: names
+// and registry versions do not survive a restart, identical shard bytes
+// do.
+type spillKey struct {
+	hash uint64
+	n    int
+}
+
+// spilledCells is one staged triangle plus how many server lives it has
+// been carried through without being re-adopted (expiry input).
+type spilledCells struct {
+	cells []uint64
+	age   uint32
 }
 
 // nextVersion hands out a registry-unique dataset version.
 func (r *Registry) nextVersion() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.versions++
-	return r.versions
+	return int(r.versions.Add(1))
 }
 
 // NewRegistry creates an empty registry whose cache pool is bounded by
-// maxCacheBytes (<= 0 means the pool default).
+// maxCacheBytes (<= 0 means the pool default), with the default segment
+// count.
 func NewRegistry(maxCacheBytes int64) *Registry {
-	return &Registry{
-		ds:   make(map[string]*Dataset),
-		pool: metric.NewCachePool(maxCacheBytes),
+	return NewRegistrySharded(maxCacheBytes, 0)
+}
+
+// NewRegistrySharded is NewRegistry with an explicit segment count
+// (<= 0 means DefaultRegistrySegments). More segments admit more
+// concurrent registry mutations before lock contention shows; the
+// per-dataset locks below the segment are unaffected.
+func NewRegistrySharded(maxCacheBytes int64, segments int) *Registry {
+	if segments <= 0 {
+		segments = DefaultRegistrySegments
 	}
+	segs := make([]*segment, segments)
+	for i := range segs {
+		segs[i] = &segment{ds: make(map[string]*Dataset)}
+	}
+	return &Registry{
+		segs:    segs,
+		pool:    metric.NewCachePool(maxCacheBytes),
+		spilled: make(map[spillKey]spilledCells),
+		hashes:  make(map[string]uint64),
+	}
+}
+
+// Segments returns the segment count (metrics/testing).
+func (r *Registry) Segments() int { return len(r.segs) }
+
+// seg returns the segment owning name.
+func (r *Registry) seg(name string) *segment {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return r.segs[h.Sum32()%uint32(len(r.segs))]
 }
 
 // Pool returns the shared cache pool (metrics/testing).
 func (r *Registry) Pool() *metric.CachePool { return r.pool }
 
+// RestoredCells reports how many distance-cache cells have been restored
+// from spilled warm triangles this process life.
+func (r *Registry) RestoredCells() int64 { return r.restored.Load() }
+
 // Get returns the named dataset.
 func (r *Registry) Get(name string) (*Dataset, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.ds[name]
+	s := r.seg(name)
+	s.mu.RLock()
+	d, ok := s.ds[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("serve: dataset %q: %w", name, ErrDatasetNotFound)
 	}
@@ -225,20 +347,31 @@ func (r *Registry) Get(name string) (*Dataset, error) {
 
 // List returns summaries of every dataset, sorted by name.
 func (r *Registry) List() []DatasetInfo {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.ds))
-	for n := range r.ds {
-		names = append(names, n)
-	}
-	r.mu.RUnlock()
-	sort.Strings(names)
-	infos := make([]DatasetInfo, 0, len(names))
-	for _, n := range names {
-		if d, err := r.Get(n); err == nil {
-			infos = append(infos, d.Info())
+	var all []*Dataset
+	for _, s := range r.segs {
+		s.mu.RLock()
+		for _, d := range s.ds {
+			all = append(all, d)
 		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	infos := make([]DatasetInfo, len(all))
+	for i, d := range all {
+		infos[i] = d.Info()
 	}
 	return infos
+}
+
+// Count returns the number of registered datasets (metrics).
+func (r *Registry) Count() int {
+	n := 0
+	for _, s := range r.segs {
+		s.mu.RLock()
+		n += len(s.ds)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Delete removes the named dataset and reclaims its pooled shard caches
@@ -246,34 +379,38 @@ func (r *Registry) List() []DatasetInfo {
 // datasets are not deletable over the API (their connections belong to the
 // server process).
 func (r *Registry) Delete(name string) error {
-	r.mu.Lock()
-	d, ok := r.ds[name]
+	s := r.seg(name)
+	s.mu.Lock()
+	d, ok := s.ds[name]
 	if !ok {
-		r.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("serve: dataset %q: %w", name, ErrDatasetNotFound)
 	}
 	if d.kind == KindRemote {
-		r.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("serve: dataset %q is remote and cannot be deleted over the API", name)
 	}
-	delete(r.ds, name)
-	r.mu.Unlock()
+	delete(s.ds, name)
+	s.mu.Unlock()
 	r.pool.InvalidatePrefix(name + "@v")
+	r.forgetHashes(name + "@v")
 	return nil
 }
 
 // register inserts d, rejecting duplicate names.
 func (r *Registry) register(d *Dataset) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.ds[d.name]; ok {
+	s := r.seg(d.name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ds[d.name]; ok {
 		return fmt.Errorf("serve: dataset %q: %w", d.name, ErrDatasetExists)
 	}
-	r.ds[d.name] = d
+	s.ds[d.name] = d
 	return nil
 }
 
-// RegisterTable registers a table dataset holding pts.
+// RegisterTable registers a table dataset holding pts. The registry takes
+// ownership of pts (it becomes the first storage chunk; no copy).
 func (r *Registry) RegisterTable(name string, pts []metric.Point) (*Dataset, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
@@ -284,7 +421,9 @@ func (r *Registry) RegisterTable(name string, pts []metric.Point) (*Dataset, err
 	if err := validatePoints(pts, pts[0].Dim()); err != nil {
 		return nil, err
 	}
-	d := &Dataset{name: name, kind: KindTable, pts: pts, version: r.nextVersion(), dim: pts[0].Dim()}
+	d := &Dataset{name: name, kind: KindTable,
+		chunks: [][]metric.Point{pts[:len(pts):len(pts)]}, n: len(pts),
+		version: r.nextVersion(), dim: pts[0].Dim()}
 	if err := r.register(d); err != nil {
 		return nil, err
 	}
@@ -341,8 +480,9 @@ func (r *Registry) RegisterUncertain(name string, g *uncertain.Ground, nodes []u
 }
 
 // RegisterRemote registers a remote dataset served by sites connected on
-// coord. The server (not the HTTP API) owns the connections; the registry
-// serializes jobs over them.
+// coord — its first (and possibly only) site group. The server (not the
+// HTTP API) owns the connections; the registry serializes jobs over them.
+// AddRemoteGroup attaches further groups later.
 func (r *Registry) RegisterRemote(name string, coord *transport.Coordinator) (*Dataset, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
@@ -350,17 +490,53 @@ func (r *Registry) RegisterRemote(name string, coord *transport.Coordinator) (*D
 	if coord == nil || coord.Sites() == 0 {
 		return nil, fmt.Errorf("serve: remote dataset %q has no sites", name)
 	}
-	d := &Dataset{name: name, kind: KindRemote, remote: coord, remoteSites: coord.Sites(), version: r.nextVersion()}
+	d := &Dataset{name: name, kind: KindRemote, remote: coord,
+		remoteGroups: []*transport.Coordinator{coord},
+		remoteSites:  coord.Sites(), version: r.nextVersion()}
 	if err := r.register(d); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// Append adds points to a table (extending it and bumping the version, so
-// future jobs see the grown dataset and stale shard caches age out) or
-// feeds them to a stream sketch. Remote datasets ingest at the sites, not
-// through the server.
+// AddRemoteGroup attaches another connected site group to an existing
+// remote dataset, so one dataset's jobs fan out over several independent
+// site fleets at once. Global site numbering concatenates the groups in
+// attachment order; for bit-parity with a single-fleet run of the same
+// shards, the daemons' -site ids must be globally unique across groups
+// (per-site solver seeds derive from them). The swap takes the job lock,
+// so a protocol run in flight finishes on the old group set.
+func (r *Registry) AddRemoteGroup(name string, coord *transport.Coordinator) error {
+	if coord == nil || coord.Sites() == 0 {
+		return fmt.Errorf("serve: remote group for %q has no sites", name)
+	}
+	d, err := r.Get(name)
+	if err != nil {
+		return err
+	}
+	if d.kind != KindRemote {
+		return fmt.Errorf("serve: dataset %q is %s, not remote", name, d.kind)
+	}
+	d.jobMu.Lock()
+	defer d.jobMu.Unlock()
+	groups := append(append([]*transport.Coordinator(nil), d.remoteGroups...), coord)
+	multi, err := transport.NewMulti(groups...)
+	if err != nil {
+		return fmt.Errorf("serve: dataset %q: %w", name, err)
+	}
+	d.mu.Lock()
+	d.remoteGroups = groups
+	d.remote = multi
+	d.remoteSites = multi.Sites()
+	d.version = r.nextVersion()
+	d.mu.Unlock()
+	return nil
+}
+
+// Append adds points to a table (sealing them as a new storage chunk and
+// bumping the version, so future jobs see the grown dataset and stale
+// shard caches age out) or feeds them to a stream sketch. Remote datasets
+// ingest at the sites, not through the server.
 func (r *Registry) Append(name string, pts []metric.Point) (DatasetInfo, error) {
 	d, err := r.Get(name)
 	if err != nil {
@@ -385,12 +561,12 @@ func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
 		if err := validatePoints(pts, d.dim); err != nil {
 			return fmt.Errorf("serve: append to %q: %w", d.name, err)
 		}
-		// Copy-on-append: running jobs hold snapshots of the old backing
-		// array; never grow it in place beyond their view.
-		grown := make([]metric.Point, 0, len(d.pts)+len(pts))
-		grown = append(grown, d.pts...)
-		grown = append(grown, pts...)
-		d.pts = grown
+		// Seal the appended points as one new chunk: sealed chunks are
+		// immutable, running jobs hold chunk-list snapshots capped at their
+		// length, and nothing is ever copied — append cost is O(appended),
+		// not O(table).
+		d.chunks = append(d.chunks, pts[:len(pts):len(pts)])
+		d.n += len(pts)
 		d.version = r.nextVersion()
 	case KindStream:
 		// The sketch distance code assumes one dimension; pin it on first

@@ -34,6 +34,18 @@ type Config struct {
 	// MaxJobs bounds how many finished jobs are retained for GET (oldest
 	// finished jobs are pruned first). 0 means 4096.
 	MaxJobs int
+	// RegistryShards sets the dataset registry's segment count (0 means
+	// serve.DefaultRegistrySegments; 1 degenerates to a single-lock
+	// namespace — the measured baseline of cmd/dpc-loadgen).
+	RegistryShards int
+	// CacheDir, when set, enables warm-triangle spill/restore: filled
+	// distance-cache cells persist there on Shutdown and are restored
+	// (bit-identical, content-addressed) on the next start.
+	CacheDir string
+	// WarmOnRegister prefills every table dataset's shard caches in the
+	// background after registration, on the scheduler's spare capacity.
+	// Individual registrations can opt in with ?warm=true regardless.
+	WarmOnRegister bool
 }
 
 func (c Config) withDefaults() Config {
@@ -59,28 +71,52 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// warm is the background-warmup accounting; warmCtx parents every
+	// warmup task so a drain preempts them before the pool closes.
+	warm       warmupState
+	warmCtx    context.Context
+	warmCancel context.CancelFunc
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing and pruning
 	seq      int
 	draining bool
 
+	spillOnce sync.Once
+
 	counters counters
 }
 
-// New creates a Server ready to accept requests.
+// New creates a Server ready to accept requests. A configured CacheDir is
+// read eagerly: spilled warm triangles stage for adoption before the first
+// dataset registers (a missing file is fine; a corrupt one logs via the
+// returned server's metrics as zero restores rather than failing startup —
+// use NewChecked when the caller wants the error).
 func New(cfg Config) *Server {
+	s, _ := NewChecked(cfg)
+	return s
+}
+
+// NewChecked is New, surfacing spill-restore errors. The server is usable
+// even when the error is non-nil (it simply starts cold).
+func NewChecked(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxCacheBytes),
+		reg:   NewRegistrySharded(cfg.MaxCacheBytes, cfg.RegistryShards),
 		pool:  par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
 		start: time.Now(),
 	}
+	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
-	return s
+	var err error
+	if cfg.CacheDir != "" {
+		_, err = s.reg.LoadSpill(cfg.CacheDir)
+	}
+	return s, err
 }
 
 // Registry exposes the dataset registry (cmd/dpc-server registers remote
@@ -108,6 +144,13 @@ const shutdownGrace = 5 * time.Second
 // grace: a solve stuck in a non-preemptible section is abandoned to the
 // process exit rather than blocking the shutdown indefinitely).
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Preempt background warmups first: they run on the same pool the
+	// drain below waits for, and their half-filled caches spill just fine.
+	s.warmCancel()
+	// Whatever else happens, filled triangles spill exactly once on the
+	// way out (SnapshotCells is atomic, so even an overstaying solve
+	// cannot corrupt the spill).
+	defer s.spillOnce.Do(s.spillCaches)
 	s.mu.Lock()
 	alreadyDraining := s.draining
 	s.draining = true
@@ -170,6 +213,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// spillCaches persists the registry's warm triangles to the configured
+// cache directory (no-op without one). Failures are recorded as a skipped
+// spill rather than failing the shutdown: the server is exiting either way
+// and the next start simply runs cold.
+func (s *Server) spillCaches() {
+	if s.cfg.CacheDir == "" {
+		return
+	}
+	s.reg.SaveSpill(s.cfg.CacheDir)
+}
+
+// WarmupStats snapshots the background-warmup progress (metrics/tests).
+func (s *Server) WarmupStats() WarmupStats { return s.warm.snapshot() }
+
+// warmDataset schedules a background prefill of a table dataset's shard
+// caches on the job scheduler. Best effort by design: a full queue skips
+// the warmup (jobs always win the capacity race), and a drain or eviction
+// preempts it mid-fill.
+func (s *Server) warmDataset(name string) {
+	err := s.pool.Submit(func() {
+		s.warm.started.Add(1)
+		defer s.warm.done.Add(1)
+		s.reg.WarmTable(s.warmCtx, name, 0, &s.warm.cellsDone, &s.warm.cellsTotal)
+	})
+	if err != nil {
+		s.warm.skipped.Add(1)
+	}
+}
+
+// wantWarm reports whether a successful table registration should kick a
+// background warmup: the per-request ?warm=true opt-in, or the server-wide
+// WarmOnRegister default (which ?warm=false overrides).
+func (s *Server) wantWarm(r *http.Request) bool {
+	switch r.URL.Query().Get("warm") {
+	case "true", "1":
+		return true
+	case "false", "0":
+		return false
+	}
+	return s.cfg.WarmOnRegister
 }
 
 // CancelJob cancels one job: a queued job fails immediately without
@@ -399,6 +484,9 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			registerError(w, err)
 			return
 		}
+		if d.Kind() == KindTable && s.wantWarm(r) {
+			s.warmDataset(d.Name())
+		}
 		writeJSON(w, http.StatusCreated, d.Info())
 		return
 	}
@@ -438,6 +526,9 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		registerError(w, err)
 		return
+	}
+	if d.Kind() == KindTable && s.wantWarm(r) {
+		s.warmDataset(d.Name())
 	}
 	writeJSON(w, http.StatusCreated, d.Info())
 }
@@ -745,6 +836,28 @@ func (s *Server) RegisterRemoteListener(name string, l *transport.Listener, site
 		return nil, err
 	}
 	return d, nil
+}
+
+// AddRemoteGroup accepts `sites` more persistent dpc-site connections on a
+// TCP listener bound to addr and attaches them to the named remote dataset
+// as an additional site group, so one dataset's jobs fan out over several
+// independent fleets (see Registry.AddRemoteGroup for the site-numbering
+// contract). Returns the bound listener address.
+func (s *Server) AddRemoteGroup(name, addr string, sites int) (string, error) {
+	l, err := transport.Listen(addr, sites)
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	coord, err := l.Accept(sites, []byte(transport.JobsHello))
+	if err != nil {
+		return "", err
+	}
+	if err := s.reg.AddRemoteGroup(name, coord); err != nil {
+		coord.Close()
+		return "", err
+	}
+	return l.Addr().String(), nil
 }
 
 // uptime reports seconds since start (metrics).

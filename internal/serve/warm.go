@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"dpc/internal/dataio"
+	"dpc/internal/metric"
+)
+
+// Warm triangles: background cache warmup and the spill/restore cycle.
+//
+// Warmup prefetches the pooled shard caches of a table dataset on the
+// scheduler's spare capacity, so the first job against fresh data no
+// longer pays the full O(n^2/s) metric cost inline. Spill persists every
+// filled triangle on shutdown and restore adopts them on the next start —
+// keyed by shard content hash, so the warmth survives renames, version
+// renumbering and re-registration, and never leaks across different data
+// (metric.HashPoints is exact).
+
+// SpillFile is the file name the registry reads and writes inside the
+// configured cache directory.
+const SpillFile = "warm-triangles.dpcspill"
+
+// maxSpillCarry bounds how many server lives a staged triangle survives
+// without being re-adopted before the spill cycle drops it: warmth should
+// outlast a couple of idle restarts, not accumulate dead datasets'
+// triangles forever.
+const maxSpillCarry = 3
+
+// maxHashRecords bounds the key→hash record: past it, keys whose caches
+// have left the pool (version churn, evictions) are pruned on the next
+// build, so a long server life with steady appends cannot grow the map
+// without bound.
+const maxHashRecords = 1024
+
+// adoptSpilled merges a spilled triangle into a freshly built shard cache
+// when the shard's content hash matches, and records the key→hash mapping
+// so SaveSpill can attribute the cache later. Called from the pool's build
+// path; the shard is hashed exactly once per cache build, and not at all
+// on a registry without a cache directory (spill disabled: nothing to
+// restore, nothing to save).
+func (r *Registry) adoptSpilled(key string, shard []metric.Point, dc *metric.DistCache) {
+	r.spillMu.Lock()
+	if !r.spillOn {
+		r.spillMu.Unlock()
+		return
+	}
+	r.spillMu.Unlock()
+
+	hash := metric.HashPoints(shard)
+	r.spillMu.Lock()
+	if len(r.hashes) >= maxHashRecords {
+		for k := range r.hashes {
+			if !r.pool.Has(k) {
+				delete(r.hashes, k)
+			}
+		}
+	}
+	r.hashes[key] = hash
+	sk := spillKey{hash: hash, n: len(shard)}
+	staged, ok := r.spilled[sk]
+	if ok {
+		// Adopt once: the cells now live in the pooled cache. A second
+		// build of the same content (after an eviction) rebuilds cold, like
+		// any other evicted cache.
+		delete(r.spilled, sk)
+	}
+	r.spillMu.Unlock()
+	if !ok {
+		return
+	}
+	if adopted, err := dc.AdoptCells(staged.cells); err == nil {
+		r.restored.Add(int64(adopted))
+	}
+}
+
+// forgetHashes drops key→hash records under a deleted dataset's key
+// prefix (the spill-side sibling of CachePool.InvalidatePrefix).
+func (r *Registry) forgetHashes(prefix string) {
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	for k := range r.hashes {
+		if strings.HasPrefix(k, prefix) {
+			delete(r.hashes, k)
+		}
+	}
+}
+
+// LoadSpill reads the spill file under dir (if present) and stages its
+// triangles for adoption by future shard-cache builds; it also arms the
+// whole spill cycle (hashing, key records, SaveSpill) for this registry.
+// Returns the number of staged entries; a missing file is not an error
+// (the cycle still arms), a corrupt one is.
+func (r *Registry) LoadSpill(dir string) (int, error) {
+	r.spillMu.Lock()
+	r.spillOn = true
+	r.spillMu.Unlock()
+	f, err := os.Open(filepath.Join(dir, SpillFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	entries, err := metric.ReadSpill(f)
+	if err != nil {
+		return 0, fmt.Errorf("serve: loading spill: %w", err)
+	}
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	staged := 0
+	for _, e := range entries {
+		if e.Kind != metric.SpillDist {
+			continue // the registry pools distance triangles only
+		}
+		r.spilled[spillKey{hash: e.Hash, n: e.N}] = spilledCells{cells: e.Cells, age: e.Age}
+		staged++
+	}
+	return staged, nil
+}
+
+// SaveSpill writes every pooled shard cache with at least one filled cell
+// to the spill file under dir (atomically: temp file + rename). Triangles
+// staged at load but never re-adopted are carried forward with their age
+// bumped, so a dataset that sits out a few server runs keeps its warmth —
+// but past maxSpillCarry idle lives they expire, so the file and the
+// staged memory cannot accumulate dead data forever. Returns the number
+// of entries written.
+func (r *Registry) SaveSpill(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var entries []metric.SpillEntry
+	seen := make(map[spillKey]bool)
+	for _, pe := range r.pool.Entries() {
+		r.spillMu.Lock()
+		hash, ok := r.hashes[pe.Key]
+		r.spillMu.Unlock()
+		if !ok || pe.DC.Filled() == 0 {
+			continue
+		}
+		k := spillKey{hash: hash, n: pe.DC.N()}
+		if seen[k] {
+			continue // identical content pooled under two keys: spill once
+		}
+		seen[k] = true
+		entries = append(entries, metric.SpillDistCache(pe.DC, hash))
+	}
+	r.spillMu.Lock()
+	for k, staged := range r.spilled {
+		if seen[k] || staged.age+1 > maxSpillCarry {
+			continue
+		}
+		seen[k] = true
+		entries = append(entries, metric.SpillEntry{
+			Kind: metric.SpillDist, Hash: k.hash, Age: staged.age + 1, N: k.n, Cells: staged.cells})
+	}
+	r.spillMu.Unlock()
+
+	tmp, err := os.CreateTemp(dir, SpillFile+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := metric.WriteSpill(tmp, entries); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, SpillFile)); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// WarmupStats is the background-warmup progress /metrics exposes.
+type WarmupStats struct {
+	Started    int64 // warmup tasks started
+	Done       int64 // warmup tasks finished (complete or preempted)
+	Skipped    int64 // warmups dropped because the scheduler queue was full
+	CellsDone  int64 // cells filled by warmups so far
+	CellsTotal int64 // cells targeted by warmups started so far
+}
+
+// warmupState is the server-side accounting behind WarmupStats.
+type warmupState struct {
+	started, done, skipped atomic.Int64
+	cellsDone, cellsTotal  atomic.Int64
+}
+
+func (w *warmupState) snapshot() WarmupStats {
+	return WarmupStats{
+		Started:    w.started.Load(),
+		Done:       w.done.Load(),
+		Skipped:    w.skipped.Load(),
+		CellsDone:  w.cellsDone.Load(),
+		CellsTotal: w.cellsTotal.Load(),
+	}
+}
+
+// WarmTable prefills the pooled shard caches of a table dataset at the
+// default job sharding, on at most `workers` goroutines. It stops early
+// when ctx is cancelled (server drain) or a shard's cache leaves the pool
+// (LRU eviction or dataset delete — no point warming an orphan). progress
+// and total, when non-nil, receive cells-filled / cells-targeted
+// accounting. Returns the number of cells filled by this call.
+func (r *Registry) WarmTable(ctx context.Context, name string, workers int, progress, total *atomic.Int64) (int, error) {
+	d, err := r.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != KindTable {
+		return 0, fmt.Errorf("serve: dataset %q is %s; warmup applies to table datasets", name, d.kind)
+	}
+	view, version := d.snapshotTable()
+	shards := dataio.SplitRoundRobin(view.Flatten(), DefaultJobSites)
+	caches := r.shardCaches(d, version, shards)
+	filled := 0
+	for i, dc := range caches {
+		if dc == nil {
+			continue // shard above the memoization limit
+		}
+		if total != nil {
+			// Target only the cells actually left to compute: a restored or
+			// already-queried cache contributes its remainder, so the
+			// done/total gauges converge instead of undercounting forever.
+			total.Add(dc.Bytes()/8 - int64(dc.Filled()))
+		}
+		key := shardKey(d.name, version, len(shards), i)
+		filled += dc.PrefillCtx(ctx, workers, func() bool { return r.pool.Has(key) }, progress)
+	}
+	return filled, nil
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Multi aggregates several coordinator connection groups into one logical
+// Transport: sites are numbered across the groups in order (group 0 holds
+// sites [0, g0), group 1 holds [g0, g0+g1), ...). The long-running server
+// uses it for remote datasets whose data lives behind more than one site
+// fleet at once — e.g. two dpc-site clusters accepted on different
+// listeners — so one protocol run fans out over all of them and the
+// coordinator sees a single flat site set.
+//
+// The round contract is preserved: Broadcast/Send forward to the owning
+// group with the same round number, and Gather drives every group's gather
+// concurrently, concatenating replies in group order so site numbering is
+// stable. Like any Transport, a Multi serves one protocol run at a time.
+type Multi struct {
+	groups []*Coordinator
+	offset []int // offset[g] = first global site index of group g
+	sites  int
+}
+
+// NewMulti combines coordinator groups into one Transport. At least one
+// non-empty group is required.
+func NewMulti(groups ...*Coordinator) (*Multi, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("transport: NewMulti with no groups")
+	}
+	m := &Multi{groups: groups, offset: make([]int, len(groups))}
+	for g, c := range groups {
+		if c == nil || c.Sites() == 0 {
+			return nil, fmt.Errorf("transport: multi group %d is empty", g)
+		}
+		m.offset[g] = m.sites
+		m.sites += c.Sites()
+	}
+	return m, nil
+}
+
+// Sites implements Transport.
+func (m *Multi) Sites() int { return m.sites }
+
+// Groups returns the number of underlying coordinator groups.
+func (m *Multi) Groups() int { return len(m.groups) }
+
+// locate maps a global site index to (group, site-within-group).
+func (m *Multi) locate(site int) (int, int, error) {
+	if site < 0 || site >= m.sites {
+		return 0, 0, fmt.Errorf("transport: site %d out of range [0, %d)", site, m.sites)
+	}
+	for g := len(m.groups) - 1; g >= 0; g-- {
+		if site >= m.offset[g] {
+			return g, site - m.offset[g], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("transport: site %d not owned by any group", site)
+}
+
+// Broadcast implements Transport: the same bytes go to every group.
+func (m *Multi) Broadcast(round int, b []byte) error {
+	for g, c := range m.groups {
+		if err := c.Broadcast(round, b); err != nil {
+			return fmt.Errorf("transport: multi group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Send implements Transport, routing to the group owning the site.
+func (m *Multi) Send(round, site int, b []byte) error {
+	g, local, err := m.locate(site)
+	if err != nil {
+		return err
+	}
+	return m.groups[g].Send(round, local, b)
+}
+
+// Gather implements Transport: every group's gather runs concurrently and
+// the replies concatenate in group order, so global site numbering is the
+// same on every round.
+func (m *Multi) Gather(ctx context.Context, round int) (RoundResult, error) {
+	type groupResult struct {
+		res RoundResult
+		err error
+	}
+	results := make([]groupResult, len(m.groups))
+	var wg sync.WaitGroup
+	for g := range m.groups {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := m.groups[g].Gather(ctx, round)
+			results[g] = groupResult{res: res, err: err}
+		}(g)
+	}
+	wg.Wait()
+	out := RoundResult{Payloads: make([][]byte, 0, m.sites)}
+	for g, r := range results {
+		if r.err != nil {
+			return RoundResult{}, fmt.Errorf("transport: multi group %d: %w", g, r.err)
+		}
+		out.Payloads = append(out.Payloads, r.res.Payloads...)
+		out.Work = append(out.Work, r.res.Work...)
+	}
+	return out, nil
+}
+
+// StartJob re-arms every group's sites with the job frame (see
+// Coordinator.StartJob).
+func (m *Multi) StartJob(blob []byte) error {
+	for g, c := range m.groups {
+		if err := c.StartJob(blob); err != nil {
+			return fmt.Errorf("transport: multi group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every group, returning the first error but closing all.
+func (m *Multi) Close() error {
+	var first error
+	for _, c := range m.groups {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

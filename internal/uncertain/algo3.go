@@ -361,6 +361,9 @@ func Run(g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
 // site computations and returns ctx.Err() promptly.
 func RunCtx(ctx context.Context, g *Ground, sites [][]Node, cfg Config, obj Objective) (Result, error) {
 	cfg = cfg.withDefaults()
+	// Preemption reaches inside the k-median solves behind the collapsed
+	// instances, not just between protocol rounds.
+	cfg.LocalOpts.Ctx = ctx
 	if len(sites) == 0 {
 		return Result{}, fmt.Errorf("uncertain: no sites")
 	}

@@ -304,6 +304,9 @@ func RunCenterG(g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, er
 // protocol between site computations and returns ctx.Err() promptly.
 func RunCenterGCtx(ctx context.Context, g *Ground, sites [][]Node, cfg CenterGConfig) (CenterGResult, error) {
 	cfg = cfg.withDefaults()
+	// As in core.RunCtx: the truncated-oracle solves inherit ctx so a
+	// cancelled run stops mid-solve, not just at the next gather.
+	cfg.LocalOpts.Ctx = ctx
 	s := len(sites)
 	if s == 0 {
 		return CenterGResult{}, fmt.Errorf("uncertain: no sites")

@@ -5,9 +5,12 @@
 # data, a repeated job must be served from the warm shared distance cache,
 # and /metrics must report the job counters. One curl call remains to pin
 # the raw wire format (JSON envelope, stable machine-readable error codes)
-# independently of the Go client. Finally, SIGTERM must drain the server
-# cleanly. CI runs this as the server-smoke job; it also runs locally:
-# ./scripts/server_smoke.sh
+# independently of the Go client. SIGTERM must drain the server cleanly.
+# Finally the warm-restore cycle: a server started with -cache-dir spills
+# its warm distance triangles on SIGTERM, and after a restart the first job
+# against the same data must report nonzero cache hits (restored cells, not
+# recomputation). CI runs this as the server-smoke job; it also runs
+# locally: ./scripts/server_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,7 +23,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build"
-go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-smoke
+go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-smoke ./cmd/dpc-datagen
 
 ADDR=127.0.0.1:18080
 BASE="http://$ADDR"
@@ -60,5 +63,67 @@ wait "$server_pid" 2>/dev/null || rc=$?
 [ "${rc:-0}" = "0" ] || { echo "MISMATCH: drain exited with $rc"; exit 1; }
 server_pid=""
 echo "   drained cleanly"
+
+# --- warm-restore cycle: spill on shutdown, restore on restart ----------
+
+CACHE_DIR="$workdir/cache"
+"$workdir/bin/dpc-datagen" -n 400 -k 3 -seed 9 -out "$workdir/warm.csv"
+
+wait_healthy() {
+  for i in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server never became healthy"; exit 1
+}
+
+# run_job NAME: submit a k-median job against NAME, poll to completion,
+# and print the finished job JSON.
+run_job() {
+  local id body
+  id=$(curl -sf -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"$1\",\"k\":3,\"t\":15,\"seed\":4}" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(job[^"]*\)".*/\1/')
+  [ -n "$id" ] || { echo "job submission returned no id"; exit 1; }
+  for i in $(seq 1 100); do
+    body=$(curl -sf "$BASE/v1/jobs/$id")
+    case "$body" in
+      *'"status": "done"'*) echo "$body"; return 0 ;;
+      *'"status": "failed"'*|*'"status": "canceled"'*) echo "job $id failed: $body"; exit 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "job $id never finished"; exit 1
+}
+
+echo "== warm-restore: first server life (fills + spills)"
+"$workdir/bin/dpc-server" -listen "$ADDR" -cache-dir "$CACHE_DIR" &
+server_pid=$!
+wait_healthy
+curl -sf -X POST "$BASE/v1/datasets?name=warmset" -H 'Content-Type: text/csv' \
+  --data-binary @"$workdir/warm.csv" >/dev/null
+cold_job=$(run_job warmset)
+cold_misses=$(echo "$cold_job" | grep -o '"cache_misses": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+[ "${cold_misses:-0}" -gt 0 ] || { echo "MISMATCH: cold job computed no distances"; exit 1; }
+kill -TERM "$server_pid"; wait "$server_pid" 2>/dev/null || true
+server_pid=""
+[ -f "$CACHE_DIR/warm-triangles.dpcspill" ] || { echo "MISMATCH: no spill file after SIGTERM"; exit 1; }
+echo "   spilled warm triangles ($cold_misses cold misses)"
+
+echo "== warm-restore: second server life (restores)"
+"$workdir/bin/dpc-server" -listen "$ADDR" -cache-dir "$CACHE_DIR" &
+server_pid=$!
+wait_healthy
+curl -sf -X POST "$BASE/v1/datasets?name=warmset" -H 'Content-Type: text/csv' \
+  --data-binary @"$workdir/warm.csv" >/dev/null
+warm_job=$(run_job warmset)
+warm_hits=$(echo "$warm_job" | grep -o '"cache_hits": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+warm_misses=$(echo "$warm_job" | grep -o '"cache_misses": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+[ "${warm_hits:-0}" -gt 0 ] || { echo "MISMATCH: first job after restart hit no restored cells"; exit 1; }
+[ "${warm_misses:-0}" -lt "$cold_misses" ] || { echo "MISMATCH: restart recomputed as much as cold ($warm_misses vs $cold_misses)"; exit 1; }
+restored=$(curl -sf "$BASE/metrics" | grep '^dpc_cache_restored_cells_total' | grep -o '[0-9]*$')
+[ "${restored:-0}" -gt 0 ] || { echo "MISMATCH: /metrics reports zero restored cells"; exit 1; }
+echo "   restored $restored cells; first job: $warm_hits hits, $warm_misses misses (cold: $cold_misses)"
+kill -TERM "$server_pid"; wait "$server_pid" 2>/dev/null || true
+server_pid=""
 
 echo "server smoke: OK"
