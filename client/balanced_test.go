@@ -1,0 +1,247 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dpc/internal/gen"
+	"dpc/internal/serve"
+)
+
+// replicaFleet is an in-process stand-in for N dpc-server replicas, each
+// individually killable (its HTTP listener closes; in-flight solves are
+// abandoned, exactly like a kill -9 as seen from the client).
+type replicaFleet struct {
+	servers []*serve.Server
+	https   []*httptest.Server
+	urls    []string
+}
+
+func newFleet(t *testing.T, n int, cfg serve.Config) *replicaFleet {
+	t.Helper()
+	f := &replicaFleet{}
+	for i := 0; i < n; i++ {
+		s := serve.New(cfg)
+		hs := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, hs)
+		f.urls = append(f.urls, hs.URL)
+	}
+	t.Cleanup(func() {
+		for i := range f.https {
+			f.https[i].Close()
+			f.servers[i].Close()
+		}
+	})
+	return f
+}
+
+// kill closes replica i's listener: every subsequent request to it fails
+// at the transport level.
+func (f *replicaFleet) kill(i int) {
+	f.https[i].CloseClientConnections()
+	f.https[i].Close()
+}
+
+// TestBalancedMatchesLocal is the balanced backend's round-trip test: a
+// registered dataset solved through the fleet returns byte-identical
+// centers to the Local backend, tagged with the serving replica.
+func TestBalancedMatchesLocal(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 240, K: 3, OutlierFrac: 0.05, Seed: 21})
+	f := newFleet(t, 3, serve.Config{})
+	b, err := NewBalanced(f.urls, BalancedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	if err := b.RegisterDataset(ctx, "points", in.Pts); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Objective: Median, K: 3, T: 12, Sites: 4, Seed: 3, Dataset: "points"}
+	res, err := b.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lreq := req
+	lreq.Dataset, lreq.Points = "", in.Pts
+	rl, err := NewLocal().Do(ctx, lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, res.Centers, rl.Centers, "balanced vs local")
+	if res.Backend != "balanced" {
+		t.Fatalf("backend = %q, want balanced", res.Backend)
+	}
+	found := false
+	for _, u := range f.urls {
+		if res.Replica == u {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replica %q is not a fleet URL", res.Replica)
+	}
+	st := b.Stats()
+	if st.Retries != 0 || st.Resubmissions != 0 {
+		t.Fatalf("healthy fleet produced retries: %+v", st)
+	}
+	if st.PerReplica[res.Replica] != 1 {
+		t.Fatalf("per-replica count = %+v, want 1 for %s", st.PerReplica, res.Replica)
+	}
+}
+
+// TestBalancedFailsOverToHolder kills the primary replica of a dataset;
+// the job must complete on the surviving holder with one ring retry and
+// the same centers.
+func TestBalancedFailsOverToHolder(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 240, K: 3, OutlierFrac: 0.05, Seed: 22})
+	f := newFleet(t, 3, serve.Config{})
+	b, err := NewBalanced(f.urls, BalancedOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	if err := b.RegisterDataset(ctx, "points", in.Pts); err != nil {
+		t.Fatal(err)
+	}
+	primary := b.primary("points")
+	f.kill(primary)
+	req := Request{Objective: Median, K: 3, T: 12, Sites: 4, Seed: 3, Dataset: "points"}
+	res, err := b.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("failover Do: %v", err)
+	}
+	if res.Replica == f.urls[primary] {
+		t.Fatalf("job reportedly served by the killed primary %s", res.Replica)
+	}
+	lreq := req
+	lreq.Dataset, lreq.Points = "", in.Pts
+	rl, err := NewLocal().Do(ctx, lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, res.Centers, rl.Centers, "failover vs local")
+	if st := b.Stats(); st.Retries < 1 {
+		t.Fatalf("failover recorded no retries: %+v", st)
+	}
+}
+
+// TestBalancedReregistersOnNonHolder kills the dataset's entire holder
+// set; the job must land on a replica that never saw the dataset, which
+// the client brings up to date from its retained registration.
+func TestBalancedReregistersOnNonHolder(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 240, K: 3, OutlierFrac: 0.05, Seed: 23})
+	f := newFleet(t, 3, serve.Config{})
+	b, err := NewBalanced(f.urls, BalancedOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	if err := b.RegisterDataset(ctx, "points", in.Pts); err != nil {
+		t.Fatal(err)
+	}
+	holders := b.holders("points")
+	for _, idx := range holders {
+		f.kill(idx)
+	}
+	req := Request{Objective: Median, K: 3, T: 12, Sites: 4, Seed: 3, Dataset: "points"}
+	res, err := b.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("non-holder failover Do: %v", err)
+	}
+	for _, idx := range holders {
+		if res.Replica == f.urls[idx] {
+			t.Fatalf("job reportedly served by killed holder %s", res.Replica)
+		}
+	}
+	lreq := req
+	lreq.Dataset, lreq.Points = "", in.Pts
+	rl, err := NewLocal().Do(ctx, lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, res.Centers, rl.Centers, "re-registered vs local")
+	st := b.Stats()
+	if st.Reregistrations < 1 {
+		t.Fatalf("no re-registration recorded: %+v", st)
+	}
+	if st.Retries < 2 {
+		t.Fatalf("expected >= 2 ring retries past dead holders: %+v", st)
+	}
+}
+
+// TestBalancedResubmitsInFlightJob kills the replica that accepted a job
+// while the job is still solving; the client must notice the lost poll,
+// resubmit to a survivor, and return centers identical to Local.
+func TestBalancedResubmitsInFlightJob(t *testing.T) {
+	in := cancelInstance() // sized to solve far slower than the kill delay
+	f := newFleet(t, 3, serve.Config{})
+	b, err := NewBalanced(f.urls, BalancedOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	if err := b.RegisterDataset(ctx, "big", in.Pts); err != nil {
+		t.Fatal(err)
+	}
+	primary := b.primary("big")
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		f.kill(primary)
+	}()
+	req := Request{Objective: Median, K: 4, T: 120, Sites: 2, Seed: 1, Dataset: "big"}
+	res, err := b.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmission Do: %v", err)
+	}
+	if res.Replica == f.urls[primary] {
+		t.Fatalf("job reportedly served by the killed replica %s", res.Replica)
+	}
+	st := b.Stats()
+	if st.Resubmissions != 1 {
+		t.Fatalf("resubmissions = %d, want 1 (%+v)", st.Resubmissions, st)
+	}
+	lreq := req
+	lreq.Dataset, lreq.Points = "", in.Pts
+	rl, err := NewLocal().Do(ctx, lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, res.Centers, rl.Centers, "resubmitted vs local")
+}
+
+// TestBalancedNeverRetriesQuota pins the admission-control contract: a
+// 429 quota_exceeded is the fleet's answer, not an outage, and must
+// surface immediately instead of hammering the next replica.
+func TestBalancedNeverRetriesQuota(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 120, K: 2, OutlierFrac: 0.05, Seed: 24})
+	f := newFleet(t, 3, serve.Config{QuotaBurst: 1, QuotaPerSec: 0.001})
+	b, err := NewBalanced(f.urls, BalancedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	if err := b.RegisterDataset(ctx, "points", in.Pts); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Objective: Median, K: 2, T: 6, Sites: 2, Seed: 1, Dataset: "points", Client: "alice"}
+	if _, err := b.Do(ctx, req); err != nil {
+		t.Fatalf("first job within quota failed: %v", err)
+	}
+	_, err = b.Do(ctx, req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != serve.CodeQuotaExceeded {
+		t.Fatalf("over-quota job returned %v, want code quota_exceeded", err)
+	}
+	if st := b.Stats(); st.Retries != 0 {
+		t.Fatalf("quota rejection was retried: %+v", st)
+	}
+}

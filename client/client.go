@@ -98,6 +98,16 @@ type Request struct {
 	// dataset for the duration of the call.
 	Dataset string `json:"dataset,omitempty" usage:"named dpc-server dataset (remote backend)"`
 
+	// Admission-control knobs for the server backends (Remote, Balanced);
+	// Local and Cluster ignore them. Client names the caller for the
+	// server's per-client token quotas; Priority is high | normal | low
+	// (default normal); QueueTimeoutMS bounds how long the job may wait in
+	// the queue before the server fails it with queue_deadline_exceeded
+	// (0 = the server's default).
+	Client         string `json:"client,omitempty" usage:"client name for server-side quotas (remote backend)"`
+	Priority       string `json:"priority,omitempty" usage:"scheduling class: high | normal | low (remote backend)"`
+	QueueTimeoutMS int    `json:"queue_timeout_ms,omitempty" usage:"max queue wait in ms before the server fails the job (remote backend)"`
+
 	// In-memory data sources (Local shards them; Remote uploads them when
 	// Dataset is empty; Cluster uses site-held data instead, consulting
 	// only Ground/Nodes for coordinator-side knowledge and evaluation).
@@ -111,18 +121,21 @@ type Request struct {
 // cannot drift apart.
 func (r Request) spec() serve.JobSpec {
 	return serve.JobSpec{
-		Dataset:     r.Dataset,
-		K:           r.K,
-		T:           r.T,
-		Objective:   r.Objective,
-		Variant:     r.Variant,
-		Sites:       r.Sites,
-		Eps:         r.Eps,
-		Seed:        r.Seed,
-		Workers:     r.Workers,
-		Engine:      r.Engine,
-		NoCache:     r.NoCache,
-		LloydPolish: r.LloydPolish,
+		Dataset:        r.Dataset,
+		K:              r.K,
+		T:              r.T,
+		Objective:      r.Objective,
+		Variant:        r.Variant,
+		Sites:          r.Sites,
+		Eps:            r.Eps,
+		Seed:           r.Seed,
+		Workers:        r.Workers,
+		Engine:         r.Engine,
+		NoCache:        r.NoCache,
+		LloydPolish:    r.LloydPolish,
+		Client:         r.Client,
+		Priority:       r.Priority,
+		QueueTimeoutMS: r.QueueTimeoutMS,
 	}
 }
 
@@ -163,9 +176,12 @@ type Response struct {
 	// witness; zero otherwise).
 	Tau float64 `json:"tau,omitempty"`
 	// Backend records which backend produced the response ("local",
-	// "cluster", "remote"); JobID is the server job for remote runs.
+	// "cluster", "remote", "balanced"); JobID is the server job for remote
+	// runs. Replica is the base URL of the dpc-server replica that served
+	// a balanced run (empty elsewhere).
 	Backend string `json:"backend,omitempty"`
 	JobID   string `json:"job_id,omitempty"`
+	Replica string `json:"replica,omitempty"`
 }
 
 // Client executes Requests. Implementations: Local (in-process), Cluster

@@ -31,10 +31,15 @@ func (e *APIError) Error() string {
 }
 
 // JobFailedError reports a job that reached a terminal failure state on
-// the server.
+// the server. Code carries the server's stable machine-readable error
+// code (serve.Code*) when the failure has one — e.g.
+// "queue_deadline_exceeded" for a job that aged out of the queue, or
+// "shutting_down" for one drained by a server exit. Callers switch on
+// Code, never on Message.
 type JobFailedError struct {
 	JobID   string
 	Status  string
+	Code    string
 	Message string
 }
 
@@ -275,7 +280,7 @@ func (r *Remote) Wait(ctx context.Context, id string) (serve.Job, error) {
 		case serve.StatusDone:
 			return job, nil
 		case serve.StatusFailed, serve.StatusCanceled:
-			return serve.Job{}, &JobFailedError{JobID: id, Status: job.Status, Message: job.Error}
+			return serve.Job{}, &JobFailedError{JobID: id, Status: job.Status, Code: job.ErrorCode, Message: job.Error}
 		}
 		if err := sleep(ctx, r.opt.PollInterval); err != nil {
 			r.cancelOnCtx(ctx, id, err)
@@ -351,9 +356,7 @@ func (r *Remote) Do(ctx context.Context, req Request) (*Response, error) {
 // registerEphemeral uploads the request's in-memory data as a
 // throwaway-named dataset; the returned cleanup deletes it best-effort.
 func (r *Remote) registerEphemeral(ctx context.Context, req Request, kind jobwire.Kind) (string, func(), error) {
-	var suffix [6]byte
-	rand.Read(suffix[:])
-	name := "client-" + hex.EncodeToString(suffix[:])
+	name := ephemeralName()
 	var err error
 	if kind == jobwire.KindPoint {
 		if len(req.Points) == 0 {
@@ -375,6 +378,13 @@ func (r *Remote) registerEphemeral(ctx context.Context, req Request, kind jobwir
 		r.DeleteDataset(bg, name)
 	}
 	return name, cleanup, nil
+}
+
+// ephemeralName generates a throwaway dataset name.
+func ephemeralName() string {
+	var suffix [6]byte
+	rand.Read(suffix[:])
+	return "client-" + hex.EncodeToString(suffix[:])
 }
 
 // pointRows converts points to JSON rows.

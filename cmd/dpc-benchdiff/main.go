@@ -116,7 +116,7 @@ func run(args []string, stdout io.Writer) error {
 // shared caches actually get hit, and a warmed first job beats a cold one.
 type serveArtifact struct {
 	Preset  string `json:"preset"`
-	Storage struct {
+	Storage *struct {
 		SingleLockOpsPS float64 `json:"single_lock_ops_per_s"`
 		ShardedOpsPS    float64 `json:"sharded_ops_per_s"`
 		Speedup         float64 `json:"speedup"`
@@ -131,6 +131,18 @@ type serveArtifact struct {
 		WarmJobMS      float64 `json:"warm_job_ms"`
 		WarmedFirstMS  float64 `json:"warmed_first_job_ms"`
 	} `json:"http"`
+	Replica *struct {
+		Scenario          string           `json:"scenario"`
+		Replicas          int              `json:"replicas"`
+		Jobs              int              `json:"jobs"`
+		Completed         int              `json:"completed"`
+		JobP50MS          float64          `json:"job_p50_ms"`
+		JobP99MS          float64          `json:"job_p99_ms"`
+		Retries           int64            `json:"retries"`
+		Resubmissions     int64            `json:"resubmissions"`
+		PerReplicaJobs    map[string]int64 `json:"per_replica_jobs"`
+		CentersMatchLocal bool             `json:"centers_match_local"`
+	} `json:"replica"`
 }
 
 // gateServe enforces the load-benchmark invariants.
@@ -143,11 +155,16 @@ func gateServe(path string, minSpeedup float64, stdout io.Writer) error {
 	if err := json.Unmarshal(raw, &a); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Fprintf(stdout, "serve[%s]: storage %.0f -> %.0f ops/s (%.2fx)\n",
-		a.Preset, a.Storage.SingleLockOpsPS, a.Storage.ShardedOpsPS, a.Storage.Speedup)
+	if a.Storage == nil && a.HTTP == nil && a.Replica == nil {
+		return fmt.Errorf("%s: no benchmark sections (not a dpc-loadgen artifact?)", path)
+	}
 	var fails []string
-	if a.Storage.Speedup < minSpeedup {
-		fails = append(fails, fmt.Sprintf("sharded registry speedup %.2fx below the %.2fx floor", a.Storage.Speedup, minSpeedup))
+	if a.Storage != nil {
+		fmt.Fprintf(stdout, "serve[%s]: storage %.0f -> %.0f ops/s (%.2fx)\n",
+			a.Preset, a.Storage.SingleLockOpsPS, a.Storage.ShardedOpsPS, a.Storage.Speedup)
+		if a.Storage.Speedup < minSpeedup {
+			fails = append(fails, fmt.Sprintf("sharded registry speedup %.2fx below the %.2fx floor", a.Storage.Speedup, minSpeedup))
+		}
 	}
 	if a.HTTP != nil {
 		fmt.Fprintf(stdout, "serve[%s]: register %.0f ops/s, append %.0f ops/s, job p50/p99 %.2f/%.2f ms\n",
@@ -159,6 +176,31 @@ func gateServe(path string, minSpeedup float64, stdout io.Writer) error {
 		}
 		if a.HTTP.WarmedFirstMS >= a.HTTP.ColdFirstJobMS {
 			fails = append(fails, fmt.Sprintf("warmed first job (%.2fms) not below cold (%.2fms); warmup/restore is not paying", a.HTTP.WarmedFirstMS, a.HTTP.ColdFirstJobMS))
+		}
+	}
+	if r := a.Replica; r != nil {
+		fmt.Fprintf(stdout, "serve[%s]: replica scenario %s: %d/%d jobs, p50/p99 %.2f/%.2f ms, %d retries, %d resubmissions\n",
+			a.Preset, r.Scenario, r.Completed, r.Jobs, r.JobP50MS, r.JobP99MS, r.Retries, r.Resubmissions)
+		if r.Jobs == 0 || r.Completed != r.Jobs {
+			fails = append(fails, fmt.Sprintf("replica run completed %d of %d jobs; a lost replica must never lose a job", r.Completed, r.Jobs))
+		}
+		if !r.CentersMatchLocal {
+			fails = append(fails, "replica run returned centers that differ from a Local solve of the same request")
+		}
+		if r.JobP99MS <= 0 {
+			fails = append(fails, "replica run recorded no p99 latency")
+		}
+		served := 0
+		for _, n := range r.PerReplicaJobs {
+			if n > 0 {
+				served++
+			}
+		}
+		if served < 2 {
+			fails = append(fails, fmt.Sprintf("only %d replica(s) served jobs; the balancer is not spreading load", served))
+		}
+		if r.Scenario == "killed_replica" && r.Resubmissions < 1 {
+			fails = append(fails, "killed_replica run recorded no resubmissions; the kill missed every in-flight job (kill earlier or run longer)")
 		}
 	}
 	if len(fails) > 0 {

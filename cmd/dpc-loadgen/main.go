@@ -13,6 +13,10 @@
 //	dpc-loadgen -preset quick -out BENCH_SERVE.json              # storage bench + self-hosted HTTP bench
 //	dpc-loadgen -preset quick -server http://127.0.0.1:8080 ...  # drive an externally started dpc-server
 //	dpc-loadgen -storage-only -out BENCH_SERVE.json              # registry comparison only
+//
+//	# drive a replica fleet through the balanced client (the CI replica
+//	# smoke kill -9s one of these mid-run and gates 100% completion):
+//	dpc-loadgen -replicas http://:8081,http://:8082,http://:8083 -scenario killed_replica -min-run 10s
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,12 +40,15 @@ import (
 	"dpc/internal/serve"
 )
 
-// Report is the BENCH_SERVE.json schema.
+// Report is the BENCH_SERVE.json schema. Exactly one of the benchmark
+// sections may be absent: -replicas runs skip the storage/single-server
+// phases and emit Replica instead.
 type Report struct {
-	Preset     string        `json:"preset"`
-	Goroutines int           `json:"goroutines"`
-	Storage    StorageReport `json:"storage"`
-	HTTP       *HTTPReport   `json:"http,omitempty"`
+	Preset     string         `json:"preset"`
+	Goroutines int            `json:"goroutines"`
+	Storage    *StorageReport `json:"storage,omitempty"`
+	HTTP       *HTTPReport    `json:"http,omitempty"`
+	Replica    *ReplicaReport `json:"replica,omitempty"`
 }
 
 // StorageReport compares the segmented registry against the single-lock
@@ -65,6 +73,24 @@ type HTTPReport struct {
 	ColdFirstJobMS float64 `json:"cold_first_job_ms"`
 	WarmJobMS      float64 `json:"warm_job_ms"`
 	WarmedFirstMS  float64 `json:"warmed_first_job_ms"`
+}
+
+// ReplicaReport measures a dpc-server fleet driven through the balanced
+// client — including runs where the harness kill -9s a replica mid-way
+// (scenario "killed_replica"): every job must still complete, with
+// centers byte-identical to a Local solve of the same data.
+type ReplicaReport struct {
+	Scenario          string           `json:"scenario"` // steady | killed_replica
+	Replicas          int              `json:"replicas"`
+	Jobs              int              `json:"jobs"`
+	Completed         int              `json:"completed"`
+	JobP50MS          float64          `json:"job_p50_ms"` // client-observed wall clock, failover included
+	JobP99MS          float64          `json:"job_p99_ms"`
+	Retries           int64            `json:"retries"`
+	Resubmissions     int64            `json:"resubmissions"`
+	Reregistrations   int64            `json:"reregistrations"`
+	PerReplicaJobs    map[string]int64 `json:"per_replica_jobs"`
+	CentersMatchLocal bool             `json:"centers_match_local"`
 }
 
 type preset struct {
@@ -97,6 +123,9 @@ func main() {
 		server      = flag.String("server", "", "base URL of a running dpc-server (empty = self-host one)")
 		goroutines  = flag.Int("goroutines", 8, "concurrent workers for every benchmark phase")
 		storageOnly = flag.Bool("storage-only", false, "run only the in-process registry comparison")
+		replicas    = flag.String("replicas", "", "comma-separated dpc-server base URLs: drive the fleet through the balanced client instead of the single-server phases")
+		scenario    = flag.String("scenario", "steady", "replica-run label recorded in the artifact: steady, or killed_replica when the harness kill -9s a replica mid-run")
+		minRun      = flag.Duration("min-run", 0, "with -replicas: keep cycling jobs at least this long (a window for the harness to kill a replica in)")
 	)
 	flag.Parse()
 	p, ok := presets[*presetName]
@@ -105,8 +134,28 @@ func main() {
 	}
 
 	rep := Report{Preset: *presetName, Goroutines: *goroutines}
+
+	if *replicas != "" {
+		urls := strings.Split(*replicas, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		fmt.Fprintf(os.Stderr, "dpc-loadgen: replica benchmark (%d replicas, scenario %s, %d goroutines)\n",
+			len(urls), *scenario, *goroutines)
+		r, err := replicaBench(urls, p, *goroutines, *scenario, *minRun)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Replica = r
+		fmt.Fprintf(os.Stderr, "  %d/%d jobs completed, p50 %.2fms p99 %.2fms, %d retries, %d resubmissions, centers match local: %t\n",
+			r.Completed, r.Jobs, r.JobP50MS, r.JobP99MS, r.Retries, r.Resubmissions, r.CentersMatchLocal)
+		writeReport(*out, rep)
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "dpc-loadgen: storage benchmark (%d ops, %d goroutines)\n", p.storageOps, *goroutines)
-	rep.Storage = storageBench(p, *goroutines)
+	st := storageBench(p, *goroutines)
+	rep.Storage = &st
 	fmt.Fprintf(os.Stderr, "  single-lock %.0f ops/s, sharded %.0f ops/s -> %.2fx at %d goroutines\n",
 		rep.Storage.SingleLockOpsPS, rep.Storage.ShardedOpsPS, rep.Storage.Speedup, *goroutines)
 
@@ -135,15 +184,20 @@ func main() {
 			h.ColdFirstJobMS, h.WarmJobMS, h.WarmedFirstMS)
 	}
 
+	writeReport(*out, rep)
+}
+
+// writeReport marshals the artifact to disk.
+func writeReport(path string, rep Report) {
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	raw = append(raw, '\n')
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "dpc-loadgen: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "dpc-loadgen: wrote %s\n", path)
 }
 
 // storagePoints builds a deterministic batch without touching the gen
@@ -451,6 +505,134 @@ func oneJob(ctx context.Context, rc *client.Remote, spec serve.JobSpec) (float64
 		return 0, fmt.Errorf("job %s: %s (%s)", done.ID, done.Status, done.Error)
 	}
 	return done.Result.DurationMS, nil
+}
+
+// replicaBench drives a dpc-server fleet through the balanced client:
+// one shared dataset replicated across holders, then at least p.jobs
+// clustering jobs (and at least minRun of wall clock — the window in
+// which a harness may kill -9 a replica) from g workers. Latencies are
+// client-observed wall clock, so failover costs land in the percentiles.
+// Every job's centers are checked byte for byte against a Local solve of
+// the identical request — the fleet may lose a member, never an answer.
+func replicaBench(urls []string, p preset, g int, scenario string, minRun time.Duration) (*ReplicaReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	bc, err := client.NewBalanced(urls, client.BalancedOptions{
+		RemoteOptions: client.RemoteOptions{PollInterval: 2 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer bc.Close()
+
+	// Three datasets with identical points: their names hash to distinct
+	// primaries on a 3-replica ring, so steady-state load spreads across
+	// the fleet while each dataset's cache warmth stays replica-local.
+	const datasets = 3
+	pts := mixture(p.jobPts, 42)
+	for d := 0; d < datasets; d++ {
+		if err := bc.RegisterDataset(ctx, fmt.Sprintf("lg-replica-%d", d), pts); err != nil {
+			return nil, fmt.Errorf("replica register: %w", err)
+		}
+	}
+
+	// The fleet's answers must equal a Local solve of the same request —
+	// the determinism contract that makes N independent replicas one
+	// logical server. A few distinct seeds so the run is not one memoized
+	// solve.
+	seeds := []int64{11, 12, 13, 14}
+	local := client.NewLocal()
+	refs := make(map[int64][]client.Point, len(seeds))
+	for _, seed := range seeds {
+		rl, err := local.Do(ctx, client.Request{
+			Objective: client.Median, K: 3, T: 12, Sites: 4, Seed: seed, Points: pts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("local reference (seed %d): %w", seed, err)
+		}
+		refs[seed] = rl.Centers
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		perJob    = make(map[string]int64)
+		match     = true
+		next      atomic.Int64
+		firstErr  atomic.Value
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= p.jobs && time.Since(start) >= minRun {
+					return
+				}
+				if firstErr.Load() != nil {
+					return
+				}
+				seed := seeds[i%len(seeds)]
+				t0 := time.Now()
+				res, err := bc.Do(ctx, client.Request{
+					Objective: client.Median, K: 3, T: 12, Sites: 4, Seed: seed,
+					Dataset: fmt.Sprintf("lg-replica-%d", i%datasets),
+				})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("job %d (seed %d): %w", i, seed, err))
+					return
+				}
+				elapsed := float64(time.Since(t0).Microseconds()) / 1000
+				ok := sameCenters(res.Centers, refs[seed])
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				perJob[res.Replica]++
+				match = match && ok
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	sort.Float64s(latencies)
+	st := bc.Stats()
+	return &ReplicaReport{
+		Scenario:          scenario,
+		Replicas:          len(urls),
+		Jobs:              len(latencies),
+		Completed:         len(latencies),
+		JobP50MS:          percentile(latencies, 50),
+		JobP99MS:          percentile(latencies, 99),
+		Retries:           st.Retries,
+		Resubmissions:     st.Resubmissions,
+		Reregistrations:   st.Reregistrations,
+		PerReplicaJobs:    perJob,
+		CentersMatchLocal: match,
+	}, nil
+}
+
+// sameCenters is exact (byte-identical) center equality.
+func sameCenters(got, want []client.Point) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func fatal(err error) {

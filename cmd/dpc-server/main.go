@@ -23,7 +23,12 @@
 //	GET  /v1/jobs/{id}                 job status + result
 //	POST /v1/jobs/{id}/cancel          cancel a queued or running job
 //	GET  /v1/jobs/{id}/centers.csv     centers in dpc-cluster's CSV format
-//	GET  /healthz, /metrics            liveness and Prometheus metrics
+//	GET  /livez, /readyz, /metrics     liveness, readiness and Prometheus metrics
+//
+// With -journal-dir set, every dataset and job mutation is written ahead
+// to an append-only journal and replayed on start: a restarted server
+// resumes its queue and re-serves finished results with zero recompute.
+// /readyz answers 503 until the replay completes.
 //
 // SIGTERM/SIGINT drain gracefully: submissions stop, queued jobs fail with
 // an explicit reason, and running jobs get -drain-timeout to finish before
@@ -62,6 +67,13 @@ type options struct {
 	RemoteSites    string `json:"remote_sites" usage:"dpc-site daemons to wait for per -sites-listen address (comma-separated to match)"`
 	RemoteName     string `json:"remote_name" usage:"dataset name for the connected dpc-site daemons"`
 	DrainTimeout   string `json:"drain_timeout" usage:"how long running jobs may finish after SIGTERM before cancellation"`
+
+	JournalDir   string  `json:"journal_dir" usage:"when set, write-ahead journal every dataset and job mutation here and replay it on start"`
+	JournalSync  bool    `json:"journal_sync" usage:"fsync the journal after every record (survives power loss, not just crashes)"`
+	JobTTL       string  `json:"job_ttl" usage:"evict finished jobs from memory after this long (0 = keep; journaled results stay fetchable)"`
+	QuotaBurst   int     `json:"quota_burst" usage:"per-client submission token bucket size (0 = no quotas)"`
+	QuotaRate    float64 `json:"quota_rate" usage:"per-client token refill per second (0 = burst per second)"`
+	MaxQueueWait string  `json:"max_queue_wait" usage:"fail jobs still queued after this long with queue_deadline_exceeded (0 = no deadline)"`
 }
 
 // parseSiteGroups pairs the comma-separated -sites-listen addresses with
@@ -104,7 +116,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("bad -drain-timeout: %w", err))
 	}
+	jobTTL := parseDurationFlag("-job-ttl", opt.JobTTL)
+	maxQueueWait := parseDurationFlag("-max-queue-wait", opt.MaxQueueWait)
 
+	// Recovery (journal replay + cache restore) runs after the listener is
+	// up: /livez answers immediately while /readyz stays 503 until the
+	// replay finishes, so orchestrators see a starting process, not a dead
+	// one, even behind a large journal.
 	srv, err := serve.NewChecked(serve.Config{
 		MaxConcurrentJobs: opt.MaxJobs,
 		QueueDepth:        opt.Queue,
@@ -112,11 +130,29 @@ func main() {
 		RegistryShards:    opt.RegistryShards,
 		CacheDir:          opt.CacheDir,
 		WarmOnRegister:    opt.Warm,
+		JournalDir:        opt.JournalDir,
+		JournalSync:       opt.JournalSync,
+		JobTTL:            jobTTL,
+		QuotaBurst:        opt.QuotaBurst,
+		QuotaPerSec:       opt.QuotaRate,
+		MaxQueueWait:      maxQueueWait,
+		DeferRecovery:     true,
 	})
 	if err != nil {
-		// A corrupt spill file starts the server cold, never down.
-		fmt.Fprintf(os.Stderr, "dpc-server: cache restore failed (starting cold): %v\n", err)
+		fatal(err)
 	}
+	go func() {
+		if err := srv.Recover(); err != nil {
+			// A corrupt spill or journal starts the server cold, never down.
+			fmt.Fprintf(os.Stderr, "dpc-server: recovery degraded (starting cold): %v\n", err)
+		}
+		if opt.JournalDir != "" {
+			rec := srv.Recovery()
+			fmt.Fprintf(os.Stderr, "dpc-server: journal replayed: %d records, %d datasets, %d results re-served, %d jobs resumed (sealed=%t truncated=%t, %d stale records)\n",
+				rec.Records, rec.Datasets, rec.JobsReplayed, rec.JobsResumed, rec.Sealed, rec.Truncated, len(rec.Errors))
+		}
+		fmt.Fprintln(os.Stderr, "dpc-server: ready")
+	}()
 
 	if opt.SitesListen != "" {
 		if opt.RemoteSites == "" {
@@ -170,6 +206,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "dpc-server: drained cleanly")
+}
+
+// parseDurationFlag parses an optional duration flag ("" = zero).
+func parseDurationFlag(name, v string) time.Duration {
+	if v == "" || v == "0" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		fatal(fmt.Errorf("bad %s: %w", name, err))
+	}
+	if d < 0 {
+		fatal(fmt.Errorf("bad %s: negative duration %q", name, v))
+	}
+	return d
 }
 
 func fatal(err error) {

@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileLog is the durable file-backed Log. One file holds the whole
+// journal; OpenFile replays it (recovering a crash-truncated tail by
+// cutting the file back to the last complete record) and then appends in
+// place. Appends serialize under a mutex and hit the file directly — no
+// cross-record buffering — so a record handed to the OS survives a
+// process kill; Sync additionally fsyncs every record for power-loss
+// durability.
+type FileLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	sync   bool
+	closed bool
+}
+
+// OpenFile opens (creating if needed) the journal at path, replays its
+// records, and returns the log positioned for appending plus the replay
+// result. A truncated tail is repaired in place; a corrupt mid-file
+// record returns the recovered prefix alongside ErrCorrupt with no log
+// (refusing to append after untrustworthy bytes). With sync set, every
+// Append fsyncs.
+func OpenFile(path string, sync bool) (*FileLog, ReplayResult, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, ReplayResult{}, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, ReplayResult{}, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, ReplayResult{}, err
+	}
+	var res ReplayResult
+	if st.Size() == 0 {
+		// Fresh journal: write the header now, so a file that exists is
+		// always a valid (possibly empty) journal.
+		var hdr [12]byte
+		copy(hdr[:8], Magic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+		res.GoodBytes = 12
+	} else {
+		res, err = Replay(f)
+		if err != nil {
+			f.Close()
+			return nil, res, fmt.Errorf("%s: %w", path, err)
+		}
+		if res.Truncated || res.GoodBytes < st.Size() {
+			// Cut the torn tail (or a trailing seal that the next life
+			// supersedes anyway is kept — GoodBytes includes seals) so the
+			// next append starts on a record boundary.
+			if err := f.Truncate(res.GoodBytes); err != nil {
+				f.Close()
+				return nil, res, err
+			}
+		}
+	}
+	if _, err := f.Seek(res.GoodBytes, 0); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	l := &FileLog{f: f, sync: sync}
+	for _, rec := range res.Records {
+		if rec.Seq > l.seq {
+			l.seq = rec.Seq
+		}
+	}
+	return l, res, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(kind Kind, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.seq++
+	if _, err := writeRecord(l.f, kind, l.seq, payload); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if l.sync {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Seal implements Log: appends the clean-shutdown marker, syncs, and
+// closes. Idempotent with Close.
+func (l *FileLog) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.seq++
+	if _, err := writeRecord(l.f, KindSeal, l.seq, nil); err != nil {
+		l.f.Close()
+		return fmt.Errorf("journal: seal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Close implements Log (no seal — the crash path).
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// MemLog is an in-memory Log for tests and journal-less embedding: it
+// records appends and loses them with the process, which is exactly what
+// a test asserting replay semantics wants to simulate.
+type MemLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	records []Record
+	sealed  bool
+	closed  bool
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (m *MemLog) Append(kind Kind, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.seq++
+	m.records = append(m.records, Record{Kind: kind, Seq: m.seq, Payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+// Seal implements Log.
+func (m *MemLog) Seal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed, m.sealed = true, true
+	return nil
+}
+
+// Close implements Log.
+func (m *MemLog) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Records snapshots the appended records (tests).
+func (m *MemLog) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.records...)
+}
+
+// Sealed reports whether Seal ran (tests).
+func (m *MemLog) Sealed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealed
+}

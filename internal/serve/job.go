@@ -42,6 +42,17 @@ type JobSpec struct {
 	// measurement knob; results never change).
 	NoCache     bool `json:"no_cache,omitempty"`
 	LloydPolish bool `json:"lloyd_polish,omitempty"`
+	// Client names the submitting client for per-client admission quotas
+	// (empty falls back to the X-DPC-Client header, then to "anonymous").
+	// Identity only — results never depend on it.
+	Client string `json:"client,omitempty"`
+	// Priority picks the scheduling class: high | normal (default) | low.
+	// Higher classes dequeue first; FIFO within a class.
+	Priority string `json:"priority,omitempty"`
+	// QueueTimeoutMS expires the job if it is still queued after this many
+	// milliseconds (stable error code "queue_deadline_exceeded"). Zero
+	// means the server-wide default, if any.
+	QueueTimeoutMS int `json:"queue_timeout_ms,omitempty"`
 }
 
 // MaxJobSites caps JobSpec.Sites: each simulated site costs a goroutine
@@ -66,18 +77,28 @@ const (
 // Job is one submitted job and its lifecycle. Fields are guarded by the
 // owning Server's job lock; handlers read snapshots via view().
 type Job struct {
-	ID        string     `json:"id"`
-	Spec      JobSpec    `json:"spec"`
-	Status    string     `json:"status"`
-	Error     string     `json:"error,omitempty"`
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Status string  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	// ErrorCode is the stable machine-readable class of a failure
+	// (e.g. "queue_deadline_exceeded"); clients switch on it, never on
+	// Error's wording.
+	ErrorCode string     `json:"error_code,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// Replayed marks a job restored from the journal after a restart —
+	// its result (if any) was re-served with zero recompute.
+	Replayed bool `json:"replayed,omitempty"`
 
 	// cancel aborts the running solve (set while the job executes; guarded
 	// by the server's job lock; unexported, so never serialized).
 	cancel context.CancelFunc
+	// deadline is the queue-time expiry instant (zero = none); guarded by
+	// the server's job lock.
+	deadline time.Time
 }
 
 // JobResult is a finished job's payload.
@@ -285,6 +306,15 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Sites < 0 || s.Sites > MaxJobSites {
 		return fmt.Errorf("serve: job sites = %d, must be in [0, %d]", s.Sites, MaxJobSites)
+	}
+	if _, err := priorityRank(s.Priority); err != nil {
+		return err
+	}
+	if s.QueueTimeoutMS < 0 {
+		return fmt.Errorf("serve: job queue_timeout_ms = %d, must be non-negative", s.QueueTimeoutMS)
+	}
+	if len(s.Client) > 128 {
+		return fmt.Errorf("serve: job client name longer than 128 bytes")
 	}
 	return nil
 }

@@ -8,11 +8,16 @@ import (
 
 // counters are the server's monotonic job counters.
 type counters struct {
-	jobsSubmitted atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCanceled  atomic.Int64
-	jobsRejected  atomic.Int64
+	jobsSubmitted     atomic.Int64
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCanceled      atomic.Int64
+	jobsRejected      atomic.Int64
+	jobsQuotaRejected atomic.Int64 // submissions bounced by per-client quotas
+	jobsExpired       atomic.Int64 // queued jobs past their queue deadline
+	jobsEvicted       atomic.Int64 // finished jobs dropped by the TTL GC
+	journalAppended   atomic.Int64 // records written to the WAL
+	journalReplayed   atomic.Int64 // records replayed at the last Recover
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -49,6 +54,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dpc_jobs_total{status=\"failed\"} %d\n", s.counters.jobsFailed.Load())
 	p("dpc_jobs_total{status=\"canceled\"} %d\n", s.counters.jobsCanceled.Load())
 	p("dpc_jobs_total{status=\"rejected\"} %d\n", s.counters.jobsRejected.Load())
+	p("dpc_jobs_total{status=\"quota_rejected\"} %d\n", s.counters.jobsQuotaRejected.Load())
+	p("dpc_jobs_total{status=\"expired\"} %d\n", s.counters.jobsExpired.Load())
+
+	p("# HELP dpc_jobs_evicted_total Finished jobs evicted from the in-memory store by the TTL GC (journaled results remain fetchable).\n")
+	p("# TYPE dpc_jobs_evicted_total counter\n")
+	p("dpc_jobs_evicted_total %d\n", s.counters.jobsEvicted.Load())
+
+	p("# HELP dpc_ready Whether the server accepts mutations (1) or is recovering/draining (0).\n")
+	p("# TYPE dpc_ready gauge\n")
+	ready := 0
+	if s.Ready() {
+		ready = 1
+	}
+	p("dpc_ready %d\n", ready)
+
+	p("# HELP dpc_journal_records_total Write-ahead journal traffic: records appended this life, records replayed at start.\n")
+	p("# TYPE dpc_journal_records_total counter\n")
+	p("dpc_journal_records_total{event=\"appended\"} %d\n", s.counters.journalAppended.Load())
+	p("dpc_journal_records_total{event=\"replayed\"} %d\n", s.counters.journalReplayed.Load())
 
 	p("# HELP dpc_jobs_queued Jobs waiting for a scheduler slot.\n")
 	p("# TYPE dpc_jobs_queued gauge\n")

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpc/internal/dataio"
+	"dpc/internal/journal"
 	"dpc/internal/metric"
 	"dpc/internal/par"
 	"dpc/internal/transport"
@@ -46,6 +49,37 @@ type Config struct {
 	// background after registration, on the scheduler's spare capacity.
 	// Individual registrations can opt in with ?warm=true regardless.
 	WarmOnRegister bool
+	// JournalDir, when set, enables the write-ahead journal: dataset
+	// mutations, job submissions, transitions and finished results append
+	// to JournalDir/dpc.wal, and Recover replays them so a restarted
+	// server resumes its queue and re-serves finished results with zero
+	// recompute. Shutdown seals the journal (clean-shutdown marker).
+	JournalDir string
+	// JournalSync fsyncs every journal append (power-loss durability). Off
+	// by default: a process kill never loses acknowledged records either
+	// way, only the machine dying can.
+	JournalSync bool
+	// DeferRecovery skips replay inside NewChecked: the server starts
+	// not-ready (mutations rejected with code "not_ready") until the
+	// caller runs Recover — how cmd/dpc-server serves /livez while a large
+	// journal replays in the background.
+	DeferRecovery bool
+	// JobTTL evicts finished jobs from the in-memory store this long after
+	// they finish (0 = keep until the MaxJobs cap prunes them). Journaled
+	// results remain fetchable after eviction via the journal.
+	JobTTL time.Duration
+	// QuotaBurst enables per-client admission quotas: each client may have
+	// this many submissions in flight ahead of its refill budget before
+	// Submit rejects with ErrQuotaExceeded (HTTP 429, code
+	// "quota_exceeded"). 0 disables quotas.
+	QuotaBurst int
+	// QuotaPerSec is the per-client token refill rate when QuotaBurst is
+	// set (0 means QuotaBurst tokens per second).
+	QuotaPerSec float64
+	// MaxQueueWait expires jobs still queued after this long with the
+	// stable code "queue_deadline_exceeded" (0 = no server-wide deadline;
+	// per-job QueueTimeoutMS still applies, and the tighter one wins).
+	MaxQueueWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -82,8 +116,19 @@ type Server struct {
 	order    []string // submission order, for listing and pruning
 	seq      int
 	draining bool
+	queue    jobQueue // queued jobs in dispatch (priority) order
+	qseq     int      // FIFO tiebreaker within a priority class
+	quotas   *quotas  // per-client admission buckets (guarded by mu)
+
+	// jnl is the write-ahead journal (nil when journaling is off);
+	// jnlPath is its file for read-side lookups of evicted jobs.
+	jnl      journal.Log
+	jnlPath  string
+	ready    atomic.Bool
+	recovery RecoveryStats
 
 	spillOnce sync.Once
+	sealOnce  sync.Once
 
 	counters counters
 }
@@ -98,25 +143,94 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// NewChecked is New, surfacing spill-restore errors. The server is usable
-// even when the error is non-nil (it simply starts cold).
+// NewChecked is New, surfacing recovery errors (spill restore, journal
+// replay). The server is usable even when the error is non-nil (it simply
+// starts cold, and with a broken journal it runs journal-less). With
+// DeferRecovery set, NewChecked returns a not-ready server immediately
+// and the caller drives Recover itself.
 func NewChecked(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistrySharded(cfg.MaxCacheBytes, cfg.RegistryShards),
-		pool:  par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
-		start: time.Now(),
+		cfg:    cfg,
+		reg:    NewRegistrySharded(cfg.MaxCacheBytes, cfg.RegistryShards),
+		pool:   par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+		quotas: newQuotas(cfg.QuotaBurst, cfg.QuotaPerSec),
+		start:  time.Now(),
 	}
 	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
-	var err error
-	if cfg.CacheDir != "" {
-		_, err = s.reg.LoadSpill(cfg.CacheDir)
+	if cfg.JobTTL > 0 || cfg.MaxQueueWait > 0 {
+		go s.gcLoop()
 	}
-	return s, err
+	if cfg.DeferRecovery {
+		return s, nil
+	}
+	return s, s.Recover()
+}
+
+// Recover stages the server's durable state — spilled warm triangles and
+// the write-ahead journal — and flips the server ready. Until it returns,
+// readiness reports false and every mutating call is rejected with
+// ErrNotReady; liveness is unaffected, which is the point: a server
+// replaying a big journal answers /livez while /readyz says "not yet".
+//
+// Journal replay re-registers datasets, restores finished jobs (results
+// re-servable with zero recompute) and requeues journaled-but-unfinished
+// jobs through the scheduler. A truncated tail is the expected crash
+// signature and is repaired; a corrupt or unreadable journal is returned
+// as an error and the server comes up ready but journal-less (serving is
+// better than not serving, and the operator sees the error).
+func (s *Server) Recover() error {
+	var firstErr error
+	if s.cfg.CacheDir != "" {
+		if _, err := s.reg.LoadSpill(s.cfg.CacheDir); err != nil {
+			firstErr = err
+		}
+	}
+	if s.cfg.JournalDir != "" {
+		path := filepath.Join(s.cfg.JournalDir, "dpc.wal")
+		jl, res, err := journal.OpenFile(path, s.cfg.JournalSync)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			// Install the log before replay: requeued jobs may start
+			// executing immediately, and their start/finish transitions
+			// must journal. Replay itself never journals (its records are
+			// already in the log).
+			s.mu.Lock()
+			s.jnl, s.jnlPath = jl, path
+			s.mu.Unlock()
+			stats := s.applyWAL(res.Records)
+			stats.Sealed = res.Sealed
+			stats.Truncated = res.Truncated
+			s.mu.Lock()
+			s.recovery = stats
+			s.mu.Unlock()
+		}
+	}
+	s.ready.Store(true)
+	return firstErr
+}
+
+// Ready reports whether the server accepts mutations (recovery finished,
+// not draining).
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return s.ready.Load() && !draining
+}
+
+// Recovery returns the last journal replay's summary (zero before
+// Recover, or without a journal).
+func (s *Server) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
 }
 
 // Registry exposes the dataset registry (cmd/dpc-server registers remote
@@ -144,16 +258,23 @@ const shutdownGrace = 5 * time.Second
 // grace: a solve stuck in a non-preemptible section is abandoned to the
 // process exit rather than blocking the shutdown indefinitely).
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Readiness drops first so balancers stop routing here before the
+	// drain starts rejecting.
+	s.ready.Store(false)
 	// Preempt background warmups first: they run on the same pool the
 	// drain below waits for, and their half-filled caches spill just fine.
 	s.warmCancel()
 	// Whatever else happens, filled triangles spill exactly once on the
 	// way out (SnapshotCells is atomic, so even an overstaying solve
-	// cannot corrupt the spill).
+	// cannot corrupt the spill), and the journal is sealed exactly once —
+	// after the drain, so finishing jobs get their terminal records in
+	// before the clean-shutdown marker.
 	defer s.spillOnce.Do(s.spillCaches)
+	defer s.sealOnce.Do(s.sealJournal)
 	s.mu.Lock()
 	alreadyDraining := s.draining
 	s.draining = true
+	var failed []*Job
 	if !alreadyDraining {
 		now := time.Now()
 		for _, id := range s.order {
@@ -161,13 +282,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			if j.Status == StatusQueued {
 				j.Status = StatusFailed
 				j.Error = "serve: server shutting down before the job started"
+				j.ErrorCode = CodeShuttingDown
 				fin := now
 				j.Finished = &fin
 				s.counters.jobsFailed.Add(1)
+				failed = append(failed, j)
 			}
 		}
+		s.queue = nil // their heap entries are dead; drop them wholesale
 	}
 	s.mu.Unlock()
+	// Journal the drain-failures: the sealed log must replay to the state
+	// clients observed, not resurrect jobs they were told failed.
+	for _, j := range failed {
+		s.journalFinish(j)
+	}
 
 	// The queued pool tasks for the jobs failed above drain instantly
 	// (execute refuses jobs that are no longer queued), so pool.Close
@@ -263,11 +392,12 @@ func (s *Server) wantWarm(r *http.Request) bool {
 // is idempotent against races with completion).
 func (s *Server) CancelJob(id string) (Job, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return Job{}, fmt.Errorf("serve: no job %q", id)
 	}
+	var finished bool
 	switch j.Status {
 	case StatusQueued:
 		j.Status = StatusCanceled
@@ -275,17 +405,27 @@ func (s *Server) CancelJob(id string) (Job, error) {
 		now := time.Now()
 		j.Finished = &now
 		s.counters.jobsCanceled.Add(1)
+		finished = true
 	case StatusRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
-	return *j, nil
+	view := *j
+	s.mu.Unlock()
+	if finished {
+		// Terminal without passing through execute: journal it here so a
+		// replay does not resurrect a job the client canceled.
+		s.journalFinish(&view)
+	}
+	return view, nil
 }
 
 // routes wires the API surface.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
@@ -309,6 +449,20 @@ const (
 	CodeJobNotReady     = "job_not_ready"
 	CodeQueueFull       = "queue_full"
 	CodeShuttingDown    = "shutting_down"
+	// CodeNotReady marks a mutation rejected while the server is still
+	// recovering (journal replay, cache staging); balancers retry another
+	// replica, then this one once /readyz flips.
+	CodeNotReady = "not_ready"
+	// CodeQuotaExceeded marks a submission rejected by the per-client
+	// admission quota (HTTP 429). Per-client, so not retried elsewhere.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeQueueDeadline marks a job that expired in the queue before a
+	// worker picked it up.
+	CodeQueueDeadline = "queue_deadline_exceeded"
+	// CodeInternal marks a server-side fault (journal write failure) that
+	// is neither the client's doing nor retryable elsewhere with different
+	// expectations.
+	CodeInternal = "internal"
 )
 
 // APIErrorBody is the JSON error envelope of every non-2xx response:
@@ -348,11 +502,44 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// handleHealthz is the legacy combined probe, kept for old scripts: alive
+// plus a ready field. New deployments probe /livez and /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"ready":    s.Ready(),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleLivez reports process liveness: it answers 200 the moment the
+// HTTP listener is up, including while a large journal replays.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
 	})
+}
+
+// handleReadyz reports readiness to take traffic: false (503) while
+// recovery is staging and once a drain begins, so balancers and smoke
+// scripts wait on state instead of sleeping.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		apiError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("serve: recovering or draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// notReady rejects a mutation on a not-ready server (503, code
+// "not_ready"); reads stay available throughout recovery.
+func (s *Server) notReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return false
+	}
+	apiError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("serve: server recovering, retry shortly"))
+	return true
 }
 
 // createDatasetRequest is the JSON body of POST /v1/datasets. A text/csv
@@ -454,8 +641,17 @@ func rowsToPoints(rows [][]float64) []metric.Point {
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
+
+	// wd accumulates the registration's canonical journal form alongside
+	// the registration itself; seed is a stream dataset's inline first
+	// append (its own record, like any later append).
+	var wd walDataset
+	var seed [][]float64
 
 	// CSV fast path: dataset lifecycle straight from a file upload.
 	// ?kind=uncertain parses the node CSV format instead.
@@ -469,12 +665,14 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		case "", string(KindTable):
 			var pts []metric.Point
 			if pts, err = dataio.ReadPointsCSV(body); err == nil {
+				wd.Points = walTablePoints(pts)
 				d, err = s.reg.RegisterTable(name, pts)
 			}
 		case string(KindUncertain):
 			var g *uncertain.Ground
 			var nodes []uncertain.Node
 			if g, nodes, err = dataio.ReadNodesCSV(body); err == nil {
+				wd.Ground, wd.Nodes = walUncertain(g, nodes)
 				d, err = s.reg.RegisterUncertain(name, g, nodes)
 			}
 		default:
@@ -484,10 +682,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			registerError(w, err)
 			return
 		}
-		if d.Kind() == KindTable && s.wantWarm(r) {
-			s.warmDataset(d.Name())
-		}
-		writeJSON(w, http.StatusCreated, d.Info())
+		s.finishCreateDataset(w, r, d, wd, nil)
 		return
 	}
 
@@ -502,10 +697,13 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	)
 	switch req.Kind {
 	case "", KindTable:
+		wd.Points = req.Points
 		d, err = s.reg.RegisterTable(req.Name, rowsToPoints(req.Points))
 	case KindStream:
+		wd.K, wd.T, wd.Chunk, wd.Means, wd.Seed = req.K, req.T, req.Chunk, req.Means, req.Seed
 		d, err = s.reg.RegisterStream(req.Name, req.K, req.T, req.Chunk, req.Means, req.Seed)
 		if err == nil && len(req.Points) > 0 {
+			seed = req.Points
 			if _, err = s.reg.Append(req.Name, rowsToPoints(req.Points)); err != nil {
 				// Roll the registration back: a failed inline seed must not
 				// leave an empty dataset squatting on the name.
@@ -516,6 +714,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		var g *uncertain.Ground
 		var nodes []uncertain.Node
 		if g, nodes, err = buildUncertain(req.Ground, req.Nodes); err == nil {
+			wd.Ground, wd.Nodes = walUncertain(g, nodes)
 			d, err = s.reg.RegisterUncertain(req.Name, g, nodes)
 		}
 	case KindRemote:
@@ -526,6 +725,26 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		registerError(w, err)
 		return
+	}
+	s.finishCreateDataset(w, r, d, wd, seed)
+}
+
+// finishCreateDataset journals a successful registration (rolling it back
+// if the journal write fails — an unjournaled dataset would silently
+// vanish on restart, which is worse than a loud 500 now), then kicks the
+// optional warmup and answers 201.
+func (s *Server) finishCreateDataset(w http.ResponseWriter, r *http.Request, d *Dataset, wd walDataset, seed [][]float64) {
+	if err := s.journalDataset(d, wd); err != nil {
+		s.reg.Delete(d.Name())
+		apiError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	if len(seed) > 0 {
+		if err := s.journalAppend(recDatasetAppend, walAppend{Name: d.Name(), Points: seed}); err != nil {
+			s.reg.Delete(d.Name())
+			apiError(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
 	}
 	if d.Kind() == KindTable && s.wantWarm(r) {
 		s.warmDataset(d.Name())
@@ -547,8 +766,18 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+	if s.notReady(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.reg.Delete(name); err != nil {
 		registerError(w, err)
+		return
+	}
+	if err := s.journalAppend(recDatasetDelete, walDelete{Name: name}); err != nil {
+		// The dataset is gone from memory either way; a replay would
+		// resurrect it. Surface the durability hole instead of a 204.
+		apiError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -561,6 +790,9 @@ type appendPointsRequest struct {
 }
 
 func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 	name := r.PathValue("name")
@@ -586,14 +818,25 @@ func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
 		registerError(w, err)
 		return
 	}
+	if err := s.journalAppend(recDatasetAppend, walAppend{Name: name, Points: pointsToRows(pts)}); err != nil {
+		// The points are in (no append rollback exists); report the
+		// durability hole rather than acknowledging a write the journal
+		// does not hold.
+		apiError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, info)
 }
 
 // Submit enqueues a job (the library entry point behind POST /v1/jobs).
 // It validates the spec up front — bad specs and unknown datasets fail
-// synchronously, a full queue returns par.ErrPoolFull — and returns the
-// queued job's view.
+// synchronously, a not-ready server returns ErrNotReady, an exhausted
+// client quota ErrQuotaExceeded, a full queue par.ErrPoolFull — and
+// returns the queued job's view.
 func (s *Server) Submit(spec JobSpec) (Job, error) {
+	if !s.ready.Load() {
+		return Job{}, ErrNotReady
+	}
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -601,45 +844,129 @@ func (s *Server) Submit(spec JobSpec) (Job, error) {
 		return Job{}, err
 	}
 
+	now := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return Job{}, par.ErrPoolClosed
+	}
+	if !s.quotas.take(spec.Client, now) {
+		s.counters.jobsQuotaRejected.Add(1)
+		s.mu.Unlock()
+		return Job{}, ErrQuotaExceeded
 	}
 	s.seq++
 	job := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq),
 		Spec:      spec,
 		Status:    StatusQueued,
-		Submitted: time.Now(),
+		Submitted: now,
+		deadline:  queueDeadline(spec, now, s.cfg.MaxQueueWait),
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.pruneLocked()
 	s.mu.Unlock()
 
-	err := s.pool.Submit(func() { s.execute(job) })
-	if err != nil {
+	// Journal the submission before the job becomes runnable: once a
+	// worker can pick it up, its start/finish records may race ahead of
+	// this one, and the log should read submit → start → finish.
+	if err := s.journalAppend(recJobSubmit, walSubmit{ID: job.ID, Spec: spec, Submitted: now}); err != nil {
 		s.mu.Lock()
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		job.ErrorCode = CodeInternal
+		fin := time.Now()
+		job.Finished = &fin
+		s.counters.jobsRejected.Add(1)
+		view := *job
+		s.mu.Unlock()
+		return view, err
+	}
+
+	s.mu.Lock()
+	err := s.enqueueLocked(job)
+	if err != nil {
 		// A Shutdown racing this submission may have failed the queued job
 		// already; keep that disposition (and its counter) instead of
 		// double-counting it as rejected.
 		if job.Status == StatusQueued {
 			job.Status = StatusFailed
 			job.Error = err.Error()
-			now := time.Now()
-			job.Finished = &now
+			fin := time.Now()
+			job.Finished = &fin
 			s.counters.jobsRejected.Add(1)
 		}
 		view := *job
 		s.mu.Unlock()
+		s.journalFinish(&view)
 		return view, err
 	}
 	s.counters.jobsSubmitted.Add(1)
-	s.mu.Lock()
 	view := *job
 	s.mu.Unlock()
 	return view, nil
+}
+
+// enqueueLocked makes a queued job runnable: its entry joins the priority
+// heap and one dispatch task joins the pool (the 1:1 correspondence that
+// keeps the pool's QueueDepth bounding the real queue). Called with s.mu
+// held.
+func (s *Server) enqueueLocked(job *Job) error {
+	rank, _ := priorityRank(job.Spec.Priority) // validated at submit
+	s.qseq++
+	s.queue.push(queueEntry{id: job.ID, rank: rank, seq: s.qseq})
+	if err := s.pool.Submit(s.runNext); err != nil {
+		s.queue.remove(job.ID)
+		return err
+	}
+	return nil
+}
+
+// runNext is the pool task behind every queued job: it pops the
+// highest-priority runnable entry and executes it. Entries whose job was
+// canceled, drained or expired while queued are skipped (some other
+// entry's task already ran, or nothing remains); expired jobs fail here
+// with the stable deadline code.
+func (s *Server) runNext() {
+	for {
+		s.mu.Lock()
+		e, ok := s.queue.pop()
+		if !ok {
+			s.mu.Unlock()
+			return
+		}
+		job := s.jobs[e.id]
+		if job == nil || job.Status != StatusQueued {
+			s.mu.Unlock()
+			continue
+		}
+		if s.expireLocked(job, time.Now()) {
+			view := *job
+			s.mu.Unlock()
+			s.journalFinish(&view)
+			continue
+		}
+		s.mu.Unlock()
+		s.execute(job)
+		return
+	}
+}
+
+// expireLocked fails a queued job whose queue deadline has passed.
+// Returns whether it expired. Called with s.mu held.
+func (s *Server) expireLocked(job *Job, now time.Time) bool {
+	if job.Status != StatusQueued || job.deadline.IsZero() || now.Before(job.deadline) {
+		return false
+	}
+	job.Status = StatusFailed
+	job.Error = fmt.Sprintf("serve: job %s expired after %v in queue", job.ID, now.Sub(job.Submitted).Round(time.Millisecond))
+	job.ErrorCode = CodeQueueDeadline
+	fin := now
+	job.Finished = &fin
+	s.counters.jobsFailed.Add(1)
+	s.counters.jobsExpired.Add(1)
+	return true
 }
 
 // execute runs one job on a pool worker and records the outcome. A panic
@@ -662,6 +989,7 @@ func (s *Server) execute(job *Job) {
 	job.Started = &now
 	job.cancel = cancel
 	s.mu.Unlock()
+	s.journalAppend(recJobStart, walStart{ID: job.ID, Started: now})
 
 	res, err := func() (res *JobResult, err error) {
 		defer func() {
@@ -688,7 +1016,9 @@ func (s *Server) execute(job *Job) {
 		job.Status = StatusDone
 		job.Result = res
 	}
+	view := *job
 	s.mu.Unlock()
+	s.journalFinish(&view)
 	switch {
 	case canceled:
 		s.counters.jobsCanceled.Add(1)
@@ -696,6 +1026,78 @@ func (s *Server) execute(job *Job) {
 		s.counters.jobsFailed.Add(1)
 	default:
 		s.counters.jobsDone.Add(1)
+	}
+}
+
+// journalFinish records a job's terminal state (no-op without a journal).
+// The spec rides along so the finish record alone reconstructs the job
+// after its in-memory entry is evicted.
+func (s *Server) journalFinish(j *Job) {
+	if j.Finished == nil {
+		return
+	}
+	s.journalAppend(recJobFinish, walFinish{
+		ID: j.ID, Spec: j.Spec, Status: j.Status,
+		Error: j.Error, ErrorCode: j.ErrorCode, Result: j.Result,
+		Submitted: j.Submitted, Started: j.Started, Finished: *j.Finished,
+	})
+}
+
+// sealJournal writes the clean-shutdown marker and closes the log.
+func (s *Server) sealJournal() {
+	s.mu.Lock()
+	jnl := s.jnl
+	s.mu.Unlock()
+	if jnl != nil {
+		jnl.Seal()
+	}
+}
+
+// gcLoop is the store's maintenance sweep: it evicts finished jobs past
+// their TTL (journaled results remain fetchable via jobFromJournal) and
+// expires queued jobs past their deadline, so waiters see the terminal
+// state promptly instead of at dequeue time. It exits with warmCtx on
+// Shutdown.
+func (s *Server) gcLoop() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.warmCtx.Done():
+			return
+		case now := <-tick.C:
+			s.sweep(now)
+		}
+	}
+}
+
+// sweep runs one GC pass at time now.
+func (s *Server) sweep(now time.Time) {
+	var expired []*Job
+	s.mu.Lock()
+	if s.cfg.JobTTL > 0 {
+		keep := s.order[:0]
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j.Finished != nil && now.Sub(*j.Finished) > s.cfg.JobTTL {
+				delete(s.jobs, id)
+				s.counters.jobsEvicted.Add(1)
+				continue
+			}
+			keep = append(keep, id)
+		}
+		s.order = keep
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.Status == StatusQueued && s.expireLocked(j, now) {
+			view := *j
+			expired = append(expired, &view)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range expired {
+		s.journalFinish(j)
 	}
 }
 
@@ -718,15 +1120,22 @@ func (s *Server) pruneLocked() {
 	}
 }
 
-// GetJob returns a snapshot of the job by id.
+// GetJob returns a snapshot of the job by id. Jobs evicted from the
+// in-memory store by the TTL GC are looked up in the journal — a
+// journaled finished result stays fetchable for the log's lifetime.
 func (s *Server) GetJob(id string) (Job, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
-	if !ok {
-		return Job{}, fmt.Errorf("serve: no job %q", id)
+	if ok {
+		view := *j
+		s.mu.Unlock()
+		return view, nil
 	}
-	return *j, nil
+	s.mu.Unlock()
+	if j, ok := s.jobFromJournal(id); ok {
+		return j, nil
+	}
+	return Job{}, fmt.Errorf("serve: no job %q", id)
 }
 
 // ListJobs returns snapshots of retained jobs in submission order.
@@ -748,8 +1157,15 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("serve: bad job body: %w", err))
 		return
 	}
+	if spec.Client == "" {
+		spec.Client = r.Header.Get("X-DPC-Client")
+	}
 	job, err := s.Submit(spec)
 	switch {
+	case errors.Is(err, ErrNotReady):
+		apiError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("serve: server recovering, retry shortly"))
+	case errors.Is(err, ErrQuotaExceeded):
+		apiError(w, http.StatusTooManyRequests, CodeQuotaExceeded, fmt.Errorf("serve: client %q over its submission quota, retry later", spec.Client))
 	case errors.Is(err, par.ErrPoolFull):
 		apiError(w, http.StatusServiceUnavailable, CodeQueueFull, errors.New("serve: job queue full, retry later"))
 	case errors.Is(err, par.ErrPoolClosed):

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpc/internal/journal"
+	"dpc/internal/metric"
+	"dpc/internal/uncertain"
+)
+
+// The serve layer's journal vocabulary. Every control-plane mutation the
+// server cannot recompute — dataset registrations, appends, deletes, job
+// submissions, state transitions and finished results — appends one
+// record here, and Recover replays them on start so a restarted server
+// resumes its queue and re-serves completed results with no re-ingest and
+// no recompute. Remote datasets are the one exception: they are live TCP
+// connections owned by the server process, re-established by dpc-site's
+// redial loop rather than by replay.
+const (
+	recDatasetPut    journal.Kind = 1
+	recDatasetAppend journal.Kind = 2
+	recDatasetDelete journal.Kind = 3
+	recJobSubmit     journal.Kind = 4
+	recJobStart      journal.Kind = 5
+	recJobFinish     journal.Kind = 6
+)
+
+// walNode is one uncertain node in canonical journal form: support
+// indices into the dataset's journaled ground set plus (already
+// normalized) probabilities. Replaying through RegisterUncertain with
+// these exact slices reproduces the registered instance bit for bit.
+type walNode struct {
+	Support []int     `json:"support"`
+	Probs   []float64 `json:"probs"`
+}
+
+// walDataset is a dataset registration record: the union of the three
+// journalable kinds (table points, stream sketch shape, uncertain
+// ground + nodes).
+type walDataset struct {
+	Name   string      `json:"name"`
+	Kind   DatasetKind `json:"kind"`
+	Points [][]float64 `json:"points,omitempty"`
+	Ground [][]float64 `json:"ground,omitempty"`
+	Nodes  []walNode   `json:"nodes,omitempty"`
+	K      int         `json:"k,omitempty"`
+	T      int         `json:"t,omitempty"`
+	Chunk  int         `json:"chunk,omitempty"`
+	Means  bool        `json:"means,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+}
+
+// walAppend is a dataset append record.
+type walAppend struct {
+	Name   string      `json:"name"`
+	Points [][]float64 `json:"points"`
+}
+
+// walDelete is a dataset delete record.
+type walDelete struct {
+	Name string `json:"name"`
+}
+
+// walSubmit is a job submission record.
+type walSubmit struct {
+	ID        string    `json:"id"`
+	Spec      JobSpec   `json:"spec"`
+	Submitted time.Time `json:"submitted"`
+}
+
+// walStart is a job state transition to running.
+type walStart struct {
+	ID      string    `json:"id"`
+	Started time.Time `json:"started"`
+}
+
+// walFinish is a job's terminal record. It embeds the spec alongside the
+// outcome so one record reconstructs the whole job — the lookup path for
+// results whose in-memory job was evicted by the TTL GC.
+type walFinish struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	Status    string     `json:"status"`
+	Error     string     `json:"error,omitempty"`
+	ErrorCode string     `json:"error_code,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  time.Time  `json:"finished"`
+}
+
+// journalAppend marshals v and appends it under kind. A nil journal is a
+// no-op (journaling is opt-in); an append error is returned so callers
+// decide whether to roll the mutation back or degrade.
+func (s *Server) journalAppend(kind journal.Kind, v any) error {
+	s.mu.Lock()
+	jnl := s.jnl
+	s.mu.Unlock()
+	if jnl == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: journal encode: %w", err)
+	}
+	if err := jnl.Append(kind, payload); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	s.counters.journalAppended.Add(1)
+	return nil
+}
+
+// journalDataset records a successful registration. The canonical forms
+// replay through the same Register* entry points, so a replayed registry
+// is bit-identical to the one that journaled: tables keep point order,
+// uncertain datasets keep their exact ground set and node probabilities
+// (already normalized by the original request path).
+func (s *Server) journalDataset(d *Dataset, wd walDataset) error {
+	wd.Name = d.Name()
+	wd.Kind = d.Kind()
+	return s.journalAppend(recDatasetPut, wd)
+}
+
+// walTablePoints converts registered points to journal rows.
+func walTablePoints(pts []metric.Point) [][]float64 {
+	return pointsToRows(pts)
+}
+
+// walUncertain converts a built uncertain instance to canonical journal
+// form.
+func walUncertain(g *uncertain.Ground, nodes []uncertain.Node) ([][]float64, []walNode) {
+	wn := make([]walNode, len(nodes))
+	for i, nd := range nodes {
+		wn[i] = walNode{Support: nd.Support, Probs: nd.Prob}
+	}
+	return pointsToRows(g.Pts), wn
+}
+
+// RecoveryStats summarizes one journal replay.
+type RecoveryStats struct {
+	// Records is how many journal records were replayed.
+	Records int
+	// Datasets is how many datasets exist after replay (registrations
+	// minus deletes).
+	Datasets int
+	// JobsReplayed is how many finished jobs were restored with their
+	// results — re-servable with zero recompute.
+	JobsReplayed int
+	// JobsResumed is how many journaled-but-unfinished jobs were requeued.
+	JobsResumed int
+	// Sealed reports whether the journal ended with a clean-shutdown seal.
+	Sealed bool
+	// Truncated reports that a torn tail record was cut (the crash
+	// signature; everything before it was recovered).
+	Truncated bool
+	// Errors collects records that no longer apply (e.g. an append to a
+	// dataset deleted later in the log). Replay continues past them.
+	Errors []string
+}
+
+// walJob is replay's in-flight picture of one journaled job.
+type walJob struct {
+	submit walSubmit
+	finish *walFinish
+}
+
+// applyWAL replays journal records into the registry and job store. It
+// runs before the server is ready (no API traffic, no journaling of the
+// mutations it applies — they are already in the log). Unfinished jobs
+// are requeued through the scheduler exactly as a fresh submission,
+// except that no new submit record is written.
+func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
+	var stats RecoveryStats
+	stats.Records = len(records)
+	jobs := make(map[string]*walJob)
+	var order []string
+	oops := func(format string, args ...any) {
+		stats.Errors = append(stats.Errors, fmt.Sprintf(format, args...))
+	}
+	for _, rec := range records {
+		switch rec.Kind {
+		case recDatasetPut:
+			var wd walDataset
+			if err := json.Unmarshal(rec.Payload, &wd); err != nil {
+				oops("dataset record seq %d: %v", rec.Seq, err)
+				continue
+			}
+			var err error
+			switch wd.Kind {
+			case KindTable:
+				_, err = s.reg.RegisterTable(wd.Name, rowsToPoints(wd.Points))
+			case KindStream:
+				_, err = s.reg.RegisterStream(wd.Name, wd.K, wd.T, wd.Chunk, wd.Means, wd.Seed)
+			case KindUncertain:
+				g := &uncertain.Ground{Pts: rowsToPoints(wd.Ground)}
+				nodes := make([]uncertain.Node, len(wd.Nodes))
+				for i, wn := range wd.Nodes {
+					nodes[i] = uncertain.Node{Support: wn.Support, Prob: wn.Probs}
+				}
+				_, err = s.reg.RegisterUncertain(wd.Name, g, nodes)
+			default:
+				err = fmt.Errorf("unreplayable kind %q", wd.Kind)
+			}
+			if err != nil {
+				oops("dataset %q: %v", wd.Name, err)
+			}
+		case recDatasetAppend:
+			var wa walAppend
+			if err := json.Unmarshal(rec.Payload, &wa); err != nil {
+				oops("append record seq %d: %v", rec.Seq, err)
+				continue
+			}
+			if _, err := s.reg.Append(wa.Name, rowsToPoints(wa.Points)); err != nil {
+				oops("append to %q: %v", wa.Name, err)
+			}
+		case recDatasetDelete:
+			var wd walDelete
+			if err := json.Unmarshal(rec.Payload, &wd); err != nil {
+				oops("delete record seq %d: %v", rec.Seq, err)
+				continue
+			}
+			if err := s.reg.Delete(wd.Name); err != nil {
+				oops("delete %q: %v", wd.Name, err)
+			}
+		case recJobSubmit:
+			var ws walSubmit
+			if err := json.Unmarshal(rec.Payload, &ws); err != nil {
+				oops("submit record seq %d: %v", rec.Seq, err)
+				continue
+			}
+			if _, ok := jobs[ws.ID]; !ok {
+				order = append(order, ws.ID)
+			}
+			jobs[ws.ID] = &walJob{submit: ws}
+		case recJobStart:
+			// Present for the record (operators reading the log see the
+			// transition); replay treats started-unfinished like queued —
+			// the work was lost with the process and must rerun.
+		case recJobFinish:
+			var wf walFinish
+			if err := json.Unmarshal(rec.Payload, &wf); err != nil {
+				oops("finish record seq %d: %v", rec.Seq, err)
+				continue
+			}
+			wj, ok := jobs[wf.ID]
+			if !ok {
+				// Finish can land before its submit record under concurrent
+				// submission; the spec embedded in it suffices.
+				wj = &walJob{submit: walSubmit{ID: wf.ID, Spec: wf.Spec, Submitted: wf.Submitted}}
+				jobs[wf.ID] = wj
+				order = append(order, wf.ID)
+			}
+			wj.finish = &wf
+		}
+	}
+
+	s.mu.Lock()
+	for _, id := range order {
+		wj := jobs[id]
+		if n := jobNumber(id); n > s.seq {
+			s.seq = n
+		}
+		if wj.finish != nil {
+			wf := wj.finish
+			fin := wf.Finished
+			s.jobs[id] = &Job{
+				ID: id, Spec: wf.Spec, Status: wf.Status,
+				Error: wf.Error, ErrorCode: wf.ErrorCode, Result: wf.Result,
+				Submitted: wf.Submitted, Started: wf.Started, Finished: &fin,
+				Replayed: true,
+			}
+			s.order = append(s.order, id)
+			stats.JobsReplayed++
+			continue
+		}
+		job := &Job{
+			ID: id, Spec: wj.submit.Spec, Status: StatusQueued,
+			Submitted: wj.submit.Submitted, Replayed: true,
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.enqueueLocked(job)
+		stats.JobsResumed++
+	}
+	s.pruneLocked()
+	s.mu.Unlock()
+	stats.Datasets = s.reg.Count()
+	s.counters.journalReplayed.Add(int64(stats.Records))
+	return stats
+}
+
+// jobNumber parses the numeric suffix of a job-%06d id (0 when foreign).
+func jobNumber(id string) int {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// jobFromJournal looks a job up in the journal file — the fetch path for
+// results whose in-memory entry was evicted by the TTL GC. It reads the
+// log from disk (concurrent appends are safe: records are written with
+// single atomic writes, and a torn tail simply ends the scan) and
+// reconstructs the job from its terminal record.
+func (s *Server) jobFromJournal(id string) (Job, bool) {
+	s.mu.Lock()
+	path := s.jnlPath
+	s.mu.Unlock()
+	if path == "" {
+		return Job{}, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Job{}, false
+	}
+	defer f.Close()
+	res, err := journal.Replay(f)
+	// A corrupt mid-file record still yields the trustworthy prefix;
+	// scanning it is strictly better than refusing an eviction lookup.
+	_ = err
+	var found *walFinish
+	for _, rec := range res.Records {
+		if rec.Kind != recJobFinish {
+			continue
+		}
+		var wf walFinish
+		if json.Unmarshal(rec.Payload, &wf) == nil && wf.ID == id {
+			found = &wf
+		}
+	}
+	if found == nil {
+		return Job{}, false
+	}
+	fin := found.Finished
+	return Job{
+		ID: found.ID, Spec: found.Spec, Status: found.Status,
+		Error: found.Error, ErrorCode: found.ErrorCode, Result: found.Result,
+		Submitted: found.Submitted, Started: found.Started, Finished: &fin,
+		Replayed: true,
+	}, true
+}

@@ -32,12 +32,14 @@ echo "== start dpc-server on $ADDR"
 "$workdir/bin/dpc-server" -listen "$ADDR" &
 server_pid=$!
 
+# Wait on readiness, not liveness: /readyz stays 503 while the server
+# replays its journal or restores spilled caches.
 for i in $(seq 1 50); do
-  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
-  [ "$i" = 50 ] && { echo "server never became healthy"; exit 1; }
+  curl -sf "$BASE/readyz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never became ready"; exit 1; }
   sleep 0.1
 done
-echo "   healthy"
+echo "   ready"
 
 echo "== raw wire format pin (the one curl call)"
 # An unknown dataset must return HTTP 404 with the stable machine-readable
@@ -69,12 +71,12 @@ echo "   drained cleanly"
 CACHE_DIR="$workdir/cache"
 "$workdir/bin/dpc-datagen" -n 400 -k 3 -seed 9 -out "$workdir/warm.csv"
 
-wait_healthy() {
+wait_ready() {
   for i in $(seq 1 50); do
-    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    curl -sf "$BASE/readyz" >/dev/null 2>&1 && return 0
     sleep 0.1
   done
-  echo "server never became healthy"; exit 1
+  echo "server never became ready"; exit 1
 }
 
 # run_job NAME: submit a k-median job against NAME, poll to completion,
@@ -98,7 +100,7 @@ run_job() {
 echo "== warm-restore: first server life (fills + spills)"
 "$workdir/bin/dpc-server" -listen "$ADDR" -cache-dir "$CACHE_DIR" &
 server_pid=$!
-wait_healthy
+wait_ready
 curl -sf -X POST "$BASE/v1/datasets?name=warmset" -H 'Content-Type: text/csv' \
   --data-binary @"$workdir/warm.csv" >/dev/null
 cold_job=$(run_job warmset)
@@ -112,7 +114,7 @@ echo "   spilled warm triangles ($cold_misses cold misses)"
 echo "== warm-restore: second server life (restores)"
 "$workdir/bin/dpc-server" -listen "$ADDR" -cache-dir "$CACHE_DIR" &
 server_pid=$!
-wait_healthy
+wait_ready
 curl -sf -X POST "$BASE/v1/datasets?name=warmset" -H 'Content-Type: text/csv' \
   --data-binary @"$workdir/warm.csv" >/dev/null
 warm_job=$(run_job warmset)
