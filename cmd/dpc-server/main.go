@@ -70,6 +70,8 @@ type options struct {
 
 	JournalDir   string  `json:"journal_dir" usage:"when set, write-ahead journal every dataset and job mutation here and replay it on start"`
 	JournalSync  bool    `json:"journal_sync" usage:"fsync the journal after every record (survives power loss, not just crashes)"`
+	SegmentBytes int64   `json:"journal_segment_bytes" usage:"journal segment rotation threshold in bytes (0 = 64 MiB)"`
+	CompactEvery string  `json:"compact_every" usage:"write a snapshot checkpoint and GC superseded journal segments on this cadence (0 = only on POST /v1/admin/compact)"`
 	JobTTL       string  `json:"job_ttl" usage:"evict finished jobs from memory after this long (0 = keep; journaled results stay fetchable)"`
 	QuotaBurst   int     `json:"quota_burst" usage:"per-client submission token bucket size (0 = no quotas)"`
 	QuotaRate    float64 `json:"quota_rate" usage:"per-client token refill per second (0 = burst per second)"`
@@ -118,6 +120,7 @@ func main() {
 	}
 	jobTTL := parseDurationFlag("-job-ttl", opt.JobTTL)
 	maxQueueWait := parseDurationFlag("-max-queue-wait", opt.MaxQueueWait)
+	compactEvery := parseDurationFlag("-compact-every", opt.CompactEvery)
 
 	// Recovery (journal replay + cache restore) runs after the listener is
 	// up: /livez answers immediately while /readyz stays 503 until the
@@ -132,6 +135,8 @@ func main() {
 		WarmOnRegister:    opt.Warm,
 		JournalDir:        opt.JournalDir,
 		JournalSync:       opt.JournalSync,
+		SegmentBytes:      opt.SegmentBytes,
+		CompactEvery:      compactEvery,
 		JobTTL:            jobTTL,
 		QuotaBurst:        opt.QuotaBurst,
 		QuotaPerSec:       opt.QuotaRate,
@@ -148,8 +153,12 @@ func main() {
 		}
 		if opt.JournalDir != "" {
 			rec := srv.Recovery()
-			fmt.Fprintf(os.Stderr, "dpc-server: journal replayed: %d records, %d datasets, %d results re-served, %d jobs resumed (sealed=%t truncated=%t, %d stale records)\n",
-				rec.Records, rec.Datasets, rec.JobsReplayed, rec.JobsResumed, rec.Sealed, rec.Truncated, len(rec.Errors))
+			from := "full history"
+			if rec.FromSnapshot {
+				from = fmt.Sprintf("snapshot (segment %d: %d datasets, %d jobs) + suffix", rec.SnapshotSegment, rec.SnapshotDatasets, rec.SnapshotJobs)
+			}
+			fmt.Fprintf(os.Stderr, "dpc-server: journal replayed from %s: %d records, %d datasets, %d results re-served, %d jobs resumed (sealed=%t truncated=%t, %d stale records)\n",
+				from, rec.Records, rec.Datasets, rec.JobsReplayed, rec.JobsResumed, rec.Sealed, rec.Truncated, len(rec.Errors))
 		}
 		fmt.Fprintln(os.Stderr, "dpc-server: ready")
 	}()

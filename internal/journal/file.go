@@ -19,6 +19,7 @@ type FileLog struct {
 	mu     sync.Mutex
 	f      *os.File
 	seq    uint64
+	off    int64 // file offset of the next append (record-boundary aligned)
 	sync   bool
 	closed bool
 }
@@ -74,30 +75,38 @@ func OpenFile(path string, sync bool) (*FileLog, ReplayResult, error) {
 		f.Close()
 		return nil, res, err
 	}
-	l := &FileLog{f: f, sync: sync}
-	for _, rec := range res.Records {
-		if rec.Seq > l.seq {
-			l.seq = rec.Seq
+	l := &FileLog{f: f, off: res.GoodBytes, sync: sync}
+	for i := range res.Records {
+		res.Records[i].Seg = 1
+		if res.Records[i].Seq > l.seq {
+			l.seq = res.Records[i].Seq
 		}
 	}
 	return l, res, nil
 }
 
-// Append implements Log.
-func (l *FileLog) Append(kind Kind, payload []byte) error {
+// Append implements Log. A single-file log is its own segment 1, so refs
+// stay meaningful if the file is later migrated into a DirLog.
+func (l *FileLog) Append(kind Kind, payload []byte) (RecordRef, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return ErrClosed
+		return RecordRef{}, ErrClosed
 	}
 	l.seq++
-	if _, err := writeRecord(l.f, kind, l.seq, payload); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	n, err := writeRecord(l.f, kind, l.seq, payload)
+	if err != nil {
+		l.seq--
+		return RecordRef{}, fmt.Errorf("journal: append: %w", err)
 	}
+	ref := RecordRef{Seg: 1, Off: l.off}
+	l.off += int64(n)
 	if l.sync {
-		return l.f.Sync()
+		if err := l.f.Sync(); err != nil {
+			return RecordRef{}, err
+		}
 	}
-	return nil
+	return ref, nil
 }
 
 // Seal implements Log: appends the clean-shutdown marker, syncs, and
@@ -146,16 +155,17 @@ type MemLog struct {
 // NewMemLog returns an empty in-memory log.
 func NewMemLog() *MemLog { return &MemLog{} }
 
-// Append implements Log.
-func (m *MemLog) Append(kind Kind, payload []byte) error {
+// Append implements Log. Refs index into the in-memory slice (Seg stays
+// 0 — a MemLog has no durable address space).
+func (m *MemLog) Append(kind Kind, payload []byte) (RecordRef, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return ErrClosed
+		return RecordRef{}, ErrClosed
 	}
 	m.seq++
-	m.records = append(m.records, Record{Kind: kind, Seq: m.seq, Payload: append([]byte(nil), payload...)})
-	return nil
+	m.records = append(m.records, Record{Kind: kind, Seq: m.seq, Payload: append([]byte(nil), payload...), Off: int64(len(m.records))})
+	return RecordRef{Seg: 0, Off: int64(len(m.records) - 1)}, nil
 }
 
 // Seal implements Log.

@@ -79,25 +79,62 @@ type Kind uint8
 // (as the final record) to distinguish a graceful close from a crash.
 const KindSeal Kind = 0xFF
 
-// Record is one replayed journal entry.
+// RecordRef addresses one record durably: the segment it lives in and
+// the byte offset of its frame within that segment file. Refs survive a
+// restart (segments are immutable once written past), so a caller can
+// keep an index of interesting records and read any one of them back in
+// O(record) via ReadRecordAt instead of replaying the whole log. The
+// zero ref (Seg 0) means "not durably addressed" — segment numbering
+// starts at 1.
+type RecordRef struct {
+	Seg int
+	Off int64
+}
+
+// Record is one replayed journal entry. Seg and Off form its RecordRef
+// (Seg is 0 when the record was replayed from a bare stream rather than
+// a segment store).
 type Record struct {
 	Kind    Kind
 	Seq     uint64
 	Payload []byte
+	Seg     int
+	Off     int64
 }
 
+// Ref returns the record's durable address.
+func (r Record) Ref() RecordRef { return RecordRef{Seg: r.Seg, Off: r.Off} }
+
 // Log is the pluggable write-ahead log surface the serving layer journals
-// through. Implementations: FileLog (durable, the production store) and
-// MemLog (in-memory, for tests and journal-less embedding).
+// through. Implementations: DirLog (segmented, compactable — the
+// production store), FileLog (single-file, the pre-segmentation format)
+// and MemLog (in-memory, for tests and journal-less embedding).
 type Log interface {
-	// Append durably adds one record. Sequence numbers are assigned by
-	// the log, strictly increasing across Open/replay boundaries.
-	Append(kind Kind, payload []byte) error
+	// Append durably adds one record and returns its durable address.
+	// Sequence numbers are assigned by the log, strictly increasing
+	// across Open/replay boundaries.
+	Append(kind Kind, payload []byte) (RecordRef, error)
 	// Seal appends the clean-shutdown marker and closes the log.
 	Seal() error
 	// Close closes the log without sealing (the crash path, and the
 	// default on error).
 	Close() error
+}
+
+// Compactor is the optional Log extension a segmented store provides:
+// checkpointing folds the caller's state into one record at the head of
+// a fresh segment, after which the segments before it are garbage.
+type Compactor interface {
+	// Checkpoint rotates to a new segment and writes payload (under kind)
+	// as its first record, returning the record's address. Older segments
+	// stay on disk until DropBefore removes them, so a crash between the
+	// two replays the old chain plus the snapshot — never less.
+	Checkpoint(kind Kind, payload []byte) (RecordRef, error)
+	// DropBefore removes every segment numbered below seg, returning how
+	// many were deleted.
+	DropBefore(seg int) (int, error)
+	// Segments reports how many live segments the log currently holds.
+	Segments() int
 }
 
 // frameRecord builds one record's on-disk frame. Appenders write the
@@ -132,7 +169,10 @@ func writeRecord(w io.Writer, kind Kind, seq uint64, payload []byte) (int, error
 type ReplayResult struct {
 	Records []Record
 	// Sealed reports whether the final record was a clean-shutdown seal
-	// (seal records are consumed, never returned in Records).
+	// (seal records are consumed, never returned in Records). A stream
+	// that ends torn is never Sealed, even when the last intact record is
+	// a seal: a torn record after a seal means the process came back,
+	// appended, and crashed — crash semantics win.
 	Sealed bool
 	// Truncated reports that the stream ended mid-record — the crash
 	// signature. The records before the cut are complete and valid.
@@ -164,11 +204,21 @@ func Replay(r io.Reader) (ReplayResult, error) {
 		return res, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersion, version, Version)
 	}
 	res.GoodBytes = 12 // magic + version
+	// torn marks the stream as ending mid-record. A trailing seal does
+	// not survive a torn tail after it: the tear proves a later life
+	// appended past the seal and crashed, so the stream as a whole ended
+	// in a crash, not a clean shutdown.
+	torn := func() (ReplayResult, error) {
+		res.Truncated = true
+		res.Sealed = false
+		return res, nil
+	}
 	for {
+		off := res.GoodBytes
 		var hdr [13]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err != io.EOF {
-				res.Truncated = true
+				return torn()
 			}
 			return res, nil
 		}
@@ -180,13 +230,11 @@ func Replay(r io.Reader) (ReplayResult, error) {
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			res.Truncated = true
-			return res, nil
+			return torn()
 		}
 		var check [8]byte
 		if _, err := io.ReadFull(br, check[:]); err != nil {
-			res.Truncated = true
-			return res, nil
+			return torn()
 		}
 		sum := fnv.New64a()
 		sum.Write(hdr[:])
@@ -202,6 +250,6 @@ func Replay(r io.Reader) (ReplayResult, error) {
 			continue
 		}
 		res.Sealed = false
-		res.Records = append(res.Records, Record{Kind: kind, Seq: seq, Payload: payload})
+		res.Records = append(res.Records, Record{Kind: kind, Seq: seq, Payload: payload, Off: off})
 	}
 }

@@ -14,7 +14,7 @@ import (
 func appendN(t *testing.T, l Log, n, base int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		if err := l.Append(Kind(1+i%3), fmt.Appendf(nil, "payload-%03d", base+i)); err != nil {
+		if _, err := l.Append(Kind(1+i%3), fmt.Appendf(nil, "payload-%03d", base+i)); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -114,7 +114,7 @@ func TestTruncatedTailRecovers(t *testing.T) {
 			t.Fatalf("cut %d: recovered %d records, want 4", cut, len(res.Records))
 		}
 		// The repaired journal must keep working: append and re-replay.
-		if err := l2.Append(9, []byte("after-repair")); err != nil {
+		if _, err := l2.Append(9, []byte("after-repair")); err != nil {
 			t.Fatalf("cut %d: append after repair: %v", cut, err)
 		}
 		if err := l2.Close(); err != nil {
@@ -226,7 +226,7 @@ func TestMemLog(t *testing.T) {
 	if !m.Sealed() {
 		t.Error("seal not recorded")
 	}
-	if err := m.Append(1, nil); !errors.Is(err, ErrClosed) {
+	if _, err := m.Append(1, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("append after seal: %v, want ErrClosed", err)
 	}
 	if got := m.Records(); len(got) != 3 || string(got[1].Payload) != "payload-001" {

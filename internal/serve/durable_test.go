@@ -79,10 +79,10 @@ func TestJournalResumesQueuedJobs(t *testing.T) {
 	}
 	put, _ := json.Marshal(walDataset{Name: "tbl", Kind: KindTable, Points: testPoints(200, 3, 3)})
 	sub, _ := json.Marshal(walSubmit{ID: "job-000007", Spec: JobSpec{Dataset: "tbl", K: 3, T: 2, Seed: 1}, Submitted: time.Now()})
-	if err := jl.Append(recDatasetPut, put); err != nil {
+	if _, err := jl.Append(recDatasetPut, put); err != nil {
 		t.Fatal(err)
 	}
-	if err := jl.Append(recJobSubmit, sub); err != nil {
+	if _, err := jl.Append(recJobSubmit, sub); err != nil {
 		t.Fatal(err)
 	}
 	if err := jl.Close(); err != nil { // crash: no seal

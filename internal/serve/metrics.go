@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+
+	"dpc/internal/journal"
 )
 
 // counters are the server's monotonic job counters.
@@ -18,6 +20,9 @@ type counters struct {
 	jobsEvicted       atomic.Int64 // finished jobs dropped by the TTL GC
 	journalAppended   atomic.Int64 // records written to the WAL
 	journalReplayed   atomic.Int64 // records replayed at the last Recover
+	journalReads      atomic.Int64 // point reads of journaled records (evicted-job fetches)
+	snapshots         atomic.Int64 // snapshot checkpoints written by Compact
+	segmentsGCd       atomic.Int64 // superseded journal segments deleted
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -73,6 +78,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE dpc_journal_records_total counter\n")
 	p("dpc_journal_records_total{event=\"appended\"} %d\n", s.counters.journalAppended.Load())
 	p("dpc_journal_records_total{event=\"replayed\"} %d\n", s.counters.journalReplayed.Load())
+
+	p("# HELP dpc_journal_record_reads_total Point reads of journaled records (fetches of TTL-evicted finished jobs).\n")
+	p("# TYPE dpc_journal_record_reads_total counter\n")
+	p("dpc_journal_record_reads_total %d\n", s.counters.journalReads.Load())
+
+	p("# HELP dpc_snapshot_writes_total Snapshot checkpoints written by compaction.\n")
+	p("# TYPE dpc_snapshot_writes_total counter\n")
+	p("dpc_snapshot_writes_total %d\n", s.counters.snapshots.Load())
+
+	p("# HELP dpc_snapshot_segments_gcd_total Superseded journal segments deleted by compaction GC.\n")
+	p("# TYPE dpc_snapshot_segments_gcd_total counter\n")
+	p("dpc_snapshot_segments_gcd_total %d\n", s.counters.segmentsGCd.Load())
+
+	s.mu.Lock()
+	jnl := s.jnl
+	s.mu.Unlock()
+	if comp, ok := jnl.(journal.Compactor); ok {
+		p("# HELP dpc_journal_segments Journal segment files currently on disk.\n")
+		p("# TYPE dpc_journal_segments gauge\n")
+		p("dpc_journal_segments %d\n", comp.Segments())
+	}
 
 	p("# HELP dpc_jobs_queued Jobs waiting for a scheduler slot.\n")
 	p("# TYPE dpc_jobs_queued gauge\n")

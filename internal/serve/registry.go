@@ -363,6 +363,21 @@ func (r *Registry) List() []DatasetInfo {
 	return infos
 }
 
+// All returns every dataset sorted by name (the snapshot writer walks
+// them; List returns summaries instead).
+func (r *Registry) All() []*Dataset {
+	var all []*Dataset
+	for _, s := range r.segs {
+		s.mu.RLock()
+		for _, d := range s.ds {
+			all = append(all, d)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	return all
+}
+
 // Count returns the number of registered datasets (metrics).
 func (r *Registry) Count() int {
 	n := 0
@@ -538,6 +553,18 @@ func (r *Registry) AddRemoteGroup(name string, coord *transport.Coordinator) err
 // shard caches age out) or feeds them to a stream sketch. Remote datasets
 // ingest at the sites, not through the server.
 func (r *Registry) Append(name string, pts []metric.Point) (DatasetInfo, error) {
+	return r.AppendJournaled(name, pts, nil)
+}
+
+// AppendJournaled is Append with a write-ahead hook: after validation and
+// before any state changes, journal (when non-nil) runs under the dataset
+// lock. If it fails, nothing is applied — the journaled log and the
+// in-memory state never diverge in either direction. Holding the dataset
+// lock across the hook also pins journal order to apply order: two
+// concurrent appends to one stream sketch journal in exactly the order
+// their points entered the sketch, so replay reproduces the summary bit
+// for bit.
+func (r *Registry) AppendJournaled(name string, pts []metric.Point, journal func() error) (DatasetInfo, error) {
 	d, err := r.Get(name)
 	if err != nil {
 		return DatasetInfo{}, err
@@ -545,15 +572,17 @@ func (r *Registry) Append(name string, pts []metric.Point) (DatasetInfo, error) 
 	if len(pts) == 0 {
 		return DatasetInfo{}, fmt.Errorf("serve: append to %q: no points", name)
 	}
-	if err := r.appendLocked(d, pts); err != nil {
+	if err := r.appendLocked(d, pts, journal); err != nil {
 		return DatasetInfo{}, err
 	}
 	return d.Info(), nil
 }
 
 // appendLocked performs the append under the dataset lock (deferred, so a
-// panicking solver path can never wedge the mutex).
-func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
+// panicking solver path can never wedge the mutex): validate, journal,
+// then apply — a record is never written for points that fail validation,
+// and points are never applied that the journal did not accept.
+func (r *Registry) appendLocked(d *Dataset, pts []metric.Point, journal func() error) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	switch d.kind {
@@ -561,6 +590,31 @@ func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
 		if err := validatePoints(pts, d.dim); err != nil {
 			return fmt.Errorf("serve: append to %q: %w", d.name, err)
 		}
+	case KindStream:
+		// The sketch distance code assumes one dimension; pin it on first
+		// append and reject mismatches here, where they fail cleanly.
+		dim := d.dim
+		if dim == 0 {
+			if len(pts[0]) == 0 {
+				return fmt.Errorf("serve: append to %q: point 0 is empty", d.name)
+			}
+			dim = pts[0].Dim()
+		}
+		if err := validatePoints(pts, dim); err != nil {
+			return fmt.Errorf("serve: append to %q: %w", d.name, err)
+		}
+	case KindUncertain:
+		return fmt.Errorf("serve: dataset %q is uncertain; nodes are fixed at registration (register a new dataset to change them)", d.name)
+	default:
+		return fmt.Errorf("serve: dataset %q is %s; append its data at the sites", d.name, d.kind)
+	}
+	if journal != nil {
+		if err := journal(); err != nil {
+			return err
+		}
+	}
+	switch d.kind {
+	case KindTable:
 		// Seal the appended points as one new chunk: sealed chunks are
 		// immutable, running jobs hold chunk-list snapshots capped at their
 		// length, and nothing is ever copied — append cost is O(appended),
@@ -569,24 +623,12 @@ func (r *Registry) appendLocked(d *Dataset, pts []metric.Point) error {
 		d.n += len(pts)
 		d.version = r.nextVersion()
 	case KindStream:
-		// The sketch distance code assumes one dimension; pin it on first
-		// append and reject mismatches here, where they fail cleanly.
 		if d.dim == 0 {
-			if len(pts[0]) == 0 {
-				return fmt.Errorf("serve: append to %q: point 0 is empty", d.name)
-			}
 			d.dim = pts[0].Dim()
-		}
-		if err := validatePoints(pts, d.dim); err != nil {
-			return fmt.Errorf("serve: append to %q: %w", d.name, err)
 		}
 		for _, p := range pts {
 			d.sketch.Add(p)
 		}
-	case KindUncertain:
-		return fmt.Errorf("serve: dataset %q is uncertain; nodes are fixed at registration (register a new dataset to change them)", d.name)
-	default:
-		return fmt.Errorf("serve: dataset %q is %s; append its data at the sites", d.name, d.kind)
 	}
 	return nil
 }

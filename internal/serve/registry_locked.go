@@ -141,7 +141,7 @@ func (r *Registry) StoreAppend(name string, pts []metric.Point) error {
 	if err != nil {
 		return err
 	}
-	return r.appendLocked(d, pts)
+	return r.appendLocked(d, pts, nil)
 }
 
 // StoreSnapshot implements TableStore.

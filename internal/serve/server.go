@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,14 +50,27 @@ type Config struct {
 	WarmOnRegister bool
 	// JournalDir, when set, enables the write-ahead journal: dataset
 	// mutations, job submissions, transitions and finished results append
-	// to JournalDir/dpc.wal, and Recover replays them so a restarted
-	// server resumes its queue and re-serves finished results with zero
-	// recompute. Shutdown seals the journal (clean-shutdown marker).
+	// to rotating segment files (journal-000001.dpcj, …) under JournalDir,
+	// and Recover replays them so a restarted server resumes its queue and
+	// re-serves finished results with zero recompute. A directory holding
+	// a pre-segmentation dpc.wal is migrated in place. Shutdown seals the
+	// journal (clean-shutdown marker).
 	JournalDir string
 	// JournalSync fsyncs every journal append (power-loss durability). Off
 	// by default: a process kill never loses acknowledged records either
 	// way, only the machine dying can.
 	JournalSync bool
+	// SegmentBytes is the journal's segment-rotation threshold (0 = the
+	// journal package's 64 MiB default). Smaller segments mean finer-
+	// grained GC after a snapshot; the replica smoke uses tiny ones to
+	// force multi-segment logs quickly.
+	SegmentBytes int64
+	// CompactEvery, when positive (and JournalDir is set), writes a
+	// snapshot checkpoint on this cadence and GCs the segments it
+	// supersedes, bounding both journal size and restart replay time.
+	// Server.Compact (POST /v1/admin/compact) triggers one on demand
+	// regardless.
+	CompactEvery time.Duration
 	// DeferRecovery skips replay inside NewChecked: the server starts
 	// not-ready (mutations rejected with code "not_ready") until the
 	// caller runs Recover — how cmd/dpc-server serves /livez while a large
@@ -121,11 +133,27 @@ type Server struct {
 	quotas   *quotas  // per-client admission buckets (guarded by mu)
 
 	// jnl is the write-ahead journal (nil when journaling is off);
-	// jnlPath is its file for read-side lookups of evicted jobs.
-	jnl      journal.Log
-	jnlPath  string
-	ready    atomic.Bool
-	recovery RecoveryStats
+	// jnlDir is its segment directory for read-side record lookups.
+	// finishIdx maps finished job ids to the durable address of their
+	// terminal record (or of the snapshot carrying them), so a fetch of a
+	// TTL-evicted result reads one record instead of replaying the log;
+	// compaction prunes entries whose records it GC'd. Guarded by mu.
+	jnl       journal.Log
+	jnlDir    string
+	finishIdx map[string]journal.RecordRef
+	ready     atomic.Bool
+	recovery  RecoveryStats
+
+	// snapMu is the snapshot barrier: dataset mutators hold it shared
+	// across their {journal, apply} pair (never nested — journalAppend
+	// itself does not take it), and Compact holds it exclusively across
+	// {capture state, checkpoint}, so a snapshot plus its suffix always
+	// replays to exactly the acknowledged state. Lock order: snapMu
+	// before mu or any dataset lock.
+	snapMu sync.RWMutex
+	// compactedAt is the journalAppended count at the last snapshot; the
+	// compaction loop skips a tick when nothing was appended since.
+	compactedAt atomic.Int64
 
 	spillOnce sync.Once
 	sealOnce  sync.Once
@@ -151,18 +179,22 @@ func New(cfg Config) *Server {
 func NewChecked(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    NewRegistrySharded(cfg.MaxCacheBytes, cfg.RegistryShards),
-		pool:   par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
-		jobs:   make(map[string]*Job),
-		quotas: newQuotas(cfg.QuotaBurst, cfg.QuotaPerSec),
-		start:  time.Now(),
+		cfg:       cfg,
+		reg:       NewRegistrySharded(cfg.MaxCacheBytes, cfg.RegistryShards),
+		pool:      par.NewPool(cfg.MaxConcurrentJobs, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		finishIdx: make(map[string]journal.RecordRef),
+		quotas:    newQuotas(cfg.QuotaBurst, cfg.QuotaPerSec),
+		start:     time.Now(),
 	}
 	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
 	if cfg.JobTTL > 0 || cfg.MaxQueueWait > 0 {
 		go s.gcLoop()
+	}
+	if cfg.CompactEvery > 0 && cfg.JournalDir != "" {
+		go s.compactLoop()
 	}
 	if cfg.DeferRecovery {
 		return s, nil
@@ -190,8 +222,10 @@ func (s *Server) Recover() error {
 		}
 	}
 	if s.cfg.JournalDir != "" {
-		path := filepath.Join(s.cfg.JournalDir, "dpc.wal")
-		jl, res, err := journal.OpenFile(path, s.cfg.JournalSync)
+		jl, res, err := journal.OpenDir(s.cfg.JournalDir, journal.DirOptions{
+			Sync:         s.cfg.JournalSync,
+			SegmentBytes: s.cfg.SegmentBytes,
+		})
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -202,7 +236,7 @@ func (s *Server) Recover() error {
 			// must journal. Replay itself never journals (its records are
 			// already in the log).
 			s.mu.Lock()
-			s.jnl, s.jnlPath = jl, path
+			s.jnl, s.jnlDir = jl, s.cfg.JournalDir
 			s.mu.Unlock()
 			stats := s.applyWAL(res.Records)
 			stats.Sealed = res.Sealed
@@ -210,6 +244,14 @@ func (s *Server) Recover() error {
 			s.mu.Lock()
 			s.recovery = stats
 			s.mu.Unlock()
+			// Finish an interrupted GC: a crash between Checkpoint and
+			// DropBefore leaves superseded segments on disk; replay skipped
+			// them, so drop them now.
+			if stats.SnapshotSegment > 0 {
+				if n, err := jl.DropBefore(stats.SnapshotSegment); err == nil {
+					s.counters.segmentsGCd.Add(int64(n))
+				}
+			}
 		}
 	}
 	s.ready.Store(true)
@@ -437,6 +479,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/centers.csv", s.handleJobCentersCSV)
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 }
 
 // Stable machine-readable error codes of the /v1 API. Clients switch on
@@ -644,6 +687,12 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
 		return
 	}
+	// Snapshot barrier: hold the registration and its journal records
+	// together so a concurrent checkpoint never captures one without the
+	// other (a dataset present in the snapshot AND re-registered by a
+	// suffix record would fail replay as a duplicate).
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 
@@ -740,7 +789,7 @@ func (s *Server) finishCreateDataset(w http.ResponseWriter, r *http.Request, d *
 		return
 	}
 	if len(seed) > 0 {
-		if err := s.journalAppend(recDatasetAppend, walAppend{Name: d.Name(), Points: seed}); err != nil {
+		if _, err := s.journalAppend(recDatasetAppend, walAppend{Name: d.Name(), Points: seed}); err != nil {
 			s.reg.Delete(d.Name())
 			apiError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
@@ -769,12 +818,16 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
 		return
 	}
+	// Snapshot barrier: the delete and its record stay on the same side of
+	// any checkpoint (see handleCreateDataset).
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	name := r.PathValue("name")
 	if err := s.reg.Delete(name); err != nil {
 		registerError(w, err)
 		return
 	}
-	if err := s.journalAppend(recDatasetDelete, walDelete{Name: name}); err != nil {
+	if _, err := s.journalAppend(recDatasetDelete, walDelete{Name: name}); err != nil {
 		// The dataset is gone from memory either way; a replay would
 		// resurrect it. Surface the durability hole instead of a 204.
 		apiError(w, http.StatusInternalServerError, CodeInternal, err)
@@ -813,16 +866,25 @@ func (s *Server) handleAppendPoints(w http.ResponseWriter, r *http.Request) {
 		}
 		pts = rowsToPoints(req.Points)
 	}
-	info, err := s.reg.Append(name, pts)
+	// Journal-before-apply under the snapshot barrier: the record lands
+	// only after validation but before the points become visible, so a
+	// journal failure leaves memory untouched (no acknowledged-but-
+	// undurable append, and no unjournaled points squatting in the
+	// dataset — appends have no rollback). AppendJournaled runs the hook
+	// under the dataset lock, so record order equals apply order.
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	var jerr error
+	info, err := s.reg.AppendJournaled(name, pts, func() error {
+		_, jerr = s.journalAppend(recDatasetAppend, walAppend{Name: name, Points: pointsToRows(pts)})
+		return jerr
+	})
 	if err != nil {
+		if jerr != nil {
+			apiError(w, http.StatusInternalServerError, CodeInternal, jerr)
+			return
+		}
 		registerError(w, err)
-		return
-	}
-	if err := s.journalAppend(recDatasetAppend, walAppend{Name: name, Points: pointsToRows(pts)}); err != nil {
-		// The points are in (no append rollback exists); report the
-		// durability hole rather than acknowledging a write the journal
-		// does not hold.
-		apiError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -871,7 +933,7 @@ func (s *Server) Submit(spec JobSpec) (Job, error) {
 	// Journal the submission before the job becomes runnable: once a
 	// worker can pick it up, its start/finish records may race ahead of
 	// this one, and the log should read submit → start → finish.
-	if err := s.journalAppend(recJobSubmit, walSubmit{ID: job.ID, Spec: spec, Submitted: now}); err != nil {
+	if _, err := s.journalAppend(recJobSubmit, walSubmit{ID: job.ID, Spec: spec, Submitted: now}); err != nil {
 		s.mu.Lock()
 		job.Status = StatusFailed
 		job.Error = err.Error()
@@ -1031,16 +1093,141 @@ func (s *Server) execute(job *Job) {
 
 // journalFinish records a job's terminal state (no-op without a journal).
 // The spec rides along so the finish record alone reconstructs the job
-// after its in-memory entry is evicted.
+// after its in-memory entry is evicted; the record's durable address goes
+// into the finish index so that lookup costs one record read.
 func (s *Server) journalFinish(j *Job) {
 	if j.Finished == nil {
 		return
 	}
-	s.journalAppend(recJobFinish, walFinish{
-		ID: j.ID, Spec: j.Spec, Status: j.Status,
-		Error: j.Error, ErrorCode: j.ErrorCode, Result: j.Result,
-		Submitted: j.Submitted, Started: j.Started, Finished: *j.Finished,
-	})
+	ref, err := s.journalAppend(recJobFinish, jobToWalFinish(j))
+	if err == nil && ref.Seg > 0 {
+		s.mu.Lock()
+		s.finishIdx[j.ID] = ref
+		s.mu.Unlock()
+	}
+}
+
+// CompactStats summarizes one compaction pass (the POST /v1/admin/compact
+// response body).
+type CompactStats struct {
+	// Segment is the fresh segment the snapshot checkpoint opened;
+	// everything below it was superseded.
+	Segment int `json:"segment"`
+	// Datasets, Jobs and Queued count what the snapshot captured.
+	Datasets int `json:"datasets"`
+	Jobs     int `json:"jobs"`
+	Queued   int `json:"queued"`
+	// SegmentsRemoved is how many superseded segments this pass deleted;
+	// Segments is how many remain on disk.
+	SegmentsRemoved int `json:"segments_removed"`
+	Segments        int `json:"segments"`
+}
+
+// Compact writes a snapshot checkpoint — the complete registry and job
+// state as one record opening a fresh segment — and deletes the segments
+// it supersedes. Replay after it restores from the snapshot plus the
+// suffix behind it, so journal size and restart time stay bounded by live
+// state, not by history. Requires a directory journal (ErrNoJournal-ish
+// error otherwise); safe to call concurrently with serving traffic.
+func (s *Server) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	jnl := s.jnl
+	s.mu.Unlock()
+	comp, ok := jnl.(journal.Compactor)
+	if !ok {
+		return CompactStats{}, errors.New("serve: compaction requires a segmented journal (start with -journal-dir)")
+	}
+	// Read the append count before the snapshot: appends that land while
+	// it is built count as new work for the next cadence check.
+	appended := s.counters.journalAppended.Load()
+
+	// Exclusive barrier: no {journal, apply} pair is in flight while the
+	// state is captured and the checkpoint written, so snapshot + suffix
+	// replays to exactly the acknowledged state. Job transitions don't
+	// take the barrier — they apply before journaling, so the snapshot's
+	// memory view is always a superset of any job record it supersedes,
+	// and replay dedupes by job id.
+	s.snapMu.Lock()
+	snap := s.buildSnapshot()
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		s.snapMu.Unlock()
+		return CompactStats{}, fmt.Errorf("serve: snapshot encode: %w", err)
+	}
+	ref, err := comp.Checkpoint(recSnapshot, payload)
+	s.snapMu.Unlock()
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("serve: snapshot checkpoint: %w", err)
+	}
+	s.counters.snapshots.Add(1)
+	s.compactedAt.Store(appended)
+
+	// Re-point the finish index before the GC: snapshot-carried jobs now
+	// resolve via the checkpoint record; entries still referencing
+	// soon-to-be-deleted segments are dropped (their jobs were TTL-evicted
+	// before this snapshot, so their results leave the log with the
+	// segments that held them).
+	s.mu.Lock()
+	for i := range snap.Jobs {
+		s.finishIdx[snap.Jobs[i].ID] = ref
+	}
+	for id, r := range s.finishIdx {
+		if r.Seg < ref.Seg {
+			delete(s.finishIdx, id)
+		}
+	}
+	s.mu.Unlock()
+
+	removed, err := comp.DropBefore(ref.Seg)
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("serve: segment GC: %w", err)
+	}
+	s.counters.segmentsGCd.Add(int64(removed))
+	return CompactStats{
+		Segment:  ref.Seg,
+		Datasets: len(snap.Datasets),
+		Jobs:     len(snap.Jobs),
+		Queued:   len(snap.Queued),
+
+		SegmentsRemoved: removed,
+		Segments:        comp.Segments(),
+	}, nil
+}
+
+// compactLoop drives the CompactEvery cadence: one compaction per tick,
+// skipped while the server is still recovering or when nothing was
+// journaled since the last snapshot (an idle server does not rewrite its
+// checkpoint forever). Exits with warmCtx on Shutdown.
+func (s *Server) compactLoop() {
+	tick := time.NewTicker(s.cfg.CompactEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.warmCtx.Done():
+			return
+		case <-tick.C:
+			if !s.ready.Load() {
+				continue
+			}
+			if s.counters.journalAppended.Load() == s.compactedAt.Load() {
+				continue
+			}
+			s.Compact()
+		}
+	}
+}
+
+// handleCompact triggers one on-demand compaction (POST /v1/admin/compact).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
+	stats, err := s.Compact()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // sealJournal writes the clean-shutdown marker and closes the log.

@@ -3,13 +3,13 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"dpc/internal/journal"
 	"dpc/internal/metric"
+	"dpc/internal/stream"
 	"dpc/internal/uncertain"
 )
 
@@ -28,6 +28,11 @@ const (
 	recJobSubmit     journal.Kind = 4
 	recJobStart      journal.Kind = 5
 	recJobFinish     journal.Kind = 6
+	// recSnapshot is a checkpoint: the complete registry + job state as of
+	// one instant, written as the first record of a fresh segment by
+	// Server.Compact. Replay restores from the last snapshot and applies
+	// only the records after it; segments before it are garbage.
+	recSnapshot journal.Kind = 7
 )
 
 // walNode is one uncertain node in canonical journal form: support
@@ -41,7 +46,11 @@ type walNode struct {
 
 // walDataset is a dataset registration record: the union of the three
 // journalable kinds (table points, stream sketch shape, uncertain
-// ground + nodes).
+// ground + nodes). Inside a snapshot the same shape carries the full
+// current state instead of the registration-time one: table Points are
+// the whole grown table, and the stream fields below capture the
+// sketch's exact internal state so a restore skips re-ingesting (and
+// re-compressing) the absorbed appends.
 type walDataset struct {
 	Name   string      `json:"name"`
 	Kind   DatasetKind `json:"kind"`
@@ -53,6 +62,28 @@ type walDataset struct {
 	Chunk  int         `json:"chunk,omitempty"`
 	Means  bool        `json:"means,omitempty"`
 	Seed   int64       `json:"seed,omitempty"`
+
+	// Snapshot-only stream sketch state: the weighted summary buffer plus
+	// the counters that keep future compressions deterministic
+	// (stream.State). A registration record leaves them empty.
+	Summary      [][]float64 `json:"summary,omitempty"`
+	Weights      []float64   `json:"weights,omitempty"`
+	Compressions int         `json:"compressions,omitempty"`
+	Ingested     int         `json:"ingested,omitempty"`
+	Dim          int         `json:"dim,omitempty"`
+}
+
+// walSnapshot is a checkpoint record's payload: every dataset's full
+// state (remote datasets excepted — they are live TCP connections
+// re-established by dpc-site's redial loop), every finished job still
+// retained in memory, every queued-or-running job (replay requeues
+// running jobs — their work died with the process), and the job-id
+// sequence floor so compaction can never cause an id to be reissued.
+type walSnapshot struct {
+	Datasets []walDataset `json:"datasets,omitempty"`
+	Jobs     []walFinish  `json:"jobs,omitempty"`
+	Queued   []walSubmit  `json:"queued,omitempty"`
+	Seq      int          `json:"seq"`
 }
 
 // walAppend is a dataset append record.
@@ -94,25 +125,31 @@ type walFinish struct {
 	Finished  time.Time  `json:"finished"`
 }
 
-// journalAppend marshals v and appends it under kind. A nil journal is a
-// no-op (journaling is opt-in); an append error is returned so callers
-// decide whether to roll the mutation back or degrade.
-func (s *Server) journalAppend(kind journal.Kind, v any) error {
+// journalAppend marshals v and appends it under kind, returning the
+// record's durable address. A nil journal is a no-op (journaling is
+// opt-in; the zero ref means "not journaled"); an append error is
+// returned so callers decide whether to roll the mutation back or
+// degrade. Callers that mutate-then-journal (or journal-then-mutate)
+// around a ref-addressable record hold s.snapMu.RLock across the pair so
+// a concurrent snapshot never splits them; journalAppend itself takes no
+// barrier, which keeps the read-lock non-reentrant.
+func (s *Server) journalAppend(kind journal.Kind, v any) (journal.RecordRef, error) {
 	s.mu.Lock()
 	jnl := s.jnl
 	s.mu.Unlock()
 	if jnl == nil {
-		return nil
+		return journal.RecordRef{}, nil
 	}
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("serve: journal encode: %w", err)
+		return journal.RecordRef{}, fmt.Errorf("serve: journal encode: %w", err)
 	}
-	if err := jnl.Append(kind, payload); err != nil {
-		return fmt.Errorf("serve: journal append: %w", err)
+	ref, err := jnl.Append(kind, payload)
+	if err != nil {
+		return journal.RecordRef{}, fmt.Errorf("serve: journal append: %w", err)
 	}
 	s.counters.journalAppended.Add(1)
-	return nil
+	return ref, nil
 }
 
 // journalDataset records a successful registration. The canonical forms
@@ -123,7 +160,8 @@ func (s *Server) journalAppend(kind journal.Kind, v any) error {
 func (s *Server) journalDataset(d *Dataset, wd walDataset) error {
 	wd.Name = d.Name()
 	wd.Kind = d.Kind()
-	return s.journalAppend(recDatasetPut, wd)
+	_, err := s.journalAppend(recDatasetPut, wd)
+	return err
 }
 
 // walTablePoints converts registered points to journal rows.
@@ -143,8 +181,21 @@ func walUncertain(g *uncertain.Ground, nodes []uncertain.Node) ([][]float64, []w
 
 // RecoveryStats summarizes one journal replay.
 type RecoveryStats struct {
-	// Records is how many journal records were replayed.
+	// Records is how many journal records were applied: the snapshot (if
+	// any) counts as one, plus every record after it. Records before the
+	// last snapshot are superseded and not counted (after compaction GC
+	// they are not even on disk).
 	Records int
+	// FromSnapshot reports that replay restored from a checkpoint record
+	// plus the suffix after it, rather than the whole history.
+	FromSnapshot bool
+	// SnapshotSegment is the segment holding the snapshot restored from
+	// (0 without one); segments below it are garbage.
+	SnapshotSegment int
+	// SnapshotDatasets and SnapshotJobs count what the snapshot itself
+	// restored (suffix records may add more).
+	SnapshotDatasets int
+	SnapshotJobs     int
 	// Datasets is how many datasets exist after replay (registrations
 	// minus deletes).
 	Datasets int
@@ -167,22 +218,112 @@ type RecoveryStats struct {
 type walJob struct {
 	submit walSubmit
 	finish *walFinish
+	ref    journal.RecordRef // durable address of the finish record (or the snapshot carrying it)
+}
+
+// restoreDataset re-registers one journaled dataset. For a snapshot's
+// walDataset the stream sketch state is restored exactly (summary,
+// weights, compression and ingest counters), so the replayed sketch
+// answers every future Add/Query bit-identically to the one that
+// checkpointed; registration records leave those fields empty and
+// restore the empty sketch the original registration created.
+func (s *Server) restoreDataset(wd walDataset) error {
+	switch wd.Kind {
+	case KindTable:
+		_, err := s.reg.RegisterTable(wd.Name, rowsToPoints(wd.Points))
+		return err
+	case KindStream:
+		d, err := s.reg.RegisterStream(wd.Name, wd.K, wd.T, wd.Chunk, wd.Means, wd.Seed)
+		if err != nil {
+			return err
+		}
+		if wd.Ingested > 0 || len(wd.Summary) > 0 {
+			d.mu.Lock()
+			d.sketch.LoadState(stream.State{
+				Points: rowsToPoints(wd.Summary), Weights: wd.Weights,
+				Compressions: wd.Compressions, N: wd.Ingested,
+			})
+			d.dim = wd.Dim
+			d.mu.Unlock()
+		}
+		return nil
+	case KindUncertain:
+		g := &uncertain.Ground{Pts: rowsToPoints(wd.Ground)}
+		nodes := make([]uncertain.Node, len(wd.Nodes))
+		for i, wn := range wd.Nodes {
+			nodes[i] = uncertain.Node{Support: wn.Support, Prob: wn.Probs}
+		}
+		_, err := s.reg.RegisterUncertain(wd.Name, g, nodes)
+		return err
+	default:
+		return fmt.Errorf("unreplayable kind %q", wd.Kind)
+	}
 }
 
 // applyWAL replays journal records into the registry and job store. It
 // runs before the server is ready (no API traffic, no journaling of the
-// mutations it applies — they are already in the log). Unfinished jobs
-// are requeued through the scheduler exactly as a fresh submission,
-// except that no new submit record is written.
+// mutations it applies — they are already in the log). When the records
+// contain a snapshot checkpoint, state restores from the latest one and
+// only the records after it apply — restart cost is O(state + suffix),
+// not O(history). Unfinished jobs are requeued through the scheduler
+// exactly as a fresh submission, except that no new submit record is
+// written.
 func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
 	var stats RecoveryStats
-	stats.Records = len(records)
 	jobs := make(map[string]*walJob)
 	var order []string
 	oops := func(format string, args ...any) {
 		stats.Errors = append(stats.Errors, fmt.Sprintf(format, args...))
 	}
-	for _, rec := range records {
+
+	// Restore from the latest decodable snapshot; everything before it is
+	// superseded (normally already GC'd from disk — a crash between
+	// Checkpoint and DropBefore leaves the old chain, which replay skips).
+	var snapSeq int
+	snapAt := -1
+	for i := len(records) - 1; i >= 0; i-- {
+		if records[i].Kind != recSnapshot {
+			continue
+		}
+		var snap walSnapshot
+		if err := json.Unmarshal(records[i].Payload, &snap); err != nil {
+			oops("snapshot record seq %d: %v", records[i].Seq, err)
+			continue
+		}
+		snapAt = i
+		stats.FromSnapshot = true
+		stats.SnapshotSegment = records[i].Seg
+		snapSeq = snap.Seq
+		for _, wd := range snap.Datasets {
+			if err := s.restoreDataset(wd); err != nil {
+				oops("snapshot dataset %q: %v", wd.Name, err)
+			}
+		}
+		stats.SnapshotDatasets = len(snap.Datasets)
+		for _, wf := range snap.Jobs {
+			wf := wf
+			jobs[wf.ID] = &walJob{
+				submit: walSubmit{ID: wf.ID, Spec: wf.Spec, Submitted: wf.Submitted},
+				finish: &wf,
+				ref:    records[i].Ref(),
+			}
+			order = append(order, wf.ID)
+		}
+		stats.SnapshotJobs = len(snap.Jobs)
+		for _, ws := range snap.Queued {
+			if _, ok := jobs[ws.ID]; !ok {
+				jobs[ws.ID] = &walJob{submit: ws}
+				order = append(order, ws.ID)
+			}
+		}
+		break
+	}
+	stats.Records = len(records) - (snapAt + 1)
+	if snapAt >= 0 {
+		stats.Records++ // the snapshot itself counts as one applied record
+	}
+
+	for _, rec := range records[snapAt+1:] {
 		switch rec.Kind {
 		case recDatasetPut:
 			var wd walDataset
@@ -190,23 +331,7 @@ func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
 				oops("dataset record seq %d: %v", rec.Seq, err)
 				continue
 			}
-			var err error
-			switch wd.Kind {
-			case KindTable:
-				_, err = s.reg.RegisterTable(wd.Name, rowsToPoints(wd.Points))
-			case KindStream:
-				_, err = s.reg.RegisterStream(wd.Name, wd.K, wd.T, wd.Chunk, wd.Means, wd.Seed)
-			case KindUncertain:
-				g := &uncertain.Ground{Pts: rowsToPoints(wd.Ground)}
-				nodes := make([]uncertain.Node, len(wd.Nodes))
-				for i, wn := range wd.Nodes {
-					nodes[i] = uncertain.Node{Support: wn.Support, Prob: wn.Probs}
-				}
-				_, err = s.reg.RegisterUncertain(wd.Name, g, nodes)
-			default:
-				err = fmt.Errorf("unreplayable kind %q", wd.Kind)
-			}
-			if err != nil {
+			if err := s.restoreDataset(wd); err != nil {
 				oops("dataset %q: %v", wd.Name, err)
 			}
 		case recDatasetAppend:
@@ -233,10 +358,15 @@ func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
 				oops("submit record seq %d: %v", rec.Seq, err)
 				continue
 			}
-			if _, ok := jobs[ws.ID]; !ok {
+			if wj, ok := jobs[ws.ID]; ok {
+				// Already known (the snapshot captured the job between its
+				// in-memory creation and this record landing); keep any
+				// finish state, refresh the submission detail.
+				wj.submit = ws
+			} else {
 				order = append(order, ws.ID)
+				jobs[ws.ID] = &walJob{submit: ws}
 			}
-			jobs[ws.ID] = &walJob{submit: ws}
 		case recJobStart:
 			// Present for the record (operators reading the log see the
 			// transition); replay treats started-unfinished like queued —
@@ -256,10 +386,17 @@ func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
 				order = append(order, wf.ID)
 			}
 			wj.finish = &wf
+			wj.ref = rec.Ref()
 		}
 	}
 
 	s.mu.Lock()
+	// The snapshot's sequence floor guards against id reuse: compaction
+	// drops evicted jobs' records, so without it a restarted server could
+	// count only the surviving ids and reissue one a client still holds.
+	if snapSeq > s.seq {
+		s.seq = snapSeq
+	}
 	for _, id := range order {
 		wj := jobs[id]
 		if n := jobNumber(id); n > s.seq {
@@ -273,6 +410,9 @@ func (s *Server) applyWAL(records []journal.Record) RecoveryStats {
 				Error: wf.Error, ErrorCode: wf.ErrorCode, Result: wf.Result,
 				Submitted: wf.Submitted, Started: wf.Started, Finished: &fin,
 				Replayed: true,
+			}
+			if wj.ref.Seg > 0 {
+				s.finishIdx[id] = wj.ref
 			}
 			s.order = append(s.order, id)
 			stats.JobsReplayed++
@@ -307,45 +447,117 @@ func jobNumber(id string) int {
 	return n
 }
 
-// jobFromJournal looks a job up in the journal file — the fetch path for
-// results whose in-memory entry was evicted by the TTL GC. It reads the
-// log from disk (concurrent appends are safe: records are written with
-// single atomic writes, and a torn tail simply ends the scan) and
-// reconstructs the job from its terminal record.
+// jobFromJournal looks a job up in the journal — the fetch path for
+// results whose in-memory entry was evicted by the TTL GC. The finish
+// index maps the id straight to its terminal record's durable address
+// (or to the snapshot carrying it), so one fetch costs one record read,
+// never a replay of the log — O(record), not O(history), no matter how
+// long the server has been up or how often clients poll.
+//
+// A concurrent Compact can GC the referenced segment between the index
+// read and the record read; the index is refreshed before the GC, so one
+// retry with a fresh ref resolves the race.
 func (s *Server) jobFromJournal(id string) (Job, bool) {
-	s.mu.Lock()
-	path := s.jnlPath
-	s.mu.Unlock()
-	if path == "" {
-		return Job{}, false
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return Job{}, false
-	}
-	defer f.Close()
-	res, err := journal.Replay(f)
-	// A corrupt mid-file record still yields the trustworthy prefix;
-	// scanning it is strictly better than refusing an eviction lookup.
-	_ = err
-	var found *walFinish
-	for _, rec := range res.Records {
-		if rec.Kind != recJobFinish {
+	for attempt := 0; attempt < 2; attempt++ {
+		s.mu.Lock()
+		ref, ok := s.finishIdx[id]
+		dir := s.jnlDir
+		s.mu.Unlock()
+		if !ok || dir == "" {
+			return Job{}, false
+		}
+		rec, err := journal.ReadRecordAt(dir, ref)
+		if err != nil {
 			continue
 		}
-		var wf walFinish
-		if json.Unmarshal(rec.Payload, &wf) == nil && wf.ID == id {
-			found = &wf
+		s.counters.journalReads.Add(1)
+		var found *walFinish
+		switch rec.Kind {
+		case recJobFinish:
+			var wf walFinish
+			if json.Unmarshal(rec.Payload, &wf) == nil && wf.ID == id {
+				found = &wf
+			}
+		case recSnapshot:
+			var snap walSnapshot
+			if json.Unmarshal(rec.Payload, &snap) == nil {
+				for i := range snap.Jobs {
+					if snap.Jobs[i].ID == id {
+						found = &snap.Jobs[i]
+						break
+					}
+				}
+			}
 		}
+		if found == nil {
+			return Job{}, false
+		}
+		fin := found.Finished
+		return Job{
+			ID: found.ID, Spec: found.Spec, Status: found.Status,
+			Error: found.Error, ErrorCode: found.ErrorCode, Result: found.Result,
+			Submitted: found.Submitted, Started: found.Started, Finished: &fin,
+			Replayed: true,
+		}, true
 	}
-	if found == nil {
-		return Job{}, false
+	return Job{}, false
+}
+
+// jobToWalFinish converts a terminal job snapshot to its journal form.
+func jobToWalFinish(j *Job) walFinish {
+	return walFinish{
+		ID: j.ID, Spec: j.Spec, Status: j.Status,
+		Error: j.Error, ErrorCode: j.ErrorCode, Result: j.Result,
+		Submitted: j.Submitted, Started: j.Started, Finished: *j.Finished,
 	}
-	fin := found.Finished
-	return Job{
-		ID: found.ID, Spec: found.Spec, Status: found.Status,
-		Error: found.Error, ErrorCode: found.ErrorCode, Result: found.Result,
-		Submitted: found.Submitted, Started: found.Started, Finished: &fin,
-		Replayed: true,
-	}, true
+}
+
+// buildSnapshot captures the server's complete journalable state: every
+// dataset's current contents (remote kinds excluded — their site
+// connections are re-established out of band, not replayed), finished
+// jobs still in memory, queued and running jobs (replay requeues running
+// ones — their work dies with the process either way), and the job-id
+// sequence floor. Called with s.snapMu held exclusively, so no
+// journal+apply pair is in flight while the state is read.
+func (s *Server) buildSnapshot() walSnapshot {
+	var snap walSnapshot
+	for _, d := range s.reg.All() {
+		wd := walDataset{Name: d.name, Kind: d.kind}
+		switch d.kind {
+		case KindTable:
+			view, _ := d.snapshotTable()
+			d.mu.RLock()
+			wd.Dim = d.dim
+			d.mu.RUnlock()
+			wd.Points = pointsToRows(view.Flatten())
+		case KindStream:
+			d.mu.RLock()
+			cfg := d.sketch.Config()
+			st := d.sketch.State()
+			wd.K, wd.T, wd.Chunk, wd.Means, wd.Seed = cfg.K, cfg.T, cfg.Chunk, d.streamMeans, cfg.Opts.Seed
+			wd.Summary = pointsToRows(st.Points)
+			wd.Weights = st.Weights
+			wd.Compressions = st.Compressions
+			wd.Ingested = st.N
+			wd.Dim = d.dim
+			d.mu.RUnlock()
+		case KindUncertain:
+			wd.Ground, wd.Nodes = walUncertain(d.ground, d.nodes)
+		default:
+			continue
+		}
+		snap.Datasets = append(snap.Datasets, wd)
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.Finished != nil {
+			snap.Jobs = append(snap.Jobs, jobToWalFinish(j))
+			continue
+		}
+		snap.Queued = append(snap.Queued, walSubmit{ID: j.ID, Spec: j.Spec, Submitted: j.Submitted})
+	}
+	snap.Seq = s.seq
+	s.mu.Unlock()
+	return snap
 }

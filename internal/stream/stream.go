@@ -196,3 +196,40 @@ func (s *Sketch) Summary() ([]metric.Point, []float64) {
 	copy(w, s.w)
 	return pts, w
 }
+
+// Config returns the sketch's (defaulted) configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// State is a sketch's complete internal state in exportable form — the
+// weighted summary buffer plus the counters that make future
+// compressions deterministic. A sketch restored via LoadState answers
+// every future Add/Query exactly as the original would have: compression
+// seeds derive from Compressions, so the (pts, w, compressions, n)
+// tuple is the whole trajectory-relevant state.
+type State struct {
+	Points       []metric.Point
+	Weights      []float64
+	Compressions int
+	N            int
+}
+
+// State exports a deep copy of the sketch's internal state (snapshot
+// checkpoints in the serving layer persist this instead of the raw
+// stream, which the sketch has already forgotten).
+func (s *Sketch) State() State {
+	pts, w := s.Summary()
+	return State{Points: pts, Weights: w, Compressions: s.compressions, N: s.n}
+}
+
+// LoadState replaces the sketch's internal state with st (deep-copied).
+// The sketch must have been created with the same Config for the restore
+// to be exact.
+func (s *Sketch) LoadState(st State) {
+	s.pts = make([]metric.Point, len(st.Points))
+	for i, p := range st.Points {
+		s.pts[i] = p.Clone()
+	}
+	s.w = append([]float64(nil), st.Weights...)
+	s.compressions = st.Compressions
+	s.n = st.N
+}

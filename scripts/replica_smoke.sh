@@ -8,8 +8,18 @@
 # >= 2 replicas serving). Then the killed replica restarts from its
 # journal: it must replay records, re-serve a finished job's centers
 # from the log (the job carries "replayed": true — restored, not
-# recomputed), and report the replay in /metrics. CI runs this as the
-# replica-smoke job; it also runs locally: ./scripts/replica_smoke.sh
+# recomputed), and report the replay in /metrics.
+#
+# Phase 2 proves compaction: the restarted replica (running on tiny
+# 8 KiB segments) is driven until its journal rotates across >= 3
+# segments, a snapshot checkpoint is forced via POST /v1/admin/compact
+# (superseded segments must leave the disk), suffix traffic lands after
+# the snapshot, and the replica is kill -9'd again. The second restart
+# must report a snapshot restore, replay strictly fewer records than
+# the journal ever held, and re-serve the phase-1 job's centers
+# byte-identically through eviction of its original finish record's
+# segment. CI runs this as the replica-smoke job; it also runs
+# locally: ./scripts/replica_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,11 +36,19 @@ go build -o "$workdir/bin/" ./cmd/dpc-server ./cmd/dpc-loadgen ./cmd/dpc-benchdi
 
 PORTS=(18081 18082 18083)
 
+# Tiny segments so rotation (and the compaction phase below) is
+# exercised under modest traffic; -compact-every covers the cadence
+# flag, far enough out that only the explicit admin call compacts.
 start_replica() { # idx logfile
   local i=$1 log=${2:-/dev/null}
   "$workdir/bin/dpc-server" -listen "127.0.0.1:${PORTS[$i]}" \
-    -journal-dir "$workdir/journal-$i" 2>"$log" &
+    -journal-dir "$workdir/journal-$i" \
+    -journal-segment-bytes 8192 -compact-every 1h 2>"$log" &
   pids[$i]=$!
+}
+
+metric() { # port name  -> value (0 when absent)
+  curl -sf "http://127.0.0.1:$1/metrics" | awk -v m="$2" '$1 == m {print $2}' | head -1
 }
 
 wait_ready() { # port
@@ -95,5 +113,58 @@ done
 curl -sf "$BASE/v1/jobs/$job/centers.csv" | grep -q ',' \
   || { echo "MISMATCH: replayed job $job serves no centers"; exit 1; }
 echo "   job $job re-served from the journal (replayed, zero recompute)"
+curl -sf "$BASE/v1/jobs/$job/centers.csv" > "$workdir/centers-prekill.csv"
+
+echo "== compaction: rotate >= 3 segments, snapshot, GC, suffix, kill -9 again"
+# Big appends rotate the 8 KiB segments deterministically regardless of
+# what phase 1 left behind.
+awk 'BEGIN { srand(7); for (i = 0; i < 200; i++) printf "%.6f,%.6f\n", rand()*10, rand()*10 }' \
+  > "$workdir/chunk.csv"
+curl -sf -X POST -H 'Content-Type: text/csv' --data-binary "@$workdir/chunk.csv" \
+  "$BASE/v1/datasets?name=cpt" >/dev/null
+for n in 1 2 3 4; do
+  curl -sf -X POST -H 'Content-Type: text/csv' --data-binary "@$workdir/chunk.csv" \
+    "$BASE/v1/datasets/cpt/points" >/dev/null
+done
+segs=$(metric "${PORTS[$victim]}" dpc_journal_segments)
+[ "${segs:-0}" -ge 3 ] || { echo "MISMATCH: only ${segs:-0} journal segments before compaction, want >= 3"; exit 1; }
+
+compact=$(curl -sf -X POST "$BASE/v1/admin/compact")
+removed=$(echo "$compact" | grep -o '"segments_removed": *[0-9]*' | grep -o '[0-9]*$')
+[ "${removed:-0}" -ge 3 ] || { echo "MISMATCH: compaction removed ${removed:-0} segments, want >= 3"; exit 1; }
+[ -e "$workdir/journal-$victim/journal-000001.dpcj" ] \
+  && { echo "MISMATCH: superseded segment journal-000001.dpcj still on disk"; exit 1; }
+echo "   snapshot written, $removed superseded segments GC'd from disk"
+
+# Suffix traffic the snapshot has not seen, then the record arithmetic
+# for the restart assertion: without compaction the journal would hold
+# prekill_replayed + prekill_appended records.
+curl -sf -X POST -H 'Content-Type: text/csv' --data-binary "@$workdir/chunk.csv" \
+  "$BASE/v1/datasets/cpt/points" >/dev/null
+prekill_replayed=$(metric "${PORTS[$victim]}" 'dpc_journal_records_total{event="replayed"}')
+prekill_appended=$(metric "${PORTS[$victim]}" 'dpc_journal_records_total{event="appended"}')
+
+echo "   kill -9 replica $victim again (pid ${pids[$victim]})"
+kill -9 "${pids[$victim]}"
+start_replica "$victim" "$workdir/victim-restart2.log"
+wait_ready "${PORTS[$victim]}"
+
+grep -q 'replayed from snapshot (segment' "$workdir/victim-restart2.log" \
+  || { echo "MISMATCH: second restart did not report a snapshot restore"; exit 1; }
+replayed2=$(metric "${PORTS[$victim]}" 'dpc_journal_records_total{event="replayed"}')
+total=$((prekill_replayed + prekill_appended))
+[ "${replayed2:-0}" -gt 0 ] || { echo "MISMATCH: snapshot restart replayed no records"; exit 1; }
+[ "$replayed2" -lt "$total" ] \
+  || { echo "MISMATCH: snapshot restart replayed $replayed2 records, want fewer than the $total the log held"; exit 1; }
+echo "   restored from snapshot + suffix: $replayed2 records replayed (full history held $total)"
+
+# The phase-1 job survived compaction inside the snapshot: same centers,
+# byte for byte, still zero recompute.
+curl -sf "$BASE/v1/jobs/$job/centers.csv" > "$workdir/centers-postcompact.csv"
+cmp -s "$workdir/centers-prekill.csv" "$workdir/centers-postcompact.csv" \
+  || { echo "MISMATCH: job $job centers differ after snapshot restore"; exit 1; }
+curl -sf "$BASE/v1/jobs/$job" | grep -q '"replayed": *true' \
+  || { echo "MISMATCH: job $job not marked replayed after snapshot restore"; exit 1; }
+echo "   job $job still byte-identical through compaction"
 
 echo "replica smoke: OK"
