@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"dpc/internal/comm"
+	"dpc/internal/engine"
 	"dpc/internal/jobwire"
 	"dpc/internal/metric"
 	"dpc/internal/serve"
@@ -79,10 +80,20 @@ type Request struct {
 	Seed  int64   `json:"seed,omitempty" usage:"engine seed (site i derives seed + i*const)"`
 	// Workers bounds per-solve goroutines (0 = one per CPU); results are
 	// bit-identical for every value.
-	Workers int    `json:"workers,omitempty" usage:"solver goroutines per solve (0 = one per CPU)"`
-	Engine  string `json:"engine,omitempty" usage:"k-median engine: auto | localsearch | jv"`
+	//
+	// Deprecated: set Engine (workers=N token / Options.Workers). Still
+	// honored when Engine leaves it unset.
+	Workers int `json:"workers,omitempty" usage:"solver goroutines per solve (0 = one per CPU)"`
+	// Engine bundles every solver-engine knob: algorithm choice plus the
+	// index, cache, worker and reference toggles. As a flag or JSON string
+	// it takes comma-separated tokens ("jv,index,pivots=32"); as JSON it
+	// also accepts the structured {"algo": ..., "index": ...} object.
+	Engine engine.Spec `json:"engine,omitempty" usage:"engine spec: algo and knobs, e.g. jv,index,workers=4 (tokens: auto|localsearch|jv, index, pivots=N, nocache, workers=N, reference)"`
 	// NoCache disables the memoized distance oracles (a measurement knob;
 	// results never change).
+	//
+	// Deprecated: set Engine ("nocache" token / Options.NoCache). Still
+	// honored (ORed with the spec).
 	NoCache     bool `json:"no_cache,omitempty" usage:"disable memoized distance caches (measurement knob)"`
 	LloydPolish bool `json:"lloyd_polish,omitempty" usage:"Lloyd-polish the final centers (means only)"`
 	// Transport selects the Local backend's wire: loopback (default) or

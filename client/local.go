@@ -99,11 +99,12 @@ func (l *Local) Do(ctx context.Context, req Request) (*Response, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		eo := spec.EngineOptions()
 		sol := central.PartialMedian(req.Points, central.Config{
 			K: req.K, T: req.T, Levels: req.Levels, Eps: req.Eps,
 			Objective: cfg.Objective, Engine: cfg.Engine,
-			Opts:        kmedian.Options{Seed: req.Seed, Workers: req.Workers},
-			NoDistCache: req.NoCache,
+			Opts:        kmedian.Options{Seed: req.Seed, Options: eo},
+			NoDistCache: eo.NoCache,
 		})
 		return &Response{
 			Centers:       sol.Centers,

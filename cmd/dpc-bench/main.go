@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dpc/internal/bench"
+	"dpc/internal/metric"
 )
 
 // timingRowExperiments have wall-clock columns inside their tables, so
@@ -48,17 +49,22 @@ const defaultExperiments = "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10"
 
 // experimentResult is one experiment's entry in the JSON artifact.
 type experimentResult struct {
-	ID            string     `json:"id"`
-	Title         string     `json:"title"`
-	Claim         string     `json:"claim"`
-	BaselineMS    float64    `json:"baseline_ms"`
-	TunedMS       float64    `json:"tuned_ms"`
-	Speedup       float64    `json:"speedup"`
-	RowsCompared  bool       `json:"rows_compared"`
-	RowsIdentical bool       `json:"rows_identical"`
-	Header        []string   `json:"header"`
-	Rows          [][]string `json:"rows"`
-	Notes         []string   `json:"notes,omitempty"`
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	Claim         string  `json:"claim"`
+	BaselineMS    float64 `json:"baseline_ms"`
+	TunedMS       float64 `json:"tuned_ms"`
+	Speedup       float64 `json:"speedup"`
+	RowsCompared  bool    `json:"rows_compared"`
+	RowsIdentical bool    `json:"rows_identical"`
+	// Index columns (present with -index): the tuned engine re-run with
+	// the pivot metric index layered over its oracles. IndexSpeedup is
+	// tuned_ms / index_ms — above 1 the index beat the cache-only engine.
+	IndexMS      float64    `json:"index_ms,omitempty"`
+	IndexSpeedup float64    `json:"index_speedup,omitempty"`
+	Header       []string   `json:"header"`
+	Rows         [][]string `json:"rows"`
+	Notes        []string   `json:"notes,omitempty"`
 }
 
 // artifact is the BENCH_PR2.json schema.
@@ -68,6 +74,7 @@ type artifact struct {
 	Seed         int64              `json:"seed"`
 	NumCPU       int                `json:"num_cpu"`
 	TunedWorkers int                `json:"tuned_workers"`
+	IndexPivots  int                `json:"index_pivots,omitempty"`
 	GoVersion    string             `json:"go_version"`
 	Experiments  []experimentResult `json:"experiments"`
 	Summary      map[string]float64 `json:"summary"`
@@ -93,6 +100,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed (the artifact is deterministic given the seed, up to wall-clock)")
 	preset := fs.String("preset", "full", "instance sizes: full or quick")
 	workers := fs.Int("workers", 0, "tuned-engine worker count (0 = NumCPU)")
+	index := fs.Bool("index", false, "also run the tuned engine with the pivot metric index and record index_ms/index_speedup")
+	pivots := fs.Int("pivots", 0, "pivot count for -index (0 = metric default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed
@@ -128,6 +137,12 @@ func run(args []string, stdout io.Writer) error {
 		GoVersion:    runtime.Version(),
 		Summary:      map[string]float64{},
 	}
+	if *index {
+		art.IndexPivots = *pivots
+		if art.IndexPivots == 0 {
+			art.IndexPivots = metric.DefaultPivots
+		}
+	}
 
 	for _, e := range selected {
 		baseOpts := bench.Options{Seed: *seed, Quick: quick, Reference: true}
@@ -160,10 +175,33 @@ func run(args []string, stdout io.Writer) error {
 					e.ID, baseTable.String(), tunedTable.String())
 			}
 		}
+		if *index {
+			indexOpts := tunedOpts
+			indexOpts.Index, indexOpts.Pivots = true, *pivots
+			t0 = time.Now()
+			indexTable := e.Run(indexOpts)
+			indexMS := float64(time.Since(t0).Microseconds()) / 1000
+			res.IndexMS = round2(indexMS)
+			res.IndexSpeedup = round2(tunedMS / indexMS)
+			// The index prunes with exact lower bounds: its tables must be
+			// byte-identical to the cache-only engine's, always — timing
+			// experiments included, since their timing rows are excluded by
+			// the same rule as the baseline comparison.
+			if res.RowsCompared && !tablesEqual(tunedTable.Rows, indexTable.Rows) {
+				return fmt.Errorf("%s: indexed engine diverged from the cache-only engine\ncache-only:\n%s\nindexed:\n%s",
+					e.ID, tunedTable.String(), indexTable.String())
+			}
+			art.Summary[e.ID+"_index_speedup"] = res.IndexSpeedup
+		}
 		art.Experiments = append(art.Experiments, res)
 		art.Summary[e.ID+"_speedup"] = res.Speedup
-		fmt.Fprintf(stdout, "%-4s baseline %8.1fms  tuned %8.1fms  speedup %.2fx  rows_identical=%v\n",
-			e.ID, res.BaselineMS, res.TunedMS, res.Speedup, res.RowsIdentical || !res.RowsCompared)
+		if *index {
+			fmt.Fprintf(stdout, "%-4s baseline %8.1fms  tuned %8.1fms  index %8.1fms  speedup %.2fx  index_speedup %.2fx  rows_identical=%v\n",
+				e.ID, res.BaselineMS, res.TunedMS, res.IndexMS, res.Speedup, res.IndexSpeedup, res.RowsIdentical || !res.RowsCompared)
+		} else {
+			fmt.Fprintf(stdout, "%-4s baseline %8.1fms  tuned %8.1fms  speedup %.2fx  rows_identical=%v\n",
+				e.ID, res.BaselineMS, res.TunedMS, res.Speedup, res.RowsIdentical || !res.RowsCompared)
+		}
 	}
 	art.Summary["geomean_speedup"] = round2(geomean(art.Experiments))
 

@@ -32,6 +32,8 @@ type experiment struct {
 	TunedMS      float64    `json:"tuned_ms"`
 	Speedup      float64    `json:"speedup"`
 	RowsCompared bool       `json:"rows_compared"`
+	IndexMS      float64    `json:"index_ms"`
+	IndexSpeedup float64    `json:"index_speedup"`
 	Header       []string   `json:"header"`
 	Rows         [][]string `json:"rows"`
 }
@@ -56,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	candPath := fs.String("candidate", "BENCH_SMOKE.json", "freshly produced artifact")
 	servePath := fs.String("serve", "", "gate a dpc-loadgen BENCH_SERVE artifact instead of diffing bench tables")
 	minSpeedup := fs.Float64("min-speedup", 1.2, "with -serve: minimum sharded/single-lock storage throughput ratio")
+	minIndexSpeedup := fs.Float64("min-index-speedup", 0, "require the candidate's best index-vs-cache speedup to reach this floor (0 = no index gate; the artifact needs dpc-bench -index rows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 
 	var drifts []string
 	gated, skipped := 0, 0
+	indexed, bestIndex := 0, 0.0
 	for _, b := range base.Experiments {
 		c, ok := candByID[b.ID]
 		if !ok {
@@ -92,12 +96,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "%-4s baseline %8.1fms -> tuned %8.1fms (%.2fx); candidate %8.1fms -> %8.1fms (%.2fx)\n",
 			b.ID, b.BaselineMS, b.TunedMS, b.Speedup, c.BaselineMS, c.TunedMS, c.Speedup)
+		if c.IndexMS > 0 {
+			indexed++
+			if c.IndexSpeedup > bestIndex {
+				bestIndex = c.IndexSpeedup
+			}
+			fmt.Fprintf(stdout, "%-4s index %8.1fms (%.2fx vs cache-only)\n", c.ID, c.IndexMS, c.IndexSpeedup)
+		}
 		if !b.RowsCompared {
 			skipped++
 			continue
 		}
 		gated++
 		drifts = append(drifts, diffTables(b, c)...)
+	}
+	// The index gate checks the relation that must hold on any host, not a
+	// host-dependent timing: index rows exist (dpc-bench already failed the
+	// run unless they were byte-identical to the cache-only tables) and the
+	// index actually beats the cache-only engine on the largest instances.
+	if *minIndexSpeedup > 0 {
+		switch {
+		case indexed == 0:
+			drifts = append(drifts, "index gate: candidate has no index rows (run dpc-bench -index)")
+		case bestIndex < *minIndexSpeedup:
+			drifts = append(drifts, fmt.Sprintf("index gate: best index-vs-cache speedup %.2fx below the %.2fx floor", bestIndex, *minIndexSpeedup))
+		default:
+			fmt.Fprintf(stdout, "index gate: %d experiment(s) with index rows, best %.2fx >= %.2fx floor\n", indexed, bestIndex, *minIndexSpeedup)
+		}
 	}
 	if len(drifts) > 0 {
 		for _, d := range drifts {

@@ -35,6 +35,7 @@ import (
 
 	"dpc/client"
 	"dpc/internal/dataio"
+	"dpc/internal/engine"
 )
 
 func main() {
@@ -42,7 +43,8 @@ func main() {
 	// set itself is generated from the Request fields.
 	req := client.Request{
 		Objective: client.Median, Variant: "2round", K: 3,
-		Sites: 8, Eps: 1, Seed: 1, Engine: "auto", Transport: "loopback",
+		Sites: 8, Eps: 1, Seed: 1, Transport: "loopback",
+		Engine: engine.Spec{Options: engine.Options{Algo: "auto"}},
 	}
 	client.BindFlags(flag.CommandLine, &req)
 	var (

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dpc/client"
+	"dpc/internal/engine"
 	"dpc/internal/gen"
 	"dpc/internal/metric"
 	"dpc/internal/serve"
@@ -116,6 +117,10 @@ var presets = map[string]preset{
 // cache warmth (background warmup, spill/restore) exists for.
 const warmDim = 64
 
+// jobEngine is the -engine spec applied to every benchmark job (empty =
+// server defaults); with "index" the run measures the pivot-index hot path.
+var jobEngine engine.Spec
+
 func main() {
 	var (
 		presetName  = flag.String("preset", "quick", "workload preset: quick or full")
@@ -127,6 +132,7 @@ func main() {
 		scenario    = flag.String("scenario", "steady", "replica-run label recorded in the artifact: steady, or killed_replica when the harness kill -9s a replica mid-run")
 		minRun      = flag.Duration("min-run", 0, "with -replicas: keep cycling jobs at least this long (a window for the harness to kill a replica in)")
 	)
+	flag.Var(&jobEngine, "engine", "engine spec for the benchmark jobs, e.g. index,pivots=32 (tokens: auto|localsearch|jv, index, pivots=N, nocache, workers=N)")
 	flag.Parse()
 	p, ok := presets[*presetName]
 	if !ok {
@@ -410,7 +416,7 @@ func httpBench(base string, p preset, g int) (*HTTPReport, error) {
 	if err := rc.RegisterDataset(ctx, "lg-jobs", mixture(p.jobPts, 42)); err != nil {
 		return nil, err
 	}
-	spec := serve.JobSpec{Dataset: "lg-jobs", K: 3, T: 12, Objective: "median", Seed: 11}
+	spec := serve.JobSpec{Dataset: "lg-jobs", K: 3, T: 12, Objective: "median", Seed: 11, Engine: jobEngine}
 	durs := make([]float64, p.jobs)
 	_, err = fanOut(g, p.jobs, func(i int) error {
 		s := spec
@@ -450,7 +456,7 @@ func httpBench(base string, p preset, g int) (*HTTPReport, error) {
 	if err := rc.RegisterDatasetWarm(ctx, "lg-cold", mixtureDim(p.warmPts, warmDim, 77), false); err != nil {
 		return nil, err
 	}
-	coldSpec := serve.JobSpec{Dataset: "lg-cold", K: 3, T: 15, Objective: "median", Seed: 5}
+	coldSpec := serve.JobSpec{Dataset: "lg-cold", K: 3, T: 15, Objective: "median", Seed: 5, Engine: jobEngine}
 	cold, err := oneJob(ctx, rc, coldSpec)
 	if err != nil {
 		return nil, err
@@ -482,7 +488,7 @@ func httpBench(base string, p preset, g int) (*HTTPReport, error) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	warmedSpec := serve.JobSpec{Dataset: "lg-warmed", K: 3, T: 15, Objective: "median", Seed: 5}
+	warmedSpec := serve.JobSpec{Dataset: "lg-warmed", K: 3, T: 15, Objective: "median", Seed: 5, Engine: jobEngine}
 	warmed, err := oneJob(ctx, rc, warmedSpec)
 	if err != nil {
 		return nil, err

@@ -63,6 +63,8 @@ type options struct {
 	RegistryShards int    `json:"registry_shards" usage:"dataset-registry hash segments (0 = default; 1 = single-lock namespace)"`
 	CacheDir       string `json:"cache_dir" usage:"when set, spill warm distance triangles here on shutdown and restore them on start"`
 	Warm           bool   `json:"warm" usage:"prefill every table dataset's shard caches in the background after registration"`
+	WarmIndex      bool   `json:"warm_index" usage:"also build pooled pivot indexes during background warmup (with -warm)"`
+	WarmPivots     int    `json:"warm_pivots" usage:"pivot count for warmup-built indexes (0 = metric default)"`
 	SitesListen    string `json:"sites_listen" usage:"when set, accept persistent dpc-site daemons on this address (comma-separated for several site groups)"`
 	RemoteSites    string `json:"remote_sites" usage:"dpc-site daemons to wait for per -sites-listen address (comma-separated to match)"`
 	RemoteName     string `json:"remote_name" usage:"dataset name for the connected dpc-site daemons"`
@@ -133,15 +135,20 @@ func main() {
 		RegistryShards:    opt.RegistryShards,
 		CacheDir:          opt.CacheDir,
 		WarmOnRegister:    opt.Warm,
-		JournalDir:        opt.JournalDir,
-		JournalSync:       opt.JournalSync,
-		SegmentBytes:      opt.SegmentBytes,
-		CompactEvery:      compactEvery,
-		JobTTL:            jobTTL,
-		QuotaBurst:        opt.QuotaBurst,
-		QuotaPerSec:       opt.QuotaRate,
-		MaxQueueWait:      maxQueueWait,
-		DeferRecovery:     true,
+		WarmIndex:         opt.WarmIndex,
+		WarmPivots:        opt.WarmPivots,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dpc-server: "+format+"\n", args...)
+		},
+		JournalDir:    opt.JournalDir,
+		JournalSync:   opt.JournalSync,
+		SegmentBytes:  opt.SegmentBytes,
+		CompactEvery:  compactEvery,
+		JobTTL:        jobTTL,
+		QuotaBurst:    opt.QuotaBurst,
+		QuotaPerSec:   opt.QuotaRate,
+		MaxQueueWait:  maxQueueWait,
+		DeferRecovery: true,
 	})
 	if err != nil {
 		fatal(err)

@@ -77,6 +77,7 @@ import (
 	"dpc/client"
 	"dpc/internal/central"
 	"dpc/internal/core"
+	"dpc/internal/engine"
 	"dpc/internal/gen"
 	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
@@ -203,8 +204,23 @@ const (
 	EngineJV = kmedian.EngineJV
 )
 
-// EngineOptions tunes the optimization engines (seeds, iteration caps).
-type EngineOptions = kmedian.Options
+// EngineOptions is the consolidated engine-knob surface shared by every
+// entry point: algorithm choice (Algo), goroutine bound (Workers), the
+// memoized-oracle toggle (NoCache), the pivot-index toggle (Index, Pivots)
+// and the sequential reference switch (Reference). It embeds into
+// SolverOptions, Config.Options, the kcenter options and the job API's
+// "engine" object, so one spelling configures the engine everywhere.
+type EngineOptions = engine.Options
+
+// EngineSpec is EngineOptions plus its wire forms: a flag.Value taking
+// comma-separated tokens ("jv,index,pivots=32,workers=4") and a JSON
+// codec accepting both the legacy engine string and the structured object.
+type EngineSpec = engine.Spec
+
+// SolverOptions tunes the optimization engines (seed, iteration caps,
+// warm starts) around an embedded EngineOptions. It was previously named
+// EngineOptions; that name now refers to the engine-knob subset.
+type SolverOptions = kmedian.Options
 
 // Run executes distributed partial clustering over the per-site datasets.
 //
@@ -341,8 +357,8 @@ type OracleSolution = kmedian.Solution
 // SolvePartialMedian solves the (k,t)-median problem on an arbitrary cost
 // oracle with optional client weights (nil = unit). For (k,t)-means, wrap
 // the oracle so Cost returns squared distances.
-func SolvePartialMedian(c CostOracle, w []float64, k int, t float64, engine Engine, opts EngineOptions) OracleSolution {
-	return kmedian.Solve(c, w, k, t, engine, opts)
+func SolvePartialMedian(c CostOracle, w []float64, k int, t float64, eng Engine, opts SolverOptions) OracleSolution {
+	return kmedian.Solve(c, w, k, t, eng, opts)
 }
 
 // CenterSolution is a (k,t)-center solution over a cost oracle.

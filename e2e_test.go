@@ -62,7 +62,7 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	}
 
 	// Reference: the in-process loopback run with the daemons' defaults.
-	want, err := dpc.Run(sites, dpc.Config{K: k, T: tt, LocalOpts: dpc.EngineOptions{Seed: 1}})
+	want, err := dpc.Run(sites, dpc.Config{K: k, T: tt, LocalOpts: dpc.SolverOptions{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func main() {
 		for lvl := 0; lvl <= 2; lvl++ {
 			sols[lvl] = dpc.Centralized(in.Pts, dpc.CentralConfig{
 				K: 4, T: t, Levels: lvl,
-				Opts: dpc.EngineOptions{MaxIters: 10, Seed: 1},
+				Opts: dpc.SolverOptions{MaxIters: 10, Seed: 1},
 			})
 		}
 		fmt.Printf("%8d  %10v  %10v  %10v  %8.2f  %8.2f\n",

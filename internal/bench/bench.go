@@ -27,6 +27,11 @@ type Options struct {
 	// the baseline half of cmd/dpc-bench's engine comparison. Implies
 	// Workers=1 and NoDistCache.
 	Reference bool
+	// Index layers the pivot-based metric index over the solver oracles
+	// (identical tables — pruning is exact; different wall-clock). Pivots
+	// is its anchor count (0 = metric.DefaultPivots).
+	Index  bool
+	Pivots int
 }
 
 // Table is one experiment's output.

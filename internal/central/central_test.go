@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dpc/internal/core"
+	"dpc/internal/engine"
 	"dpc/internal/exact"
 	"dpc/internal/gen"
 	"dpc/internal/kmedian"
@@ -100,7 +101,7 @@ func TestSimulationReducesGrowthRate(t *testing.T) {
 		// size threshold (cached at n1, uncached at n2) would distort the
 		// measured ratios — especially under -race, which instruments the
 		// cache's atomics.
-		opts := kmedian.Options{MaxIters: 10, Reference: true}
+		opts := kmedian.Options{MaxIters: 10, Options: engine.Options{Reference: true}}
 		sol := PartialMedian(in.Pts, Config{K: 3, T: n / 50, Levels: levels, Opts: opts})
 		return sol.Elapsed.Seconds()
 	}

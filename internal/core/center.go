@@ -29,15 +29,20 @@ type centerSite struct {
 // newCenterSite builds site i's state; cfg must already have defaults
 // applied. The site metric is served through the memoized distance cache
 // (unless disabled), so the traversal, the prefix assignments and the
-// no-ship drop scan all pay for each pairwise distance once. cache, when
-// non-nil, is an externally owned (job-server shared) cache over pts and
-// replaces the private one.
-func newCenterSite(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) *centerSite {
-	var space metric.Space = metric.NewPoints(pts)
-	if cache != nil {
-		space = cache
-	} else if !cfg.NoDistCache {
-		space = metric.CacheSpace(space)
+// no-ship drop scan all pay for each pairwise distance once; with
+// cfg.Index set, a pivot index over the cache additionally prunes those
+// scans. o, when non-nil, is an externally owned (job-server shared)
+// oracle over pts and replaces the private stack.
+func newCenterSite(cfg Config, site int, pts []metric.Point, o metric.Oracle) *centerSite {
+	var space metric.Space
+	if o != nil {
+		space = o
+	} else {
+		space = metric.NewPoints(pts)
+		if !cfg.NoDistCache {
+			space = metric.CacheSpace(space)
+		}
+		space = metric.IndexSpace(space, cfg.Index, cfg.Pivots)
 	}
 	return &centerSite{cfg: cfg, site: site, pts: pts, space: space, kcOpt: cfg.solverOpt()}
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"dpc/internal/comm"
+	"dpc/internal/engine"
 	"dpc/internal/kcenter"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
@@ -118,20 +119,37 @@ type Config struct {
 	// LocalOpts tunes the site-side solver; per-site seeds are derived
 	// from LocalOpts.Seed + site index.
 	LocalOpts kmedian.Options
+
+	// Options is the unified engine-knob block (workers, cache, reference,
+	// pivot index) shared with kmedian.Options, kcenter.Opt, serve.JobSpec
+	// and client.Request. The embedded fields are authoritative after
+	// withDefaults; the flat Workers/NoDistCache/Reference fields below are
+	// deprecated aliases merged into it for callers predating the block.
+	engine.Options
+
 	// Workers bounds the goroutines of every local solve (site-side JV,
 	// local search, farthest-point scans and the coordinator solve). 0 —
 	// the default — means one worker per CPU (runtime.NumCPU()). Results
 	// are bit-identical for every value: the engines only use
 	// order-independent parallel loops and fixed-tie-break reductions.
+	//
+	// Deprecated: set Options.Workers; this flat alias is merged into the
+	// embedded block by withDefaults and kept for compatibility.
 	Workers int
 	// NoDistCache disables the memoized distance oracles that back the
 	// site and coordinator solves. It never changes results (the caches
 	// store exactly the computed distances); it exists so benchmarks can
 	// measure the cache's contribution.
+	//
+	// Deprecated: set Options.NoCache; this flat alias is merged into the
+	// embedded block by withDefaults and kept for compatibility.
 	NoDistCache bool
 	// Reference runs the seed sequential engine everywhere (implies
 	// Workers=1 and NoDistCache): the regression baseline that
 	// cmd/dpc-bench and the parity tests compare the fast engine against.
+	//
+	// Deprecated: set Options.Reference; this flat alias is merged into
+	// the embedded block by withDefaults and kept for compatibility.
 	Reference bool
 	// Sequential disables parallel site execution (used by the
 	// centralized simulation of Section 3.1, where total work matters).
@@ -163,10 +181,13 @@ func (c Config) withDefaults() Config {
 	if c.HullBase == 0 {
 		c.HullBase = 2
 	}
-	if c.Reference {
-		c.Workers = 1
-		c.NoDistCache = true
-	}
+	// Merge the deprecated flat aliases into the embedded engine block,
+	// normalize (Reference implies sequential, uncached, unindexed), then
+	// mirror back so both spellings read the same everywhere below.
+	c.Options = c.Options.Merge(c.Workers, c.NoDistCache, c.Reference).Normalize()
+	c.Workers = c.Options.Workers
+	c.NoDistCache = c.Options.NoCache
+	c.Reference = c.Options.Reference
 	if c.Workers != 0 {
 		c.LocalOpts.Workers = c.Workers
 	}
@@ -175,8 +196,10 @@ func (c Config) withDefaults() Config {
 }
 
 // solverOpt translates the config's engine knobs for the kcenter solvers.
+// cfg must already have defaults applied, so the embedded block carries the
+// merged flat aliases.
 func (c Config) solverOpt() kcenter.Opt {
-	return kcenter.Opt{Workers: c.Workers, Reference: c.Reference}
+	return c.Options
 }
 
 // Result is the outcome of a distributed run.
@@ -260,7 +283,7 @@ func RunCtx(ctx context.Context, sites [][]metric.Point, cfg Config) (Result, er
 	}
 	handlers := make([]transport.Handler, len(sites))
 	for i := range sites {
-		h, err := NewSiteHandlerCached(cfg, i, sites[i], nil)
+		h, err := NewSiteHandlerOracle(cfg, i, sites[i], nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -307,18 +330,32 @@ func RunOverCtx(ctx context.Context, tr transport.Transport, cfg Config) (Result
 // pts: a transport.Handler that consumes each round's downstream message
 // and produces the site's reply. It is the entry point for dpc-site.
 func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler, error) {
-	return NewSiteHandlerCached(cfg, site, pts, nil)
+	return NewSiteHandlerOracle(cfg, site, pts, nil)
 }
 
 // NewSiteHandlerCached is NewSiteHandler with an externally owned distance
-// cache over pts. A long-running site (the job server's in-process shards,
-// or dpc-site -persist) builds one DistCache per shard and passes it to the
-// handler of every job that queries the same points, so the memoized
-// distances stay warm across jobs. The cache is exact, so results are
-// bit-identical to a fresh-cache run. cache may be nil (a private cache is
-// built per the usual policy); it must be built over exactly pts, and it is
-// ignored when cfg.NoDistCache or cfg.Reference asks for uncached solves.
+// cache over pts.
+//
+// Deprecated: DistCache satisfies metric.Oracle, so this is now a thin
+// wrapper over NewSiteHandlerOracle; call that to also share a pivot index
+// (or any other oracle) across jobs.
 func NewSiteHandlerCached(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) (transport.Handler, error) {
+	if cache == nil {
+		return NewSiteHandlerOracle(cfg, site, pts, nil)
+	}
+	return NewSiteHandlerOracle(cfg, site, pts, cache)
+}
+
+// NewSiteHandlerOracle is NewSiteHandler with an externally owned distance
+// oracle over pts. A long-running site (the job server's in-process shards,
+// or dpc-site -persist) builds one oracle per shard — a DistCache, or a
+// pivot Index layered over one — and passes it to the handler of every job
+// that queries the same points, so memoized distances and index bounds stay
+// warm across jobs. Oracles are exact, so results are bit-identical to a
+// private-oracle run. o may be nil (a private oracle is built per the
+// engine policy in cfg); it must be built over exactly pts, and it is
+// ignored when cfg.NoDistCache or cfg.Reference asks for raw solves.
+func NewSiteHandlerOracle(cfg Config, site int, pts []metric.Point, o metric.Oracle) (transport.Handler, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg); err != nil {
 		return nil, err
@@ -329,40 +366,44 @@ func NewSiteHandlerCached(cfg Config, site int, pts []metric.Point, cache *metri
 	if site < 0 {
 		return nil, fmt.Errorf("core: negative site id %d", site)
 	}
-	if cache != nil {
+	if o != nil {
 		if cfg.NoDistCache {
-			cache = nil
-		} else if cache.N() != len(pts) {
-			return nil, fmt.Errorf("core: site %d cache over %d points, shard has %d", site, cache.N(), len(pts))
+			o = nil
+		} else if o.N() != len(pts) {
+			return nil, fmt.Errorf("core: site %d oracle over %d points, shard has %d", site, o.N(), len(pts))
 		}
 	}
 	if cfg.Objective == Center {
-		return newCenterSite(cfg, site, pts, cache).handle, nil
+		return newCenterSite(cfg, site, pts, o).handle, nil
 	}
-	return newMedianSite(cfg, site, pts, cache).handle, nil
+	return newMedianSite(cfg, site, pts, o).handle, nil
 }
 
-// costsOver wraps points in the objective's cost oracle, memoizing
-// pairwise distances (exactly — cached and uncached runs are
-// bit-identical) unless noCache is set or the instance is too large for
-// the cache to pay for itself.
-func costsOver(pts []metric.Point, obj Objective, noCache bool) metric.Costs {
-	c := metric.CachedSelfCosts(metric.NewPoints(pts), !noCache)
+// costsOver wraps points in the objective's cost oracle per the engine
+// knobs: pairwise distances are memoized (exactly — cached and uncached
+// runs are bit-identical) unless eng.NoCache is set or the instance is too
+// large for the cache to pay for itself, and a pivot index is layered on
+// top when eng.Index asks for one (pruning only; values unchanged).
+func costsOver(pts []metric.Point, obj Objective, eng engine.Options) metric.Costs {
+	var sp metric.Space = metric.NewPoints(pts)
+	if !eng.NoCache {
+		sp = metric.CacheSpace(sp)
+	}
+	sp = metric.IndexSpace(sp, eng.Index, eng.Pivots)
+	return costsShared(sp, obj)
+}
+
+// costsShared layers the objective's cost view over an externally owned
+// space/oracle: the oracle serves unsquared distances (it wraps the raw
+// point metric), so median, means and center jobs over the same shard all
+// share one memoized triangle and one pivot index — means solves square on
+// top per lookup, exactly like costsOver's layering.
+func costsShared(sp metric.Space, obj Objective) metric.Costs {
+	c := metric.Costs(metric.SelfCosts{S: sp})
 	if obj == Means {
 		return metric.Squared{C: c}
 	}
 	return c
-}
-
-// costsShared is costsOver served from an externally owned cache: the cache
-// stores unsquared distances (it wraps the raw point metric), so median,
-// means and center jobs over the same shard all share one cell array —
-// means solves square on top per lookup, exactly like costsOver's layering.
-func costsShared(cache *metric.DistCache, obj Objective) metric.Costs {
-	if obj == Means {
-		return metric.Squared{C: cache}
-	}
-	return cache
 }
 
 // Evaluate computes the true global partial cost of centers on the full

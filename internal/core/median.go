@@ -28,14 +28,16 @@ type medianSite struct {
 
 // newMedianSite builds site i's state; cfg must already have defaults
 // applied. Per-site seeds are derived from LocalOpts.Seed + site index.
-// cache, when non-nil, is an externally owned (job-server shared) distance
-// cache over pts.
-func newMedianSite(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) *medianSite {
+// o, when non-nil, is an externally owned (job-server shared) distance
+// oracle over pts; a private one is built from the engine knobs otherwise.
+func newMedianSite(cfg Config, site int, pts []metric.Point, o metric.Oracle) *medianSite {
 	opts := cfg.LocalOpts
 	opts.Seed += int64(site) * 1000003
-	costs := costsOver(pts, cfg.Objective, cfg.NoDistCache)
-	if cache != nil {
-		costs = costsShared(cache, cfg.Objective)
+	var costs metric.Costs
+	if o != nil {
+		costs = costsShared(o, cfg.Objective)
+	} else {
+		costs = costsOver(pts, cfg.Objective, cfg.Options)
 	}
 	return &medianSite{
 		cfg:   cfg,
@@ -221,7 +223,7 @@ func runMedianMeans(nw *comm.Network, cfg Config) (Result, error) {
 				wts = append(wts, 1)
 			}
 		}
-		costs := costsOver(pts, cfg.Objective, cfg.NoDistCache)
+		costs := costsOver(pts, cfg.Objective, cfg.Options)
 		copt := cfg.LocalOpts
 		copt.Seed += 7777777
 		relax := kmedian.RelaxOutliers

@@ -188,3 +188,48 @@ func TestConfigWireRoundTrip(t *testing.T) {
 		t.Fatal("short record accepted")
 	}
 }
+
+// TestConfigWireIndexKnobs: version 3 carries the pivot-index knobs to the
+// sites, and the decoder still accepts an index-less version-2 record (as an
+// older coordinator would ship during a rolling upgrade).
+func TestConfigWireIndexKnobs(t *testing.T) {
+	in := Config{K: 5, T: 10, Workers: 2}
+	in.Options.Index = true
+	in.Options.Pivots = 24
+	b := EncodeConfig(in)
+	if b[0] != configWireVersion || len(b) != configWireSize {
+		t.Fatalf("encoded version %d, %d bytes; want v%d, %d bytes", b[0], len(b), configWireVersion, configWireSize)
+	}
+	out, err := DecodeConfig(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Options.Index || out.Options.Pivots != 24 {
+		t.Fatalf("index knobs lost in handshake: %+v", out.Options)
+	}
+
+	// A version-2 record is the same layout minus the index tail: truncate
+	// and restamp. It must decode cleanly with the index off.
+	v2 := append([]byte(nil), b[:configWireSizeV2]...)
+	v2[0] = configWireVersionV2
+	old, err := DecodeConfig(v2)
+	if err != nil {
+		t.Fatalf("version-2 record rejected: %v", err)
+	}
+	if old.Options.Index || old.Options.Pivots != 0 {
+		t.Fatalf("version-2 decode invented index knobs: %+v", old.Options)
+	}
+	if old.K != 5 || old.T != 10 || old.Workers != 2 {
+		t.Fatalf("version-2 decode lost shared fields: %+v", old)
+	}
+
+	// A v3-stamped record of v2 length (and vice versa) is malformed.
+	bad := append([]byte(nil), v2...)
+	bad[0] = configWireVersion
+	if _, err := DecodeConfig(bad); err == nil {
+		t.Fatal("short version-3 record accepted")
+	}
+	if _, err := DecodeConfig(append(b, 0)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

@@ -21,11 +21,20 @@ import (
 // run must reach the sites or its recorded baseline would silently be the
 // fast engine. Workers crosses the wire as configured; the 0 default still
 // means "one worker per CPU" resolved on each site's own host.
+//
+// Version 3 appends the pivot-index knobs (Index byte, Pivots uint64) so
+// indexed runs stay indexed on remote sites. The decoder still accepts
+// version-2 records (index knobs default off), letting a new coordinator
+// drive old sites' configs and vice versa during a rolling upgrade.
 
-const configWireVersion = 2
+const (
+	configWireVersion   = 3
+	configWireVersionV2 = 2
+)
 
-// configWireSize is the encoded size: version byte plus the fixed fields.
-const configWireSize = 1 + // version
+// configWireSizeV2 is the version-2 encoded size: version byte plus the
+// fixed fields up to and including Reference.
+const configWireSizeV2 = 1 + // version
 	8 + 8 + // K, T
 	1 + 1 + // Objective, Variant
 	8 + // Eps
@@ -34,6 +43,10 @@ const configWireSize = 1 + // version
 	1 + // Engine
 	8 + 8 + 8 + 8 + // LocalOpts: Seed, MaxIters, SampleFacilities, Restarts
 	8 + 1 + 1 // Workers, NoDistCache, Reference
+
+// configWireSize is the version-3 encoded size.
+const configWireSize = configWireSizeV2 +
+	1 + 8 // Index, Pivots
 
 // EncodeConfig serializes the protocol-relevant configuration (with
 // defaults applied) for the coordinator -> site handshake.
@@ -56,16 +69,27 @@ func EncodeConfig(cfg Config) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.LocalOpts.Restarts)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.Workers)))
 	b = append(b, boolByte(cfg.NoDistCache), boolByte(cfg.Reference))
+	b = append(b, boolByte(cfg.Index))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(cfg.Pivots)))
 	return b
 }
 
-// DecodeConfig parses an EncodeConfig record.
+// DecodeConfig parses an EncodeConfig record (version 3, or the index-less
+// version 2 an older coordinator may still send).
 func DecodeConfig(b []byte) (Config, error) {
-	if len(b) != configWireSize {
-		return Config{}, fmt.Errorf("core: config record is %d bytes, want %d", len(b), configWireSize)
+	if len(b) < 1 {
+		return Config{}, fmt.Errorf("core: empty config record")
 	}
-	if b[0] != configWireVersion {
+	want := configWireSize
+	switch b[0] {
+	case configWireVersion:
+	case configWireVersionV2:
+		want = configWireSizeV2
+	default:
 		return Config{}, fmt.Errorf("core: unsupported config version %d", b[0])
+	}
+	if len(b) != want {
+		return Config{}, fmt.Errorf("core: config record is %d bytes, want %d for version %d", len(b), want, b[0])
 	}
 	var cfg Config
 	off := 1
@@ -97,6 +121,10 @@ func DecodeConfig(b []byte) (Config, error) {
 	cfg.Workers = int(int64(u64()))
 	cfg.NoDistCache = u8() == 1
 	cfg.Reference = u8() == 1
+	if b[0] >= configWireVersion {
+		cfg.Options.Index = u8() == 1
+		cfg.Options.Pivots = int(int64(u64()))
+	}
 	// Re-apply defaults so derived fields (LocalOpts.Workers/Reference,
 	// which are not shipped separately) are consistent on the site side;
 	// withDefaults is idempotent, so this exactly mirrors the encoder's

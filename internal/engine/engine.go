@@ -1,0 +1,190 @@
+// Package engine holds the one set of solver-engine knobs shared by every
+// layer of the stack: the root dpc.Config, kmedian.Options, kcenter.Opt and
+// client.Request all embed (or alias) engine.Options, so "which engine, how
+// many workers, which caches, which index" is said in exactly one vocabulary
+// from the CLI flags down to the per-site solvers.
+//
+// The knobs never change results — every configuration returns centers
+// bit-identical to the Reference engine — they only move wall-clock and
+// memory. That invariant is what lets the serving layer pick engine settings
+// per deployment without re-validating outputs.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Options are the consolidated engine knobs. The zero value is the default
+// fast engine: auto algorithm selection, one worker per CPU, memoized
+// distance caches on, no pivot index.
+type Options struct {
+	// Algo selects the k-median algorithm: "" or "auto" (default),
+	// "localsearch", or "jv". Non-median solvers ignore it.
+	Algo string `json:"algo,omitempty" usage:"k-median engine: auto | localsearch | jv"`
+	// Workers bounds per-solve goroutines (0 = one per CPU); results are
+	// bit-identical for every value.
+	Workers int `json:"workers,omitempty" usage:"solver goroutines per solve (0 = one per CPU)"`
+	// NoCache disables the memoized distance oracles (a measurement knob;
+	// results never change).
+	NoCache bool `json:"no_cache,omitempty" usage:"disable memoized distance caches (measurement knob)"`
+	// Reference runs the seed sequential algorithms — the baseline half of
+	// every engine comparison. Implies Workers=1, NoCache and no index.
+	Reference bool `json:"reference,omitempty" usage:"run the sequential reference engine (implies workers=1, no caches, no index)"`
+	// Index enables the pivot-based metric index: triangle-inequality lower
+	// bounds prune candidate scans, with results still bit-identical (the
+	// index falls back to full scans when its metric self-check fails).
+	Index bool `json:"index,omitempty" usage:"enable the pivot metric index (triangle-inequality pruning; results unchanged)"`
+	// Pivots is the index anchor count (0 = default, currently 16).
+	Pivots int `json:"pivots,omitempty" usage:"pivot count for the metric index (0 = default)"`
+}
+
+// Normalize resolves implied settings: the Reference engine is the seed
+// sequential code path, so it forces Workers=1 and disables caches and the
+// index. Idempotent.
+func (o Options) Normalize() Options {
+	if o.Reference {
+		o.Workers = 1
+		o.NoCache = true
+		o.Index = false
+	}
+	return o
+}
+
+// Merge overlays o on top of legacy flat knobs: a zero field in o adopts the
+// legacy value. This is how deprecated flat Workers/NoCache fields on
+// Config/Request keep working next to the embedded struct.
+func (o Options) Merge(workers int, noCache, reference bool) Options {
+	if o.Workers == 0 {
+		o.Workers = workers
+	}
+	o.NoCache = o.NoCache || noCache
+	o.Reference = o.Reference || reference
+	return o
+}
+
+// Spec is Options plus wire/CLI ergonomics: it unmarshals from either the
+// legacy JSON string form ("jv" — just the algorithm) or the full object
+// form ({"algo":"jv","index":true,"pivots":16}), and it implements
+// flag.Value so one -engine flag accepts "jv" or
+// "jv,index,workers=4,pivots=16".
+type Spec struct {
+	Options
+}
+
+// IsZero reports whether every knob is at its default.
+func (s Spec) IsZero() bool { return s.Options == Options{} }
+
+// MarshalJSON emits the compact string form when only Algo is set (the wire
+// shape every pre-index client and journal record used), and the object form
+// otherwise.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	if o := s.Options; o == (Options{Algo: o.Algo}) {
+		return []byte(strconv.Quote(o.Algo)), nil
+	}
+	// Alias strips Spec's methods so the object form marshals plainly.
+	type alias Options
+	return json.Marshal(alias(s.Options))
+}
+
+// UnmarshalJSON accepts both wire shapes.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	t := strings.TrimSpace(string(b))
+	if t == "null" {
+		return nil
+	}
+	if strings.HasPrefix(t, "\"") {
+		algo, err := strconv.Unquote(t)
+		if err != nil {
+			return fmt.Errorf("engine: bad string spec %s: %w", t, err)
+		}
+		s.Options = Options{Algo: algo}
+		return nil
+	}
+	type alias Options
+	var a alias
+	if err := json.Unmarshal(b, &a); err != nil {
+		return fmt.Errorf("engine: bad spec object: %w", err)
+	}
+	s.Options = Options(a)
+	return nil
+}
+
+// String implements flag.Value, rendering the comma token form Set parses.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	if s.Algo != "" {
+		parts = append(parts, s.Algo)
+	}
+	if s.Workers != 0 {
+		parts = append(parts, "workers="+strconv.Itoa(s.Workers))
+	}
+	if s.NoCache {
+		parts = append(parts, "nocache")
+	}
+	if s.Reference {
+		parts = append(parts, "reference")
+	}
+	if s.Index {
+		parts = append(parts, "index")
+	}
+	if s.Pivots != 0 {
+		parts = append(parts, "pivots="+strconv.Itoa(s.Pivots))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value: a comma-separated token list where a bare
+// algorithm name ("auto", "localsearch", "jv") selects Algo, bare "index" /
+// "nocache" / "reference" flip the booleans, and "workers=N" / "pivots=N"
+// set the counts.
+func (s *Spec) Set(v string) error {
+	out := Options{}
+	for _, tok := range strings.Split(v, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if key, val, ok := strings.Cut(tok, "="); ok {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("engine: %s: %w", tok, err)
+			}
+			switch key {
+			case "workers":
+				out.Workers = n
+			case "pivots":
+				out.Pivots = n
+			default:
+				return fmt.Errorf("engine: unknown setting %q (want %s)", key, strings.Join(specKeys, " | "))
+			}
+			continue
+		}
+		switch tok {
+		case "auto", "localsearch", "jv":
+			out.Algo = tok
+		case "index":
+			out.Index = true
+		case "nocache", "no-cache", "no_cache":
+			out.NoCache = true
+		case "reference":
+			out.Reference = true
+		default:
+			return fmt.Errorf("engine: unknown token %q (want %s)", tok, strings.Join(specKeys, " | "))
+		}
+	}
+	s.Options = out
+	return nil
+}
+
+var specKeys = func() []string {
+	ks := []string{"auto", "localsearch", "jv", "index", "nocache", "reference", "workers=N", "pivots=N"}
+	sort.Strings(ks)
+	return ks
+}()

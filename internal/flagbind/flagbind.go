@@ -39,6 +39,13 @@ func Bind(fs *flag.FlagSet, v any) {
 		}
 		flagName := strings.ReplaceAll(name, "_", "-")
 		p := rv.Field(i).Addr().Interface()
+		// A field implementing flag.Value binds through its own Set/String
+		// (e.g. engine.Spec's token syntax) — checked before the basic-type
+		// switch so rich fields stay on the CLI instead of panicking below.
+		if fv, ok := p.(flag.Value); ok {
+			fs.Var(fv, flagName, usage)
+			continue
+		}
 		switch p := p.(type) {
 		case *int:
 			fs.IntVar(p, flagName, *p, usage)

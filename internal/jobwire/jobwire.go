@@ -188,6 +188,12 @@ func ServeJobs(sc *transport.Site, d SiteData, wrap func(job int, blob []byte, h
 // dpc-site -persist, the client.Cluster tests and the dpc-server remote
 // e2e tests.
 func Factory(d SiteData) func(job int, blob []byte) (transport.Handler, error) {
+	// The site's pivot index is as long-lived as its distance cache: built
+	// lazily by the first indexed job, reused (same pivot count) by every
+	// later one. Jobs on one connection are served sequentially, so the
+	// memo needs no locking.
+	var siteIx *metric.Index
+	ixPivots := -1
 	return func(job int, blob []byte) (transport.Handler, error) {
 		j, err := Decode(blob)
 		if err != nil {
@@ -198,7 +204,31 @@ func Factory(d SiteData) func(job int, blob []byte) (transport.Handler, error) {
 			if len(d.Pts) == 0 {
 				return nil, fmt.Errorf("job %d: site %d holds no point shard", job, d.Site)
 			}
-			return core.NewSiteHandlerCached(j.Core, d.Site, d.Pts, d.Cache)
+			var oracle metric.Oracle
+			if d.Cache != nil {
+				oracle = d.Cache
+			}
+			if j.Core.Index && !j.Core.NoCache {
+				m := j.Core.Pivots
+				if m <= 0 {
+					m = metric.DefaultPivots
+				}
+				if m > len(d.Pts) {
+					m = len(d.Pts)
+				}
+				if siteIx == nil || ixPivots != m {
+					var sp metric.Space
+					if d.Cache != nil {
+						sp = d.Cache
+					} else {
+						sp = metric.NewPoints(d.Pts)
+					}
+					siteIx = metric.NewIndex(sp, metric.IndexOptions{Pivots: m})
+					ixPivots = m
+				}
+				oracle = siteIx
+			}
+			return core.NewSiteHandlerOracle(j.Core, d.Site, d.Pts, oracle)
 		case KindUncertain:
 			if len(d.Nodes) == 0 || d.G == nil {
 				return nil, fmt.Errorf("job %d: site %d holds no uncertain shard", job, d.Site)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"dpc/internal/engine"
 	"dpc/internal/metric"
 )
 
@@ -74,7 +75,7 @@ func TestLocalSearchCancelMidSolve(t *testing.T) {
 func TestJVCancelMidSolve(t *testing.T) {
 	pts := cancelTestPoints(130)
 	base := metric.NewPoints(pts)
-	opts := Options{Seed: 3, Workers: 1}
+	opts := Options{Seed: 3, Options: engine.Options{Workers: 1}}
 
 	full := &countingCosts{c: base}
 	JV(full, nil, 6, 10, 0, opts)

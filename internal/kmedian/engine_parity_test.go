@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"dpc/internal/engine"
 	"dpc/internal/metric"
 )
 
@@ -58,14 +59,14 @@ func TestEngineMatchesReference(t *testing.T) {
 			}
 			base := metric.NewPoints(pts)
 			tt := float64(n / 15)
-			ref := LocalSearch(base, w, 6, tt, Options{Seed: 9, Reference: true})
+			ref := LocalSearch(base, w, 6, tt, Options{Seed: 9, Options: engine.Options{Reference: true}})
 			for _, workers := range []int{1, 3, 8} {
 				for _, cached := range []bool{false, true} {
 					var c metric.Costs = base
 					if cached {
 						c = metric.NewDistCache(base)
 					}
-					got := LocalSearch(c, w, 6, tt, Options{Seed: 9, Workers: workers})
+					got := LocalSearch(c, w, 6, tt, Options{Seed: 9, Options: engine.Options{Workers: workers}})
 					label := "localsearch"
 					if cached {
 						label += "+cache"
@@ -85,9 +86,9 @@ func TestJVMatchesReference(t *testing.T) {
 		pts := parityPoints(int64(n)+11, n, 2)
 		base := metric.NewPoints(pts)
 		tt := float64(n / 10)
-		ref := JV(base, nil, 4, tt, 0.5, Options{Seed: 5, Reference: true})
+		ref := JV(base, nil, 4, tt, 0.5, Options{Seed: 5, Options: engine.Options{Reference: true}})
 		for _, workers := range []int{1, 4} {
-			got := JV(metric.NewDistCache(base), nil, 4, tt, 0.5, Options{Seed: 5, Workers: workers})
+			got := JV(metric.NewDistCache(base), nil, 4, tt, 0.5, Options{Seed: 5, Options: engine.Options{Workers: workers}})
 			sameSolution(t, "jv", ref, got)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dpc/internal/engine"
 	"dpc/internal/metric"
 )
 
@@ -13,7 +14,7 @@ func TestJVRunFreeFacilitiesOpenEverywhere(t *testing.T) {
 	// lambda = 0: every point pays for its own facility instantly; after
 	// pruning each client is served at distance 0.
 	sp := metric.NewPoints([]metric.Point{{0}, {5}, {9}})
-	r := jvRun(sp, nil, 0, 0, Options{Workers: 1}, nil)
+	r := jvRun(sp, nil, 0, 0, Options{Options: engine.Options{Workers: 1}}, nil)
 	if r.outlierW > 1e-9 {
 		t.Fatalf("outlier weight = %g", r.outlierW)
 	}
@@ -25,7 +26,7 @@ func TestJVRunFreeFacilitiesOpenEverywhere(t *testing.T) {
 
 func TestJVRunHugeLambdaOpensOne(t *testing.T) {
 	sp := metric.NewPoints([]metric.Point{{0}, {1}, {2}, {3}})
-	r := jvRun(sp, nil, 1e6, 0, Options{Workers: 1}, nil)
+	r := jvRun(sp, nil, 1e6, 0, Options{Options: engine.Options{Workers: 1}}, nil)
 	if r.numOpen != 1 {
 		t.Fatalf("open = %d, want 1", r.numOpen)
 	}
@@ -38,7 +39,7 @@ func TestJVRunOutlierStop(t *testing.T) {
 	// One extremely remote point: with stopW = 1 the ascent must stop
 	// before freezing it (it is the last to connect).
 	sp := metric.NewPoints([]metric.Point{{0}, {0.1}, {0.2}, {1e9}})
-	r := jvRun(sp, nil, 0.5, 1, Options{Workers: 1}, nil)
+	r := jvRun(sp, nil, 0.5, 1, Options{Options: engine.Options{Workers: 1}}, nil)
 	if !r.outlier[3] {
 		t.Fatalf("remote point not left active: %+v", r.outlier)
 	}
@@ -55,7 +56,7 @@ func TestJVRunPrunedFacilitiesAreIndependent(t *testing.T) {
 	// Two tight pairs: pruning must never keep two facilities that share a
 	// positively-contributing client.
 	sp := metric.NewPoints([]metric.Point{{0}, {0.01}, {10}, {10.01}})
-	r := jvRun(sp, nil, 0.1, 0, Options{Workers: 1}, nil)
+	r := jvRun(sp, nil, 0.1, 0, Options{Options: engine.Options{Workers: 1}}, nil)
 	if r.numOpen < 1 || r.numOpen > 2 {
 		t.Fatalf("open = %d", r.numOpen)
 	}
@@ -76,7 +77,7 @@ func TestJVRunWeightedStop(t *testing.T) {
 		{100, 100, 0},
 	}
 	w := []float64{1, 1, 5} // the far client is heavy
-	r := jvRun(m, w, 10, 2, Options{Workers: 1}, nil)
+	r := jvRun(m, w, 10, 2, Options{Options: engine.Options{Workers: 1}}, nil)
 	// The heavy client (weight 5 > stop 2) cannot be the outlier wholesale;
 	// the ascent must connect it eventually or stop with light actives.
 	if r.outlierW > 2+1e-9 {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"dpc/internal/engine"
 	"dpc/internal/metric"
 	"dpc/internal/par"
 )
@@ -39,17 +40,15 @@ type Options struct {
 	// budget solves, where the solution for the previous budget is an
 	// excellent starting point for the next.
 	Warm []int
-	// Workers bounds the goroutines of the parallel engine paths; 0 (the
-	// default) means one per CPU, and any value produces bit-identical
-	// results (the engine only uses order-independent parallel loops and
-	// fixed-tie-break reductions).
-	Workers int
-	// Reference switches every solver to the pre-engine sequential
-	// implementation (the seed of this repository). It exists for the
-	// regression harness: cmd/dpc-bench and the parity tests run
-	// Reference and fast engines side by side and require identical
-	// solutions; it is not meant for production runs.
-	Reference bool
+	// Options are the consolidated engine knobs (see engine.Options):
+	// Workers bounds the goroutines of the parallel engine paths (0 = one
+	// per CPU, bit-identical at every width) and Reference switches every
+	// solver to the pre-engine sequential implementation — the regression
+	// baseline of cmd/dpc-bench and the parity tests. The Index/Pivots
+	// knobs are honored by the layers that construct the cost oracle; the
+	// solvers prune through whatever metric.CostPruner the oracle
+	// implements and never build indexes themselves.
+	engine.Options
 }
 
 // canceled reports whether the solve's context has been cancelled — the
@@ -144,6 +143,7 @@ func warmCenters(warm []int, k, nf int) []int {
 // facility as the new center).
 func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
 	nc, nf := c.Clients(), c.Facilities()
+	cp := metric.CostPrunerOf(c)
 	centers := make([]int, 0, k)
 	centers = append(centers, rng.Intn(nf))
 	d := make([]float64, nc)
@@ -175,6 +175,11 @@ func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
 			if inSet[f] {
 				continue
 			}
+			// A facility provably no cheaper than the current best cannot
+			// win the strict comparison; skipping it is result-identical.
+			if cp != nil && cp.PruneCost(pick, f, bd) {
+				continue
+			}
 			if x := c.Cost(pick, f); x < bd {
 				bd, bestF = x, f
 			}
@@ -185,6 +190,9 @@ func seedDSquared(c metric.Costs, w []float64, k int, rng *rand.Rand) []int {
 		centers = append(centers, bestF)
 		inSet[bestF] = true
 		for j := 0; j < nc; j++ {
+			if cp != nil && cp.PruneCost(j, bestF, d[j]) {
+				continue
+			}
 			if x := c.Cost(j, bestF); x < d[j] {
 				d[j] = x
 			}
@@ -220,6 +228,19 @@ func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options,
 	}
 	nc, nf := c.Clients(), c.Facilities()
 	workers := opt.Workers
+	cp := metric.CostPrunerOf(c)
+	ccp := metric.CostColumnPrunerOf(c)
+	// One skip mask per concurrent potential-scan worker: the column pruner
+	// bounds a whole facility in one call, so the scan pays a few loads per
+	// (client, facility) pair instead of a per-pair pruner call chain.
+	var colSkip chan []bool
+	if ccp != nil {
+		wk := par.Resolve(workers)
+		colSkip = make(chan []bool, wk)
+		for i := 0; i < wk; i++ {
+			colSkip <- make([]bool, nc)
+		}
+	}
 	cur := EvalP(c, w, centers, t, workers)
 	k := len(cur.Centers)
 	// One reusable distance column per top candidate and one newd buffer
@@ -248,6 +269,13 @@ func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options,
 			b1, b2 := math.Inf(1), math.Inf(1)
 			bp := -1
 			for p, f := range cur.Centers {
+				// b1 <= b2, so a center proven no nearer than the current
+				// second-nearest can update neither slot: skip its exact
+				// distance. The surviving comparisons fire exactly as the
+				// full scan's would — d1/a1/d2 come out bit-identical.
+				if cp != nil && cp.PruneCost(j, f, b2) {
+					continue
+				}
 				x := c.Cost(j, f)
 				if x < b1 {
 					b1, b2, bp = x, b1, p
@@ -262,14 +290,38 @@ func descend(c metric.Costs, w []float64, centers []int, t float64, opt Options,
 		pots := make([]float64, len(cands))
 		par.For(workers, len(cands), func(ci int) {
 			f := cands[ci]
+			// A client whose cost to f provably stays >= d1[j] would
+			// contribute max(0, d1[j]-cost) = 0: skip the evaluation
+			// without touching the sum. The bulk column form proves the
+			// whole facility in one pass; the per-pair pruner is the
+			// fallback when no bulk pruner is wired (or it declines).
+			var skip []bool
+			if ccp != nil {
+				b := <-colSkip
+				if ccp.PruneCostColumn(f, d1, b) {
+					skip = b
+				} else {
+					colSkip <- b
+				}
+			}
 			var pot float64
 			for j := 0; j < nc; j++ {
 				if inW[j] <= 0 {
 					continue
 				}
+				if skip != nil {
+					if skip[j] {
+						continue
+					}
+				} else if cp != nil && cp.PruneCost(j, f, d1[j]) {
+					continue
+				}
 				if s := d1[j] - c.Cost(j, f); s > 0 {
 					pot += inW[j] * s
 				}
+			}
+			if skip != nil {
+				colSkip <- skip
 			}
 			pots[ci] = pot
 		})

@@ -24,10 +24,10 @@ const emptyCell = 0x7ff8_0000_dead_c0de
 const MaxCachePoints = 2048
 
 // CacheStats counts cache traffic. Attach one to a DistCache or CostCache
-// (Stats field) to observe hit/miss behavior — the long-running server uses
+// (Counters field) to observe hit/miss behavior — the long-running server uses
 // this to prove that jobs against the same dataset share one warm cache.
 // Counting is optional precisely because the Dist hot path is a single
-// atomic load; a nil Stats keeps it that way.
+// atomic load; a nil Counters keeps it that way.
 type CacheStats struct {
 	Hits   atomic.Int64 // lookups served from a filled cell
 	Misses atomic.Int64 // lookups (or prefill steps) that computed a distance
@@ -50,11 +50,11 @@ func (cs *CacheStats) Snapshot() (hits, misses int64) {
 // and Costs, like Points.
 type DistCache struct {
 	S Space
-	// Stats, when non-nil, receives hit/miss accounting. Set it before
+	// Counters, when non-nil, receives hit/miss accounting. Set it before
 	// sharing the cache; the counters themselves are concurrency-safe.
-	Stats *CacheStats
-	n     int
-	cells []uint64 // packed strict upper triangle, atomic access
+	Counters *CacheStats
+	n        int
+	cells    []uint64 // packed strict upper triangle, atomic access
 }
 
 // NewDistCache wraps s in a fresh, empty cache. The underlying oracle must
@@ -108,13 +108,13 @@ func (dc *DistCache) Dist(i, j int) float64 {
 	}
 	c := dc.cell(i, j)
 	if bits := atomic.LoadUint64(&dc.cells[c]); bits != emptyCell {
-		if dc.Stats != nil {
-			dc.Stats.Hits.Add(1)
+		if dc.Counters != nil {
+			dc.Counters.Hits.Add(1)
 		}
 		return math.Float64frombits(bits)
 	}
-	if dc.Stats != nil {
-		dc.Stats.Misses.Add(1)
+	if dc.Counters != nil {
+		dc.Counters.Misses.Add(1)
 	}
 	d := dc.S.Dist(i, j)
 	atomic.StoreUint64(&dc.cells[c], math.Float64bits(d))
@@ -159,8 +159,8 @@ func (dc *DistCache) PrefillCtx(ctx context.Context, workers int, keep func() bo
 		for j := i + 1; j < dc.n; j++ {
 			c := base + (j - i - 1)
 			if atomic.LoadUint64(&dc.cells[c]) == emptyCell {
-				if dc.Stats != nil {
-					dc.Stats.Misses.Add(1)
+				if dc.Counters != nil {
+					dc.Counters.Misses.Add(1)
 				}
 				atomic.StoreUint64(&dc.cells[c], math.Float64bits(dc.S.Dist(i, j)))
 				row++
@@ -230,10 +230,10 @@ func (dc *DistCache) AdoptCells(cells []uint64) (int, error) {
 // Concurrency and exactness guarantees are the same as DistCache's.
 type CostCache struct {
 	C Costs
-	// Stats, when non-nil, receives hit/miss accounting (see CacheStats).
-	Stats  *CacheStats
-	nc, nf int
-	cells  []uint64 // row-major clients x facilities, atomic access
+	// Counters, when non-nil, receives hit/miss accounting (see CacheStats).
+	Counters *CacheStats
+	nc, nf   int
+	cells    []uint64 // row-major clients x facilities, atomic access
 }
 
 // NewCostCache wraps c in a fresh, empty cache.
@@ -266,13 +266,13 @@ func (cc *CostCache) Facilities() int { return cc.nf }
 func (cc *CostCache) Cost(client, facility int) float64 {
 	idx := client*cc.nf + facility
 	if bits := atomic.LoadUint64(&cc.cells[idx]); bits != emptyCell {
-		if cc.Stats != nil {
-			cc.Stats.Hits.Add(1)
+		if cc.Counters != nil {
+			cc.Counters.Hits.Add(1)
 		}
 		return math.Float64frombits(bits)
 	}
-	if cc.Stats != nil {
-		cc.Stats.Misses.Add(1)
+	if cc.Counters != nil {
+		cc.Counters.Misses.Add(1)
 	}
 	d := cc.C.Cost(client, facility)
 	atomic.StoreUint64(&cc.cells[idx], math.Float64bits(d))

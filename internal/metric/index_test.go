@@ -1,0 +1,396 @@
+package metric
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randPoints builds n d-dimensional points, with adversarial near-ties: a
+// fraction of the points are near-duplicates of earlier ones, offset by a
+// perturbation far below the distances between distinct cluster members, so
+// nearest-candidate scans constantly decide between almost-equal distances
+// — exactly where an off-by-one in the pruning bound would flip a winner.
+func tiePoints(n, d int, seed int64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		if i > 0 && r.Float64() < 0.3 {
+			base := pts[r.Intn(i)]
+			p := base.Clone()
+			p[r.Intn(d)] += (r.Float64() - 0.5) * 1e-9
+			pts[i] = p
+			continue
+		}
+		p := make(Point, d)
+		for j := range p {
+			p[j] = r.NormFloat64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// randGraphMetric builds a random connected weighted graph and returns its
+// shortest-path metric — a genuinely non-Euclidean metric space.
+func randGraphMetric(t *testing.T, n int, seed int64) Matrix {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: r.Intn(i), V: i, W: 0.1 + r.Float64()})
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, W: 0.1 + 3*r.Float64()})
+		}
+	}
+	m, err := GraphMetric(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkNearestMatchesScan asserts the property the whole index rests on:
+// for every query and candidate set, the pruned scan returns exactly the
+// full scan's winner — a pruned candidate is never the true nearest.
+func checkNearestMatchesScan(t *testing.T, s Space, ix *Index, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := s.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := r.Intn(n)
+		cands := all
+		if trial%2 == 1 {
+			cands = make([]int, 1+r.Intn(n))
+			for i := range cands {
+				cands[i] = r.Intn(n)
+			}
+		}
+		wantJ, wantD := scanNearest(s, p, cands)
+		gotJ, gotD := ix.Nearest(p, cands)
+		if gotJ != wantJ || gotD != wantD {
+			t.Fatalf("trial %d: Nearest(%d) = (%d, %v), full scan (%d, %v)",
+				trial, p, gotJ, gotD, wantJ, wantD)
+		}
+	}
+}
+
+func TestIndexNearestEuclideanNearTies(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pts := tiePoints(300, 4, seed)
+		sp := NewPoints(pts)
+		ix := NewIndex(sp, IndexOptions{Pivots: 8})
+		if !ix.Ok() {
+			t.Fatalf("seed %d: self-check failed on a Euclidean space", seed)
+		}
+		checkNearestMatchesScan(t, sp, ix, seed+100)
+		if st := ix.Stats(); st.Pruned == 0 {
+			t.Errorf("seed %d: index pruned nothing — the test exercised no bounds", seed)
+		}
+	}
+}
+
+func TestIndexNearestRandomGraphMetric(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		m := randGraphMetric(t, 120, seed)
+		ix := NewIndex(m, IndexOptions{Pivots: 6})
+		if !ix.Ok() {
+			t.Fatalf("seed %d: self-check failed on a shortest-path metric", seed)
+		}
+		checkNearestMatchesScan(t, m, ix, seed+200)
+	}
+}
+
+// brokenSpace violates the triangle inequality on one pair.
+type brokenSpace struct{ Matrix }
+
+func TestIndexSelfCheckCatchesNonMetric(t *testing.T) {
+	n := 24
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 1 + r.Float64() // [1,2): triangle holds for any triple
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	// The self-check covers (point, pivot, pivot) triples, so plant the
+	// violation on an edge of point 0 — the deterministic first pivot. The
+	// far endpoint then wins the farthest-first sweep and becomes a pivot
+	// itself, and pairing it with any third pivot exposes the excess.
+	m[0][5], m[5][0] = 100, 100
+	ix := NewIndex(brokenSpace{m}.Matrix, IndexOptions{Pivots: 4})
+	if ix.Ok() {
+		t.Fatal("self-check accepted a triangle-violating space")
+	}
+	// Degraded mode must still be exact: full-scan fallback, no pruning.
+	checkNearestMatchesScan(t, m, ix, 77)
+	if st := ix.Stats(); st.Pruned != 0 {
+		t.Fatalf("degraded index pruned %d candidates", st.Pruned)
+	}
+}
+
+func TestIndexPruneDistIsSound(t *testing.T) {
+	pts := tiePoints(200, 3, 11)
+	sp := NewPoints(pts)
+	ix := NewIndex(sp, IndexOptions{Pivots: 10})
+	if !ix.Ok() {
+		t.Fatal("self-check failed")
+	}
+	r := rand.New(rand.NewSource(12))
+	pruned := 0
+	for trial := 0; trial < 2000; trial++ {
+		i, j := r.Intn(200), r.Intn(200)
+		d := sp.Dist(i, j)
+		thresh := d * (0.2 + 1.6*r.Float64())
+		if ix.PruneDist(i, j, thresh) {
+			pruned++
+			// Soundness: pruning at thresh promises d >= thresh (the scan
+			// it serves only needs strict improvements d < thresh).
+			if d < thresh {
+				t.Fatalf("pruned (%d,%d) at thresh %v but d = %v", i, j, thresh, d)
+			}
+		}
+		if lb := ix.DistLowerBound(i, j); lb > d+1e-9 {
+			t.Fatalf("lower bound %v above true distance %v", lb, d)
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no candidate was ever pruned; the bounds are vacuous")
+	}
+}
+
+func TestIndexSpillRoundTrip(t *testing.T) {
+	pts := tiePoints(150, 3, 21)
+	sp := NewPoints(pts)
+	ix := NewIndex(sp, IndexOptions{Pivots: 8})
+	hash := HashPoints(pts)
+
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, []SpillEntry{SpillIndexEntry(ix, hash)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadSpill(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Kind != SpillIndex {
+		t.Fatalf("round trip returned %d entries", len(entries))
+	}
+	e := entries[0]
+	if e.Hash != hash || e.N != 150 || e.NC != 8 {
+		t.Fatalf("entry header = {hash %d, n %d, nc %d}", e.Hash, e.N, e.NC)
+	}
+	got, err := IndexFromSpill(sp, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Ok() {
+		t.Fatal("restored index failed its self-check")
+	}
+	// The restore must be bit-identical to the build: same pivots, same
+	// answers (the registry treats restored and rebuilt interchangeably).
+	wantP, gotP := ix.Pivots(), got.Pivots()
+	if len(wantP) != len(gotP) {
+		t.Fatalf("pivot count %d, want %d", len(gotP), len(wantP))
+	}
+	for i := range wantP {
+		if wantP[i] != gotP[i] {
+			t.Fatalf("pivot %d = %d, want %d", i, gotP[i], wantP[i])
+		}
+	}
+	checkNearestMatchesScan(t, sp, got, 22)
+
+	// A size mismatch must refuse to restore, not mis-index.
+	e2 := e
+	e2.N = 149
+	if _, err := IndexFromSpill(sp, e2); err == nil {
+		t.Fatal("IndexFromSpill accepted an entry for a different point count")
+	}
+}
+
+func TestIndexSquaredPruneCost(t *testing.T) {
+	pts := tiePoints(160, 3, 31)
+	sp := NewPoints(pts)
+	ix := NewIndex(sp, IndexOptions{Pivots: 8})
+	if !ix.Ok() {
+		t.Fatal("self-check failed")
+	}
+	sq := Squared{C: SelfCosts{S: ix}}
+	cp := CostPrunerOf(sq)
+	if cp == nil {
+		t.Fatal("Squared over an indexed space exposes no CostPruner")
+	}
+	r := rand.New(rand.NewSource(32))
+	pruned := 0
+	for trial := 0; trial < 2000; trial++ {
+		i, j := r.Intn(160), r.Intn(160)
+		c := sq.Cost(i, j)
+		thresh := c * (0.2 + 1.6*r.Float64())
+		if cp.PruneCost(i, j, thresh) {
+			pruned++
+			if c < thresh {
+				t.Fatalf("pruned (%d,%d) at thresh %v but cost = %v", i, j, thresh, c)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("squared pruner never pruned")
+	}
+}
+
+func TestIndexDeterministicPivots(t *testing.T) {
+	pts := tiePoints(100, 3, 41)
+	a := NewIndex(NewPoints(pts), IndexOptions{Pivots: 8})
+	b := NewIndex(NewPoints(pts), IndexOptions{Pivots: 8})
+	pa, pb := a.Pivots(), b.Pivots()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("pivot selection not deterministic: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestIndexPruneColumnSound(t *testing.T) {
+	const n = 200
+	pts := tiePoints(n, 3, 51)
+	sp := NewPoints(pts)
+	ix := NewIndex(sp, IndexOptions{Pivots: 10})
+	if !ix.Ok() {
+		t.Fatal("self-check failed")
+	}
+	r := rand.New(rand.NewSource(52))
+	thresh := make([]float64, n)
+	skip := make([]bool, n)
+	prunedAny := false
+	for _, f := range []int{0, 17, 63, n - 1} {
+		for j := 0; j < n; j++ {
+			switch j % 5 {
+			case 0:
+				thresh[j] = 0 // vacuously provable: distances are nonnegative
+			case 1:
+				thresh[j] = -1
+			default:
+				thresh[j] = sp.Dist(j, f) * (0.2 + 1.6*r.Float64())
+			}
+			skip[j] = j%2 == 0 // stale garbage the sweep must overwrite
+		}
+		if !ix.PruneDistColumn(f, thresh, skip) {
+			t.Fatalf("PruneDistColumn declined on a healthy index (f=%d)", f)
+		}
+		for j := 0; j < n; j++ {
+			if thresh[j] <= 0 && !skip[j] {
+				t.Fatalf("thresh[%d]=%v <= 0 not vacuously pruned", j, thresh[j])
+			}
+			if skip[j] {
+				prunedAny = true
+				if d := sp.Dist(j, f); d < thresh[j] {
+					t.Fatalf("column pruned (%d,%d) at thresh %v but d = %v", j, f, thresh[j], d)
+				}
+			}
+		}
+		// Squared form: proves d² >= thresh.
+		sqThresh := make([]float64, n)
+		for j := range sqThresh {
+			d := sp.Dist(j, f)
+			sqThresh[j] = d * d * (0.2 + 1.6*r.Float64())
+		}
+		if !ix.PruneSqDistColumn(f, sqThresh, skip) {
+			t.Fatalf("PruneSqDistColumn declined (f=%d)", f)
+		}
+		for j := 0; j < n; j++ {
+			if skip[j] {
+				if d := sp.Dist(j, f); d*d < sqThresh[j] {
+					t.Fatalf("sq column pruned (%d,%d) at thresh %v but d² = %v", j, f, sqThresh[j], d*d)
+				}
+			}
+		}
+	}
+	if !prunedAny {
+		t.Fatal("column sweep never pruned; the bounds are vacuous")
+	}
+
+	// Mis-sized buffers must decline, not mis-index.
+	if ix.PruneDistColumn(0, thresh[:n-1], skip) {
+		t.Fatal("accepted a short threshold column")
+	}
+	if ix.PruneDistColumn(0, thresh, skip[:n-1]) {
+		t.Fatal("accepted a short skip column")
+	}
+}
+
+func TestCostColumnPrunerWiring(t *testing.T) {
+	pts := tiePoints(120, 3, 61)
+	sp := NewPoints(pts)
+	ix := NewIndex(sp, IndexOptions{Pivots: 8})
+	if !ix.Ok() {
+		t.Fatal("self-check failed")
+	}
+	thresh := make([]float64, 120)
+	skip := make([]bool, 120)
+
+	// SelfCosts and Squared over an indexed space both expose the bulk hook
+	// and agree with their per-pair counterparts' guarantees.
+	for _, tc := range []struct {
+		name string
+		c    Costs
+	}{
+		{"selfcosts", SelfCosts{S: ix}},
+		{"squared", Squared{C: SelfCosts{S: ix}}},
+	} {
+		ccp := CostColumnPrunerOf(tc.c)
+		if ccp == nil {
+			t.Fatalf("%s: no CostColumnPruner", tc.name)
+		}
+		for j := range thresh {
+			thresh[j] = tc.c.Cost(j, 42) * 1.5
+		}
+		if !ccp.PruneCostColumn(42, thresh, skip) {
+			t.Fatalf("%s: bulk pruner declined", tc.name)
+		}
+		for j := range skip {
+			if skip[j] && tc.c.Cost(j, 42) < thresh[j] {
+				t.Fatalf("%s: pruned client %d below threshold", tc.name, j)
+			}
+		}
+	}
+
+	// Unindexed wrappers decline at call time (plain Points has no bounds)
+	// and CostPrunerOf reports no per-pair pruner at all, so the solvers
+	// skip dead calls.
+	plain := SelfCosts{S: sp}
+	if ccp := CostColumnPrunerOf(plain); ccp != nil && ccp.PruneCostColumn(0, thresh, skip) {
+		t.Fatal("unindexed SelfCosts claimed to prune a column")
+	}
+	if CostPrunerOf(plain) != nil {
+		t.Fatal("unindexed SelfCosts exposes a per-pair pruner")
+	}
+	if CostPrunerOf(Squared{C: plain}) != nil {
+		t.Fatal("unindexed Squared exposes a per-pair pruner")
+	}
+}
+
+func TestIndexSpaceSkipsMemoizedSpaces(t *testing.T) {
+	pts := tiePoints(64, 3, 71)
+	cached := CacheSpace(NewPoints(pts))
+	if _, okc := cached.(*DistCache); !okc {
+		t.Fatal("CacheSpace did not memoize a small instance")
+	}
+	if got := IndexSpace(cached, true, 8); got != cached {
+		t.Fatal("IndexSpace indexed a memoized space (prunes would only save cached reads)")
+	}
+	raw := NewPoints(pts)
+	if _, oki := IndexSpace(raw, true, 8).(*Index); !oki {
+		t.Fatal("IndexSpace declined a raw space")
+	}
+}

@@ -273,36 +273,10 @@ func MinMaxDist(s Space) (dmin, dmax float64) {
 }
 
 // CheckMetric verifies (exhaustively, O(n^3)) that s satisfies the metric
-// axioms up to floating-point slack. Intended for tests.
+// axioms up to floating-point slack. Intended for tests; Check returns the
+// underlying typed report.
 func CheckMetric(s Space) error {
-	const eps = 1e-9
-	n := s.N()
-	for i := 0; i < n; i++ {
-		if d := s.Dist(i, i); math.Abs(d) > eps {
-			return fmt.Errorf("metric: d(%d,%d)=%g, want 0", i, i, d)
-		}
-		for j := 0; j < n; j++ {
-			dij, dji := s.Dist(i, j), s.Dist(j, i)
-			if math.Abs(dij-dji) > eps*(1+math.Abs(dij)) {
-				return fmt.Errorf("metric: asymmetric d(%d,%d)=%g d(%d,%d)=%g", i, j, dij, j, i, dji)
-			}
-			if dij < -eps {
-				return fmt.Errorf("metric: negative d(%d,%d)=%g", i, j, dij)
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			for k := 0; k < n; k++ {
-				dij, dik, dkj := s.Dist(i, j), s.Dist(i, k), s.Dist(k, j)
-				if dij > dik+dkj+eps*(1+dij) {
-					return fmt.Errorf("metric: triangle violated d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g",
-						i, j, dij, i, k, k, j, dik+dkj)
-				}
-			}
-		}
-	}
-	return nil
+	return Check(s).Err()
 }
 
 // Centroid returns the coordinate-wise mean of pts weighted by w (nil means

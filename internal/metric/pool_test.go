@@ -117,18 +117,18 @@ func TestCachePoolInvalidate(t *testing.T) {
 
 func TestCacheStatsCountHitsAndMisses(t *testing.T) {
 	dc := NewDistCache(poolPoints(10, 0))
-	dc.Stats = &CacheStats{}
+	dc.Counters = &CacheStats{}
 	dc.Dist(1, 2) // miss
 	dc.Dist(1, 2) // hit
 	dc.Dist(2, 1) // hit (same cell)
 	dc.Dist(3, 4) // miss
-	hits, misses := dc.Stats.Snapshot()
+	hits, misses := dc.Counters.Snapshot()
 	if hits != 2 || misses != 2 {
 		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
 	}
 	// Diagonal lookups never touch cells or counters.
 	dc.Dist(5, 5)
-	if h, m := dc.Stats.Snapshot(); h != 2 || m != 2 {
+	if h, m := dc.Counters.Snapshot(); h != 2 || m != 2 {
 		t.Fatalf("diagonal counted: hits=%d misses=%d", h, m)
 	}
 	// Values are exactly the oracle's, stats or not.
@@ -140,11 +140,11 @@ func TestCacheStatsCountHitsAndMisses(t *testing.T) {
 
 func TestCostCacheStats(t *testing.T) {
 	cc := NewCostCache(poolPoints(6, 1))
-	cc.Stats = &CacheStats{}
+	cc.Counters = &CacheStats{}
 	cc.Cost(0, 3)
 	cc.Cost(0, 3)
 	cc.Cost(3, 0) // distinct cell in the rectangular cache
-	hits, misses := cc.Stats.Snapshot()
+	hits, misses := cc.Counters.Snapshot()
 	if hits != 1 || misses != 2 {
 		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
 	}
@@ -152,10 +152,10 @@ func TestCostCacheStats(t *testing.T) {
 
 func TestDistCachePrefillCountsMisses(t *testing.T) {
 	dc := NewDistCache(poolPoints(12, 0))
-	dc.Stats = &CacheStats{}
+	dc.Counters = &CacheStats{}
 	dc.Dist(0, 1) // one lazy miss
 	dc.Prefill(2)
-	hits, misses := dc.Stats.Snapshot()
+	hits, misses := dc.Counters.Snapshot()
 	wantCells := int64(12 * 11 / 2)
 	if misses != wantCells {
 		t.Fatalf("misses=%d, want %d (every cell computed once)", misses, wantCells)

@@ -47,6 +47,9 @@ const (
 	SpillDist = 1
 	// SpillCost marks a CostCache entry (dense clients x facilities).
 	SpillCost = 2
+	// SpillIndex marks a pivot Index entry (pivot ids + point-major
+	// point→pivot distance rows; n in N, pivot count in NC).
+	SpillIndex = 3
 )
 
 // maxSpillEntries and maxSpillCells bound what a reader will allocate:
@@ -86,6 +89,11 @@ func (e SpillEntry) cellsWant() (int, error) {
 			return 0, fmt.Errorf("metric: spill cost entry with %dx%d cells", e.NC, e.NF)
 		}
 		return e.NC * e.NF, nil
+	case SpillIndex:
+		if e.N < 0 || e.NC < 0 || e.N > math.MaxInt32 {
+			return 0, fmt.Errorf("metric: spill index entry with n=%d, m=%d", e.N, e.NC)
+		}
+		return e.NC + e.N*e.NC, nil
 	}
 	return 0, fmt.Errorf("metric: unknown spill entry kind %d", e.Kind)
 }
@@ -120,6 +128,56 @@ func SpillDistCache(dc *DistCache, hash uint64) SpillEntry {
 // hash.
 func SpillCostCache(cc *CostCache, hash uint64) SpillEntry {
 	return SpillEntry{Kind: SpillCost, Hash: hash, NC: cc.nc, NF: cc.nf, Cells: cc.SnapshotCells()}
+}
+
+// SpillIndexEntry snapshots a built pivot index: pivot ids followed by the
+// point-major distance rows, raw float64 bits, so a restore serves bounds
+// bit-identical to the index that was spilled.
+func SpillIndexEntry(ix *Index, hash uint64) SpillEntry {
+	n := ix.S.N()
+	cells := make([]uint64, 0, len(ix.pivots)+len(ix.pd))
+	for _, p := range ix.pivots {
+		cells = append(cells, uint64(p))
+	}
+	for _, d := range ix.pd {
+		cells = append(cells, math.Float64bits(d))
+	}
+	return SpillEntry{Kind: SpillIndex, Hash: hash, N: n, NC: len(ix.pivots), Cells: cells}
+}
+
+// IndexFromSpill reconstructs a pivot index over s from a SpillIndex entry,
+// skipping the N()*m distance evaluations of a fresh build. The triangle
+// self-check is re-run on the restored rows (pure float work, no oracle
+// calls), so a restored index prunes under exactly the same guarantee as a
+// fresh one. Geometry mismatches fail rather than guess.
+func IndexFromSpill(s Space, e SpillEntry) (*Index, error) {
+	if e.Kind != SpillIndex {
+		return nil, fmt.Errorf("metric: index restore from kind-%d spill entry", e.Kind)
+	}
+	n, m := s.N(), e.NC
+	if e.N != n {
+		return nil, fmt.Errorf("metric: spilled index covers %d points, space has %d", e.N, n)
+	}
+	if want, err := e.cellsWant(); err != nil || len(e.Cells) != want {
+		return nil, fmt.Errorf("metric: spilled index has %d cells, geometry implies %d", len(e.Cells), m+n*m)
+	}
+	ix := &Index{S: s, m: m}
+	ix.pivots = make([]int, m)
+	for a := 0; a < m; a++ {
+		p := int(e.Cells[a])
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("metric: spilled index pivot %d out of range [0,%d)", p, n)
+		}
+		ix.pivots[a] = p
+	}
+	ix.pd = make([]float64, n*m)
+	for i := range ix.pd {
+		ix.pd[i] = math.Float64frombits(e.Cells[m+i])
+	}
+	if m > 0 {
+		ix.finish()
+	}
+	return ix, nil
 }
 
 // checksumWriter accumulates the FNV-1a running check while writing.

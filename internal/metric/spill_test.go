@@ -78,7 +78,7 @@ func TestSpillRoundTripBitIdentical(t *testing.T) {
 		t.Fatalf("adopted %d cells, source had %d filled", adopted, src.Filled())
 	}
 	var stats CacheStats
-	dst.Stats = &stats
+	dst.Counters = &stats
 	for i := 0; i < 60; i += 3 {
 		for j := i + 1; j < 60; j += 5 {
 			a, b := src.Dist(i, j), dst.Dist(i, j)

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+
+	"dpc/internal/engine"
+	"dpc/internal/metric"
+)
+
+// Pooled pivot indexes. A shard's index is as shareable as its warm
+// triangle: pivot selection is deterministic and the bounds depend only on
+// the shard content, so every indexed job against one (dataset, version,
+// sharding, pivot count) reuses one build. Indexes ride the spill cycle
+// too (SpillIndex entries next to the SpillDist triangles), so a restart
+// restores both the memoized distances and the bounds over them.
+
+// resolvePivots maps the request knob to the effective anchor count the
+// index will actually hold (NewIndex's own defaulting and capping, applied
+// early so pool keys and spill keys agree with the built index).
+func resolvePivots(pivots, n int) int {
+	m := pivots
+	if m <= 0 {
+		m = metric.DefaultPivots
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// indexKey is the index-pool key: the shard's cache-pool key plus the
+// effective pivot count.
+func indexKey(base string, m int) string { return base + "/ix" + strconv.Itoa(m) }
+
+// shardOracles returns the shared per-shard oracle for a table job: the
+// pooled distance cache, with a pooled pivot index layered on top when the
+// engine asks for one. Shards above the memoization cap still get an index
+// (over the raw points — exactly where pruning pays most); with the index
+// off they get nil, the same uncached policy a one-shot run uses.
+func (r *Registry) shardOracles(d *Dataset, version int, shards [][]metric.Point, eng engine.Options) []metric.Oracle {
+	oracles := make([]metric.Oracle, len(shards))
+	if eng.NoCache {
+		return oracles
+	}
+	caches := r.shardCaches(d, version, shards)
+	for i := range shards {
+		if caches[i] != nil {
+			oracles[i] = caches[i]
+		}
+		if !eng.Index || len(shards[i]) == 0 {
+			continue
+		}
+		var sp metric.Space
+		if caches[i] != nil {
+			sp = caches[i]
+		} else {
+			sp = metric.NewPoints(shards[i])
+		}
+		key := shardKey(d.name, version, len(shards), i)
+		oracles[i] = r.shardIndex(key, sp, shards[i], eng.Pivots)
+	}
+	return oracles
+}
+
+// shardIndex returns the pooled pivot index for one shard, building (or
+// restoring from spill) on first use. base is the shard's cache-pool key;
+// sp is the exact oracle to build over (the pooled cache when one exists,
+// so index construction warms it and later bound misses hit it).
+func (r *Registry) shardIndex(base string, sp metric.Space, shard []metric.Point, pivots int) *metric.Index {
+	m := resolvePivots(pivots, len(shard))
+	key := indexKey(base, m)
+	_, cached := sp.(*metric.DistCache)
+	r.ixMu.Lock()
+	if e, ok := r.ixes[key]; ok {
+		// A cache-backed entry must still point at the live pooled cache
+		// (an evicted-and-rebuilt cache gets a fresh index so warmth and
+		// stats flow to the pooled one); a cacheless entry is content-
+		// addressed by key alone — the shard at this key is immutable.
+		if !cached || e.sp == sp {
+			r.ixMu.Unlock()
+			return e.ix
+		}
+	}
+	r.ixMu.Unlock()
+
+	ix := r.buildIndex(base, sp, shard, m)
+
+	r.ixMu.Lock()
+	if len(r.ixes) >= maxShardIndexes {
+		for k, e := range r.ixes {
+			if !r.pool.Has(e.base) {
+				delete(r.ixes, k)
+			}
+		}
+		for k := range r.ixes {
+			if len(r.ixes) < maxShardIndexes {
+				break
+			}
+			delete(r.ixes, k)
+		}
+	}
+	r.ixes[key] = shardIndexEntry{base: base, sp: sp, ix: ix}
+	r.ixMu.Unlock()
+	return ix
+}
+
+// buildIndex restores a spilled index whose (content hash, size, pivots)
+// triple matches the shard, or builds one fresh. Mirrors adoptSpilled:
+// the shard is hashed at most once per build and not at all on a registry
+// without a cache directory.
+func (r *Registry) buildIndex(base string, sp metric.Space, shard []metric.Point, m int) *metric.Index {
+	r.spillMu.Lock()
+	on := r.spillOn
+	var staged stagedIndex
+	var ok bool
+	if on {
+		hash, seen := r.hashes[base]
+		if !seen {
+			r.spillMu.Unlock()
+			hash = metric.HashPoints(shard)
+			r.spillMu.Lock()
+			r.hashes[base] = hash
+		}
+		k := ixSpillKey{hash: hash, n: len(shard), nc: m}
+		staged, ok = r.spilledIx[k]
+		if ok {
+			// Adopt once, like warm triangles: a later rebuild of the same
+			// content starts fresh.
+			delete(r.spilledIx, k)
+		}
+	}
+	r.spillMu.Unlock()
+	if ok {
+		if ix, err := metric.IndexFromSpill(sp, staged.e); err == nil {
+			r.restoredIx.Add(1)
+			return ix
+		}
+	}
+	return metric.NewIndex(sp, metric.IndexOptions{Pivots: m})
+}
+
+// forgetIndexes drops pooled indexes whose shard key falls under a deleted
+// dataset's prefix (the index-pool sibling of CachePool.InvalidatePrefix).
+func (r *Registry) forgetIndexes(prefix string) {
+	r.ixMu.Lock()
+	defer r.ixMu.Unlock()
+	for k, e := range r.ixes {
+		if strings.HasPrefix(e.base, prefix) {
+			delete(r.ixes, k)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"dpc/internal/core"
 	"dpc/internal/dataio"
+	"dpc/internal/engine"
 	"dpc/internal/jobwire"
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
@@ -36,10 +37,20 @@ type JobSpec struct {
 	Seed  int64   `json:"seed,omitempty"`
 	// Workers bounds the solver goroutines of this job (0 = one per CPU);
 	// any value returns bit-identical results — the engine invariant.
-	Workers int    `json:"workers,omitempty"`
-	Engine  string `json:"engine,omitempty"` // auto (default) | localsearch | jv
+	//
+	// Deprecated: set Engine.Workers; this flat alias is merged into the
+	// engine object by EngineOptions and kept for old clients and journals.
+	Workers int `json:"workers,omitempty"`
+	// Engine is the unified engine knob object: algorithm, workers, caches,
+	// and the pivot metric index. It unmarshals from the legacy string form
+	// ("jv") as well as the object form ({"algo":"jv","index":true}), so
+	// pre-index clients and journal records replay unchanged.
+	Engine engine.Spec `json:"engine,omitempty"`
 	// NoCache disables shared and private distance caches for this job (a
 	// measurement knob; results never change).
+	//
+	// Deprecated: set Engine.NoCache; this flat alias is merged into the
+	// engine object by EngineOptions and kept for old clients and journals.
 	NoCache     bool `json:"no_cache,omitempty"`
 	LloydPolish bool `json:"lloyd_polish,omitempty"`
 	// Client names the submitting client for per-client admission quotas
@@ -195,7 +206,7 @@ func parseVariant(s string) (core.Variant, error) {
 	return 0, fmt.Errorf("serve: unknown variant %q (want 2round, 1round or noship)", s)
 }
 
-// parseEngine maps the API engine string to the kmedian enum.
+// parseEngine maps the API engine algorithm string to the kmedian enum.
 func parseEngine(s string) (kmedian.Engine, error) {
 	switch s {
 	case "", "auto":
@@ -206,6 +217,13 @@ func parseEngine(s string) (kmedian.Engine, error) {
 		return kmedian.EngineJV, nil
 	}
 	return 0, fmt.Errorf("serve: unknown engine %q (want auto, localsearch or jv)", s)
+}
+
+// EngineOptions returns the job's merged engine knobs: the engine object
+// overlaid on the deprecated flat Workers/NoCache aliases, normalized
+// (Reference implies sequential, uncached, unindexed).
+func (s JobSpec) EngineOptions() engine.Options {
+	return s.Engine.Options.Merge(s.Workers, s.NoCache, false).Normalize()
 }
 
 // CoreConfig translates a point-objective JobSpec into the distributed run
@@ -220,7 +238,7 @@ func (s JobSpec) CoreConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
-	eng, err := parseEngine(s.Engine)
+	eng, err := parseEngine(s.Engine.Algo)
 	if err != nil {
 		return core.Config{}, err
 	}
@@ -229,8 +247,7 @@ func (s JobSpec) CoreConfig() (core.Config, error) {
 		LloydPolish: s.LloydPolish,
 		Engine:      eng,
 		LocalOpts:   kmedian.Options{Seed: s.Seed},
-		Workers:     s.Workers,
-		NoDistCache: s.NoCache,
+		Options:     s.EngineOptions(),
 	}, nil
 }
 
@@ -245,15 +262,16 @@ func (s JobSpec) UncertainConfig() (uncertain.Config, uncertain.Objective, error
 	if err != nil {
 		return uncertain.Config{}, 0, err
 	}
-	eng, err := parseEngine(s.Engine)
+	eng, err := parseEngine(s.Engine.Algo)
 	if err != nil {
 		return uncertain.Config{}, 0, err
 	}
+	eo := s.EngineOptions()
 	return uncertain.Config{
 		K: s.K, T: s.T, Variant: vr, Eps: s.Eps,
 		Engine:      eng,
-		LocalOpts:   kmedian.Options{Seed: s.Seed, Workers: s.Workers},
-		NoDistCache: s.NoCache,
+		LocalOpts:   kmedian.Options{Seed: s.Seed, Options: eo},
+		NoDistCache: eo.NoCache,
 	}, obj, nil
 }
 
@@ -267,16 +285,17 @@ func (s JobSpec) CenterGConfig() (uncertain.CenterGConfig, error) {
 	if err != nil {
 		return uncertain.CenterGConfig{}, err
 	}
-	eng, err := parseEngine(s.Engine)
+	eng, err := parseEngine(s.Engine.Algo)
 	if err != nil {
 		return uncertain.CenterGConfig{}, err
 	}
+	eo := s.EngineOptions()
 	return uncertain.CenterGConfig{
 		K: s.K, T: s.T, Eps: s.Eps,
 		OneRound:    vr == uncertain.OneRoundShipDists,
 		Engine:      eng,
-		LocalOpts:   kmedian.Options{Seed: s.Seed, Workers: s.Workers},
-		NoDistCache: s.NoCache,
+		LocalOpts:   kmedian.Options{Seed: s.Seed, Options: eo},
+		NoDistCache: eo.NoCache,
 	}, nil
 }
 
@@ -387,7 +406,7 @@ func (r *Registry) shardCaches(d *Dataset, version int, shards [][]metric.Point)
 		key := shardKey(d.name, version, len(shards), i)
 		caches[i] = r.pool.Get(key, func() *metric.DistCache {
 			dc := metric.NewDistCache(metric.NewPoints(shard))
-			dc.Stats = &d.stats
+			dc.Counters = &d.stats
 			r.adoptSpilled(key, shard, dc)
 			return dc
 		})
@@ -419,15 +438,17 @@ func (r *Registry) runTable(ctx context.Context, d *Dataset, spec JobSpec) (*Job
 		sites = DefaultJobSites
 	}
 	shards := dataio.SplitRoundRobin(pts, sites)
-	var caches []*metric.DistCache
-	if !spec.NoCache {
-		caches = r.shardCaches(d, version, shards)
-	} else {
-		caches = make([]*metric.DistCache, len(shards))
+	// Registration-time metric gate: a dataset whose sampled triangle check
+	// failed gets full scans even when the job asks for the index (the
+	// per-shard self-check would catch it too — this avoids paying the
+	// build just to have it degrade).
+	if cfg.Index && !d.MetricReport().TriangleOK {
+		cfg.Options.Index = false
 	}
+	oracles := r.shardOracles(d, version, shards, cfg.Options)
 	handlers := make([]transport.Handler, len(shards))
 	for i := range shards {
-		h, err := core.NewSiteHandlerCached(cfg, i, shards[i], caches[i])
+		h, err := core.NewSiteHandlerOracle(cfg, i, shards[i], oracles[i])
 		if err != nil {
 			return nil, err
 		}

@@ -151,6 +151,41 @@ type Dataset struct {
 	// stats aggregates hit/miss traffic over every shard cache of this
 	// dataset — the observable the e2e test asserts cache reuse with.
 	stats metric.CacheStats
+
+	// metricReport is the sampled metric self-check run once at table
+	// registration: indexed jobs are gated on its TriangleOK, and the
+	// server logs it so a metric that would defeat pruning is visible the
+	// moment the data arrives rather than at first query.
+	metricReport metric.CheckReport
+}
+
+// MetricReport returns the registration-time sampled metric check (zero
+// for dataset kinds that do not run one).
+func (d *Dataset) MetricReport() metric.CheckReport { return d.metricReport }
+
+// MetricCheckTriples caps the sample size of the registration-time
+// triangle check: large enough to catch systematically broken metrics,
+// small enough to be free next to the registration body decode. Small
+// tables sample proportionally fewer (metricCheckTriplesFor), so
+// registration stays O(n) and a register-heavy workload is not taxed a
+// constant 4096 triples per tiny dataset.
+const MetricCheckTriples = 4096
+
+// metricCheckTriplesFor returns the triangle sample size for an n-point
+// table: about one triple per point (never fewer than 64) up to the cap,
+// mirroring how the check's cost should track the O(n·dim) decode the
+// registration already paid. A systematically broken metric trips an O(n)
+// sample with overwhelming probability; per-pair glitches are caught by
+// the index's own exhaustive (point, pivot, pivot) self-check at build.
+func metricCheckTriplesFor(n int) int {
+	t := n
+	if t < 64 {
+		t = 64
+	}
+	if t > MetricCheckTriples {
+		t = MetricCheckTriples
+	}
+	return t
 }
 
 // Name returns the dataset name.
@@ -267,7 +302,49 @@ type Registry struct {
 	spilled  map[spillKey]spilledCells
 	hashes   map[string]uint64 // pool key -> content hash of its shard
 	restored atomic.Int64
+
+	// pivot-index pool: built shard indexes shared across jobs, keyed by
+	// shard cache-pool key plus pivot count, with spilled indexes staged
+	// for restore exactly like warm triangles. warmIx arms index builds
+	// during background warmup.
+	ixMu         sync.Mutex
+	ixes         map[string]shardIndexEntry
+	spilledIx    map[ixSpillKey]stagedIndex
+	restoredIx   atomic.Int64
+	warmIx       bool
+	warmIxPivots int
 }
+
+// shardIndexEntry is one pooled shard index: the index plus the base
+// cache-pool key of the shard it covers (spill attribution) and the space
+// it was built over (identity — a rebuilt pooled cache gets a fresh index
+// so warmth and stats flow to the live cache).
+type shardIndexEntry struct {
+	base string
+	sp   metric.Space
+	ix   *metric.Index
+}
+
+// ixSpillKey identifies a spilled index by shard content, size and pivot
+// count — the triple that makes a restored index interchangeable with a
+// rebuild (pivot selection is deterministic).
+type ixSpillKey struct {
+	hash uint64
+	n    int
+	nc   int
+}
+
+// stagedIndex is one index spill entry waiting for a matching shard, plus
+// its carry age (same expiry policy as warm triangles).
+type stagedIndex struct {
+	e   metric.SpillEntry
+	age uint32
+}
+
+// maxShardIndexes bounds the index pool; past it, entries whose base cache
+// key has left the pool are pruned first, then arbitrary entries (they
+// rebuild on demand).
+const maxShardIndexes = 256
 
 // spillKey identifies a spilled triangle by content, not by name: names
 // and registry versions do not survive a restart, identical shard bytes
@@ -309,12 +386,28 @@ func NewRegistrySharded(maxCacheBytes int64, segments int) *Registry {
 		segs[i] = &segment{ds: make(map[string]*Dataset)}
 	}
 	return &Registry{
-		segs:    segs,
-		pool:    metric.NewCachePool(maxCacheBytes),
-		spilled: make(map[spillKey]spilledCells),
-		hashes:  make(map[string]uint64),
+		segs:      segs,
+		pool:      metric.NewCachePool(maxCacheBytes),
+		spilled:   make(map[spillKey]spilledCells),
+		hashes:    make(map[string]uint64),
+		ixes:      make(map[string]shardIndexEntry),
+		spilledIx: make(map[ixSpillKey]stagedIndex),
 	}
 }
+
+// SetIndexWarmup arms (or disarms) pivot-index builds during background
+// warmup: WarmTable then builds one pooled index per warmed shard with the
+// given pivot count (0 = metric.DefaultPivots), so the first indexed job
+// finds its bounds precomputed.
+func (r *Registry) SetIndexWarmup(enable bool, pivots int) {
+	r.ixMu.Lock()
+	r.warmIx, r.warmIxPivots = enable, pivots
+	r.ixMu.Unlock()
+}
+
+// RestoredIndexes reports how many pivot indexes have been restored from
+// spill this process life.
+func (r *Registry) RestoredIndexes() int64 { return r.restoredIx.Load() }
 
 // Segments returns the segment count (metrics/testing).
 func (r *Registry) Segments() int { return len(r.segs) }
@@ -409,6 +502,7 @@ func (r *Registry) Delete(name string) error {
 	s.mu.Unlock()
 	r.pool.InvalidatePrefix(name + "@v")
 	r.forgetHashes(name + "@v")
+	r.forgetIndexes(name + "@v")
 	return nil
 }
 
@@ -439,6 +533,10 @@ func (r *Registry) RegisterTable(name string, pts []metric.Point) (*Dataset, err
 	d := &Dataset{name: name, kind: KindTable,
 		chunks: [][]metric.Point{pts[:len(pts):len(pts)]}, n: len(pts),
 		version: r.nextVersion(), dim: pts[0].Dim()}
+	// One sampled metric self-check per registration (satisfied trivially
+	// by Euclidean points, but the report is what gates index pruning and
+	// what the server logs — the check is the observable, not the surprise).
+	d.metricReport = metric.CheckSampled(metric.NewPoints(pts), metricCheckTriplesFor(len(pts)), int64(d.version))
 	if err := r.register(d); err != nil {
 		return nil, err
 	}

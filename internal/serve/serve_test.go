@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"dpc/internal/engine"
 	"dpc/internal/gen"
 )
 
@@ -186,7 +187,7 @@ func TestJobValidationHTTP(t *testing.T) {
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "nope", K: 2}, http.StatusNotFound, nil)
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Objective: "mode"}, http.StatusBadRequest, nil)
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Variant: "3round"}, http.StatusBadRequest, nil)
-	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Engine: "warp"}, http.StatusBadRequest, nil)
+	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 2, Engine: engine.Spec{Options: engine.Options{Algo: "warp"}}}, http.StatusBadRequest, nil)
 	a.do("GET", "/v1/jobs/job-999999", nil, http.StatusNotFound, nil)
 	// Degenerate shapes fail synchronously too.
 	a.do("POST", "/v1/jobs", JobSpec{Dataset: "d", K: 0}, http.StatusBadRequest, nil)

@@ -48,6 +48,19 @@ type Config struct {
 	// background after registration, on the scheduler's spare capacity.
 	// Individual registrations can opt in with ?warm=true regardless.
 	WarmOnRegister bool
+	// WarmIndex additionally builds a pooled pivot index per shard during
+	// background warmup, so the first indexed job finds its triangle bounds
+	// precomputed. Datasets whose registration-time metric check found a
+	// triangle violation are skipped (the index would degrade to full scans
+	// anyway).
+	WarmIndex bool
+	// WarmPivots is the anchor count for warmup-built indexes (0 means
+	// metric.DefaultPivots).
+	WarmPivots int
+	// Logf, when set, receives one-line server diagnostics (Printf-style):
+	// the registration-time metric check report per dataset, for example.
+	// Nil discards them.
+	Logf func(format string, args ...any)
 	// JournalDir, when set, enables the write-ahead journal: dataset
 	// mutations, job submissions, transitions and finished results append
 	// to rotating segment files (journal-000001.dpcj, …) under JournalDir,
@@ -187,6 +200,7 @@ func NewChecked(cfg Config) (*Server, error) {
 		quotas:    newQuotas(cfg.QuotaBurst, cfg.QuotaPerSec),
 		start:     time.Now(),
 	}
+	s.reg.SetIndexWarmup(cfg.WarmIndex, cfg.WarmPivots)
 	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -795,10 +809,23 @@ func (s *Server) finishCreateDataset(w http.ResponseWriter, r *http.Request, d *
 			return
 		}
 	}
-	if d.Kind() == KindTable && s.wantWarm(r) {
-		s.warmDataset(d.Name())
+	if d.Kind() == KindTable {
+		// Surface the registration-time metric check once per dataset: a
+		// triangle violation here is the signal that index pruning will be
+		// disabled for jobs against this data.
+		s.logf("dataset %s: %s", d.Name(), d.MetricReport())
+		if s.wantWarm(r) {
+			s.warmDataset(d.Name())
+		}
 	}
 	writeJSON(w, http.StatusCreated, d.Info())
+}
+
+// logf forwards a diagnostic line to Config.Logf, or discards it.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {

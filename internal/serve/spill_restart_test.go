@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dpc/internal/engine"
 	"dpc/internal/gen"
 	"dpc/internal/metric"
 )
@@ -196,6 +197,93 @@ func TestWarmupFillsCachesBeforeFirstJob(t *testing.T) {
 	if missesAfter != missesBefore {
 		t.Fatalf("post-warmup job computed %d distances at the sites; warmup should have filled them all",
 			missesAfter-missesBefore)
+	}
+}
+
+// waitWarmupDone polls WarmupStats until at least one warmup task has
+// finished its whole body — cache prefill and, when armed, index builds.
+func waitWarmupDone(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ws := s.WarmupStats()
+		if ws.Done >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warmup never finished: %+v", ws)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIndexWarmupSpillRestore is the pivot-index side of the warm-restart
+// round trip: warmup with -warm-index builds pooled indexes, shutdown
+// spills them next to the warm triangles, and the next server life restores
+// them (RestoredIndexes > 0) instead of recomputing pivot columns — with
+// indexed job results byte-identical throughout.
+func TestIndexWarmupSpillRestore(t *testing.T) {
+	dir := t.TempDir()
+	pts := mixturePoints(t, 360, 23)
+	base := JobSpec{Dataset: "ix", K: 3, T: 18, Objective: "median", Seed: 9}
+	indexed := base
+	indexed.Engine = engine.Spec{Options: engine.Options{Index: true}}
+
+	s1 := New(Config{CacheDir: dir, WarmOnRegister: true, WarmIndex: true})
+	if _, err := s1.Registry().RegisterTable("ix", pts); err != nil {
+		t.Fatal(err)
+	}
+	s1.warmDataset("ix")
+	waitWarmupDone(t, s1)
+	plain := runJobOK(t, s1, base)
+	fast := runJobOK(t, s1, indexed)
+	if fast.Result.Cost != plain.Result.Cost || len(fast.Result.Centers) != len(plain.Result.Centers) {
+		t.Fatalf("indexed job diverged from cache-only: cost %v vs %v", fast.Result.Cost, plain.Result.Cost)
+	}
+	s1.Close() // spills triangles and indexes
+
+	f, err := os.Open(filepath.Join(dir, SpillFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := metric.ReadSpill(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixEntries := 0
+	for _, e := range entries {
+		if e.Kind == metric.SpillIndex {
+			ixEntries++
+		}
+	}
+	if ixEntries == 0 {
+		t.Fatalf("shutdown spilled %d entries, none of them indexes", len(entries))
+	}
+
+	s2 := New(Config{CacheDir: dir, WarmOnRegister: true, WarmIndex: true})
+	defer s2.Close()
+	// New name, same content: index restore is content-addressed too.
+	if _, err := s2.Registry().RegisterTable("renamed", append([]metric.Point(nil), pts...)); err != nil {
+		t.Fatal(err)
+	}
+	s2.warmDataset("renamed")
+	waitWarmupDone(t, s2)
+	if s2.Registry().RestoredIndexes() == 0 {
+		t.Fatal("warmup rebuilt every index from scratch; spilled indexes were not adopted")
+	}
+	spec2 := indexed
+	spec2.Dataset = "renamed"
+	second := runJobOK(t, s2, spec2)
+	if second.Result.Cost != fast.Result.Cost {
+		t.Fatalf("indexed job changed across restart: cost %v vs %v", second.Result.Cost, fast.Result.Cost)
+	}
+	for i := range fast.Result.Centers {
+		for j := range fast.Result.Centers[i] {
+			if fast.Result.Centers[i][j] != second.Result.Centers[i][j] {
+				t.Fatalf("center %d differs across index restore", i)
+			}
+		}
 	}
 }
 

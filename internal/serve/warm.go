@@ -116,11 +116,14 @@ func (r *Registry) LoadSpill(dir string) (int, error) {
 	defer r.spillMu.Unlock()
 	staged := 0
 	for _, e := range entries {
-		if e.Kind != metric.SpillDist {
-			continue // the registry pools distance triangles only
+		switch e.Kind {
+		case metric.SpillDist:
+			r.spilled[spillKey{hash: e.Hash, n: e.N}] = spilledCells{cells: e.Cells, age: e.Age}
+			staged++
+		case metric.SpillIndex:
+			r.spilledIx[ixSpillKey{hash: e.Hash, n: e.N, nc: e.NC}] = stagedIndex{e: e, age: e.Age}
+			staged++
 		}
-		r.spilled[spillKey{hash: e.Hash, n: e.N}] = spilledCells{cells: e.Cells, age: e.Age}
-		staged++
 	}
 	return staged, nil
 }
@@ -160,6 +163,46 @@ func (r *Registry) SaveSpill(dir string) (int, error) {
 		seen[k] = true
 		entries = append(entries, metric.SpillEntry{
 			Kind: metric.SpillDist, Hash: k.hash, Age: staged.age + 1, N: k.n, Cells: staged.cells})
+	}
+	r.spillMu.Unlock()
+
+	// Pivot indexes spill alongside the triangles they were built over,
+	// keyed by the same content hash (plus size and pivot count). Only
+	// self-checked indexes are worth keeping — a degraded one is just a
+	// full-scan shim the next process can rebuild for free.
+	seenIx := make(map[ixSpillKey]bool)
+	r.ixMu.Lock()
+	ixes := make([]shardIndexEntry, 0, len(r.ixes))
+	for _, e := range r.ixes {
+		ixes = append(ixes, e)
+	}
+	r.ixMu.Unlock()
+	for _, e := range ixes {
+		if !e.ix.Ok() || len(e.ix.Pivots()) == 0 {
+			continue
+		}
+		r.spillMu.Lock()
+		hash, ok := r.hashes[e.base]
+		r.spillMu.Unlock()
+		if !ok {
+			continue
+		}
+		k := ixSpillKey{hash: hash, n: e.ix.N(), nc: len(e.ix.Pivots())}
+		if seenIx[k] {
+			continue
+		}
+		seenIx[k] = true
+		entries = append(entries, metric.SpillIndexEntry(e.ix, hash))
+	}
+	r.spillMu.Lock()
+	for k, staged := range r.spilledIx {
+		if seenIx[k] || staged.age+1 > maxSpillCarry {
+			continue
+		}
+		seenIx[k] = true
+		e := staged.e
+		e.Age = staged.age + 1
+		entries = append(entries, e)
 	}
 	r.spillMu.Unlock()
 
@@ -236,6 +279,32 @@ func (r *Registry) WarmTable(ctx context.Context, name string, workers int, prog
 		}
 		key := shardKey(d.name, version, len(shards), i)
 		filled += dc.PrefillCtx(ctx, workers, func() bool { return r.pool.Has(key) }, progress)
+	}
+
+	// With index warmup armed, build one pooled pivot index per shard after
+	// the prefill: the point→pivot columns read straight out of the warm
+	// triangle, and the first indexed job finds its bounds precomputed.
+	// Shards above the memoization cap index over the raw points.
+	r.ixMu.Lock()
+	warmIx, warmPivots := r.warmIx, r.warmIxPivots
+	r.ixMu.Unlock()
+	if warmIx && d.metricReport.TriangleOK {
+		for i, dc := range caches {
+			if ctx.Err() != nil {
+				break
+			}
+			key := shardKey(d.name, version, len(shards), i)
+			var sp metric.Space
+			switch {
+			case dc != nil && r.pool.Has(key):
+				sp = dc
+			case dc != nil:
+				continue // evicted mid-warm: no point indexing an orphan
+			default:
+				sp = metric.NewPoints(shards[i])
+			}
+			r.shardIndex(key, sp, shards[i], warmPivots)
+		}
 	}
 	return filled, nil
 }

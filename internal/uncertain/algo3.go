@@ -156,6 +156,9 @@ func (st *uSite) start() {
 		st.space = st.col
 		if cache {
 			st.space = metric.CacheSpace(st.space)
+			// The pivot index layers over the (possibly cached) collapsed
+			// space; the greedy covers below prune through it.
+			st.space = metric.IndexSpace(st.space, st.opts.Index, st.opts.Pivots)
 		}
 		st.trav = kcenter.GonzalezOpt(st.space, st.cfg.K+st.cfg.T, 0, st.kcOpt())
 	}
@@ -163,7 +166,7 @@ func (st *uSite) start() {
 
 // kcOpt translates the site's solver options for the kcenter engines.
 func (st *uSite) kcOpt() kcenter.Opt {
-	return kcenter.Opt{Workers: st.opts.Workers, Reference: st.opts.Reference}
+	return st.opts.Options
 }
 
 // handle implements transport.Handler for the uncertain site side.
