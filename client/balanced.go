@@ -489,6 +489,7 @@ func (b *Balanced) registerEphemeral(ctx context.Context, req Request, kind jobw
 		return "", nil, err
 	}
 	cleanup := func() {
+		//dpc:vet-ok ctxflow cleanup must delete the ephemeral dataset even after the request ctx is cancelled
 		bg, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		b.DeleteDataset(bg, name)

@@ -296,6 +296,7 @@ func (r *Remote) cancelOnCtx(ctx context.Context, id string, err error) {
 	if ctx.Err() == nil {
 		return
 	}
+	//dpc:vet-ok ctxflow the caller's ctx is already dead here; the cancel RPC needs its own bounded lifetime
 	bg, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	r.CancelJob(bg, id)
@@ -373,6 +374,7 @@ func (r *Remote) registerEphemeral(ctx context.Context, req Request, kind jobwir
 		return "", nil, err
 	}
 	cleanup := func() {
+		//dpc:vet-ok ctxflow cleanup must delete the ephemeral dataset even after the request ctx is cancelled
 		bg, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		r.DeleteDataset(bg, name)

@@ -1,0 +1,90 @@
+// dpc-vet is the repo's invariant checker: a multichecker over the custom
+// analyzers in internal/analysis that freeze dpc's determinism, context-
+// flow, durability, wire-error-code and oracle-typing rules at compile
+// time. CI runs it as a required gate; run it locally with
+//
+//	go run ./cmd/dpc-vet ./...
+//
+// Diagnostics print as file:line:col: analyzer: message (or a JSON array
+// with -json) and any finding exits 1. Allowlist deliberate violations in
+// the source with //dpc:nondeterministic-ok <reason> (determinism) or
+// //dpc:vet-ok <analyzer> <reason>; every directive must carry a reason.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpc/internal/analysis"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "module directory to analyze (default: current directory)")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		names    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		tests    = flag.Bool("tests", true, "analyze test files too")
+		listOnly = flag.Bool("list", false, "list the analyzers in the suite and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dpc-vet [flags] [package patterns]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var selected []string
+	if *names != "" {
+		selected = strings.Split(*names, ",")
+	}
+	analyzers, err := analysis.Select(selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Vet(analysis.LoadOptions{
+		Dir:      *dir,
+		Patterns: flag.Args(),
+		Tests:    *tests,
+	}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpc-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "dpc-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dpc-vet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

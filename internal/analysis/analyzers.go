@@ -1,0 +1,30 @@
+package analysis
+
+import "fmt"
+
+// All returns the full dpc-vet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, CtxFlow, JournalBefore, ErrCode, OracleGuard}
+}
+
+// Select resolves a comma-free list of analyzer names against the suite;
+// empty names selects everything.
+func Select(names []string) ([]*Analyzer, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

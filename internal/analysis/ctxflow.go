@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces context propagation: a function that receives a
+// context.Context must thread it — not a fresh context.Background() or
+// context.TODO() — into every callee that accepts one. Detached lifecycles
+// (fire-and-forget reporting, server-scoped background work) are real, but
+// each one is a deliberate cancellation boundary and must say so with
+// //dpc:vet-ok ctxflow <reason>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/TODO() passed to context-accepting callees inside functions that already receive a ctx",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var params *ast.FieldList
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				params, body = fn.Type.Params, fn.Body
+			case *ast.FuncLit:
+				params, body = fn.Type.Params, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasUsableCtxParam(pass, params) {
+				return true
+			}
+			checkCtxBody(pass, body)
+			// Nested closures were just inspected as part of this body;
+			// continuing the walk would only re-report closures that
+			// themselves take a ctx (dedupe drops the copies anyway).
+			return true
+		})
+	}
+}
+
+// hasUsableCtxParam reports whether the function declares a named (usable)
+// context.Context parameter. A blank "_" ctx can't be threaded, so the
+// function isn't held to the rule.
+func hasUsableCtxParam(pass *Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if t := pass.TypeOf(field.Type); t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkCtxBody walks one context-receiving function body and reports every
+// fresh root context handed to a context-accepting callee.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(pass.Info, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() {
+				break // variadic tail can't be a fixed Context param
+			}
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			if name := freshRootContext(pass, arg); name != "" {
+				pass.Reportf(arg.Pos(), "context.%s() passed to %s inside a function that receives a ctx; thread the caller's context", name, calleeName(pass, call))
+			}
+		}
+		return true
+	})
+}
+
+// freshRootContext reports whether e is a direct context.Background() or
+// context.TODO() call, returning the function name or "".
+func freshRootContext(pass *Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"Background", "TODO"} {
+		if isPkgFuncCall(pass.Info, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// calleeName renders a short name for the called function in diagnostics.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		if sig := fn.Signature(); sig.Recv() != nil {
+			if path, name := namedType(sig.Recv().Type()); name != "" {
+				_ = path
+				return name + "." + fn.Name()
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return exprString(call.Fun)
+}

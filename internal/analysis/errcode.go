@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ErrCode protects the machine-readable wire contract: every error code
+// that reaches a client must be one of the Code* constants declared in the
+// central stable set, never an inline string literal. Flagged forms, all in
+// internal/serve: a string literal passed as apiError's code argument,
+// assigned to an ErrorCode field, or keyed as Code/ErrorCode in a composite
+// literal. Comparisons against literals are fine — only producing a code
+// from a literal is a contract hole.
+var ErrCode = &Analyzer{
+	Name:  "errcode",
+	Doc:   "wire error envelopes must use the declared Code* constants, not string literals",
+	Scope: []string{"serve"},
+	Run:   runErrCode,
+}
+
+func runErrCode(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAPIErrorCall(pass, n)
+			case *ast.AssignStmt:
+				checkErrorCodeAssign(pass, n)
+			case *ast.CompositeLit:
+				checkErrorCodeLit(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkAPIErrorCall flags apiError(w, status, "literal", err).
+func checkAPIErrorCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "apiError" || fn.Pkg() != pass.Pkg {
+		return
+	}
+	sig := fn.Signature()
+	idx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "code" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	if lit := stringLiteral(call.Args[idx]); lit != "" {
+		pass.Reportf(call.Args[idx].Pos(), "apiError called with literal code %s; use a declared Code* constant from the stable set", lit)
+	}
+}
+
+// checkErrorCodeAssign flags job.ErrorCode = "literal" and friends.
+func checkErrorCodeAssign(pass *Pass, assign *ast.AssignStmt) {
+	if assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if i >= len(assign.Rhs) {
+			break
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ErrorCode" {
+			continue
+		}
+		if lit := stringLiteral(assign.Rhs[i]); lit != "" {
+			pass.Reportf(assign.Rhs[i].Pos(), "ErrorCode assigned literal %s; use a declared Code* constant from the stable set", lit)
+		}
+	}
+}
+
+// checkErrorCodeLit flags APIErrorBody{Code: "literal"} and any composite
+// literal keying ErrorCode to a string literal.
+func checkErrorCodeLit(pass *Pass, lit *ast.CompositeLit) {
+	_, typeName := namedType(pass.TypeOf(lit))
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field := key.Name
+		if field != "ErrorCode" && !(field == "Code" && typeName == "APIErrorBody") {
+			continue
+		}
+		if s := stringLiteral(kv.Value); s != "" {
+			pass.Reportf(kv.Value.Pos(), "%s.%s set to literal %s; use a declared Code* constant from the stable set", typeName, field, s)
+		}
+	}
+}
+
+// stringLiteral returns the source text of a non-empty string literal, or
+// "". The empty literal is the zero value, not a code.
+func stringLiteral(e ast.Expr) string {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || lit.Value == `""` || lit.Value == "``" {
+		return ""
+	}
+	return lit.Value
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dpc/internal/analysis"
+	"dpc/internal/analysis/atest"
+)
+
+func TestErrCode(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.ErrCode, "ec/serve")
+}

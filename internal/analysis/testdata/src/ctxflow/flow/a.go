@@ -1,0 +1,58 @@
+// CtxFlow fixtures: a context-receiving function must thread its ctx, not
+// mint a fresh root, into every context-accepting callee.
+package flow
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func threads(ctx context.Context) {
+	work(ctx)
+}
+
+func leaks(ctx context.Context) {
+	work(context.Background()) // want `context\.Background\(\) passed to work`
+}
+
+func todoLeaks(ctx context.Context) {
+	work(context.TODO()) // want `context\.TODO\(\) passed to work`
+}
+
+func freshDerivation(ctx context.Context) {
+	c, cancel := context.WithCancel(context.Background()) // want `context\.Background\(\) passed to context\.WithCancel`
+	defer cancel()
+	work(c)
+}
+
+func properDerivation(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work(c)
+}
+
+// No ctx parameter: minting a root context is this function's job.
+func entryPoint() {
+	work(context.Background())
+}
+
+// A blank ctx cannot be threaded; the function is not held to the rule.
+func blankCtx(_ context.Context) {
+	work(context.Background())
+}
+
+// Closures inherit the obligation from the enclosing function.
+func closure(ctx context.Context) func() {
+	return func() {
+		work(context.Background()) // want `context\.Background\(\) passed to work`
+	}
+}
+
+// Calls through function values are resolved by signature, not by object.
+func funcValue(ctx context.Context, doIt func(context.Context) error) {
+	doIt(context.Background()) // want `context\.Background\(\) passed to doIt`
+}
+
+func detached(ctx context.Context) {
+	//dpc:vet-ok ctxflow fixture: deliberately detached lifecycle
+	work(context.Background())
+}

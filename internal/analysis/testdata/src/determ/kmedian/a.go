@@ -1,0 +1,101 @@
+// Determinism fixtures: every order-sensitive construct the analyzer must
+// catch inside a solver-scoped package, next to the sanctioned idioms that
+// must stay silent.
+package kmedian
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapAppend(m map[int]float64) []int {
+	var out []int
+	for k := range m { // want "range over map m appends to out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapAppendSorted(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mapAppendSortSlice(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mapFloatAccum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "accumulates float total"
+		total += v
+	}
+	return total
+}
+
+func mapSend(m map[int]int, ch chan int) {
+	for k := range m { // want "sends to a channel"
+		ch <- k
+	}
+}
+
+// Integer accumulation commutes exactly; counting a map is order-safe.
+func mapCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Per-key writes land each key once; the result is order-independent.
+func mapCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func timing() time.Duration {
+	t0 := time.Now() // want "time.Now in a solver package"
+	return time.Since(t0)
+}
+
+func timingAllowed() time.Duration {
+	t0 := time.Now() //dpc:nondeterministic-ok fixture: timing diagnostics only, never results
+	return time.Since(t0)
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want "package-level rand.Intn uses the process-global source"
+}
+
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func racySends(a, b chan int) {
+	select { // want "select with 2 send cases"
+	case a <- 1:
+	case b <- 2:
+	}
+}
+
+func oneSend(a chan int, done chan struct{}) {
+	select {
+	case a <- 1:
+	case <-done:
+	}
+}

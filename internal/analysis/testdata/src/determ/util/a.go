@@ -1,0 +1,18 @@
+// An out-of-scope package: the same order-sensitive constructs must stay
+// silent here — determinism is a solver-package contract, not a repo-wide
+// style rule.
+package util
+
+import "time"
+
+func mapAppend(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func timing() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,63 @@
+// ErrCode fixtures: wire error codes come from the declared constant set;
+// string literals may be compared against but never produced.
+package serve
+
+import "errors"
+
+const (
+	CodeBadRequest = "bad_request"
+	CodeInternal   = "internal"
+)
+
+type APIErrorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+type Job struct {
+	ErrorCode string
+	Error     string
+}
+
+func apiError(status int, code string, err error) APIErrorBody {
+	return APIErrorBody{Code: code, Error: err.Error()}
+}
+
+func constCode() APIErrorBody {
+	return apiError(400, CodeBadRequest, errors.New("x"))
+}
+
+func literalCode() APIErrorBody {
+	return apiError(400, "bad_request", errors.New("x")) // want "apiError called with literal code"
+}
+
+func literalField(j *Job) {
+	j.ErrorCode = "internal" // want "ErrorCode assigned literal"
+}
+
+func constField(j *Job) {
+	j.ErrorCode = CodeInternal
+}
+
+func literalEnvelope() APIErrorBody {
+	return APIErrorBody{Code: "queue_full"} // want "APIErrorBody.Code set to literal"
+}
+
+func literalJobLit() Job {
+	return Job{ErrorCode: "queue_full"} // want "Job.ErrorCode set to literal"
+}
+
+// Comparing against a literal consumes a code; only producing one is a
+// contract hole.
+func comparisonsAllowed(j *Job) bool {
+	return j.ErrorCode == "internal"
+}
+
+// The empty string is the zero value, not a code.
+func zeroValueAllowed(j *Job) {
+	j.ErrorCode = ""
+}
+
+func annotated(j *Job) {
+	j.ErrorCode = "legacy_alias" //dpc:vet-ok errcode fixture: wire-frozen alias predating the constant set
+}

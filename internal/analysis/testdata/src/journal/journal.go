@@ -1,0 +1,8 @@
+// Package journal is a minimal stand-in for dpc/internal/journal: the
+// analyzer recognizes raw write-ahead appends by receiver package, so the
+// fixture only needs a Log type with an Append method.
+package journal
+
+type Log struct{}
+
+func (*Log) Append(kind int, payload any) error { return nil }

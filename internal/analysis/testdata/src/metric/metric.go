@@ -1,0 +1,18 @@
+// Package metric is a minimal stand-in for dpc/internal/metric: the
+// concrete oracle types and the interface solver entry points must accept.
+package metric
+
+type DistCache struct{}
+
+func (*DistCache) N() int                { return 0 }
+func (*DistCache) Dist(i, j int) float64 { return 0 }
+
+type Index struct{}
+
+func (*Index) N() int                { return 0 }
+func (*Index) Dist(i, j int) float64 { return 0 }
+
+type Oracle interface {
+	N() int
+	Dist(i, j int) float64
+}

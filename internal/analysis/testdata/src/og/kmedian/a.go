@@ -1,0 +1,30 @@
+// OracleGuard fixtures: solver entry points take metric.Oracle, not the
+// concrete acceleration structures.
+package kmedian
+
+import "metric"
+
+func Concrete(dc *metric.DistCache) int { // want "parameter typed as concrete metric.DistCache"
+	return dc.N()
+}
+
+func ConcreteIndex(ix *metric.Index) int { // want "parameter typed as concrete metric.Index"
+	return ix.N()
+}
+
+func Good(o metric.Oracle) int {
+	return o.N()
+}
+
+func ManyConcrete(dcs []*metric.DistCache) int { // want "parameter typed as concrete metric.DistCache"
+	return len(dcs)
+}
+
+//dpc:vet-ok oracleguard fixture: deprecated compat shim kept for old callers
+func Shim(dc *metric.DistCache) int {
+	return Good(dc)
+}
+
+var FnValue = func(dc *metric.DistCache) int { // want "parameter typed as concrete metric.DistCache"
+	return dc.N()
+}

@@ -89,7 +89,7 @@ type Solution struct {
 // configured simulation depth.
 func PartialMedian(pts []metric.Point, cfg Config) Solution {
 	cfg = cfg.withDefaults()
-	t0 := time.Now()
+	t0 := time.Now() //dpc:nondeterministic-ok wall-clock feeds the Elapsed diagnostic only, never centers or costs
 	pre, chunks := solveLevel(pts, cfg.K, cfg.T, cfg.Levels, cfg)
 	budget := (1 + cfg.Eps) * float64(cfg.T)
 	sol := Solution{

@@ -339,6 +339,8 @@ func NewSiteHandler(cfg Config, site int, pts []metric.Point) (transport.Handler
 // Deprecated: DistCache satisfies metric.Oracle, so this is now a thin
 // wrapper over NewSiteHandlerOracle; call that to also share a pivot index
 // (or any other oracle) across jobs.
+//
+//dpc:vet-ok oracleguard deprecated pre-Oracle compat shim; new callers use NewSiteHandlerOracle
 func NewSiteHandlerCached(cfg Config, site int, pts []metric.Point, cache *metric.DistCache) (transport.Handler, error) {
 	if cache == nil {
 		return NewSiteHandlerOracle(cfg, site, pts, nil)

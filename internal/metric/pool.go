@@ -2,6 +2,7 @@ package metric
 
 import (
 	"container/list"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -186,6 +187,9 @@ func (p *CachePool) Entries() []PoolEntry {
 		default:
 		}
 	}
+	// Key order keeps the spill layout (and anything else that walks the
+	// snapshot) independent of map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 

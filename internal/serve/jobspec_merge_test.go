@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dpc/internal/engine"
+)
+
+// The deprecated flat Workers/NoCache fields merge into the engine object
+// with a fixed precedence: a structured non-zero value wins over the flat
+// alias, and the cache-off booleans OR (either side can force the
+// measurement mode, neither can silently re-enable caches the other
+// disabled). These are the negative cases — a client sending BOTH forms
+// with conflicting values — that the merge path must resolve the same way
+// on every replica and every journal replay.
+func TestJobSpecMergeConflictingFlatAndStructured(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want engine.Options
+	}{
+		{
+			name: "structured workers wins over flat",
+			body: `{"dataset":"d","k":2,"t":1,"workers":8,"engine":{"workers":2}}`,
+			want: engine.Options{Workers: 2},
+		},
+		{
+			name: "flat workers fills a zero structured field",
+			body: `{"dataset":"d","k":2,"t":1,"workers":8,"engine":{"algo":"jv"}}`,
+			want: engine.Options{Algo: "jv", Workers: 8},
+		},
+		{
+			name: "flat no_cache forces caches off despite structured false",
+			body: `{"dataset":"d","k":2,"t":1,"no_cache":true,"engine":{"algo":"jv","no_cache":false}}`,
+			want: engine.Options{Algo: "jv", NoCache: true},
+		},
+		{
+			name: "structured no_cache holds without the flat alias",
+			body: `{"dataset":"d","k":2,"t":1,"engine":{"no_cache":true}}`,
+			want: engine.Options{NoCache: true},
+		},
+		{
+			name: "legacy string engine plus flat knobs",
+			body: `{"dataset":"d","k":2,"t":1,"workers":3,"no_cache":true,"engine":"localsearch"}`,
+			want: engine.Options{Algo: "localsearch", Workers: 3, NoCache: true},
+		},
+		{
+			name: "reference normalization overrides a conflicting flat workers",
+			body: `{"dataset":"d","k":2,"t":1,"workers":8,"engine":{"reference":true,"index":true}}`,
+			want: engine.Options{Reference: true, Workers: 1, NoCache: true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var spec JobSpec
+			if err := json.Unmarshal([]byte(tc.body), &spec); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if got := spec.EngineOptions(); got != tc.want {
+				t.Fatalf("EngineOptions() = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// A merged spec must survive the wire round-trip: re-marshaling a JobSpec
+// whose engine object came from conflicting inputs and decoding it again
+// (the journal replay path) yields the same merged engine options.
+func TestJobSpecMergeRoundTripStable(t *testing.T) {
+	var spec JobSpec
+	body := `{"dataset":"d","k":2,"t":1,"workers":8,"no_cache":true,"engine":{"workers":2}}`
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	first := spec.EngineOptions()
+
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var replayed JobSpec
+	if err := json.Unmarshal(wire, &replayed); err != nil {
+		t.Fatalf("re-unmarshal: %v", err)
+	}
+	if second := replayed.EngineOptions(); second != first {
+		t.Fatalf("merge drifted across the wire: %+v then %+v", first, second)
+	}
+}

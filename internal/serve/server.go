@@ -850,14 +850,21 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	s.snapMu.RLock()
 	defer s.snapMu.RUnlock()
 	name := r.PathValue("name")
-	if err := s.reg.Delete(name); err != nil {
+	// Journal-before-apply: validate the target, land the delete record,
+	// then drop the dataset. The old order (delete, then journal) left a
+	// hole — a journal failure meant replay resurrected a dataset the
+	// client was told is gone. If the apply races a concurrent delete the
+	// journal holds a redundant record; replay tolerates delete-of-missing.
+	if _, err := s.reg.Get(name); err != nil {
 		registerError(w, err)
 		return
 	}
 	if _, err := s.journalAppend(recDatasetDelete, walDelete{Name: name}); err != nil {
-		// The dataset is gone from memory either way; a replay would
-		// resurrect it. Surface the durability hole instead of a 204.
 		apiError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	if err := s.reg.Delete(name); err != nil {
+		registerError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Vet smoke: proves the dpc-vet analyzers themselves still fire. A silent
+# analyzer regression (a refactor that stops the determinism check from
+# matching map ranges, say) would leave CI green while the invariant gate
+# rusts — so this script builds dpc-vet, generates a throwaway fixture
+# module containing exactly one deliberate violation per analyzer, runs the
+# suite over it, and asserts every analyzer reports its planted finding
+# (and that the run exits nonzero). It then runs the suite over this repo,
+# which must be clean. CI runs this in the lint job; it also runs locally:
+# ./scripts/vet_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+echo "== build dpc-vet"
+go build -o "$workdir/dpc-vet" ./cmd/dpc-vet
+
+echo "== write fixture module (one violation per analyzer)"
+fix="$workdir/fixture"
+mkdir -p "$fix/metric" "$fix/kmedian" "$fix/serve" "$fix/flow"
+
+cat > "$fix/go.mod" <<'EOF'
+module vetfixture
+
+go 1.23
+EOF
+
+cat > "$fix/metric/metric.go" <<'EOF'
+// Stand-in for the concrete oracle types.
+package metric
+
+type DistCache struct{}
+
+func (*DistCache) N() int { return 0 }
+EOF
+
+cat > "$fix/kmedian/a.go" <<'EOF'
+// Planted violations: determinism (map-range append) and oracleguard
+// (concrete *metric.DistCache parameter).
+package kmedian
+
+import "vetfixture/metric"
+
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Solve(dc *metric.DistCache) int { return dc.N() }
+EOF
+
+cat > "$fix/serve/a.go" <<'EOF'
+// Planted violations: journalbefore (mutate before journal) and errcode
+// (literal wire code).
+package serve
+
+type Registry struct{}
+
+func (*Registry) Delete(name string) error { return nil }
+
+type Job struct{ ErrorCode string }
+
+type Server struct{ reg *Registry }
+
+func (s *Server) journalAppend(kind int, payload any) error { return nil }
+
+func (s *Server) DeleteThenJournal(name string, j *Job) error {
+	if err := s.reg.Delete(name); err != nil {
+		return err
+	}
+	j.ErrorCode = "oops_literal"
+	return s.journalAppend(3, name)
+}
+EOF
+
+cat > "$fix/flow/a.go" <<'EOF'
+// Planted violation: ctxflow (fresh root context handed down).
+package flow
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func Leak(ctx context.Context) error {
+	return work(context.Background())
+}
+EOF
+
+echo "== run dpc-vet over the fixture"
+out="$workdir/findings.json"
+rc=0
+"$workdir/dpc-vet" -dir "$fix" -json ./... > "$out" || rc=$?
+cat "$out"
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: dpc-vet exited $rc on the fixture module, want 1 (findings present)"
+  exit 1
+fi
+
+for analyzer in determinism ctxflow journalbefore errcode oracleguard; do
+  if ! grep -q "\"analyzer\": \"$analyzer\"" "$out"; then
+    echo "FAIL: analyzer $analyzer did not fire on its planted violation"
+    exit 1
+  fi
+  echo "ok: $analyzer fired"
+done
+
+echo "== run dpc-vet over this repo (must be clean)"
+go run ./cmd/dpc-vet ./...
+
+echo "PASS: all 5 analyzers fire and the tree is clean"
