@@ -28,6 +28,7 @@ import (
 	"dpc/internal/jobwire"
 	"dpc/internal/metric"
 	"dpc/internal/serve"
+	"dpc/internal/tree"
 	"dpc/internal/uncertain"
 )
 
@@ -99,6 +100,11 @@ type Request struct {
 	// Transport selects the Local backend's wire: loopback (default) or
 	// tcp (real localhost sockets). Other backends ignore it.
 	Transport string `json:"transport,omitempty" usage:"local wire backend: loopback | tcp"`
+	// Topology selects the coordinator fan-in: star (default) or an
+	// aggregation tree with a branching factor ("tree,branch=8"). Centers
+	// are byte-identical either way; the tree bounds the coordinator's
+	// physical inbox by the branching factor instead of the site count.
+	Topology tree.Spec `json:"topology,omitempty" usage:"coordinator fan-in: star | tree | tree,branch=N"`
 	// Central switches the Local backend to the Section 3.1 centralized
 	// solver (median/means only); Levels is its simulation depth.
 	Central bool `json:"central,omitempty" usage:"solve centrally (Section 3.1) instead of the distributed protocol (median/means)"`
@@ -147,6 +153,7 @@ func (r Request) spec() serve.JobSpec {
 		Client:         r.Client,
 		Priority:       r.Priority,
 		QueueTimeoutMS: r.QueueTimeoutMS,
+		Topology:       r.Topology,
 	}
 }
 

@@ -300,10 +300,70 @@ func TestCancellationAllBackends(t *testing.T) {
 	}
 }
 
-// TestCancelledClusterRefusesFurtherRequests pins the documented breakage
-// semantics: after a mid-protocol cancellation the cluster backend fails
-// loudly instead of desynchronizing silently.
-func TestCancelledClusterRefusesFurtherRequests(t *testing.T) {
+// TestCancelledClusterReconnects pins the lazy-reconnect semantics: a
+// mid-protocol cancellation drops the desynchronized site connections, and
+// the next Do re-binds the original address, waits for the redialing
+// daemons (ServeSiteLoop — dpc-site -persist's loop), and answers with the
+// same centers a never-cancelled run produces.
+func TestCancelledClusterReconnects(t *testing.T) {
+	in := cancelInstance()
+	req := cancelRequest(in.Pts)
+	shards := dataio.SplitRoundRobin(in.Pts, req.Sites)
+
+	cl, err := ListenCluster("127.0.0.1:0", len(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A redialing fleet: each site dials again when its connection drops
+	// without a clean protocol close, exactly like dpc-site -persist.
+	var wg sync.WaitGroup
+	siteErrs := make([]error, len(shards))
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			siteErrs[i] = ServeSiteLoop(cl.Addr(), SiteData{Site: i, Points: shards[i]}, 10*time.Second)
+		}(i)
+	}
+	cluster, err := cl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(40 * time.Millisecond); cancel() }()
+	if _, err := cluster.Do(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Do: %v, want context.Canceled", err)
+	}
+
+	got, err := cluster.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do after cancellation did not reconnect: %v", err)
+	}
+	want, err := NewLocal().Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, got.Centers, want.Centers, "post-reconnect")
+
+	cluster.Close()
+	wg.Wait()
+	for i, err := range siteErrs {
+		if err != nil {
+			t.Errorf("site %d exited with error: %v", i, err)
+		}
+	}
+
+	// Closed is terminal: no reconnect attempt, an immediate error.
+	if _, err := cluster.Do(context.Background(), req); err == nil {
+		t.Fatalf("Do on a closed cluster succeeded")
+	}
+}
+
+// TestCancelledClusterReconnectHonorsContext pins the other half of the
+// contract: when the fleet is gone for good (plain ServeSite, no redial),
+// the reconnect wait is bounded by the caller's context instead of hanging.
+func TestCancelledClusterReconnectHonorsContext(t *testing.T) {
 	in := cancelInstance()
 	req := cancelRequest(in.Pts)
 	shards := dataio.SplitRoundRobin(in.Pts, req.Sites)
@@ -315,8 +375,16 @@ func TestCancelledClusterRefusesFurtherRequests(t *testing.T) {
 	if _, err := cluster.Do(ctx, req); !errors.Is(err, context.Canceled) {
 		t.Fatalf("first Do: %v, want context.Canceled", err)
 	}
-	if _, err := cluster.Do(context.Background(), req); err == nil {
-		t.Fatalf("Do after cancellation succeeded on a desynchronized cluster")
+
+	short, stop := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer stop()
+	start := time.Now()
+	_, err := cluster.Do(short, req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do with a dead fleet: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("reconnect wait ignored the context deadline (%v)", elapsed)
 	}
 }
 

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dpc/internal/dataio"
+	"dpc/internal/gen"
+	"dpc/internal/transport"
+	"dpc/internal/tree"
+)
+
+// startAggregatorFleet replicates a tier of `dpc-site -aggregate` daemons
+// in-process: each aggregator listens for its children, dials the parent,
+// forwards the handshake blob down, and runs tree.Serve — the daemon's
+// exact code path. It returns the child listen addresses (index =
+// aggregator id) and a join for the serve loops.
+func startAggregatorFleet(t *testing.T, parent string, children, branch int) ([]string, func() []error) {
+	t.Helper()
+	addrs := make([]string, children)
+	listeners := make([]*transport.Listener, children)
+	for a := 0; a < children; a++ {
+		l, err := transport.Listen("127.0.0.1:0", branch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[a] = l.Addr().String()
+		listeners[a] = l
+	}
+	errs := make([]error, children)
+	var wg sync.WaitGroup
+	for a := 0; a < children; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			l := listeners[a]
+			defer l.Close()
+			sc, err := transport.Dial(parent, a, 10*time.Second)
+			if err != nil {
+				errs[a] = err
+				return
+			}
+			defer sc.Close()
+			child, err := l.AcceptBase(branch, a*branch, sc.Hello())
+			if err != nil {
+				errs[a] = err
+				return
+			}
+			l.Close()
+			errs[a] = tree.Serve(sc, child, false)
+		}(a)
+	}
+	return addrs, func() []error { wg.Wait(); return errs }
+}
+
+// TestListenClusterTree runs a real depth-2 aggregation-tree cluster —
+// leaf ServeSite fleets dialing in-process dpc-site -aggregate equivalents
+// dialing a ListenClusterTree backend — and asserts the answers are
+// byte-identical to the flat ListenCluster star over the same shards, with
+// the tree's physical root inbox attributed per level.
+func TestListenClusterTree(t *testing.T) {
+	const sites, branch = 4, 2
+	in := gen.Mixture(gen.MixtureSpec{N: 240, K: 3, OutlierFrac: 0.05, Seed: 21})
+	shards := dataio.SplitRoundRobin(in.Pts, sites)
+	reqs := []Request{
+		{Objective: Median, K: 3, T: 12, Seed: 5, Points: in.Pts},
+		{Objective: Center, K: 3, T: 12, Seed: 5, Points: in.Pts},
+	}
+	ctx := context.Background()
+
+	// Star reference.
+	star, starJoin := newCluster(t, shards, nil, nil)
+	starResp := make([]*Response, len(reqs))
+	for i, req := range reqs {
+		r, err := star.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("star %s: %v", req.Objective, err)
+		}
+		starResp[i] = r
+	}
+	star.Close()
+	for i, err := range starJoin() {
+		if err != nil {
+			t.Errorf("star site %d: %v", i, err)
+		}
+	}
+
+	// Tree cluster: coordinator <- 2 aggregators <- 4 leaf sites.
+	cl, err := ListenClusterTree("127.0.0.1:0", sites, branch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggAddrs, aggJoin := startAggregatorFleet(t, cl.Addr(), sites/branch, branch)
+	var leafWG sync.WaitGroup
+	leafErrs := make([]error, sites)
+	for i := 0; i < sites; i++ {
+		leafWG.Add(1)
+		go func(i int) {
+			defer leafWG.Done()
+			leafErrs[i] = ServeSite(aggAddrs[i/branch], SiteData{Site: i, Points: shards[i]}, 10*time.Second)
+		}(i)
+	}
+	cluster, err := cl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Sites() != sites {
+		t.Fatalf("tree cluster Sites() = %d, want %d", cluster.Sites(), sites)
+	}
+
+	for i, req := range reqs {
+		r, err := cluster.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("tree %s: %v", req.Objective, err)
+		}
+		assertSameCenters(t, r.Centers, starResp[i].Centers, "tree vs star "+req.Objective)
+		if r.Cost != starResp[i].Cost {
+			t.Fatalf("%s: tree cost %g, star cost %g", req.Objective, r.Cost, starResp[i].Cost)
+		}
+		if r.UpBytes != starResp[i].UpBytes || r.DownBytes != starResp[i].DownBytes {
+			t.Fatalf("%s: tree logical bytes (%d up, %d down) differ from star (%d up, %d down)",
+				req.Objective, r.UpBytes, r.DownBytes, starResp[i].UpBytes, starResp[i].DownBytes)
+		}
+	}
+
+	cluster.Close()
+	leafWG.Wait()
+	for i, err := range leafErrs {
+		if err != nil {
+			t.Errorf("leaf site %d: %v", i, err)
+		}
+	}
+	for a, err := range aggJoin() {
+		if err != nil {
+			t.Errorf("aggregator %d: %v", a, err)
+		}
+	}
+}
+
+// TestListenClusterTreeDegenerate pins that sites <= branch degenerates to
+// the flat star: leaf daemons dial the listener directly.
+func TestListenClusterTreeDegenerate(t *testing.T) {
+	in := gen.Mixture(gen.MixtureSpec{N: 120, K: 2, OutlierFrac: 0.05, Seed: 3})
+	shards := dataio.SplitRoundRobin(in.Pts, 2)
+	cl, err := ListenClusterTree("127.0.0.1:0", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ServeSite(cl.Addr(), SiteData{Site: i, Points: shards[i]}, 10*time.Second)
+		}(i)
+	}
+	cluster, err := cl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Objective: Median, K: 2, T: 6, Seed: 9, Points: in.Pts}
+	got, err := cluster.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewLocal().Do(context.Background(), Request{
+		Objective: Median, K: 2, T: 6, Seed: 9, Sites: 2, Points: in.Pts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCenters(t, got.Centers, want.Centers, "degenerate tree")
+	cluster.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("site %d: %v", i, err)
+		}
+	}
+}

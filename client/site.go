@@ -37,3 +37,25 @@ func ServeSite(addr string, d SiteData, timeout time.Duration) error {
 		Site: d.Site, Pts: d.Points, G: d.Ground, Nodes: d.Nodes,
 	}, nil)
 }
+
+// ServeSiteLoop is ServeSite with dpc-site -persist's redial behavior: a
+// connection that drops without the coordinator's clean protocol close —
+// the fate of a fleet whose request was cancelled mid-round — is dialed
+// again, so the site is back for the coordinator's lazy reconnect. It
+// returns nil on a clean close, or the dial error once the coordinator
+// stays away for timeout.
+func ServeSiteLoop(addr string, d SiteData, timeout time.Duration) error {
+	for {
+		sc, err := transport.Dial(addr, d.Site, timeout)
+		if err != nil {
+			return err
+		}
+		err = jobwire.ServeJobs(sc, jobwire.SiteData{
+			Site: d.Site, Pts: d.Points, G: d.Ground, Nodes: d.Nodes,
+		}, nil)
+		sc.Close()
+		if err == nil {
+			return nil
+		}
+	}
+}

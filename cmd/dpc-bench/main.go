@@ -21,6 +21,16 @@
 //	dpc-bench -preset quick           # reduced sizes (CI smoke)
 //	dpc-bench -exp E1,E4 -out e14.json
 //	dpc-bench -seed 7 -workers 4
+//
+// With -tree the harness measures the aggregation-tree topology instead:
+// for a curve of site counts it runs the same instance star and tree
+// (internal/tree, default branch 8) and records the coordinator's physical
+// inbox bytes under each — the star's inbox grows linearly in s, the
+// tree's is bounded by the branching factor — plus the byte-identity of
+// the centers, into BENCH_TREE.json (gated by dpc-benchdiff -tree):
+//
+//	dpc-bench -tree                   # s in {8..256} -> BENCH_TREE.json
+//	dpc-bench -tree -preset quick -branch 4
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 
 	"dpc/internal/bench"
 	"dpc/internal/metric"
+	"dpc/internal/tree"
 )
 
 // timingRowExperiments have wall-clock columns inside their tables, so
@@ -102,6 +113,8 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "tuned-engine worker count (0 = NumCPU)")
 	index := fs.Bool("index", false, "also run the tuned engine with the pivot metric index and record index_ms/index_speedup")
 	pivots := fs.Int("pivots", 0, "pivot count for -index (0 = metric default)")
+	treeMode := fs.Bool("tree", false, "measure the aggregation-tree topology (comm bytes vs site count) instead of the engine experiments")
+	branch := fs.Int("branch", tree.DefaultBranch, "with -tree: aggregation-tree branching factor")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed
@@ -115,6 +128,13 @@ func run(args []string, stdout io.Writer) error {
 		quick = true
 	default:
 		return fmt.Errorf("unknown preset %q (want full or quick)", *preset)
+	}
+	if *treeMode {
+		treeOut := *out
+		if treeOut == "BENCH_PR2.json" { // -tree writes its own artifact by default
+			treeOut = "BENCH_TREE.json"
+		}
+		return runTree(treeOut, *preset, quick, *seed, *branch, stdout)
 	}
 
 	var selected []bench.Experiment

@@ -68,3 +68,44 @@ func TestTablesEqual(t *testing.T) {
 		t.Fatal("cell mismatch missed")
 	}
 }
+
+// TestBenchTreeArtifact runs the -tree mode over a shortened curve and
+// validates the artifact: identical centers everywhere, degenerate rows
+// (s <= branch) reporting the star inbox, real tree rows below it.
+func TestBenchTreeArtifact(t *testing.T) {
+	saved := treeSiteCurve
+	treeSiteCurve = []int{4, 16}
+	defer func() { treeSiteCurve = saved }()
+
+	out := filepath.Join(t.TempDir(), "tree.json")
+	var sb strings.Builder
+	if err := run([]string{"-tree", "-preset", "quick", "-branch", "4", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art treeArtifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Branch != 4 || len(art.Rows) != 4 {
+		t.Fatalf("unexpected artifact shape: branch %d, %d rows", art.Branch, len(art.Rows))
+	}
+	for _, r := range art.Rows {
+		if !r.EqualCenters {
+			t.Fatalf("%s s=%d: centers diverged", r.Objective, r.Sites)
+		}
+		switch {
+		case r.Sites <= art.Branch:
+			if r.Levels != 0 || r.TreeRootUpBytes != r.StarUpBytes {
+				t.Fatalf("degenerate row %+v should report the star inbox with 0 levels", r)
+			}
+		default:
+			if r.Levels < 2 || r.TreeRootUpBytes >= r.StarUpBytes {
+				t.Fatalf("tree row %+v should beat the star inbox across >= 2 levels", r)
+			}
+		}
+	}
+}

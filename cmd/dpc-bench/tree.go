@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+
+	"dpc/internal/core"
+	"dpc/internal/kmedian"
+	"dpc/internal/metric"
+	"dpc/internal/transport"
+	"dpc/internal/tree"
+)
+
+// treeSiteCurve is the site-count sweep of the -tree benchmark. The curve
+// is the point: the star's root inbox grows linearly in s while the
+// tree's stays bounded by the branching factor, so the gap must widen
+// along it. Both presets sweep the same counts (the gate checks the
+// relation at every s); quick only shrinks the per-site instance.
+var treeSiteCurve = []int{8, 16, 32, 64, 128, 256}
+
+// treeRow is one (objective, site-count) measurement of BENCH_TREE.json.
+type treeRow struct {
+	Objective string `json:"objective"`
+	Sites     int    `json:"sites"`
+	// StarUpBytes is the coordinator's physical inbox under the star: the
+	// run's logical up bytes, since every site payload lands on a root
+	// link. TreeRootUpBytes is the inbox under the tree — bytes arriving
+	// on the root's own links only (merged batches from its direct
+	// children). Levels is the tree's link-tier count (0 when s <= branch,
+	// where the tree degenerates to the star by construction).
+	StarUpBytes     int64 `json:"star_up_bytes"`
+	TreeRootUpBytes int64 `json:"tree_root_up_bytes"`
+	Levels          int   `json:"levels"`
+	// EqualCenters asserts the tentpole invariant: the tree run returned
+	// byte-identical centers, budgets and logical byte accounting.
+	EqualCenters bool `json:"equal_centers"`
+}
+
+// treeArtifact is the BENCH_TREE.json schema.
+type treeArtifact struct {
+	Description   string    `json:"description"`
+	Preset        string    `json:"preset"`
+	Seed          int64     `json:"seed"`
+	Branch        int       `json:"branch"`
+	PointsPerSite int       `json:"points_per_site"`
+	GoVersion     string    `json:"go_version"`
+	Rows          []treeRow `json:"rows"`
+}
+
+// runTree sweeps treeSiteCurve for two representative objectives, running
+// every instance star-then-tree over the loopback wire, and writes the
+// curve artifact. Divergent centers fail the run outright — the artifact
+// records measurements of a working tree, not a broken one.
+func runTree(out, preset string, quick bool, seed int64, branch int, stdout io.Writer) error {
+	if err := (tree.Spec{Tree: true, Branch: branch}).Validate(); err != nil {
+		return err
+	}
+	perSite := 64
+	if quick {
+		perSite = 24
+	}
+	art := treeArtifact{
+		Description: "Aggregation-tree topology benchmark: the same seeded instance run star and tree " +
+			"(internal/tree) at growing site counts. star_up_bytes is the coordinator's physical inbox " +
+			"under the star, tree_root_up_bytes under the tree; equal_centers asserts byte-identical " +
+			"results. Deterministic given the seed.",
+		Preset:        preset,
+		Seed:          seed,
+		Branch:        branch,
+		PointsPerSite: perSite,
+		GoVersion:     runtime.Version(),
+	}
+
+	objectives := []struct {
+		name string
+		obj  core.Objective
+	}{
+		{"median", core.Median},
+		{"center", core.Center},
+	}
+	for _, o := range objectives {
+		for _, s := range treeSiteCurve {
+			sites := treeSites(s, perSite, 4, seed)
+			cfg := core.Config{
+				K: 8, T: s, Objective: o.obj, Variant: core.TwoRound,
+				LocalOpts: kmedian.Options{Seed: seed},
+				Transport: transport.KindLoopback,
+			}
+			star, err := core.Run(sites, cfg)
+			if err != nil {
+				return fmt.Errorf("tree bench %s s=%d star: %w", o.name, s, err)
+			}
+			cfg.Topology = tree.Spec{Tree: true, Branch: branch}
+			treed, err := core.Run(sites, cfg)
+			if err != nil {
+				return fmt.Errorf("tree bench %s s=%d tree: %w", o.name, s, err)
+			}
+
+			row := treeRow{
+				Objective:   o.name,
+				Sites:       s,
+				StarUpBytes: star.Report.UpBytes,
+				EqualCenters: reflect.DeepEqual(star.Centers, treed.Centers) &&
+					reflect.DeepEqual(star.SiteBudgets, treed.SiteBudgets) &&
+					star.Report.UpBytes == treed.Report.UpBytes &&
+					star.Report.DownBytes == treed.Report.DownBytes,
+			}
+			if treed.Report.Tree != nil {
+				row.TreeRootUpBytes = treed.Report.Tree.RootUpBytes()
+				row.Levels = len(treed.Report.Tree.Levels)
+			} else {
+				// s <= branch: the tree degenerates to the star, so the
+				// physical inbox is the star's.
+				row.TreeRootUpBytes = treed.Report.UpBytes
+			}
+			if !row.EqualCenters {
+				return fmt.Errorf("tree bench %s s=%d: tree run diverged from the star", o.name, s)
+			}
+			art.Rows = append(art.Rows, row)
+			fmt.Fprintf(stdout, "%-6s s=%-3d star inbox %8d B  tree inbox %8d B  (%.1f%%, %d levels)\n",
+				o.name, s, row.StarUpBytes, row.TreeRootUpBytes,
+				100*float64(row.TreeRootUpBytes)/float64(row.StarUpBytes), row.Levels)
+		}
+	}
+
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		_, err = stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d rows)\n", out, len(art.Rows))
+	return nil
+}
+
+// treeSites generates s deterministic site shards of perSite points each
+// (three well-separated clusters plus noise, round-robin sharded — the
+// transport tests' instance shape, scaled by site count).
+func treeSites(s, perSite, dim int, seed int64) [][]metric.Point {
+	rng := rand.New(rand.NewSource(seed + int64(s)*1009))
+	sites := make([][]metric.Point, s)
+	n := s * perSite
+	for j := 0; j < n; j++ {
+		c := j % 3
+		p := make(metric.Point, dim)
+		for d := range p {
+			p[d] = float64(c*10) + rng.NormFloat64()
+		}
+		sites[j%s] = append(sites[j%s], p)
+	}
+	return sites
+}

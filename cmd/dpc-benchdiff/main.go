@@ -59,11 +59,15 @@ func run(args []string, stdout io.Writer) error {
 	servePath := fs.String("serve", "", "gate a dpc-loadgen BENCH_SERVE artifact instead of diffing bench tables")
 	minSpeedup := fs.Float64("min-speedup", 1.2, "with -serve: minimum sharded/single-lock storage throughput ratio")
 	minIndexSpeedup := fs.Float64("min-index-speedup", 0, "require the candidate's best index-vs-cache speedup to reach this floor (0 = no index gate; the artifact needs dpc-bench -index rows)")
+	treePath := fs.String("tree", "", "gate a dpc-bench -tree BENCH_TREE artifact instead of diffing bench tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *servePath != "" {
 		return gateServe(*servePath, *minSpeedup, stdout)
+	}
+	if *treePath != "" {
+		return gateTree(*treePath, stdout)
 	}
 	base, err := load(*basePath)
 	if err != nil {
@@ -235,6 +239,76 @@ func gateServe(path string, minSpeedup float64, stdout io.Writer) error {
 		return fmt.Errorf("%d serve gate(s) failed", len(fails))
 	}
 	fmt.Fprintln(stdout, "OK: serve load benchmark within gates")
+	return nil
+}
+
+// treeArtifact mirrors cmd/dpc-bench's BENCH_TREE.json. Byte counts are
+// deterministic at a fixed seed, but like the serve artifact the gate
+// checks the relations that must hold on any host rather than diffing
+// against a checked-in copy: centers byte-identical at every point of the
+// curve, the tree's root inbox strictly below the star's from 32 sites
+// up, and the gap widening as the site count grows — the whole point of
+// the topology.
+type treeArtifact struct {
+	Preset string `json:"preset"`
+	Branch int    `json:"branch"`
+	Rows   []struct {
+		Objective       string `json:"objective"`
+		Sites           int    `json:"sites"`
+		StarUpBytes     int64  `json:"star_up_bytes"`
+		TreeRootUpBytes int64  `json:"tree_root_up_bytes"`
+		Levels          int    `json:"levels"`
+		EqualCenters    bool   `json:"equal_centers"`
+	} `json:"rows"`
+}
+
+// gateTree enforces the aggregation-tree invariants on a BENCH_TREE
+// artifact.
+func gateTree(path string, stdout io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var a treeArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(a.Rows) == 0 {
+		return fmt.Errorf("%s: no rows (not a dpc-bench -tree artifact?)", path)
+	}
+	var fails []string
+	lastGap := map[string]int64{}
+	gatedGap := 0
+	for _, r := range a.Rows {
+		fmt.Fprintf(stdout, "tree[%s/%s] s=%-3d star inbox %d B, tree inbox %d B (%d levels), equal_centers=%v\n",
+			a.Preset, r.Objective, r.Sites, r.StarUpBytes, r.TreeRootUpBytes, r.Levels, r.EqualCenters)
+		if !r.EqualCenters {
+			fails = append(fails, fmt.Sprintf("%s s=%d: tree centers diverged from the star", r.Objective, r.Sites))
+		}
+		if r.Sites < 32 {
+			continue
+		}
+		if r.TreeRootUpBytes >= r.StarUpBytes {
+			fails = append(fails, fmt.Sprintf("%s s=%d: tree root inbox %d B not below the star's %d B", r.Objective, r.Sites, r.TreeRootUpBytes, r.StarUpBytes))
+			continue
+		}
+		gap := r.StarUpBytes - r.TreeRootUpBytes
+		if prev, ok := lastGap[r.Objective]; ok && gap <= prev {
+			fails = append(fails, fmt.Sprintf("%s s=%d: inbox gap %d B not above the previous site count's %d B (the saving must widen with s)", r.Objective, r.Sites, gap, prev))
+		}
+		lastGap[r.Objective] = gap
+		gatedGap++
+	}
+	if gatedGap == 0 {
+		fails = append(fails, "no rows with sites >= 32; the curve cannot show the fan-in win")
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d tree gate(s) failed", len(fails))
+	}
+	fmt.Fprintf(stdout, "OK: tree topology within gates (%d rows, branch %d)\n", len(a.Rows), a.Branch)
 	return nil
 }
 

@@ -128,3 +128,82 @@ func TestBenchdiffRejectsNonArtifacts(t *testing.T) {
 		t.Fatal("missing file passed")
 	}
 }
+
+func writeTreeArtifact(t *testing.T, dir, name string, a treeArtifact) string {
+	t.Helper()
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodTreeArtifact() treeArtifact {
+	var a treeArtifact
+	a.Preset, a.Branch = "quick", 8
+	for _, r := range []struct {
+		sites      int
+		star, tree int64
+		levels     int
+	}{{8, 1000, 1000, 0}, {32, 4000, 3300, 2}, {64, 8000, 6600, 2}, {256, 32000, 26000, 3}} {
+		a.Rows = append(a.Rows, struct {
+			Objective       string `json:"objective"`
+			Sites           int    `json:"sites"`
+			StarUpBytes     int64  `json:"star_up_bytes"`
+			TreeRootUpBytes int64  `json:"tree_root_up_bytes"`
+			Levels          int    `json:"levels"`
+			EqualCenters    bool   `json:"equal_centers"`
+		}{"median", r.sites, r.star, r.tree, r.levels, true})
+	}
+	return a
+}
+
+// TestBenchdiffTreeGate covers the -tree gate: the relations (identical
+// centers, tree inbox below star from s=32 up, widening gap) pass, and
+// each violation fails with a pointed message.
+func TestBenchdiffTreeGate(t *testing.T) {
+	dir := t.TempDir()
+
+	var out bytes.Buffer
+	if err := run([]string{"-tree", writeTreeArtifact(t, dir, "ok.json", goodTreeArtifact())}, &out); err != nil {
+		t.Fatalf("good tree artifact failed: %v\n%s", err, out.String())
+	}
+
+	diverged := goodTreeArtifact()
+	diverged.Rows[2].EqualCenters = false
+	out.Reset()
+	if err := run([]string{"-tree", writeTreeArtifact(t, dir, "d.json", diverged)}, &out); err == nil || !strings.Contains(out.String(), "diverged") {
+		t.Fatalf("diverged centers passed: %v\n%s", err, out.String())
+	}
+
+	notBelow := goodTreeArtifact()
+	notBelow.Rows[1].TreeRootUpBytes = notBelow.Rows[1].StarUpBytes
+	out.Reset()
+	if err := run([]string{"-tree", writeTreeArtifact(t, dir, "n.json", notBelow)}, &out); err == nil || !strings.Contains(out.String(), "not below") {
+		t.Fatalf("tree-not-below-star passed: %v\n%s", err, out.String())
+	}
+
+	shrinking := goodTreeArtifact()
+	shrinking.Rows[2].TreeRootUpBytes = shrinking.Rows[2].StarUpBytes - 100 // gap 100 < previous 700
+	out.Reset()
+	if err := run([]string{"-tree", writeTreeArtifact(t, dir, "s.json", shrinking)}, &out); err == nil || !strings.Contains(out.String(), "widen") {
+		t.Fatalf("shrinking gap passed: %v\n%s", err, out.String())
+	}
+
+	small := goodTreeArtifact()
+	small.Rows = small.Rows[:1]
+	out.Reset()
+	if err := run([]string{"-tree", writeTreeArtifact(t, dir, "sm.json", small)}, &out); err == nil || !strings.Contains(out.String(), "sites >= 32") {
+		t.Fatalf("curve without large site counts passed: %v\n%s", err, out.String())
+	}
+
+	empty := filepath.Join(dir, "e.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if err := run([]string{"-tree", empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty tree artifact passed")
+	}
+}

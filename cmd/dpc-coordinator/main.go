@@ -15,6 +15,13 @@
 //	dpc-site -connect 127.0.0.1:9009 -site 0 -in part0.csv
 //	dpc-site -connect 127.0.0.1:9009 -site 1 -in part1.csv
 //	...
+//
+// With -topology tree,branch=N the processes dialing in are not the leaf
+// sites but the top tier of an aggregation tree of dpc-site -aggregate
+// daemons (ids 0..d-1 where d is the last entry of the bottom-up tier plan
+// — see internal/tree.Tiers); the leaves dial those aggregators instead.
+// Centers are byte-identical to the star; -report additionally shows what
+// physically crossed each tree level.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"dpc/internal/dataio"
 	"dpc/internal/kmedian"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 )
 
 func main() {
@@ -42,7 +50,9 @@ func main() {
 		polish    = flag.Bool("lloyd", false, "Lloyd-polish the final centers (means only)")
 		outPath   = flag.String("out", "-", "output CSV of centers ('-' = stdout)")
 		report    = flag.Bool("report", false, "print the communication report to stderr")
+		topo      tree.Spec
 	)
+	flag.Var(&topo, "topology", "coordinator fan-in: star | tree | tree,branch=N (tree accepts dpc-site -aggregate daemons)")
 	flag.Parse()
 
 	obj, err := parseObjective(*objective)
@@ -59,18 +69,41 @@ func main() {
 		LocalOpts:   kmedian.Options{Seed: *seed},
 	}
 
-	l, err := transport.Listen(*listen, *sites)
+	// Under a tree topology the dialers are the top aggregator tier, not
+	// the leaves; the tier plan is the same deterministic one the launch
+	// script derives from tree.Tiers.
+	direct := *sites
+	if topo.Enabled() {
+		if tiers := tree.Tiers(*sites, topo.BranchOrDefault()); len(tiers) > 0 {
+			direct = tiers[len(tiers)-1]
+		}
+	}
+	l, err := transport.Listen(*listen, direct)
 	if err != nil {
 		fatal(err)
 	}
 	defer l.Close()
-	fmt.Fprintf(os.Stderr, "dpc-coordinator: listening on %s, waiting for %d site(s)\n", l.Addr(), *sites)
-	tr, err := l.Accept(*sites, core.EncodeConfig(cfg))
+	what := "site(s)"
+	if direct != *sites {
+		what = fmt.Sprintf("aggregator(s) for %d site(s)", *sites)
+	}
+	fmt.Fprintf(os.Stderr, "dpc-coordinator: listening on %s, waiting for %d %s\n", l.Addr(), direct, what)
+	var tr transport.Transport
+	coord, err := l.Accept(direct, core.EncodeConfig(cfg))
 	if err != nil {
 		fatal(err)
 	}
+	tr = coord
+	if direct != *sites {
+		root, err := tree.NewRootOver(coord, *sites, topo.BranchOrDefault())
+		if err != nil {
+			coord.Close()
+			fatal(err)
+		}
+		tr = root
+	}
 	defer tr.Close()
-	fmt.Fprintf(os.Stderr, "dpc-coordinator: all %d site(s) connected, running %s/%s\n", *sites, obj, vr)
+	fmt.Fprintf(os.Stderr, "dpc-coordinator: all %d %s connected, running %s/%s\n", direct, what, obj, vr)
 
 	res, err := core.RunOver(tr, cfg)
 	if err != nil {
@@ -95,6 +128,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rounds: %d  up: %d B  down: %d B\n",
 			res.Report.Rounds, res.Report.UpBytes, res.Report.DownBytes)
 		fmt.Fprintf(os.Stderr, "site budgets t_i: %v\n", res.SiteBudgets)
+		if ts := res.Report.Tree; ts != nil {
+			fmt.Fprintf(os.Stderr, "tree (branch %d): root inbox %d B (star would be %d B)\n",
+				ts.Branch, ts.RootUpBytes(), res.Report.UpBytes)
+			for i, lv := range ts.Levels {
+				fmt.Fprintf(os.Stderr, "  level %d: down %d B  up %d B\n", i, lv.Down, lv.Up)
+			}
+		}
 	}
 }
 

@@ -25,6 +25,16 @@
 // the nodes out of -sites total, so every daemon of the fleet can be
 // started from one file. Uncertain mode requires -persist (the single-run
 // dpc-coordinator handshake only carries point configurations).
+//
+// With -aggregate the daemon is an interior node of an aggregation tree
+// instead of a leaf: it holds no data, listens for -children child
+// connections (leaf sites dialing with their global ids, starting at
+// -child-base, or deeper aggregators with -inner), forwards the
+// coordinator's handshake blob down, and merges each round's child replies
+// into one batch for its parent (see internal/tree):
+//
+//	dpc-site -aggregate -connect 127.0.0.1:9009 -site 0 \
+//	    -children-listen 127.0.0.1:9101 -children 4 -child-base 0
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"dpc/internal/dataio"
 	"dpc/internal/jobwire"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 )
 
 func main() {
@@ -49,9 +60,24 @@ func main() {
 		persist   = flag.Bool("persist", false, "serve many jobs over one connection (dpc-server / client.Cluster mode)")
 		uncFlag   = flag.Bool("uncertain", false, "input rows are uncertain nodes: node_id,prob,coords... (requires -persist)")
 		siteCount = flag.Int("sites", 0, "total site count, for sharding the -uncertain node set (required with -uncertain)")
+		aggregate = flag.Bool("aggregate", false, "serve as an aggregation-tree interior node instead of a leaf site (no data)")
+		childAddr = flag.String("children-listen", "127.0.0.1:0", "with -aggregate: address to accept child connections on")
+		children  = flag.Int("children", 0, "with -aggregate: number of direct children (required)")
+		childBase = flag.Int("child-base", 0, "with -aggregate: global site id of the first child")
+		innerFlag = flag.Bool("inner", false, "with -aggregate: children are aggregators themselves (payloads are batches)")
 		verbose   = flag.Bool("v", false, "log rounds to stderr")
 	)
 	flag.Parse()
+
+	if *aggregate {
+		if err := runAggregate(*connect, *site, *timeout, *childAddr, *children, *childBase, *innerFlag, *verbose); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "dpc-site aggregator %d: coordinator closed, exiting\n", *site)
+		}
+		return
+	}
 
 	data := jobwire.SiteData{Site: *site}
 	in, err := openIn(*inPath)
@@ -91,21 +117,35 @@ func main() {
 		}
 	}
 
+	if *persist {
+		// The redial loop is what lets a coordinator recover a fleet: a
+		// request cancelled mid-protocol drops the connections, the
+		// coordinator re-listens, and every daemon lands back here and
+		// dials again. Only a clean protocol close (the coordinator's
+		// close frame, err == nil) ends the daemon; a dial that exhausts
+		// -timeout means the coordinator is really gone.
+		for {
+			sc, err := transport.Dial(*connect, *site, *timeout)
+			if err != nil {
+				fatal(err)
+			}
+			err = servePersistent(sc, data, *verbose)
+			sc.Close()
+			if err == nil {
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "dpc-site %d: coordinator closed, exiting\n", *site)
+				}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dpc-site %d: connection lost (%v), redialing %s\n", *site, err, *connect)
+		}
+	}
+
 	sc, err := transport.Dial(*connect, *site, *timeout)
 	if err != nil {
 		fatal(err)
 	}
 	defer sc.Close()
-
-	if *persist {
-		if err := servePersistent(sc, data, *verbose); err != nil {
-			fatal(err)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "dpc-site %d: coordinator closed, exiting\n", *site)
-		}
-		return
-	}
 
 	cfg, err := core.DecodeConfig(sc.Hello())
 	if err != nil {
@@ -126,6 +166,43 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "dpc-site %d: protocol complete\n", *site)
 	}
+}
+
+// runAggregate serves one interior tree node: listen for the children
+// first (so their dial retries have somewhere to land), join the parent,
+// forward the parent's handshake blob down verbatim — leaf sites decode
+// their run configuration from it exactly as they would from the
+// coordinator itself — and then run the merge role until the parent closes
+// the protocol. The children's site ids are the global range
+// [base, base+children), which keeps their seeds and pivot comparisons
+// fleet-wide correct.
+func runAggregate(connect string, site int, timeout time.Duration, listen string, children, base int, inner, verbose bool) error {
+	if children <= 0 {
+		return fmt.Errorf("-aggregate requires -children > 0 (got %d)", children)
+	}
+	l, err := transport.Listen(listen, children)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "dpc-site aggregator %d: accepting %d children (ids %d..%d) on %s, dialing %s\n",
+			site, children, base, base+children-1, l.Addr(), connect)
+	}
+	sc, err := transport.Dial(connect, site, timeout)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	child, err := l.AcceptBase(children, base, sc.Hello())
+	if err != nil {
+		return err
+	}
+	l.Close()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "dpc-site aggregator %d: subtree connected, serving\n", site)
+	}
+	return tree.Serve(sc, child, inner)
 }
 
 // servePersistent serves the multi-job loop (jobwire.ServeJobs: hello

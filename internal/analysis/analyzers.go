@@ -4,7 +4,7 @@ import "fmt"
 
 // All returns the full dpc-vet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxFlow, JournalBefore, ErrCode, OracleGuard}
+	return []*Analyzer{Determinism, CtxFlow, JournalBefore, ErrCode, OracleGuard, GoroutineBound}
 }
 
 // Select resolves a comma-free list of analyzer names against the suite;

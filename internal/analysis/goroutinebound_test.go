@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dpc/internal/analysis"
+	"dpc/internal/analysis/atest"
+)
+
+func TestGoroutineBound(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.GoroutineBound, "gb/serve")
+}
+
+func TestGoroutineBoundScope(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.GoroutineBound, "gb/other")
+}

@@ -1,0 +1,11 @@
+// Out-of-scope package: the goroutinebound rule binds internal/serve
+// only, so this spawn-per-item loop must produce no diagnostics.
+package other
+
+func work(int) {}
+
+func fanOut(items []int) {
+	for _, it := range items {
+		go work(it)
+	}
+}

@@ -1,0 +1,85 @@
+// GoroutineBound fixtures: in internal/serve, go statements inside loops
+// or request handlers must be bounded by a semaphore acquire.
+package serve
+
+import "net/http"
+
+func work(int) {}
+
+// A go statement per loop iteration is unbounded concurrency.
+func fanOut(items []int) {
+	for _, it := range items {
+		go work(it) // want `go statement inside a loop in fanOut`
+	}
+}
+
+func fanOutFor(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // want `go statement inside a loop in fanOutFor`
+	}
+}
+
+// The counting-semaphore idiom bounds it: acquire before spawn.
+func fanOutBounded(items []int) {
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		sem <- struct{}{}
+		go func(it int) {
+			defer func() { <-sem }()
+			work(it)
+		}(it)
+	}
+}
+
+// A fixed background goroutine outside any loop or handler is fine.
+func startLoops() {
+	go work(0)
+	go work(1)
+}
+
+// Request handlers spawn one goroutine per request — unbounded, because
+// the request count is.
+func handleJobs(w http.ResponseWriter, r *http.Request) {
+	go work(0) // want `go statement in request handler handleJobs`
+}
+
+// Handler closures (ServeMux registration style) carry the obligation too.
+var handler = func(w http.ResponseWriter, r *http.Request) {
+	go work(0) // want `go statement in request handler func literal`
+}
+
+// A semaphore-bounded handler spawn is sanctioned.
+func handleBounded(w http.ResponseWriter, r *http.Request, sem chan struct{}) {
+	sem <- struct{}{}
+	go func() {
+		defer func() { <-sem }()
+		work(0)
+	}()
+}
+
+// Loops inside a handler are judged by the loop rule: the acquire must be
+// in the loop body, not just anywhere earlier in the handler.
+func handleFanOut(w http.ResponseWriter, r *http.Request, sem chan struct{}) {
+	sem <- struct{}{}
+	for i := 0; i < 8; i++ {
+		go work(i) // want `go statement inside a loop in handleFanOut`
+	}
+}
+
+// A deliberate unbounded spawn documents itself.
+func sweep(ids []int) {
+	for _, id := range ids {
+		//dpc:vet-ok goroutinebound fixture: bounded by caller
+		go work(id)
+	}
+}
+
+// A goroutine body is its own scope: a loop around a go statement inside
+// the spawned closure does not indict the outer spawn, and vice versa.
+func nested(items []int) {
+	go func() {
+		for _, it := range items {
+			go work(it) // want `go statement inside a loop in func literal`
+		}
+	}()
+}

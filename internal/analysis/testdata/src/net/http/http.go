@@ -1,0 +1,12 @@
+// Stand-in for net/http with just the names the goroutinebound analyzer
+// matches on; the real package's source type-check would dominate the
+// fixture's cost for two type names.
+package http
+
+// Request mirrors net/http.Request in name and import path only.
+type Request struct{}
+
+// ResponseWriter mirrors net/http.ResponseWriter in name and import path.
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+}

@@ -164,6 +164,48 @@ func (nw *Network) Coordinator(fn func()) {
 	nw.mu.Unlock()
 }
 
+// TreeLevel is the physical traffic crossing one level of an aggregation
+// tree: Down is coordinator-side bytes fanning out at that level, Up is the
+// bytes arriving from the level below (merged batches, not raw site
+// payloads). Level 0 is the root's own links to its direct children — the
+// coordinator's real inbox/outbox.
+type TreeLevel struct {
+	Down int64 `json:"down"`
+	Up   int64 `json:"up"`
+}
+
+// TreeStats attributes a run's traffic to the levels of an aggregation
+// tree (internal/tree). The flat Report numbers stay in star terms — the
+// exact payload bytes the sites produced, identical across topologies —
+// while Levels carries what physically crossed each tier of links, so the
+// fan-in win of a tree deployment is measurable without changing what the
+// parity tests compare.
+type TreeStats struct {
+	// Branch is the configured branching factor.
+	Branch int `json:"branch"`
+	// Leaves is the number of real (data-holding) sites.
+	Leaves int `json:"leaves"`
+	// Levels[0] is the root's links; Levels[len-1] the leaf links.
+	Levels []TreeLevel `json:"levels"`
+}
+
+// RootUpBytes is the coordinator's physical inbox: bytes that arrived on
+// the root's own links. Zero-valued stats return 0.
+func (t TreeStats) RootUpBytes() int64 {
+	if len(t.Levels) == 0 {
+		return 0
+	}
+	return t.Levels[0].Up
+}
+
+// TreeStatser is implemented by transports that route through an
+// aggregation tree and can attribute traffic per level (tree.Root). Report
+// picks the stats up through this interface so Network itself stays
+// topology-blind.
+type TreeStatser interface {
+	TreeStats() (TreeStats, bool)
+}
+
 // Report is the measured footprint of a distributed run — the unit of
 // comparison for the communication and local-time columns of Tables 1-2.
 type Report struct {
@@ -176,6 +218,10 @@ type Report struct {
 	SiteWall  time.Duration // sum over rounds of the slowest site
 	SiteWork  time.Duration // total site CPU work
 	CoordWork time.Duration
+
+	// Tree carries per-level physical byte attribution when the transport
+	// is an aggregation tree; nil for star runs.
+	Tree *TreeStats
 }
 
 // TotalBytes is all communication in both directions.
@@ -199,6 +245,11 @@ func (nw *Network) Report() Report {
 	}
 	for _, b := range nw.down {
 		r.DownBytes += b
+	}
+	if ts, ok := nw.tr.(TreeStatser); ok {
+		if t, ok := ts.TreeStats(); ok {
+			r.Tree = &t
+		}
 	}
 	return r
 }

@@ -26,6 +26,7 @@ import (
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 )
 
 // Objective selects the clustering objective.
@@ -162,6 +163,15 @@ type Config struct {
 	// sites in genuinely separate processes, see RunOver, NewSiteHandler
 	// and the dpc-coordinator / dpc-site commands.
 	Transport transport.Kind
+	// Topology selects the coordinator fan-in for Run: the zero value is
+	// the paper's star (every site talks straight to the coordinator);
+	// tree.Spec{Tree: true, Branch: b} routes sites through intermediate
+	// aggregators so the root's physical inbox is O(branch) messages per
+	// round instead of O(s). Centers are byte-identical across topologies
+	// (the aggregators re-group the same summaries losslessly); the
+	// per-level traffic lands in Result.Report.Tree. Like Transport, this
+	// is coordinator-local and not shipped to sites.
+	Topology tree.Spec
 }
 
 func (c Config) withDefaults() Config {
@@ -289,7 +299,7 @@ func RunCtx(ctx context.Context, sites [][]metric.Point, cfg Config) (Result, er
 		}
 		handlers[i] = h
 	}
-	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	tr, err := tree.NewLocal(ctx, cfg.Transport, handlers, !cfg.Sequential, cfg.Topology)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dpc/internal/kmedian"
+	"dpc/internal/transport"
+	"dpc/internal/tree"
+)
+
+// TestTreeMatchesStar is the acceptance gate of the aggregation-tree layer
+// for the point objectives: the same seeded instance run through a tree of
+// aggregators must return byte-identical centers, budgets and logical byte
+// accounting as the star, for every objective × variant and on both wire
+// backends — the merge is a lossless re-grouping of the same summaries.
+func TestTreeMatchesStar(t *testing.T) {
+	sites := testSites(9, 180, 3, 7)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"median-2round", Config{K: 3, T: 12, Objective: Median, Variant: TwoRound}},
+		{"median-1round", Config{K: 3, T: 12, Objective: Median, Variant: OneRound}},
+		{"median-noship", Config{K: 3, T: 12, Objective: Median, Variant: TwoRoundNoOutliers}},
+		{"means-2round", Config{K: 3, T: 12, Objective: Means, Variant: TwoRound}},
+		{"center-2round", Config{K: 3, T: 12, Objective: Center, Variant: TwoRound}},
+		{"center-1round", Config{K: 3, T: 12, Objective: Center, Variant: OneRound}},
+		{"center-noship", Config{K: 3, T: 12, Objective: Center, Variant: TwoRoundNoOutliers}},
+	}
+	for _, kind := range []transport.Kind{transport.KindLoopback, transport.KindTCP} {
+		for _, tc := range cases {
+			if kind == transport.KindTCP && tc.name != "median-2round" && tc.name != "center-noship" {
+				// TCP re-runs a representative subset; the full matrix runs
+				// in-process (the tree layer is identical either way, TCP
+				// only changes the framing underneath it).
+				continue
+			}
+			t.Run(string(kind)+"/"+tc.name, func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.LocalOpts = kmedian.Options{Seed: 11}
+				cfg.Transport = kind
+				star, err := Run(sites, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Topology = tree.Spec{Tree: true, Branch: 3}
+				treed, err := Run(sites, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertTreeParity(t, star, treed)
+			})
+		}
+	}
+}
+
+// TestTreeDeepMatchesStar drives a depth-4 tree (30 leaves at branch 3:
+// 30 -> 10 -> 4 -> 2 aggregator tiers) to cover recursive batch merging,
+// not just the two-level shape.
+func TestTreeDeepMatchesStar(t *testing.T) {
+	sites := testSites(30, 300, 2, 5)
+	cfg := Config{K: 3, T: 15, Objective: Median, Variant: TwoRound, LocalOpts: kmedian.Options{Seed: 3}}
+	star, err := Run(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topology = tree.Spec{Tree: true, Branch: 3}
+	treed, err := Run(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreeParity(t, star, treed)
+	tr := treed.Report.Tree
+	if tr == nil {
+		t.Fatal("tree run reported no per-level stats")
+	}
+	if len(tr.Levels) != 4 {
+		t.Fatalf("depth-4 tree reported %d levels: %+v", len(tr.Levels), tr.Levels)
+	}
+	if tr.RootUpBytes() >= star.Report.UpBytes {
+		t.Fatalf("root inbox %d not below star inbox %d", tr.RootUpBytes(), star.Report.UpBytes)
+	}
+}
+
+// assertTreeParity checks the star/tree invariants: identical results and
+// identical logical accounting, with physical per-level stats only on the
+// tree side.
+func assertTreeParity(t *testing.T, star, treed Result) {
+	t.Helper()
+	if !reflect.DeepEqual(star.Centers, treed.Centers) {
+		t.Fatalf("centers differ:\nstar: %v\ntree: %v", star.Centers, treed.Centers)
+	}
+	if !reflect.DeepEqual(star.SiteBudgets, treed.SiteBudgets) {
+		t.Fatalf("budgets differ: %v vs %v", star.SiteBudgets, treed.SiteBudgets)
+	}
+	if star.OutlierBudget != treed.OutlierBudget {
+		t.Fatalf("outlier budget differs: %v vs %v", star.OutlierBudget, treed.OutlierBudget)
+	}
+	if star.CoordinatorCost != treed.CoordinatorCost || star.CoordinatorClients != treed.CoordinatorClients {
+		t.Fatalf("coordinator instance differs: cost %v/%v clients %d/%d",
+			star.CoordinatorCost, treed.CoordinatorCost, star.CoordinatorClients, treed.CoordinatorClients)
+	}
+	// The logical accounting (exact site payload bytes) must not move: the
+	// tree carries the same summaries, just grouped.
+	if star.Report.UpBytes != treed.Report.UpBytes ||
+		star.Report.DownBytes != treed.Report.DownBytes ||
+		star.Report.Rounds != treed.Report.Rounds {
+		t.Fatalf("logical accounting differs: star %d up/%d down/%d rounds, tree %d up/%d down/%d rounds",
+			star.Report.UpBytes, star.Report.DownBytes, star.Report.Rounds,
+			treed.Report.UpBytes, treed.Report.DownBytes, treed.Report.Rounds)
+	}
+	if star.Report.Tree != nil {
+		t.Fatalf("star run carries tree stats: %+v", star.Report.Tree)
+	}
+	tr := treed.Report.Tree
+	if tr == nil {
+		t.Fatal("tree run reported no per-level stats")
+	}
+	if tr.RootUpBytes() <= 0 {
+		t.Fatalf("tree root inbox not accounted: %+v", tr)
+	}
+}

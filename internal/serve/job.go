@@ -12,6 +12,7 @@ import (
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 	"dpc/internal/uncertain"
 )
 
@@ -64,6 +65,11 @@ type JobSpec struct {
 	// milliseconds (stable error code "queue_deadline_exceeded"). Zero
 	// means the server-wide default, if any.
 	QueueTimeoutMS int `json:"queue_timeout_ms,omitempty"`
+	// Topology selects the coordinator fan-in of the in-process protocols:
+	// star (default) or an aggregation tree ("tree,branch=8" or
+	// {"tree":true,"branch":8}). Centers are byte-identical either way; the
+	// tree changes only the physical per-level traffic.
+	Topology tree.Spec `json:"topology,omitempty"`
 }
 
 // MaxJobSites caps JobSpec.Sites: each simulated site costs a goroutine
@@ -248,6 +254,7 @@ func (s JobSpec) CoreConfig() (core.Config, error) {
 		Engine:      eng,
 		LocalOpts:   kmedian.Options{Seed: s.Seed},
 		Options:     s.EngineOptions(),
+		Topology:    s.Topology,
 	}, nil
 }
 
@@ -272,6 +279,7 @@ func (s JobSpec) UncertainConfig() (uncertain.Config, uncertain.Objective, error
 		Engine:      eng,
 		LocalOpts:   kmedian.Options{Seed: s.Seed, Options: eo},
 		NoDistCache: eo.NoCache,
+		Topology:    s.Topology,
 	}, obj, nil
 }
 
@@ -296,6 +304,7 @@ func (s JobSpec) CenterGConfig() (uncertain.CenterGConfig, error) {
 		Engine:      eng,
 		LocalOpts:   kmedian.Options{Seed: s.Seed, Options: eo},
 		NoDistCache: eo.NoCache,
+		Topology:    s.Topology,
 	}, nil
 }
 
@@ -331,6 +340,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.QueueTimeoutMS < 0 {
 		return fmt.Errorf("serve: job queue_timeout_ms = %d, must be non-negative", s.QueueTimeoutMS)
+	}
+	if err := s.Topology.Validate(); err != nil {
+		return err
 	}
 	if len(s.Client) > 128 {
 		return fmt.Errorf("serve: job client name longer than 128 bytes")
@@ -454,7 +466,10 @@ func (r *Registry) runTable(ctx context.Context, d *Dataset, spec JobSpec) (*Job
 		}
 		handlers[i] = h
 	}
-	tr := transport.NewLoopback(handlers, true)
+	tr, err := tree.NewLocal(ctx, transport.KindLoopback, handlers, true, spec.Topology)
+	if err != nil {
+		return nil, err
+	}
 	defer tr.Close()
 	res, err := core.RunOverCtx(ctx, tr, cfg)
 	if err != nil {

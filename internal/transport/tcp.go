@@ -64,6 +64,20 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // legitimate sites that already joined. Accept returns an error only when
 // the listener itself fails (e.g. it was closed).
 func (l *Listener) Accept(sites int, hello []byte) (*Coordinator, error) {
+	return l.AcceptBase(sites, 0, hello)
+}
+
+// AcceptBase is Accept for an interior node of an aggregation tree: the
+// expected site ids are the contiguous global range [base, base+sites)
+// instead of [0, sites). Sites keep their fleet-wide identity (which their
+// seeds and the protocol's pivot comparisons derive from) while dialing
+// whichever aggregator owns their group; connection slot i holds site
+// base+i, and the returned Coordinator's Gather yields payloads in global
+// site order.
+func (l *Listener) AcceptBase(sites, base int, hello []byte) (*Coordinator, error) {
+	if base < 0 {
+		return nil, fmt.Errorf("transport: negative site id base %d", base)
+	}
 	c := &Coordinator{
 		conns: make([]net.Conn, sites),
 		rd:    make([]*bufio.Reader, sites),
@@ -95,11 +109,12 @@ func (l *Listener) Accept(sites int, hello []byte) (*Coordinator, error) {
 			continue
 		}
 		id := int(h.site)
-		if id < 0 || id >= sites {
-			reject(fmt.Sprintf("site id %d out of range [0,%d)", id, sites))
+		if id < base || id >= base+sites {
+			reject(fmt.Sprintf("site id %d out of range [%d,%d)", id, base, base+sites))
 			continue
 		}
-		if c.conns[id] != nil {
+		slot := id - base
+		if c.conns[slot] != nil {
 			reject(fmt.Sprintf("duplicate site id %d", id))
 			continue
 		}
@@ -112,7 +127,7 @@ func (l *Listener) Accept(sites int, hello []byte) (*Coordinator, error) {
 			continue
 		}
 		conn.SetDeadline(time.Time{}) // rounds have no transport deadline
-		c.conns[id], c.rd[id], c.wr[id] = conn, rd, wr
+		c.conns[slot], c.rd[slot], c.wr[slot] = conn, rd, wr
 		joined++
 	}
 	return c, nil
@@ -353,6 +368,26 @@ func (c *Coordinator) Close() error {
 			}
 		} else if first == nil {
 			first = err
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.conns[i] = nil
+	}
+	return first
+}
+
+// Abort shuts the site sockets without the protocol close frame: the
+// sites observe a connection loss, not a clean end — what a persistent
+// daemon's redial loop (dpc-site -persist, client.ServeSiteLoop) treats as
+// "the coordinator will be back". Used when the connections are
+// desynchronized mid-protocol (a cancelled request) and will be
+// re-established rather than ended.
+func (c *Coordinator) Abort() error {
+	var first error
+	for i, conn := range c.conns {
+		if conn == nil {
+			continue
 		}
 		if err := conn.Close(); err != nil && first == nil {
 			first = err

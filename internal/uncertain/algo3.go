@@ -12,6 +12,7 @@ import (
 	"dpc/internal/metric"
 	"dpc/internal/protocol"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 )
 
 // Objective selects the uncertain clustering objective.
@@ -75,6 +76,10 @@ type Config struct {
 	// keeps sites in-process; transport.KindTCP runs the identical
 	// protocol over real localhost sockets.
 	Transport transport.Kind
+	// Topology selects the coordinator fan-in (star by default, or an
+	// aggregation tree; see internal/tree). Coordinator-local: sites
+	// ignore it, and centers are byte-identical across topologies.
+	Topology tree.Spec `json:"topology,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -388,7 +393,7 @@ func RunCtx(ctx context.Context, g *Ground, sites [][]Node, cfg Config, obj Obje
 		}
 		handlers[i] = h
 	}
-	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	tr, err := tree.NewLocal(ctx, cfg.Transport, handlers, !cfg.Sequential, cfg.Topology)
 	if err != nil {
 		return Result{}, err
 	}

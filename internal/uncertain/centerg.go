@@ -13,6 +13,7 @@ import (
 	"dpc/internal/kmedian"
 	"dpc/internal/metric"
 	"dpc/internal/transport"
+	"dpc/internal/tree"
 )
 
 // CenterGConfig parameterizes Algorithm 4.
@@ -47,6 +48,10 @@ type CenterGConfig struct {
 	// Transport selects the wire backend (loopback in-process by default,
 	// tcp for real localhost sockets).
 	Transport transport.Kind
+	// Topology selects the coordinator fan-in (star by default, or an
+	// aggregation tree; see internal/tree). Coordinator-local: sites
+	// ignore it, and centers are byte-identical across topologies.
+	Topology tree.Spec `json:"topology,omitempty"`
 }
 
 func (c CenterGConfig) withDefaults() CenterGConfig {
@@ -335,7 +340,7 @@ func RunCenterGCtx(ctx context.Context, g *Ground, sites [][]Node, cfg CenterGCo
 		}
 		handlers[i] = h
 	}
-	tr, err := transport.NewLocal(cfg.Transport, handlers, !cfg.Sequential)
+	tr, err := tree.NewLocal(ctx, cfg.Transport, handlers, !cfg.Sequential, cfg.Topology)
 	if err != nil {
 		return CenterGResult{}, err
 	}

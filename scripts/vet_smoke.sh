@@ -56,8 +56,8 @@ func Solve(dc *metric.DistCache) int { return dc.N() }
 EOF
 
 cat > "$fix/serve/a.go" <<'EOF'
-// Planted violations: journalbefore (mutate before journal) and errcode
-// (literal wire code).
+// Planted violations: journalbefore (mutate before journal), errcode
+// (literal wire code) and goroutinebound (spawn per loop iteration).
 package serve
 
 type Registry struct{}
@@ -76,6 +76,12 @@ func (s *Server) DeleteThenJournal(name string, j *Job) error {
 	}
 	j.ErrorCode = "oops_literal"
 	return s.journalAppend(3, name)
+}
+
+func (s *Server) FanOut(jobs []*Job) {
+	for range jobs {
+		go func() {}()
+	}
 }
 EOF
 
@@ -102,7 +108,7 @@ if [ "$rc" -ne 1 ]; then
   exit 1
 fi
 
-for analyzer in determinism ctxflow journalbefore errcode oracleguard; do
+for analyzer in determinism ctxflow journalbefore errcode oracleguard goroutinebound; do
   if ! grep -q "\"analyzer\": \"$analyzer\"" "$out"; then
     echo "FAIL: analyzer $analyzer did not fire on its planted violation"
     exit 1
@@ -113,4 +119,4 @@ done
 echo "== run dpc-vet over this repo (must be clean)"
 go run ./cmd/dpc-vet ./...
 
-echo "PASS: all 5 analyzers fire and the tree is clean"
+echo "PASS: all 6 analyzers fire and the tree is clean"
